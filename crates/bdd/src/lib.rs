@@ -1,0 +1,36 @@
+//! Reduced ordered binary decision diagrams (ROBDDs).
+//!
+//! The paper's second option for proving a potentially valid clause
+//! combination is "carrying out the circuit modification associated with
+//! the PVCC, and performing a BDD-based verification of the original
+//! circuit versus the modified circuit", noting it is faster than ATPG on
+//! small and medium circuits but blows up on large ones. This crate
+//! provides exactly that: a shared, hash-consed BDD package with an ITE
+//! core and a computed table, circuit-to-BDD construction, and equivalence
+//! checking with a node-count budget so callers can fall back to SAT when
+//! BDDs explode.
+//!
+//! # Example
+//!
+//! ```
+//! use bdd::BddManager;
+//!
+//! let mut mgr = BddManager::new();
+//! let a = mgr.var(0)?;
+//! let b = mgr.var(1)?;
+//! let ab = mgr.and(a, b)?;
+//! let ba = mgr.and(b, a)?;
+//! // Hash-consing makes equivalence a pointer comparison.
+//! assert_eq!(ab, ba);
+//! let na = mgr.not(a)?;
+//! let f = mgr.or(ab, na)?;
+//! assert_eq!(mgr.eval(f, &[true, true]), true);
+//! assert_eq!(mgr.eval(f, &[true, false]), false);
+//! # Ok::<(), bdd::BddError>(())
+//! ```
+
+mod circuit;
+mod manager;
+
+pub use circuit::{build_outputs, check_equiv, CircuitBddError};
+pub use manager::{BddError, BddManager, BddRef};

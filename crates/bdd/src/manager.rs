@@ -1,0 +1,503 @@
+use std::collections::HashMap;
+use std::fmt;
+
+/// A reference to a BDD node within one [`BddManager`].
+///
+/// Because nodes are hash-consed, two functions are equal iff their
+/// `BddRef`s are equal (within the same manager).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BddRef(u32);
+
+impl BddRef {
+    /// The constant-false function.
+    pub const FALSE: BddRef = BddRef(0);
+    /// The constant-true function.
+    pub const TRUE: BddRef = BddRef(1);
+
+    /// `true` if this is one of the two terminal nodes.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+impl fmt::Display for BddRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BddRef::FALSE => write!(f, "⊥"),
+            BddRef::TRUE => write!(f, "⊤"),
+            BddRef(i) => write!(f, "@{i}"),
+        }
+    }
+}
+
+/// Errors from BDD operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BddError {
+    /// The node budget was exhausted — the caller should fall back to the
+    /// SAT-based prover, as the paper does for large circuits.
+    NodeLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::NodeLimit { limit } => {
+                write!(f, "bdd node limit of {limit} nodes exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BddError {}
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    lo: BddRef,
+    hi: BddRef,
+}
+
+/// A shared ROBDD manager: unique table, ITE with a computed table, and a
+/// configurable node budget.
+#[derive(Debug)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, BddRef>,
+    computed: HashMap<(BddRef, BddRef, BddRef), BddRef>,
+    limit: usize,
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// Creates a manager with a generous default node budget (2²³ nodes).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_node_limit(1 << 23)
+    }
+
+    /// Creates a manager that fails with [`BddError::NodeLimit`] once it
+    /// holds `limit` nodes — the mechanism behind the paper's "BDD
+    /// representations become too large" fallback.
+    #[must_use]
+    pub fn with_node_limit(limit: usize) -> Self {
+        BddManager {
+            nodes: vec![
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: BddRef::FALSE,
+                    hi: BddRef::FALSE,
+                },
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: BddRef::TRUE,
+                    hi: BddRef::TRUE,
+                },
+            ],
+            unique: HashMap::new(),
+            computed: HashMap::new(),
+            limit,
+        }
+    }
+
+    /// Number of live nodes (including the two terminals).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The projection function of variable `index` (smaller indices are
+    /// closer to the root).
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::NodeLimit`] when even the projection node does not fit
+    /// the budget.
+    pub fn var(&mut self, index: u32) -> Result<BddRef, BddError> {
+        self.mk(index, BddRef::FALSE, BddRef::TRUE)
+    }
+
+    fn mk(&mut self, var: u32, lo: BddRef, hi: BddRef) -> Result<BddRef, BddError> {
+        if lo == hi {
+            return Ok(lo);
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&r) = self.unique.get(&node) {
+            return Ok(r);
+        }
+        if self.nodes.len() >= self.limit {
+            return Err(BddError::NodeLimit { limit: self.limit });
+        }
+        let r = BddRef(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        Ok(r)
+    }
+
+    fn var_of(&self, r: BddRef) -> u32 {
+        self.nodes[r.0 as usize].var
+    }
+
+    fn cofactors(&self, r: BddRef, var: u32) -> (BddRef, BddRef) {
+        let n = self.nodes[r.0 as usize];
+        if n.var == var {
+            (n.lo, n.hi)
+        } else {
+            (r, r)
+        }
+    }
+
+    /// If-then-else: the universal connective all others are built from.
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::NodeLimit`] when the node budget is exhausted.
+    pub fn ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> Result<BddRef, BddError> {
+        // Terminal cases.
+        if f == BddRef::TRUE {
+            return Ok(g);
+        }
+        if f == BddRef::FALSE {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g == BddRef::TRUE && h == BddRef::FALSE {
+            return Ok(f);
+        }
+        if let Some(&r) = self.computed.get(&(f, g, h)) {
+            return Ok(r);
+        }
+        let top = self
+            .var_of(f)
+            .min(self.var_of(g))
+            .min(self.var_of(h));
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let (h0, h1) = self.cofactors(h, top);
+        let lo = self.ite(f0, g0, h0)?;
+        let hi = self.ite(f1, g1, h1)?;
+        let r = self.mk(top, lo, hi)?;
+        self.computed.insert((f, g, h), r);
+        Ok(r)
+    }
+
+    /// Conjunction.
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::NodeLimit`] when the node budget is exhausted.
+    pub fn and(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, BddError> {
+        self.ite(f, g, BddRef::FALSE)
+    }
+
+    /// Disjunction.
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::NodeLimit`] when the node budget is exhausted.
+    pub fn or(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, BddError> {
+        self.ite(f, BddRef::TRUE, g)
+    }
+
+    /// Negation.
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::NodeLimit`] when the node budget is exhausted.
+    pub fn not(&mut self, f: BddRef) -> Result<BddRef, BddError> {
+        self.ite(f, BddRef::FALSE, BddRef::TRUE)
+    }
+
+    /// Exclusive or.
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::NodeLimit`] when the node budget is exhausted.
+    pub fn xor(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, BddError> {
+        let ng = self.not(g)?;
+        self.ite(f, ng, g)
+    }
+
+    /// Evaluates `f` under a variable assignment (`assignment[i]` is the
+    /// value of variable `i`).
+    #[must_use]
+    pub fn eval(&self, f: BddRef, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let n = self.nodes[cur.0 as usize];
+            cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+        }
+        cur == BddRef::TRUE
+    }
+
+    /// The positive or negative cofactor of `f` with respect to variable
+    /// `var`: `f` with `var` fixed to `value`.
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::NodeLimit`] when the node budget is exhausted.
+    pub fn restrict(&mut self, f: BddRef, var: u32, value: bool) -> Result<BddRef, BddError> {
+        if f.is_terminal() {
+            return Ok(f);
+        }
+        let n = self.nodes[f.0 as usize];
+        if n.var > var {
+            return Ok(f); // var does not appear in f
+        }
+        if n.var == var {
+            return Ok(if value { n.hi } else { n.lo });
+        }
+        let lo = self.restrict(n.lo, var, value)?;
+        let hi = self.restrict(n.hi, var, value)?;
+        self.mk(n.var, lo, hi)
+    }
+
+    /// Existential quantification: `∃ var. f = f|var=0 + f|var=1`.
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::NodeLimit`] when the node budget is exhausted.
+    pub fn exists(&mut self, f: BddRef, var: u32) -> Result<BddRef, BddError> {
+        let lo = self.restrict(f, var, false)?;
+        let hi = self.restrict(f, var, true)?;
+        self.or(lo, hi)
+    }
+
+    /// Universal quantification: `∀ var. f = f|var=0 · f|var=1`.
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::NodeLimit`] when the node budget is exhausted.
+    pub fn forall(&mut self, f: BddRef, var: u32) -> Result<BddRef, BddError> {
+        let lo = self.restrict(f, var, false)?;
+        let hi = self.restrict(f, var, true)?;
+        self.and(lo, hi)
+    }
+
+    /// The set of variable indices `f` actually depends on, ascending.
+    #[must_use]
+    pub fn support(&self, f: BddRef) -> Vec<u32> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if r.is_terminal() || !seen.insert(r) {
+                continue;
+            }
+            let n = self.nodes[r.0 as usize];
+            vars.insert(n.var);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Functional composition: `f` with variable `var` replaced by the
+    /// function `g` — `f[var := g] = ite(g, f|var=1, f|var=0)`.
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::NodeLimit`] when the node budget is exhausted.
+    pub fn compose(&mut self, f: BddRef, var: u32, g: BddRef) -> Result<BddRef, BddError> {
+        let hi = self.restrict(f, var, true)?;
+        let lo = self.restrict(f, var, false)?;
+        self.ite(g, hi, lo)
+    }
+
+    /// Counts satisfying assignments of `f` over `n_vars` variables.
+    ///
+    /// Counts are exact up to `f64` precision (fine beyond 2⁵⁰), which
+    /// matches how the paper's NCP-style statistics tolerate saturation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` mentions a variable ≥ `n_vars`.
+    #[must_use]
+    pub fn sat_count(&self, f: BddRef, n_vars: u32) -> f64 {
+        fn count(mgr: &BddManager, f: BddRef, level: u32, n_vars: u32) -> f64 {
+            if f == BddRef::FALSE {
+                return 0.0;
+            }
+            if f == BddRef::TRUE {
+                return 2f64.powi((n_vars - level) as i32);
+            }
+            let n = mgr.nodes[f.0 as usize];
+            assert!(n.var < n_vars, "node variable out of range");
+            // Variables skipped between `level` and this node double the
+            // count per skipped variable; the node itself splits in two.
+            let skip = 2f64.powi((n.var - level) as i32);
+            skip * (count(mgr, n.lo, n.var + 1, n_vars) + count(mgr, n.hi, n.var + 1, n_vars))
+        }
+        count(self, f, 0, n_vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_vars() {
+        let mut mgr = BddManager::new();
+        let a = mgr.var(0).unwrap();
+        assert_ne!(a, BddRef::FALSE);
+        assert_ne!(a, BddRef::TRUE);
+        assert_eq!(mgr.var(0).unwrap(), a, "hash-consed projection");
+        assert!(mgr.eval(a, &[true]));
+        assert!(!mgr.eval(a, &[false]));
+    }
+
+    #[test]
+    fn boolean_algebra_identities() {
+        let mut mgr = BddManager::new();
+        let a = mgr.var(0).unwrap();
+        let b = mgr.var(1).unwrap();
+        let na = mgr.not(a).unwrap();
+        let nna = mgr.not(na).unwrap();
+        assert_eq!(nna, a, "double negation");
+        let a_and_na = mgr.and(a, na).unwrap();
+        assert_eq!(a_and_na, BddRef::FALSE);
+        let a_or_na = mgr.or(a, na).unwrap();
+        assert_eq!(a_or_na, BddRef::TRUE);
+        // De Morgan.
+        let ab = mgr.and(a, b).unwrap();
+        let n_ab = mgr.not(ab).unwrap();
+        let nb = mgr.not(b).unwrap();
+        let na_or_nb = mgr.or(na, nb).unwrap();
+        assert_eq!(n_ab, na_or_nb);
+        // XOR vs. its SOP expansion.
+        let x = mgr.xor(a, b).unwrap();
+        let t1 = mgr.and(a, nb).unwrap();
+        let t2 = mgr.and(na, b).unwrap();
+        let sop = mgr.or(t1, t2).unwrap();
+        assert_eq!(x, sop);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let mut mgr = BddManager::new();
+        let a = mgr.var(0).unwrap();
+        let b = mgr.var(1).unwrap();
+        let c = mgr.var(2).unwrap();
+        let ab = mgr.and(a, b).unwrap();
+        let f = mgr.or(ab, c).unwrap();
+        for v in 0u32..8 {
+            let assignment = [v & 1 == 1, v >> 1 & 1 == 1, v >> 2 & 1 == 1];
+            let expected = (assignment[0] && assignment[1]) || assignment[2];
+            assert_eq!(mgr.eval(f, &assignment), expected);
+        }
+    }
+
+    #[test]
+    fn sat_count_examples() {
+        let mut mgr = BddManager::new();
+        let a = mgr.var(0).unwrap();
+        let b = mgr.var(1).unwrap();
+        assert_eq!(mgr.sat_count(BddRef::TRUE, 3), 8.0);
+        assert_eq!(mgr.sat_count(BddRef::FALSE, 3), 0.0);
+        assert_eq!(mgr.sat_count(a, 3), 4.0);
+        let ab = mgr.and(a, b).unwrap();
+        assert_eq!(mgr.sat_count(ab, 3), 2.0);
+        let x = mgr.xor(a, b).unwrap();
+        assert_eq!(mgr.sat_count(x, 2), 2.0);
+        // Skipped-level handling: var(2) alone out of 3 vars.
+        let c = mgr.var(2).unwrap();
+        assert_eq!(mgr.sat_count(c, 3), 4.0);
+    }
+
+    #[test]
+    fn node_limit_enforced() {
+        let mut mgr = BddManager::with_node_limit(8);
+        // Parity of many variables forces a blow-past of 8 nodes.
+        let mut f = mgr.var(0).unwrap();
+        let mut failed = false;
+        for i in 1..10 {
+            let v = match mgr.mk(i, BddRef::FALSE, BddRef::TRUE) {
+                Ok(v) => v,
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            };
+            match mgr.xor(f, v) {
+                Ok(r) => f = r,
+                Err(BddError::NodeLimit { limit }) => {
+                    assert_eq!(limit, 8);
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        assert!(failed, "node limit never triggered");
+    }
+
+    #[test]
+    fn restrict_and_quantifiers() {
+        let mut mgr = BddManager::new();
+        let a = mgr.var(0).unwrap();
+        let b = mgr.var(1).unwrap();
+        let c = mgr.var(2).unwrap();
+        let ab = mgr.and(a, b).unwrap();
+        let f = mgr.or(ab, c).unwrap(); // f = ab + c
+        // f|a=1 = b + c; f|a=0 = c.
+        let f_a1 = mgr.restrict(f, 0, true).unwrap();
+        let bc = mgr.or(b, c).unwrap();
+        assert_eq!(f_a1, bc);
+        let f_a0 = mgr.restrict(f, 0, false).unwrap();
+        assert_eq!(f_a0, c);
+        // ∃a.f = (b+c) + c = b + c; ∀a.f = (b+c)·c = c.
+        assert_eq!(mgr.exists(f, 0).unwrap(), bc);
+        assert_eq!(mgr.forall(f, 0).unwrap(), c);
+        // Restricting an absent variable is the identity.
+        assert_eq!(mgr.restrict(f, 7, true).unwrap(), f);
+    }
+
+    #[test]
+    fn support_and_compose() {
+        let mut mgr = BddManager::new();
+        let a = mgr.var(0).unwrap();
+        let b = mgr.var(1).unwrap();
+        let c = mgr.var(2).unwrap();
+        let ab = mgr.and(a, b).unwrap();
+        let f = mgr.or(ab, c).unwrap();
+        assert_eq!(mgr.support(f), vec![0, 1, 2]);
+        assert_eq!(mgr.support(BddRef::TRUE), Vec::<u32>::new());
+        // f[c := a^b]: ab + (a^b) — support drops c.
+        let axb = mgr.xor(a, b).unwrap();
+        let g = mgr.compose(f, 2, axb).unwrap();
+        assert_eq!(mgr.support(g), vec![0, 1]);
+        // ab + a^b = a + b.
+        let a_or_b = mgr.or(a, b).unwrap();
+        assert_eq!(g, a_or_b);
+    }
+
+
+    #[test]
+    fn types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BddManager>();
+    }
+
+    #[test]
+    fn reduction_no_redundant_nodes() {
+        let mut mgr = BddManager::new();
+        let a = mgr.var(0).unwrap();
+        // ite(a, b, b) must not create a node testing a.
+        let b = mgr.var(1).unwrap();
+        let r = mgr.ite(a, b, b).unwrap();
+        assert_eq!(r, b);
+    }
+}

@@ -1,0 +1,60 @@
+//! End-to-end GDO benchmarks: the per-circuit timing behind the CPU
+//! column of Tables 1 and 2, at criterion precision for the small and
+//! medium circuits (the table binaries time the full suite including the
+//! large ones).
+//!
+//! ```text
+//! cargo bench -p bench --bench gdo_end_to_end
+//! ```
+
+use bench::{bench_library, prepare, Flow};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gdo::{GdoConfig, Optimizer};
+use workloads::circuit_by_name;
+
+fn bench_gdo(c: &mut Criterion) {
+    let lib = bench_library();
+    let mut group = c.benchmark_group("gdo/end_to_end");
+    group.sample_size(10);
+    for name in ["Z5xp1", "9sym", "C432", "C880"] {
+        let entry = circuit_by_name(name).expect("suite circuit");
+        let mapped = prepare(&entry, &lib, Flow::Area);
+        group.bench_function(format!("area_flow/{name}"), |b| {
+            b.iter_batched(
+                || mapped.clone(),
+                |mut nl| {
+                    Optimizer::new(&lib, GdoConfig::default())
+                        .optimize(&mut nl)
+                        .expect("optimizer succeeds")
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_gdo_delay_flow(c: &mut Criterion) {
+    let lib = bench_library();
+    let mut group = c.benchmark_group("gdo/end_to_end_delay_flow");
+    group.sample_size(10);
+    for name in ["Z5xp1", "C880"] {
+        let entry = circuit_by_name(name).expect("suite circuit");
+        let mapped = prepare(&entry, &lib, Flow::Delay);
+        group.bench_function(format!("delay_flow/{name}"), |b| {
+            b.iter_batched(
+                || mapped.clone(),
+                |mut nl| {
+                    Optimizer::new(&lib, GdoConfig::default())
+                        .optimize(&mut nl)
+                        .expect("optimizer succeeds")
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gdo, bench_gdo_delay_flow);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Regenerates the paper's **Table 1**: GDO on circuits prepared with the
+//! area flow (`script.rugged` stand-in + area mapping).
+//!
+//! ```text
+//! cargo run -p bench --bin table1 --release
+//! cargo run -p bench --bin table1 --release -- --circuit C6288
+//! cargo run -p bench --bin table1 --release -- --quick       # skip big ones
+//! cargo run -p bench --bin table1 --release -- --no-os3      # OS2/IS2 ablation
+//! ```
+
+use bench::{bench_library, prepare, print_table, run_gdo_verified, Flow, HarnessArgs};
+use workloads::suite_table1;
+
+fn main() {
+    let args = HarnessArgs::parse(std::env::args().skip(1));
+    let lib = bench_library();
+    let mut rows = Vec::new();
+    for entry in suite_table1() {
+        if let Some(only) = &args.only {
+            if entry.name != only {
+                continue;
+            }
+        }
+        if args.quick && matches!(entry.name, "pair" | "C5315" | "C6288") {
+            continue;
+        }
+        let mut mapped = prepare(&entry, &lib, Flow::Area);
+        let row = run_gdo_verified(entry.name, &mut mapped, &lib, &args.cfg, args.verify);
+        eprintln!("{}", row); // progress on stderr as rows finish
+        rows.push(row);
+    }
+    print_table(
+        "Table 1: GDO on area-flow netlists (paper: -8.3% gates, -5.7% literals, -22.9% delay)",
+        &rows,
+    );
+}

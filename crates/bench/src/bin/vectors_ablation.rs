@@ -1,0 +1,43 @@
+//! The BPFS vector-budget quality curve: how simulation coverage affects
+//! what survives to the proof stage and what GDO ultimately achieves —
+//! the paper's "a set of random input vectors is simulated to discard
+//! the vast majority of invalid clauses", quantified.
+//!
+//! ```text
+//! cargo run -p bench --bin vectors_ablation --release
+//! ```
+
+use bench::{bench_library, prepare, run_gdo, Flow};
+use gdo::GdoConfig;
+use workloads::circuit_by_name;
+
+fn main() {
+    let lib = bench_library();
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8}",
+        "circuit", "vectors", "delay%", "lit%", "mods", "proofs", "CPU[s]"
+    );
+    // A narrow-input circuit (where few vectors suffice) and a wide-input
+    // one (where they do not).
+    for name in ["C880", "C5315"] {
+        for vectors in [64usize, 256, 1024, 4096] {
+            let entry = circuit_by_name(name).expect("suite circuit");
+            let mut mapped = prepare(&entry, &lib, Flow::Area);
+            let cfg = GdoConfig {
+                vectors,
+                ..GdoConfig::default()
+            };
+            let row = run_gdo(name, &mut mapped, &lib, &cfg);
+            println!(
+                "{:<8} {:>8} {:>7.1}% {:>7.1}% {:>8} {:>9} {:>8.1}",
+                name,
+                vectors,
+                100.0 * row.stats.delay_reduction(),
+                100.0 * row.stats.literal_reduction(),
+                row.stats.total_mods(),
+                row.stats.proofs,
+                row.stats.cpu_seconds
+            );
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Shared harness code for the table-regeneration binaries and the
+//! criterion micro-benchmarks.
+
+use gdo::{GdoConfig, GdoStats, Optimizer, OptimizeReport};
+use library::{standard_library, Library, MapGoal, Mapper};
+use netlist::Netlist;
+use workloads::{script_delay, script_rugged, SuiteEntry};
+
+/// Which preparation flow to run before mapping — Table 1 uses the area
+/// flow, Table 2 the delay flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// `script.rugged` stand-in + area-oriented mapping.
+    Area,
+    /// `script.delay` stand-in + delay-oriented mapping.
+    Delay,
+}
+
+/// Prepares one suite circuit: generate → script → map.
+///
+/// # Panics
+///
+/// Panics only on internal generator bugs (generated circuits are valid
+/// by construction and covered by tests).
+#[must_use]
+pub fn prepare(entry: &SuiteEntry, lib: &Library, flow: Flow) -> Netlist {
+    let raw = entry.build();
+    // `map -n 1` is read as "fanout optimization off" (the paper: "mapping
+    // was done without fanout optimization"), i.e. SIS's default
+    // area-oriented covering; the Table 2 flow maps delay-oriented as its
+    // depth-reduction script prescribes.
+    let (prepared, goal) = match flow {
+        Flow::Area => (
+            script_rugged(&raw).expect("generated circuits are acyclic"),
+            MapGoal::Area,
+        ),
+        Flow::Delay => (
+            script_delay(&raw).expect("generated circuits are acyclic"),
+            MapGoal::Delay,
+        ),
+    };
+    Mapper::new(lib).goal(goal).map(&prepared).expect("mapping succeeds on valid circuits")
+}
+
+/// Runs GDO on one prepared circuit and returns the report row. With
+/// `verify`, the optimized netlist is SAT-checked against the input (and
+/// the harness panics loudly on any discrepancy — a soundness tripwire).
+///
+/// # Panics
+///
+/// Panics on internal optimizer errors (all suite circuits are valid) or
+/// when verification refutes equivalence.
+#[must_use]
+pub fn run_gdo(name: &str, mapped: &mut Netlist, lib: &Library, cfg: &GdoConfig) -> OptimizeReport {
+    run_gdo_verified(name, mapped, lib, cfg, false)
+}
+
+/// [`run_gdo`] with an explicit verification switch.
+///
+/// # Panics
+///
+/// See [`run_gdo`].
+#[must_use]
+pub fn run_gdo_verified(
+    name: &str,
+    mapped: &mut Netlist,
+    lib: &Library,
+    cfg: &GdoConfig,
+    verify: bool,
+) -> OptimizeReport {
+    let reference = if verify { Some(mapped.clone()) } else { None };
+    let stats = Optimizer::new(lib, cfg.clone())
+        .optimize(mapped)
+        .expect("optimizer succeeds on mapped netlists");
+    if let Some(reference) = reference {
+        assert!(
+            sat::check_equiv(&reference, mapped).expect("same interface"),
+            "SOUNDNESS VIOLATION: {name} is not equivalent after optimization"
+        );
+    }
+    OptimizeReport::new(name, stats)
+}
+
+/// Prints a full table in the paper's format, with the Σ and reduction
+/// rows, and returns the totals.
+pub fn print_table(title: &str, rows: &[OptimizeReport]) -> GdoStats {
+    println!("\n{title}");
+    println!("{}", OptimizeReport::header());
+    for row in rows {
+        println!("{row}");
+    }
+    let t = OptimizeReport::totals(rows);
+    println!(
+        "{:<10} {:>6} {:>6} {:>7} {:>7} {:>8.1} {:>8.1} {:>7} {:>7} {:>8.1}",
+        "SUM",
+        t.gates_before,
+        t.gates_after,
+        t.literals_before,
+        t.literals_after,
+        t.delay_before,
+        t.delay_after,
+        t.sub2_mods,
+        t.sub3_mods,
+        t.cpu_seconds
+    );
+    let pct = |b: f64, a: f64| if b > 0.0 { 100.0 * (1.0 - a / b) } else { 0.0 };
+    println!(
+        "{:<10} {:>13.1}% {:>14.1}% {:>17.1}%",
+        "red.",
+        pct(t.gates_before as f64, t.gates_after as f64),
+        pct(t.literals_before as f64, t.literals_after as f64),
+        pct(t.delay_before, t.delay_after),
+    );
+    t
+}
+
+/// The standard library shared by all harnesses.
+#[must_use]
+pub fn bench_library() -> Library {
+    standard_library()
+}
+
+/// Parses the common `--circuit NAME`, `--no-os3`, `--vectors N`,
+/// `--quick` flags used by the table binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Restrict to one circuit.
+    pub only: Option<String>,
+    /// The optimizer configuration after flag application.
+    pub cfg: GdoConfig,
+    /// Skip the largest circuits (smoke-test mode).
+    pub quick: bool,
+    /// SAT-verify every optimized circuit against its input.
+    pub verify: bool,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`-style flags.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags.
+    #[must_use]
+    pub fn parse(args: impl Iterator<Item = String>) -> HarnessArgs {
+        let mut out = HarnessArgs {
+            only: None,
+            cfg: GdoConfig::default(),
+            quick: false,
+            verify: false,
+        };
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--circuit" => {
+                    out.only = Some(args.next().expect("--circuit needs a name"));
+                }
+                "--no-os3" => out.cfg.enable_sub3 = false,
+                "--no-area-phase" => out.cfg.area_phase = false,
+                "--xor-direct" => out.cfg.xor_direct = true,
+                "--no-xor-direct" => out.cfg.xor_direct = false,
+                "--budget" => {
+                    out.cfg.conflict_budget = args
+                        .next()
+                        .expect("--budget needs a count")
+                        .parse()
+                        .expect("--budget needs an integer");
+                }
+                "--vectors" => {
+                    out.cfg.vectors = args
+                        .next()
+                        .expect("--vectors needs a count")
+                        .parse()
+                        .expect("--vectors needs an integer");
+                }
+                "--quick" => out.quick = true,
+                "--verify" => out.verify = true,
+                other => panic!(
+                    "unknown flag {other:?}; known: --circuit NAME --no-os3 \
+                     --no-area-phase --xor-direct --vectors N --budget N --quick --verify"
+                ),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::circuit_by_name;
+
+    #[test]
+    fn prepare_and_optimize_smallest_circuit() {
+        let lib = bench_library();
+        let entry = circuit_by_name("Z5xp1").unwrap();
+        let mut mapped = prepare(&entry, &lib, Flow::Area);
+        assert!(mapped.stats().gates > 0);
+        let row = run_gdo("Z5xp1", &mut mapped, &lib, &GdoConfig::default());
+        assert!(row.stats.delay_after <= row.stats.delay_before);
+        mapped.validate().unwrap();
+    }
+
+    #[test]
+    fn args_parse() {
+        let args = HarnessArgs::parse(
+            ["--circuit", "C432", "--no-os3", "--vectors", "128", "--quick"]
+                .iter()
+                .map(|s| (*s).to_string()),
+        );
+        assert_eq!(args.only.as_deref(), Some("C432"));
+        assert!(!args.cfg.enable_sub3);
+        assert_eq!(args.cfg.vectors, 128);
+        assert!(args.quick);
+    }
+}

@@ -1,0 +1,575 @@
+//! Implementation of the `gdo-opt` command-line driver: argument parsing,
+//! the read → map → optimize → write pipeline, and reporting. Split into
+//! a library so the pipeline is unit-testable without spawning processes.
+
+use gdo::{GdoConfig, Optimizer, ProverKind};
+use library::{parse_genlib, standard_library, Library, MapGoal, Mapper};
+use netlist::Netlist;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use timing::{LibDelay, Sta};
+
+/// Errors surfaced to the command line.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Bad flags or arguments.
+    Usage(String),
+    /// File IO failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Input netlist or library failed to parse.
+    Parse(String),
+    /// The optimizer failed (internal invariant — should not happen on
+    /// valid inputs).
+    Optimize(gdo::GdoError),
+    /// Post-optimization verification refuted equivalence (would indicate
+    /// a soundness bug; the run aborts loudly).
+    VerificationFailed,
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            CliError::Parse(m) => write!(f, "{m}"),
+            CliError::Optimize(e) => write!(f, "optimization failed: {e}"),
+            CliError::VerificationFailed => {
+                write!(f, "verification failed: output is not equivalent to input")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The netlist file formats the driver reads and writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// ISCAS `.bench`.
+    Bench,
+    /// Berkeley BLIF.
+    Blif,
+    /// Structural Verilog (write-only).
+    Verilog,
+}
+
+impl Format {
+    /// Guesses the format from a file extension.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] for unknown extensions.
+    pub fn from_path(path: &Path) -> Result<Format, CliError> {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("bench") => Ok(Format::Bench),
+            Some("blif") => Ok(Format::Blif),
+            Some("v") => Ok(Format::Verilog),
+            other => Err(CliError::Usage(format!(
+                "cannot infer format from extension {other:?} (use .bench, .blif or .v)"
+            ))),
+        }
+    }
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Input netlist path.
+    pub input: PathBuf,
+    /// Optional output path.
+    pub output: Option<PathBuf>,
+    /// Optional genlib library path (embedded library when absent).
+    pub library: Option<PathBuf>,
+    /// Mapping objective.
+    pub map_goal: MapGoal,
+    /// Skip mapping (input already mapped / treat gates as cells).
+    pub no_map: bool,
+    /// Optimizer configuration.
+    pub cfg: GdoConfig,
+    /// Write the output as mapped BLIF (`.gate` lines) instead of
+    /// generic `.names` BLIF.
+    pub mapped_output: bool,
+    /// Verify input/output equivalence with a SAT miter at the end.
+    pub verify: bool,
+    /// Required arrival time at every primary output; reports MET or
+    /// VIOLATED with the worst slack after optimization.
+    pub require: Option<f64>,
+    /// Print the detailed statistics block.
+    pub stats: bool,
+    /// Suppress the normal summary.
+    pub quiet: bool,
+}
+
+impl Options {
+    /// Parses CLI arguments. Returns `Ok(None)` when `--help` was asked.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] on malformed flags.
+    pub fn parse(args: &[String]) -> Result<Option<Options>, CliError> {
+        let mut input: Option<PathBuf> = None;
+        let mut out = Options {
+            input: PathBuf::new(),
+            output: None,
+            library: None,
+            map_goal: MapGoal::Area,
+            no_map: false,
+            cfg: GdoConfig::default(),
+            mapped_output: false,
+            verify: false,
+            require: None,
+            stats: false,
+            quiet: false,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut need = |what: &str| -> Result<String, CliError> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| CliError::Usage(format!("{what} needs a value")))
+            };
+            match a.as_str() {
+                "--help" | "-h" => {
+                    println!("{}", usage());
+                    return Ok(None);
+                }
+                "-o" | "--output" => out.output = Some(PathBuf::from(need("--output")?)),
+                "-l" | "--library" => out.library = Some(PathBuf::from(need("--library")?)),
+                "--map-goal" => {
+                    out.map_goal = match need("--map-goal")?.as_str() {
+                        "area" => MapGoal::Area,
+                        "delay" => MapGoal::Delay,
+                        other => {
+                            return Err(CliError::Usage(format!(
+                                "--map-goal must be area or delay, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+                "--no-map" => out.no_map = true,
+                "--no-os3" => out.cfg.enable_sub3 = false,
+                "--no-xor-direct" => out.cfg.xor_direct = false,
+                "--no-area-phase" => out.cfg.area_phase = false,
+                "--vectors" => {
+                    out.cfg.vectors = need("--vectors")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--vectors needs an integer".into()))?;
+                }
+                "--seed" => {
+                    out.cfg.seed = need("--seed")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--seed needs an integer".into()))?;
+                }
+                "--prover" => {
+                    out.cfg.prover = match need("--prover")?.as_str() {
+                        "sat" => ProverKind::SatClause,
+                        "bdd" => ProverKind::BddEquiv { node_limit: 1 << 22 },
+                        "miter" => ProverKind::SatEquiv,
+                        other => {
+                            return Err(CliError::Usage(format!(
+                                "--prover must be sat, bdd or miter, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+                "--mapped-output" => out.mapped_output = true,
+                "--require" => {
+                    out.require = Some(need("--require")?.parse().map_err(|_| {
+                        CliError::Usage("--require needs a number".into())
+                    })?);
+                }
+                "--verify" => out.verify = true,
+                "--stats" => out.stats = true,
+                "-q" | "--quiet" => out.quiet = true,
+                flag if flag.starts_with('-') => {
+                    return Err(CliError::Usage(format!("unknown flag {flag:?}")))
+                }
+                positional => {
+                    if input.replace(PathBuf::from(positional)).is_some() {
+                        return Err(CliError::Usage("more than one input file".into()));
+                    }
+                }
+            }
+        }
+        match input {
+            Some(i) => {
+                out.input = i;
+                Ok(Some(out))
+            }
+            None => Err(CliError::Usage("missing input netlist".into())),
+        }
+    }
+}
+
+/// The `--help` text.
+#[must_use]
+pub fn usage() -> &'static str {
+    "gdo-opt — delay optimization of mapped netlists by logic clause analysis\n\
+     \n\
+     usage: gdo-opt [OPTIONS] <INPUT.bench|INPUT.blif>\n\
+     \n\
+     -o, --output FILE        write the optimized netlist (.bench or .blif)\n\
+     -l, --library FILE       genlib library (default: embedded gdo-std)\n\
+     --map-goal area|delay    technology-mapping objective (default area)\n\
+     --no-map                 skip mapping (input treated as mapped)\n\
+     --no-os3                 disable inserted-gate (OS3/IS3) substitutions\n\
+     --no-xor-direct          skip direct XOR/XNOR triple enumeration\n\
+     --no-area-phase          skip the area-recovery phase\n\
+     --vectors N              BPFS vectors per round (default 512)\n\
+     --seed N                 BPFS seed (default 1995)\n\
+     --prover sat|bdd|miter   validity prover (default sat)\n\
+     --mapped-output          write .gate (mapped) BLIF\n\
+     --require T              report MET/VIOLATED for output required time T\n\
+     --verify                 SAT-verify end-to-end equivalence afterwards\n\
+     --stats                  print detailed statistics\n\
+     -q, --quiet              only errors"
+}
+
+/// Reads a netlist in either format.
+///
+/// # Errors
+///
+/// [`CliError::Io`] / [`CliError::Parse`].
+pub fn read_netlist(path: &Path) -> Result<Netlist, CliError> {
+    let format = Format::from_path(path)?;
+    let text = std::fs::read_to_string(path).map_err(|source| CliError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    match format {
+        Format::Bench => formats::parse_bench(&text).map_err(|e| CliError::Parse(e.to_string())),
+        Format::Blif => formats::parse_blif(&text).map_err(|e| CliError::Parse(e.to_string())),
+        Format::Verilog => Err(CliError::Usage(
+            "verilog is write-only; provide .bench or .blif input".into(),
+        )),
+    }
+}
+
+/// Writes a netlist in the format implied by the path.
+///
+/// # Errors
+///
+/// [`CliError::Io`] / [`CliError::Usage`].
+pub fn write_netlist(path: &Path, nl: &Netlist) -> Result<(), CliError> {
+    let format = Format::from_path(path)?;
+    let text = match format {
+        Format::Bench => formats::write_bench(nl),
+        Format::Blif => formats::write_blif(nl),
+        Format::Verilog => formats::write_verilog(nl),
+    };
+    std::fs::write(path, text).map_err(|source| CliError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// Loads the genlib library (embedded default when `path` is `None`).
+///
+/// # Errors
+///
+/// [`CliError::Io`] / [`CliError::Parse`].
+pub fn load_library(path: Option<&Path>) -> Result<Library, CliError> {
+    match path {
+        None => Ok(standard_library()),
+        Some(p) => {
+            let text = std::fs::read_to_string(p).map_err(|source| CliError::Io {
+                path: p.to_path_buf(),
+                source,
+            })?;
+            parse_genlib(
+                p.file_stem().and_then(|s| s.to_str()).unwrap_or("user"),
+                &text,
+            )
+            .map_err(|e| CliError::Parse(e.to_string()))
+        }
+    }
+}
+
+/// The full pipeline behind `gdo-opt`.
+///
+/// BLIF inputs containing `.gate` lines are parsed as *mapped* netlists
+/// against the library and skip the mapping step.
+///
+/// # Errors
+///
+/// Any [`CliError`]; see the variants.
+pub fn run(options: &Options) -> Result<(), CliError> {
+    let lib = load_library(options.library.as_deref())?;
+    // Sniff mapped BLIF: .gate lines bind cells from the library.
+    let mapped_input = Format::from_path(&options.input)? == Format::Blif && {
+        let text = std::fs::read_to_string(&options.input).map_err(|source| CliError::Io {
+            path: options.input.clone(),
+            source,
+        })?;
+        text.lines()
+            .any(|l| l.trim_start().starts_with(".gate"))
+    };
+    let source = if mapped_input {
+        let text = std::fs::read_to_string(&options.input).map_err(|source| CliError::Io {
+            path: options.input.clone(),
+            source,
+        })?;
+        library::parse_mapped_blif(&lib, &text).map_err(|e| CliError::Parse(e.to_string()))?
+    } else {
+        read_netlist(&options.input)?
+    };
+    let mut nl = if options.no_map || mapped_input {
+        source.clone()
+    } else {
+        Mapper::new(&lib)
+            .goal(options.map_goal)
+            .map(&source)
+            .map_err(|e| CliError::Parse(format!("mapping failed: {e}")))?
+    };
+
+    let model = LibDelay::new(&lib);
+    let before = Sta::analyze(&nl, &model)
+        .map_err(|e| CliError::Parse(format!("timing failed: {e}")))?;
+    if !options.quiet {
+        println!(
+            "in : {} — {} gates, {} literals, delay {:.2}",
+            nl.name(),
+            nl.stats().gates,
+            nl.stats().literals,
+            before.circuit_delay()
+        );
+    }
+
+    let stats = Optimizer::new(&lib, options.cfg.clone())
+        .optimize(&mut nl)
+        .map_err(CliError::Optimize)?;
+
+    if !options.quiet {
+        println!(
+            "out: {} — {} gates, {} literals, delay {:.2} ({:+.1}% delay, {:+.1}% literals)",
+            nl.name(),
+            stats.gates_after,
+            stats.literals_after,
+            stats.delay_after,
+            -100.0 * stats.delay_reduction(),
+            -100.0 * stats.literal_reduction(),
+        );
+    }
+    if options.stats {
+        println!(
+            "     {} OS/IS2 + {} OS/IS3 + {} const mods; {} proofs ({} valid); \
+             {} rounds; {:.2}s",
+            stats.sub2_mods,
+            stats.sub3_mods,
+            stats.const_mods,
+            stats.proofs,
+            stats.proofs_valid,
+            stats.rounds,
+            stats.cpu_seconds
+        );
+        // The remaining critical path, signal by signal.
+        let after = Sta::analyze(&nl, &model)
+            .map_err(|e| CliError::Parse(format!("timing failed: {e}")))?;
+        let path = after.worst_path(&nl, &model);
+        let names = nl.unique_names("n");
+        println!("     critical path ({} stages):", path.len());
+        for s in path {
+            let cell = nl
+                .cell(s)
+                .lib()
+                .map(|tag| lib.cell(library::LibCellId::from_tag(tag)).name().to_string())
+                .unwrap_or_else(|| nl.kind(s).to_string());
+            println!(
+                "       {:>8.2}  {}  ({})",
+                after.arrival(s),
+                names[s.index()],
+                cell
+            );
+        }
+    }
+
+    if let Some(required) = options.require {
+        let sta = timing::Sta::analyze_constrained(&nl, &model, None, Some(required))
+            .map_err(|e| CliError::Parse(format!("timing failed: {e}")))?;
+        let slack = sta.worst_slack(&nl);
+        if !options.quiet {
+            println!(
+                "constraint {required}: {} (worst slack {slack:+.2})",
+                if slack >= -sta.eps() { "MET" } else { "VIOLATED" }
+            );
+        }
+    }
+
+    if options.verify {
+        let reference = if options.no_map {
+            source
+        } else {
+            // The mapped netlist was already proved against the source by
+            // per-rewrite proofs; verify end-to-end against the source.
+            source
+        };
+        if !sat::check_equiv(&reference, &nl)
+            .map_err(|e| CliError::Parse(format!("verification setup failed: {e}")))?
+        {
+            return Err(CliError::VerificationFailed);
+        }
+        if !options.quiet {
+            println!("verified: output equivalent to input");
+        }
+    }
+
+    if let Some(out) = &options.output {
+        if options.mapped_output {
+            let text = library::write_mapped_blif(&lib, &nl)
+                .map_err(|e| CliError::Parse(e.to_string()))?;
+            std::fs::write(out, text).map_err(|source| CliError::Io {
+                path: out.clone(),
+                source,
+            })?;
+        } else {
+            write_netlist(out, &nl)?;
+        }
+        if !options.quiet {
+            println!("wrote {}", out.display());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Result<Option<Options>, CliError> {
+        Options::parse(&args.iter().map(|s| (*s).to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_typical_invocation() {
+        let o = opts(&[
+            "in.bench",
+            "-o",
+            "out.blif",
+            "--map-goal",
+            "delay",
+            "--vectors",
+            "128",
+            "--verify",
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(o.input, PathBuf::from("in.bench"));
+        assert_eq!(o.output, Some(PathBuf::from("out.blif")));
+        assert_eq!(o.map_goal, MapGoal::Delay);
+        assert_eq!(o.cfg.vectors, 128);
+        assert!(o.verify);
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(matches!(opts(&["--frob"]), Err(CliError::Usage(_))));
+        assert!(matches!(opts(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            opts(&["a.bench", "b.bench"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            opts(&["a.bench", "--map-goal", "fast"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert!(opts(&["--help"]).unwrap().is_none());
+    }
+
+    #[test]
+    fn format_detection() {
+        assert_eq!(Format::from_path(Path::new("x.bench")).unwrap(), Format::Bench);
+        assert_eq!(Format::from_path(Path::new("x.blif")).unwrap(), Format::Blif);
+        assert_eq!(Format::from_path(Path::new("x.v")).unwrap(), Format::Verilog);
+        assert!(Format::from_path(Path::new("x.vhdl")).is_err());
+    }
+
+    #[test]
+    fn pipeline_end_to_end_via_files() {
+        let dir = std::env::temp_dir().join(format!("gdo_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.bench");
+        let output = dir.join("out.blif");
+        let nl = workloads::sym_detector(5, 1, 3);
+        let subject = library::to_subject_graph(&nl).unwrap();
+        std::fs::write(&input, formats::write_bench(&subject)).unwrap();
+
+        let o = Options {
+            input: input.clone(),
+            output: Some(output.clone()),
+            library: None,
+            map_goal: MapGoal::Area,
+            no_map: false,
+            cfg: GdoConfig::default(),
+            mapped_output: false,
+            verify: true,
+            require: None,
+            stats: false,
+            quiet: true,
+        };
+        run(&o).unwrap();
+        let written = read_netlist(&output).unwrap();
+        assert!(sat::check_equiv(&subject, &written).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mapped_blif_input_and_output() {
+        let dir = std::env::temp_dir().join(format!("gdo_cli_mapped_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.blif");
+        let output = dir.join("out.blif");
+        // A mapped netlist, written as .gate BLIF.
+        let lib = standard_library();
+        let nl = workloads::datapath(3);
+        let mapped = Mapper::new(&lib).goal(MapGoal::Area).map(&nl).unwrap();
+        std::fs::write(&input, library::write_mapped_blif(&lib, &mapped).unwrap()).unwrap();
+
+        let o = Options {
+            input: input.clone(),
+            output: Some(output.clone()),
+            library: None,
+            map_goal: MapGoal::Area,
+            no_map: false, // mapped input is auto-detected
+            cfg: GdoConfig::default(),
+            mapped_output: true,
+            verify: true,
+            require: None,
+            stats: false,
+            quiet: true,
+        };
+        run(&o).unwrap();
+        let text = std::fs::read_to_string(&output).unwrap();
+        assert!(text.contains(".gate"), "output should be mapped BLIF");
+        let back = library::parse_mapped_blif(&lib, &text).unwrap();
+        assert!(sat::check_equiv(&mapped, &back).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        let o = Options {
+            input: PathBuf::from("/nonexistent/x.bench"),
+            output: None,
+            library: None,
+            map_goal: MapGoal::Area,
+            no_map: false,
+            cfg: GdoConfig::default(),
+            mapped_output: false,
+            verify: false,
+            require: None,
+            stats: false,
+            quiet: true,
+        };
+        assert!(matches!(run(&o), Err(CliError::Io { .. })));
+    }
+}

@@ -1,0 +1,41 @@
+//! `gdo-opt` — the command-line front end of the GDO delay optimizer.
+//!
+//! ```text
+//! gdo-opt [OPTIONS] <INPUT>
+//!
+//! INPUT                      .bench or .blif netlist (by extension)
+//!   -o, --output FILE        write the optimized netlist (.bench or .blif)
+//!   -l, --library FILE       genlib library (default: embedded gdo-std)
+//!       --map-goal area|delay  technology-mapping objective (default: area)
+//!       --no-map             input is already mapped; skip mapping
+//!       --no-os3             disable OS3/IS3 (inserted-gate) substitutions
+//!       --no-area-phase      skip the area optimization phase
+//!       --vectors N          BPFS random vectors per round (default 512)
+//!       --seed N             BPFS seed (default 1995)
+//!       --prover sat|bdd|miter   validity prover (default sat)
+//!       --verify             SAT-verify in/out equivalence at the end
+//!       --stats              print the full statistics block
+//!   -q, --quiet              only errors
+//! ```
+
+use cli::{run, CliError, Options};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match Options::parse(&args) {
+        Ok(Some(o)) => o,
+        Ok(None) => return, // --help
+        Err(e) => {
+            eprintln!("gdo-opt: {e}");
+            eprintln!("try gdo-opt --help");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&options) {
+        eprintln!("gdo-opt: {e}");
+        std::process::exit(match e {
+            CliError::Usage(_) => 2,
+            _ => 1,
+        });
+    }
+}

@@ -1,0 +1,317 @@
+//! The ISCAS-85/89 `.bench` netlist format.
+
+use crate::FormatError;
+use netlist::{GateKind, Netlist, SignalId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+#[derive(Debug)]
+struct GateDef {
+    kind: GateKind,
+    args: Vec<String>,
+    line: usize,
+}
+
+/// Parses ISCAS `.bench` text into a [`Netlist`].
+///
+/// Supported statements: `INPUT(x)`, `OUTPUT(x)`, `g = KIND(a, b, ...)`
+/// with kinds `AND OR NAND NOR XOR XNOR NOT BUFF DFF`, and `#` comments.
+/// Definitions may appear in any order (the format allows forward
+/// references). `DFF` is cut into a pseudo input/output pair, keeping the
+/// combinational core as the paper does for ISCAS-89.
+///
+/// # Errors
+///
+/// [`FormatError::Parse`] on malformed statements, unknown gate kinds,
+/// undefined signals or combinational cycles.
+pub fn parse_bench(text: &str) -> Result<Netlist, FormatError> {
+    let mut nl = Netlist::new("bench");
+    let mut defs: HashMap<String, GateDef> = HashMap::new();
+    let mut input_names: Vec<(String, usize)> = Vec::new();
+    let mut output_names: Vec<(String, usize)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let stmt = raw.split('#').next().unwrap_or("").trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        if let Some(name) = parse_call(stmt, "INPUT") {
+            input_names.push((name.to_string(), line));
+        } else if let Some(name) = parse_call(stmt, "OUTPUT") {
+            output_names.push((name.to_string(), line));
+        } else if let Some((lhs, rhs)) = stmt.split_once('=') {
+            let lhs = lhs.trim().to_string();
+            let rhs = rhs.trim();
+            let (kind_text, args_text) = rhs
+                .split_once('(')
+                .ok_or_else(|| FormatError::at(line, format!("expected KIND(...), got {rhs:?}")))?;
+            let args_text = args_text
+                .strip_suffix(')')
+                .ok_or_else(|| FormatError::at(line, "missing closing parenthesis"))?;
+            let kind = match kind_text.trim().to_ascii_uppercase().as_str() {
+                "AND" => GateKind::And,
+                "OR" => GateKind::Or,
+                "NAND" => GateKind::Nand,
+                "NOR" => GateKind::Nor,
+                "XOR" => GateKind::Xor,
+                "XNOR" => GateKind::Xnor,
+                "NOT" => GateKind::Not,
+                "BUF" | "BUFF" => GateKind::Buf,
+                "DFF" => GateKind::Input, // marker; handled below
+                other => {
+                    return Err(FormatError::at(line, format!("unknown gate kind {other:?}")))
+                }
+            };
+            let args: Vec<String> = args_text
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            if kind == GateKind::Input {
+                // DFF cut: q-output becomes a pseudo input, d-input a
+                // pseudo output.
+                if args.len() != 1 {
+                    return Err(FormatError::at(line, "DFF takes exactly one argument"));
+                }
+                input_names.push((lhs, line));
+                output_names.push((args[0].clone(), line));
+                continue;
+            }
+            if defs.insert(lhs.clone(), GateDef { kind, args, line }).is_some() {
+                return Err(FormatError::at(line, format!("signal {lhs:?} defined twice")));
+            }
+        } else {
+            return Err(FormatError::at(line, format!("unrecognized statement {stmt:?}")));
+        }
+    }
+
+    for (name, line) in &input_names {
+        nl.try_add_input(name.clone())
+            .map_err(|e| FormatError::at(*line, e.to_string()))?;
+    }
+
+    // Resolve definitions with an explicit DFS (forward references and deep
+    // chains are common in the benchmarks).
+    let mut resolved: HashMap<String, SignalId> = nl
+        .inputs()
+        .iter()
+        .map(|&pi| (nl.cell(pi).name().expect("named input").to_string(), pi))
+        .collect();
+    let names: Vec<String> = defs.keys().cloned().collect();
+    for name in names {
+        resolve(&name, &mut nl, &defs, &mut resolved, 0)?;
+    }
+
+    for (name, line) in output_names {
+        let driver = *resolved
+            .get(&name)
+            .ok_or_else(|| FormatError::at(line, format!("output {name:?} is undefined")))?;
+        nl.add_output(name, driver);
+    }
+    nl.topo_order().map_err(FormatError::from)?;
+    Ok(nl)
+}
+
+fn resolve(
+    name: &str,
+    nl: &mut Netlist,
+    defs: &HashMap<String, GateDef>,
+    resolved: &mut HashMap<String, SignalId>,
+    depth: usize,
+) -> Result<SignalId, FormatError> {
+    if let Some(&s) = resolved.get(name) {
+        return Ok(s);
+    }
+    let def = defs
+        .get(name)
+        .ok_or_else(|| FormatError::at(0, format!("signal {name:?} is undefined")))?;
+    if depth > defs.len() {
+        return Err(FormatError::at(def.line, "definitions form a cycle"));
+    }
+    let mut fanins = Vec::with_capacity(def.args.len());
+    for arg in &def.args {
+        fanins.push(resolve(arg, nl, defs, resolved, depth + 1)?);
+    }
+    let s = nl
+        .add_named_gate(name.to_string(), def.kind, &fanins)
+        .map_err(|e| FormatError::at(def.line, e.to_string()))?;
+    resolved.insert(name.to_string(), s);
+    Ok(s)
+}
+
+fn parse_call<'a>(stmt: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = stmt.strip_prefix(keyword)?.trim_start();
+    let inner = rest.strip_prefix('(')?.strip_suffix(')')?;
+    Some(inner.trim())
+}
+
+/// Serializes a netlist to `.bench` text.
+///
+/// Gates without names are given synthetic `n<i>` names. Constant cells
+/// have no native `.bench` form and are emulated with the classic
+/// contradiction idiom over the first input
+/// (`__gdo_const0 = AND(x, NOT(x))`, `__gdo_const1 = NAND(x, NOT(x))`).
+///
+/// # Panics
+///
+/// Panics if the netlist contains complex (`AOI`/`OAI`) gates — which
+/// have no `.bench` representation; decompose first — or if it uses
+/// constants but has no primary input to emulate them from.
+#[must_use]
+pub fn write_bench(nl: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", nl.name());
+    let uses_consts = nl
+        .signals()
+        .any(|s| matches!(nl.kind(s), GateKind::Const0 | GateKind::Const1));
+    let names = nl.unique_names("n");
+    let name_of = |s: SignalId| -> String {
+        match nl.kind(s) {
+            GateKind::Const0 => "__gdo_const0".to_string(),
+            GateKind::Const1 => "__gdo_const1".to_string(),
+            _ => names[s.index()].clone(),
+        }
+    };
+    for &pi in nl.inputs() {
+        let _ = writeln!(out, "INPUT({})", name_of(pi));
+    }
+    for po in nl.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", name_of(po.driver()));
+    }
+    if uses_consts {
+        let pi = nl
+            .inputs()
+            .first()
+            .expect("constant emulation needs at least one input");
+        let pin = name_of(*pi);
+        let _ = writeln!(out, "__gdo_nx = NOT({pin})");
+        let _ = writeln!(out, "__gdo_const0 = AND({pin}, __gdo_nx)");
+        let _ = writeln!(out, "__gdo_const1 = NAND({pin}, __gdo_nx)");
+    }
+    let order = nl.topo_order().expect("netlist must be acyclic");
+    for s in order {
+        let kind = nl.kind(s);
+        if kind.is_source() {
+            continue;
+        }
+        let mnemonic = match kind {
+            GateKind::And => "AND",
+            GateKind::Or => "OR",
+            GateKind::Nand => "NAND",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUFF",
+            other => panic!("{other} gates cannot be written to .bench"),
+        };
+        let args: Vec<String> = nl.fanins(s).iter().map(|&f| name_of(f)).collect();
+        let _ = writeln!(out, "{} = {}({})", name_of(s), mnemonic, args.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17_LIKE: &str = "\
+# c17-style circuit
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    #[test]
+    fn parses_c17() {
+        let nl = parse_bench(C17_LIKE).unwrap();
+        nl.validate().unwrap();
+        let s = nl.stats();
+        assert_eq!((s.inputs, s.outputs, s.gates), (5, 2, 6));
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let src = "\
+INPUT(a)
+OUTPUT(y)
+y = NOT(m)
+m = BUFF(a)
+";
+        let nl = parse_bench(src).unwrap();
+        assert_eq!(nl.stats().gates, 2);
+    }
+
+    #[test]
+    fn dff_is_cut_into_pseudo_ports() {
+        let src = "\
+INPUT(a)
+OUTPUT(y)
+q = DFF(d)
+d = NAND(a, q)
+y = NOT(q)
+";
+        let nl = parse_bench(src).unwrap();
+        nl.validate().unwrap();
+        // a and q are inputs; y and d are outputs.
+        assert_eq!(nl.stats().inputs, 2);
+        assert_eq!(nl.stats().outputs, 2);
+    }
+
+    #[test]
+    fn round_trip_preserves_function() {
+        let nl = parse_bench(C17_LIKE).unwrap();
+        let text = write_bench(&nl);
+        let again = parse_bench(&text).unwrap();
+        assert!(nl.equiv_exhaustive(&again).unwrap());
+        assert_eq!(nl.stats(), again.stats());
+    }
+
+    #[test]
+    fn rejects_unknown_kind() {
+        let err = parse_bench("INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n").unwrap_err();
+        assert!(err.to_string().contains("FROB"));
+    }
+
+    #[test]
+    fn rejects_undefined_output() {
+        let err = parse_bench("INPUT(a)\nOUTPUT(nope)\n").unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn rejects_duplicate_definition() {
+        let err = parse_bench("INPUT(a)\ny = NOT(a)\ny = BUFF(a)\nOUTPUT(y)\n").unwrap_err();
+        assert!(err.to_string().contains("twice"));
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let err = parse_bench("INPUT(a)\np = NOT(q)\nq = NOT(p)\nOUTPUT(p)\n").unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_spacing_tolerated() {
+        let src = "  # header\nINPUT( a )\n\nOUTPUT( y )\ny = NOT( a ) # inline\n";
+        let nl = parse_bench(src).unwrap();
+        assert_eq!(nl.stats().gates, 1);
+    }
+
+    #[test]
+    fn output_can_be_an_input() {
+        let nl = parse_bench("INPUT(a)\nOUTPUT(a)\n").unwrap();
+        assert_eq!(nl.outputs()[0].driver(), nl.inputs()[0]);
+    }
+}

@@ -1,0 +1,467 @@
+//! The combinational subset of the Berkeley Logic Interchange Format.
+
+use crate::FormatError;
+use netlist::{GateKind, Netlist, SignalId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+#[derive(Debug)]
+struct NamesDef {
+    output: String,
+    inputs: Vec<String>,
+    /// Cover rows: (input pattern, output value).
+    rows: Vec<(String, bool)>,
+    line: usize,
+}
+
+/// Parses BLIF text into a [`Netlist`].
+///
+/// Supported constructs: `.model`, `.inputs`, `.outputs`, `.names` with
+/// single-output covers, `.latch` (cut into pseudo input/output like the
+/// `.bench` `DFF`), `.end`, `#` comments and `\` line continuations.
+/// `.gate`/`.subckt` are not supported — the workloads in this workspace
+/// exchange unmapped logic only.
+///
+/// # Errors
+///
+/// [`FormatError::Parse`] on malformed input.
+pub fn parse_blif(text: &str) -> Result<Netlist, FormatError> {
+    let lines = logical_lines(text);
+    let mut model = String::from("blif");
+    let mut input_names: Vec<(String, usize)> = Vec::new();
+    let mut output_names: Vec<(String, usize)> = Vec::new();
+    let mut defs: Vec<NamesDef> = Vec::new();
+
+    let mut i = 0;
+    while i < lines.len() {
+        let (line_no, ref content) = lines[i];
+        let mut words = content.split_whitespace();
+        let head = words.next().unwrap_or("");
+        match head {
+            ".model" => {
+                if let Some(name) = words.next() {
+                    model = name.to_string();
+                }
+                i += 1;
+            }
+            ".inputs" => {
+                for w in words {
+                    input_names.push((w.to_string(), line_no));
+                }
+                i += 1;
+            }
+            ".outputs" => {
+                for w in words {
+                    output_names.push((w.to_string(), line_no));
+                }
+                i += 1;
+            }
+            ".latch" => {
+                let fields: Vec<&str> = words.collect();
+                if fields.len() < 2 {
+                    return Err(FormatError::at(line_no, ".latch needs input and output"));
+                }
+                // Cut: latch output is a pseudo input, its data net a
+                // pseudo output.
+                output_names.push((fields[0].to_string(), line_no));
+                input_names.push((fields[1].to_string(), line_no));
+                i += 1;
+            }
+            ".names" => {
+                let mut signals: Vec<String> = words.map(str::to_string).collect();
+                if signals.is_empty() {
+                    return Err(FormatError::at(line_no, ".names needs at least an output"));
+                }
+                let output = signals.pop().expect("non-empty");
+                let mut rows = Vec::new();
+                i += 1;
+                while i < lines.len() {
+                    let (row_line, ref row) = lines[i];
+                    if row.starts_with('.') {
+                        break;
+                    }
+                    let fields: Vec<&str> = row.split_whitespace().collect();
+                    let (pattern, value) = match (signals.len(), fields.len()) {
+                        (0, 1) => (String::new(), fields[0]),
+                        (_, 2) => (fields[0].to_string(), fields[1]),
+                        _ => {
+                            return Err(FormatError::at(
+                                row_line,
+                                format!("malformed cover row {row:?}"),
+                            ))
+                        }
+                    };
+                    if pattern.len() != signals.len() {
+                        return Err(FormatError::at(
+                            row_line,
+                            format!(
+                                "cover row has {} columns, .names has {} inputs",
+                                pattern.len(),
+                                signals.len()
+                            ),
+                        ));
+                    }
+                    let value = match value {
+                        "1" => true,
+                        "0" => false,
+                        other => {
+                            return Err(FormatError::at(
+                                row_line,
+                                format!("output column must be 0 or 1, got {other:?}"),
+                            ))
+                        }
+                    };
+                    rows.push((pattern, value));
+                    i += 1;
+                }
+                defs.push(NamesDef {
+                    output,
+                    inputs: signals,
+                    rows,
+                    line: line_no,
+                });
+            }
+            ".end" => {
+                i += 1;
+            }
+            ".exdc" => {
+                // Don't-care networks are ignored; skip to end.
+                break;
+            }
+            other if other.starts_with('.') => {
+                return Err(FormatError::at(line_no, format!("unsupported construct {other:?}")));
+            }
+            _ => {
+                return Err(FormatError::at(line_no, format!("unexpected line {content:?}")));
+            }
+        }
+    }
+
+    build_netlist(model, input_names, output_names, defs)
+}
+
+fn build_netlist(
+    model: String,
+    input_names: Vec<(String, usize)>,
+    output_names: Vec<(String, usize)>,
+    defs: Vec<NamesDef>,
+) -> Result<Netlist, FormatError> {
+    let mut nl = Netlist::new(model);
+    for (name, line) in &input_names {
+        nl.try_add_input(name.clone())
+            .map_err(|e| FormatError::at(*line, e.to_string()))?;
+    }
+    let by_output: HashMap<String, usize> = defs
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.output.clone(), i))
+        .collect();
+    let mut resolved: HashMap<String, SignalId> = nl
+        .inputs()
+        .iter()
+        .map(|&pi| (nl.cell(pi).name().expect("named").to_string(), pi))
+        .collect();
+    for name in by_output.keys() {
+        resolve_names(name, &mut nl, &defs, &by_output, &mut resolved, 0)?;
+    }
+    for (name, line) in output_names {
+        let driver = *resolved
+            .get(&name)
+            .ok_or_else(|| FormatError::at(line, format!("output {name:?} is undefined")))?;
+        nl.add_output(name, driver);
+    }
+    nl.topo_order().map_err(FormatError::from)?;
+    Ok(nl)
+}
+
+fn resolve_names(
+    name: &str,
+    nl: &mut Netlist,
+    defs: &[NamesDef],
+    by_output: &HashMap<String, usize>,
+    resolved: &mut HashMap<String, SignalId>,
+    depth: usize,
+) -> Result<SignalId, FormatError> {
+    if let Some(&s) = resolved.get(name) {
+        return Ok(s);
+    }
+    let &idx = by_output
+        .get(name)
+        .ok_or_else(|| FormatError::at(0, format!("signal {name:?} is undefined")))?;
+    let def = &defs[idx];
+    if depth > defs.len() {
+        return Err(FormatError::at(def.line, "definitions form a cycle"));
+    }
+    let mut fanins = Vec::with_capacity(def.inputs.len());
+    for arg in &def.inputs {
+        fanins.push(resolve_names(arg, nl, defs, by_output, resolved, depth + 1)?);
+    }
+    let s = build_cover(nl, &fanins, &def.rows).map_err(|e| FormatError::at(def.line, e.to_string()))?;
+    resolved.insert(name.to_string(), s);
+    Ok(s)
+}
+
+/// Builds the two-level logic of one `.names` cover.
+fn build_cover(
+    nl: &mut Netlist,
+    fanins: &[SignalId],
+    rows: &[(String, bool)],
+) -> Result<SignalId, netlist::NetlistError> {
+    if rows.is_empty() {
+        // Empty cover is constant 0.
+        return Ok(nl.const0());
+    }
+    let on_set = rows[0].1;
+    let mut terms: Vec<SignalId> = Vec::new();
+    for (pattern, _) in rows {
+        let mut literals: Vec<SignalId> = Vec::new();
+        for (i, c) in pattern.chars().enumerate() {
+            match c {
+                '1' => literals.push(fanins[i]),
+                '0' => literals.push(nl.add_gate(GateKind::Not, &[fanins[i]])?),
+                '-' => {}
+                other => panic!("cover characters are validated earlier, got {other:?}"),
+            }
+        }
+        let term = match literals.len() {
+            0 => nl.const1(),
+            1 => literals[0],
+            _ => nl.add_gate(GateKind::And, &literals)?,
+        };
+        terms.push(term);
+    }
+    let sum = match terms.len() {
+        1 => terms[0],
+        _ => nl.add_gate(GateKind::Or, &terms)?,
+    };
+    if on_set {
+        Ok(sum)
+    } else {
+        // Off-set cover: the function is the complement of the sum.
+        nl.add_gate(GateKind::Not, &[sum])
+    }
+}
+
+fn logical_lines(text: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let mut continuation = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let stripped = raw.split('#').next().unwrap_or("").trim_end();
+        let (content, continues) = match stripped.strip_suffix('\\') {
+            Some(head) => (head.trim(), true),
+            None => (stripped.trim(), false),
+        };
+        if content.is_empty() && !continues {
+            continuation = false;
+            continue;
+        }
+        if continuation {
+            let last = out.last_mut().expect("continuation has a predecessor");
+            last.1.push(' ');
+            last.1.push_str(content);
+        } else {
+            out.push((lineno + 1, content.to_string()));
+        }
+        continuation = continues;
+    }
+    out.retain(|(_, c)| !c.is_empty());
+    out
+}
+
+/// Serializes a netlist to BLIF. Every gate becomes a `.names` block.
+///
+/// # Panics
+///
+/// Panics if the netlist is cyclic.
+#[must_use]
+pub fn write_blif(nl: &Netlist) -> String {
+    let mut out = String::new();
+    let names = nl.unique_names("n");
+    let name_of = |s: SignalId| -> String { names[s.index()].clone() };
+    let _ = writeln!(out, ".model {}", nl.name());
+    let ins: Vec<String> = nl.inputs().iter().map(|&s| name_of(s)).collect();
+    let _ = writeln!(out, ".inputs {}", ins.join(" "));
+    let outs: Vec<String> = nl.outputs().iter().map(|po| name_of(po.driver())).collect();
+    let _ = writeln!(out, ".outputs {}", outs.join(" "));
+    let order = nl.topo_order().expect("netlist must be acyclic");
+    for s in order {
+        let kind = nl.kind(s);
+        if kind == GateKind::Input {
+            continue;
+        }
+        let args: Vec<String> = nl.fanins(s).iter().map(|&f| name_of(f)).collect();
+        let n = args.len();
+        let _ = writeln!(out, ".names {} {}", args.join(" "), name_of(s));
+        match kind {
+            GateKind::Const0 => {}
+            GateKind::Const1 => {
+                let _ = writeln!(out, "1");
+            }
+            GateKind::Buf => {
+                let _ = writeln!(out, "1 1");
+            }
+            GateKind::Not => {
+                let _ = writeln!(out, "0 1");
+            }
+            GateKind::And => {
+                let _ = writeln!(out, "{} 1", "1".repeat(n));
+            }
+            GateKind::Nand => {
+                for i in 0..n {
+                    let mut row = vec!['-'; n];
+                    row[i] = '0';
+                    let _ = writeln!(out, "{} 1", row.iter().collect::<String>());
+                }
+            }
+            GateKind::Or => {
+                for i in 0..n {
+                    let mut row = vec!['-'; n];
+                    row[i] = '1';
+                    let _ = writeln!(out, "{} 1", row.iter().collect::<String>());
+                }
+            }
+            GateKind::Nor => {
+                let _ = writeln!(out, "{} 1", "0".repeat(n));
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                let odd = kind == GateKind::Xor;
+                for v in 0u32..(1 << n) {
+                    if (v.count_ones() % 2 == 1) == odd {
+                        let row: String = (0..n)
+                            .map(|i| if v >> i & 1 == 1 { '1' } else { '0' })
+                            .collect();
+                        let _ = writeln!(out, "{row} 1");
+                    }
+                }
+            }
+            GateKind::Aoi21 => {
+                let _ = writeln!(out, "11- 0\n--1 0");
+            }
+            GateKind::Oai21 => {
+                let _ = writeln!(out, "1-1 0\n-11 0");
+            }
+            GateKind::Aoi22 => {
+                let _ = writeln!(out, "11-- 0\n--11 0");
+            }
+            GateKind::Oai22 => {
+                let _ = writeln!(out, "1-1- 0\n1--1 0\n-11- 0\n-1-1 0");
+            }
+            GateKind::Input => unreachable!(),
+        }
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# sample
+.model sample
+.inputs a b c
+.outputs y z
+.names a b t1
+11 1
+.names t1 c y
+1- 1
+-1 1
+.names a z
+0 1
+.end
+";
+
+    #[test]
+    fn parses_sample() {
+        let nl = parse_blif(SAMPLE).unwrap();
+        nl.validate().unwrap();
+        assert_eq!(nl.name(), "sample");
+        let s = nl.stats();
+        assert_eq!((s.inputs, s.outputs), (3, 2));
+        // y = (a AND b) OR c; z = !a.
+        let out = nl.eval_outputs(&[true, true, false]).unwrap();
+        assert_eq!(out, vec![true, false]);
+        let out = nl.eval_outputs(&[false, false, true]).unwrap();
+        assert_eq!(out, vec![true, true]);
+    }
+
+    #[test]
+    fn off_set_cover_complements() {
+        let src = ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n";
+        let nl = parse_blif(src).unwrap();
+        // y = !(a AND b) = NAND.
+        assert_eq!(nl.eval_outputs(&[true, true]).unwrap(), vec![false]);
+        assert_eq!(nl.eval_outputs(&[true, false]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn constant_covers() {
+        let src = ".model m\n.inputs a\n.outputs y z\n.names y\n1\n.names z\n.end\n";
+        let nl = parse_blif(src).unwrap();
+        assert_eq!(nl.eval_outputs(&[false]).unwrap(), vec![true, false]);
+    }
+
+    #[test]
+    fn line_continuations() {
+        let src = ".model m\n.inputs a \\\n b\n.outputs y\n.names a b y\n11 1\n.end\n";
+        let nl = parse_blif(src).unwrap();
+        assert_eq!(nl.stats().inputs, 2);
+    }
+
+    #[test]
+    fn latch_is_cut() {
+        let src = "\
+.model m
+.inputs a
+.outputs y
+.latch d q re clk 0
+.names a q d
+11 1
+.names q y
+0 1
+.end
+";
+        let nl = parse_blif(src).unwrap();
+        nl.validate().unwrap();
+        assert_eq!(nl.stats().inputs, 2); // a and pseudo-input q
+        assert_eq!(nl.stats().outputs, 2); // y and pseudo-output d
+    }
+
+    #[test]
+    fn round_trip_all_kinds() {
+        use netlist::GateKind;
+        let mut nl = Netlist::new("rt");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_input("d");
+        let gates = [
+            nl.add_gate(GateKind::And, &[a, b]).unwrap(),
+            nl.add_gate(GateKind::Nand, &[a, b, c]).unwrap(),
+            nl.add_gate(GateKind::Or, &[c, d]).unwrap(),
+            nl.add_gate(GateKind::Nor, &[a, d]).unwrap(),
+            nl.add_gate(GateKind::Xor, &[a, b, c]).unwrap(),
+            nl.add_gate(GateKind::Xnor, &[c, d]).unwrap(),
+            nl.add_gate(GateKind::Not, &[a]).unwrap(),
+            nl.add_gate(GateKind::Buf, &[b]).unwrap(),
+            nl.add_gate(GateKind::Aoi21, &[a, b, c]).unwrap(),
+            nl.add_gate(GateKind::Oai21, &[a, b, c]).unwrap(),
+            nl.add_gate(GateKind::Aoi22, &[a, b, c, d]).unwrap(),
+            nl.add_gate(GateKind::Oai22, &[a, b, c, d]).unwrap(),
+        ];
+        for (i, g) in gates.iter().enumerate() {
+            nl.add_output(format!("o{i}"), *g);
+        }
+        let text = write_blif(&nl);
+        let again = parse_blif(&text).unwrap();
+        assert!(nl.equiv_exhaustive(&again).unwrap());
+    }
+
+    #[test]
+    fn unsupported_construct_rejected() {
+        let err = parse_blif(".model m\n.inputs a\n.outputs y\n.gate nand2 a=a b=a O=y\n.end\n")
+            .unwrap_err();
+        assert!(err.to_string().contains(".gate"));
+    }
+}

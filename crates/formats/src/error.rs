@@ -1,0 +1,67 @@
+use std::fmt;
+
+/// Errors produced while reading netlist files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FormatError {
+    /// Syntactic or semantic problem in the input text.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A structural error surfaced while building the netlist.
+    Netlist(netlist::NetlistError),
+}
+
+impl FormatError {
+    pub(crate) fn at(line: usize, message: impl Into<String>) -> Self {
+        FormatError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            FormatError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormatError::Netlist(e) => Some(e),
+            FormatError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<netlist::NetlistError> for FormatError {
+    fn from(e: netlist::NetlistError) -> Self {
+        FormatError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        assert!(FormatError::at(3, "bad token").to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FormatError>();
+    }
+}

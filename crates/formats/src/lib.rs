@@ -1,0 +1,38 @@
+//! Netlist file formats: ISCAS `.bench` and (combinational) BLIF.
+//!
+//! The paper evaluates on ISCAS-85/89 and MCNC benchmark circuits, which
+//! ship in these two formats. There is no Rust logic-synthesis ecosystem
+//! to lean on, so both parsers and writers are implemented here from
+//! scratch.
+//!
+//! Sequential elements (`DFF` in `.bench`, `.latch` in BLIF) are cut the
+//! way the paper treats ISCAS-89 circuits: a flip-flop output becomes a
+//! pseudo primary input and its data input a pseudo primary output,
+//! leaving the combinational core.
+//!
+//! # Example
+//!
+//! ```
+//! let src = "\
+//! INPUT(a)
+//! INPUT(b)
+//! OUTPUT(y)
+//! n1 = NAND(a, b)
+//! y = NOT(n1)
+//! ";
+//! let nl = formats::parse_bench(src)?;
+//! assert_eq!(nl.stats().gates, 2);
+//! let round_trip = formats::parse_bench(&formats::write_bench(&nl))?;
+//! assert!(nl.equiv_exhaustive(&round_trip)?);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod bench;
+mod blif;
+mod error;
+mod verilog;
+
+pub use bench::{parse_bench, write_bench};
+pub use blif::{parse_blif, write_blif};
+pub use error::FormatError;
+pub use verilog::write_verilog;

@@ -1,0 +1,55 @@
+use std::fmt;
+
+/// Errors surfaced by the optimizer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GdoError {
+    /// A structural netlist operation failed (these indicate internal
+    /// invariant violations; the optimizer validates rewrites up front).
+    Netlist(netlist::NetlistError),
+    /// A library lookup failed while realizing an inserted gate.
+    Library(library::LibraryError),
+}
+
+impl fmt::Display for GdoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GdoError::Netlist(e) => write!(f, "netlist error: {e}"),
+            GdoError::Library(e) => write!(f, "library error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GdoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GdoError::Netlist(e) => Some(e),
+            GdoError::Library(e) => Some(e),
+        }
+    }
+}
+
+impl From<netlist::NetlistError> for GdoError {
+    fn from(e: netlist::NetlistError) -> Self {
+        GdoError::Netlist(e)
+    }
+}
+
+impl From<library::LibraryError> for GdoError {
+    fn from(e: library::LibraryError) -> Self {
+        GdoError::Library(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_displays() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GdoError>();
+        let e = GdoError::Netlist(netlist::NetlistError::CycleDetected);
+        assert!(e.to_string().contains("cycle"));
+    }
+}

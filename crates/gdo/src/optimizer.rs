@@ -1,0 +1,750 @@
+//! The two-phase optimization loop of Section 5: a *delay reduction
+//! phase* that substitutes outputs and inputs of critical gates (ranked
+//! by NCP, then LDS), and an *area optimization phase* that shrinks
+//! non-critical logic without creating new critical paths, returning to
+//! the delay phase after every batch of area substitutions.
+
+use crate::bpfs::{run_c2, run_c3};
+use crate::candidates::{pair_candidates, CandidateConfig, CandidateContext};
+use crate::pvcc::{
+    and_or_triple_requests, const_candidates, site_arrival, site_ncp, site_required,
+    sub2_candidates, sub3_candidates, xor_triple_requests, Pvcc, RankKey,
+};
+use crate::transform::{apply_rewrite, estimate_area_delta, estimate_arrival};
+use crate::prove::prove_rewrite_budgeted;
+use crate::{GdoError, ProverKind, Rewrite, RewriteKind, Site};
+use library::Library;
+use netlist::{Branch, GateKind, Netlist, SignalId};
+use sim::{simulate, VectorSet};
+use timing::{CriticalPaths, DelayModel, LibDelay, Sta};
+
+/// Configuration of the optimizer. [`GdoConfig::default`] reproduces the
+/// paper's setup; the ablation benchmarks toggle individual features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GdoConfig {
+    /// Random vectors per BPFS round (rounded up to a multiple of 64).
+    /// Wide-input circuits need generous budgets: with too few vectors,
+    /// most candidates that survive simulation are false and the proof
+    /// stage drowns in refutations before reaching the valid ones.
+    pub vectors: usize,
+    /// Seed of the reproducible vector stream.
+    pub seed: u64,
+    /// Enable `OS3`/`IS3` substitutions (inserted AND/OR/XOR gates).
+    pub enable_sub3: bool,
+    /// Allow XOR/XNOR inserted gates (ignored when the library has no
+    /// XOR/XNOR cells, as the paper prescribes).
+    pub enable_xor: bool,
+    /// Enumerate XOR triples structurally — XOR combinations have no
+    /// valid C2 clauses, so the C2-exploitation filter cannot see them
+    /// (the paper notes exactly this loss). Costs extra simulation time;
+    /// on XOR-rich arithmetic it is where most OS3 gains live.
+    pub xor_direct: bool,
+    /// Candidate generation filters.
+    pub candidates: CandidateConfig,
+    /// Validity prover.
+    pub prover: ProverKind,
+    /// SAT conflict budget per clause query; exhaustion counts as "not
+    /// proven" (bounds time/memory on adversarial cones).
+    pub conflict_budget: u64,
+    /// Run the area optimization phase.
+    pub area_phase: bool,
+    /// Area substitutions per batch before returning to the delay phase.
+    pub area_batch: usize,
+    /// Cap on `a`-signal sites per round (highest NCP first).
+    pub max_sites_per_round: usize,
+    /// Cap on validity proofs per round — keeps rounds bounded when many
+    /// candidates survive simulation on adversarial circuits.
+    pub max_proofs_per_round: usize,
+    /// Safety bound on delay-phase iterations per visit.
+    pub max_delay_rounds: usize,
+    /// Safety bound on outer delay/area alternations.
+    pub max_outer_rounds: usize,
+}
+
+impl Default for GdoConfig {
+    fn default() -> Self {
+        GdoConfig {
+            vectors: 2048,
+            seed: 1995,
+            enable_sub3: true,
+            enable_xor: true,
+            xor_direct: true,
+            candidates: CandidateConfig::default(),
+            prover: ProverKind::SatClause,
+            conflict_budget: 100_000,
+            area_phase: true,
+            area_batch: 12,
+            max_sites_per_round: 96,
+            max_proofs_per_round: 4096,
+            max_delay_rounds: 40,
+            max_outer_rounds: 25,
+        }
+    }
+}
+
+/// Outcome counters of one optimization run — the columns of the paper's
+/// result tables plus proof statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GdoStats {
+    /// Gate count before optimization.
+    pub gates_before: usize,
+    /// Gate count after optimization.
+    pub gates_after: usize,
+    /// Literal (gate-input) count before.
+    pub literals_before: usize,
+    /// Literal count after.
+    pub literals_after: usize,
+    /// Circuit delay before (library units).
+    pub delay_before: f64,
+    /// Circuit delay after.
+    pub delay_after: f64,
+    /// Total cell area before.
+    pub area_before: f64,
+    /// Total cell area after.
+    pub area_after: f64,
+    /// Applied `OS2`/`IS2` substitutions (paper column "#mod OS/IS2").
+    pub sub2_mods: usize,
+    /// Applied `OS3`/`IS3` substitutions (paper column "#mod OS/IS3").
+    pub sub3_mods: usize,
+    /// Applied constant substitutions (redundancy removals).
+    pub const_mods: usize,
+    /// Validity proofs attempted.
+    pub proofs: usize,
+    /// Proofs that confirmed validity.
+    pub proofs_valid: usize,
+    /// Outer delay/area alternations executed.
+    pub rounds: usize,
+    /// Wall-clock seconds (the paper's CPU-seconds column).
+    pub cpu_seconds: f64,
+}
+
+impl GdoStats {
+    /// Fractional delay reduction (`0.23` = 23 %).
+    #[must_use]
+    pub fn delay_reduction(&self) -> f64 {
+        if self.delay_before > 0.0 {
+            1.0 - self.delay_after / self.delay_before
+        } else {
+            0.0
+        }
+    }
+
+    /// Fractional literal reduction.
+    #[must_use]
+    pub fn literal_reduction(&self) -> f64 {
+        if self.literals_before > 0 {
+            1.0 - self.literals_after as f64 / self.literals_before as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Total applied modifications.
+    #[must_use]
+    pub fn total_mods(&self) -> usize {
+        self.sub2_mods + self.sub3_mods + self.const_mods
+    }
+}
+
+/// The GDO optimizer. Construct with a library and a [`GdoConfig`], then
+/// call [`optimize`](Self::optimize) on mapped netlists.
+///
+/// Setting the environment variable `GDO_TRACE=1` prints per-phase and
+/// per-round progress to stderr (useful on long runs).
+#[derive(Debug, Clone)]
+pub struct Optimizer<'a> {
+    lib: &'a Library,
+    cfg: GdoConfig,
+}
+
+impl<'a> Optimizer<'a> {
+    /// Creates an optimizer over `lib`.
+    #[must_use]
+    pub fn new(lib: &'a Library, cfg: GdoConfig) -> Self {
+        Optimizer { lib, cfg }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &GdoConfig {
+        &self.cfg
+    }
+
+    /// Optimizes `nl` in place and reports what happened.
+    ///
+    /// # Errors
+    ///
+    /// [`GdoError`] on structural failures (cyclic input netlist, or a
+    /// library with no cells for inserted gates).
+    pub fn optimize(&self, nl: &mut Netlist) -> Result<GdoStats, GdoError> {
+        let start = std::time::Instant::now();
+        let model = LibDelay::new(self.lib);
+        let mut stats = GdoStats::default();
+        {
+            let s = nl.stats();
+            stats.gates_before = s.gates;
+            stats.literals_before = s.literals;
+            let sta = Sta::analyze(nl, &model)?;
+            stats.delay_before = sta.circuit_delay();
+            stats.area_before = total_area(nl, &model);
+        }
+        let xor_available = self.lib.cheapest(GateKind::Xor, 2).is_some()
+            && self.lib.cheapest(GateKind::Xnor, 2).is_some();
+        let enable_xor = self.cfg.enable_xor && xor_available;
+
+        let trace = std::env::var_os("GDO_TRACE").is_some();
+        let mut seed_counter = self.cfg.seed;
+        for outer in 0..self.cfg.max_outer_rounds {
+            stats.rounds += 1;
+            let t = std::time::Instant::now();
+            let delay_applied =
+                self.delay_phase(nl, &model, enable_xor, &mut stats, &mut seed_counter)?;
+            let t_delay = t.elapsed();
+            let t = std::time::Instant::now();
+            let area_applied = if self.cfg.area_phase {
+                self.area_round(nl, &model, enable_xor, &mut stats, &mut seed_counter)?
+            } else {
+                0
+            };
+            if trace {
+                eprintln!(
+                    "[gdo] outer {outer}: delay phase {delay_applied} mods in {:.2}s, \
+                     area batch {area_applied} mods in {:.2}s ({} proofs so far)",
+                    t_delay.as_secs_f64(),
+                    t.elapsed().as_secs_f64(),
+                    stats.proofs
+                );
+            }
+            if delay_applied == 0 && area_applied == 0 {
+                break;
+            }
+            if !self.cfg.area_phase && delay_applied == 0 {
+                break;
+            }
+        }
+
+        {
+            let s = nl.stats();
+            stats.gates_after = s.gates;
+            stats.literals_after = s.literals;
+            let sta = Sta::analyze(nl, &model)?;
+            stats.delay_after = sta.circuit_delay();
+            stats.area_after = total_area(nl, &model);
+        }
+        stats.cpu_seconds = start.elapsed().as_secs_f64();
+        Ok(stats)
+    }
+
+    /// Delay reduction phase: C2 rounds until dry, then C3 rounds, until
+    /// neither improves anything.
+    fn delay_phase(
+        &self,
+        nl: &mut Netlist,
+        model: &LibDelay<'_>,
+        enable_xor: bool,
+        stats: &mut GdoStats,
+        seed: &mut u64,
+    ) -> Result<usize, GdoError> {
+        let mut total = 0;
+        for _ in 0..self.cfg.max_delay_rounds {
+            let n2 = self.delay_round(nl, model, false, enable_xor, stats, seed)?;
+            total += n2;
+            if n2 > 0 {
+                continue;
+            }
+            if self.cfg.enable_sub3 {
+                let n3 = self.delay_round(nl, model, true, enable_xor, stats, seed)?;
+                total += n3;
+                if n3 > 0 {
+                    continue;
+                }
+            }
+            break;
+        }
+        Ok(total)
+    }
+
+    /// One delay-phase simulate/rank/prove/apply round. `use_c3` selects
+    /// `OS3`/`IS3` candidates (run after C2 candidates dry up, as in the
+    /// paper, since C2 simulation is cheaper).
+    fn delay_round(
+        &self,
+        nl: &mut Netlist,
+        model: &LibDelay<'_>,
+        use_c3: bool,
+        enable_xor: bool,
+        stats: &mut GdoStats,
+        seed: &mut u64,
+    ) -> Result<usize, GdoError> {
+        if nl.outputs().is_empty() || nl.inputs().is_empty() {
+            return Ok(0);
+        }
+        let sta = Sta::analyze(nl, model)?;
+        if sta.circuit_delay() <= 0.0 {
+            return Ok(0);
+        }
+        let cp = CriticalPaths::count(nl, model, &sta)?;
+        let ctx = CandidateContext::build(nl)?;
+
+        // a-signal sites: critical gate stems and critical in-edges.
+        let mut sites: Vec<Site> = Vec::new();
+        for g in sta.critical_gates(nl) {
+            if nl.fanout_count(g) > 0 {
+                sites.push(Site::Stem(g));
+            }
+            for pin in 0..nl.fanins(g).len() {
+                if sta.is_critical_edge(nl, model, g, pin)
+                    && !nl.kind(nl.fanins(g)[pin]).is_source()
+                    && nl.fanout_count(nl.fanins(g)[pin]) > 1
+                {
+                    sites.push(Site::Branch(Branch {
+                        cell: g,
+                        pin: pin as u32,
+                    }));
+                }
+            }
+        }
+        sites.sort_by(|&x, &y| site_ncp(nl, y, &cp).total_cmp(&site_ncp(nl, x, &cp)));
+        sites.truncate(self.cfg.max_sites_per_round);
+
+        let trace = std::env::var_os("GDO_TRACE").is_some();
+        let t0 = std::time::Instant::now();
+        let site_cands: Vec<(Site, Vec<SignalId>)> = sites
+            .into_iter()
+            .map(|site| {
+                let max_arrival = site_arrival(nl, site, &sta) - sta.eps();
+                (
+                    site,
+                    pair_candidates(nl, &sta, &ctx, site, &self.cfg.candidates, max_arrival),
+                )
+            })
+            .collect();
+        let t_cand = t0.elapsed();
+
+        *seed += 1;
+        let t0 = std::time::Instant::now();
+        let vectors = VectorSet::random(nl.inputs().len(), self.cfg.vectors, *seed);
+        let sim = simulate(nl, &vectors)?;
+        let mut rounds = run_c2(nl, &sim, site_cands)?;
+        let t_bpfs = t0.elapsed();
+
+        let mut pvccs: Vec<Pvcc> = Vec::new();
+        for round in &mut rounds {
+            let rewrites: Vec<Rewrite> = if use_c3 {
+                let mut triples =
+                    and_or_triple_requests(round, self.cfg.candidates.max_triples_per_site);
+                if enable_xor && self.cfg.xor_direct {
+                    triples.extend(xor_triple_requests(
+                        round,
+                        self.cfg.candidates.max_triples_per_site,
+                    ));
+                }
+                run_c3(nl, &sim, round, triples);
+                sub3_candidates(round)
+                    .into_iter()
+                    .filter(|rw| {
+                        enable_xor
+                            || !matches!(
+                                rw.kind,
+                                RewriteKind::Sub3 {
+                                    gate: crate::Gate3::Xor | crate::Gate3::Xnor,
+                                    ..
+                                }
+                            )
+                    })
+                    .collect()
+            } else {
+                sub2_candidates(round)
+            };
+            let ncp = site_ncp(nl, round.site, &cp);
+            for rw in rewrites {
+                let lds =
+                    site_arrival(nl, rw.site, &sta) - estimate_arrival(nl, self.lib, &sta, &rw, true);
+                if lds > sta.eps() {
+                    pvccs.push(Pvcc {
+                        rewrite: rw,
+                        rank: RankKey { ncp, lds },
+                    });
+                }
+            }
+        }
+        pvccs.sort_by(|x, y| x.rank.cmp_desc(&y.rank));
+        if trace {
+            let survivors: usize = rounds.iter().map(|r| r.pairs.len()).sum();
+            eprintln!(
+                "[gdo]   round(c3={use_c3}): {} sites, {} pair candidates, {} ranked pvccs",
+                rounds.len(),
+                survivors,
+                pvccs.len()
+            );
+        }
+
+        // Prove and apply, best first; several modifications per
+        // simulation, revalidating against the evolving netlist.
+        let t0 = std::time::Instant::now();
+        let mut cur_sta = sta;
+        let mut applied = 0;
+        let mut proofs_here = 0usize;
+        for pvcc in pvccs {
+            if proofs_here >= self.cfg.max_proofs_per_round {
+                break;
+            }
+            let rw = pvcc.rewrite;
+            if !rw.is_applicable(nl) {
+                continue;
+            }
+            let src = rw.site.source(nl);
+            if !cur_sta.is_critical(src) {
+                continue;
+            }
+            let new_arrival = estimate_arrival(nl, self.lib, &cur_sta, &rw, true);
+            if new_arrival + cur_sta.eps() >= cur_sta.arrival(src) {
+                continue;
+            }
+            stats.proofs += 1;
+            proofs_here += 1;
+            if !prove_rewrite_budgeted(nl, self.lib, &rw, self.cfg.prover, self.cfg.conflict_budget)? {
+                continue;
+            }
+            stats.proofs_valid += 1;
+            apply_rewrite(nl, self.lib, &rw, true)?;
+            if trace {
+                eprintln!("[gdo]     applied {rw} (ncp {:.0}, lds {:.2})", pvcc.rank.ncp, pvcc.rank.lds);
+            }
+            count_mod(stats, &rw);
+            applied += 1;
+            cur_sta = Sta::analyze(nl, model)?;
+        }
+        if trace {
+            eprintln!(
+                "[gdo]   round(c3={use_c3}): cand {:.2}s, bpfs {:.2}s, apply-loop {:.2}s, {applied} applied",
+                t_cand.as_secs_f64(),
+                t_bpfs.as_secs_f64(),
+                t0.elapsed().as_secs_f64()
+            );
+        }
+        Ok(applied)
+    }
+
+    /// One area-phase batch: redundancy removal plus area-saving
+    /// substitutions of non-critical gates, each verified not to degrade
+    /// the circuit delay.
+    fn area_round(
+        &self,
+        nl: &mut Netlist,
+        model: &LibDelay<'_>,
+        enable_xor: bool,
+        stats: &mut GdoStats,
+        seed: &mut u64,
+    ) -> Result<usize, GdoError> {
+        if nl.outputs().is_empty() || nl.inputs().is_empty() {
+            return Ok(0);
+        }
+        let sta = Sta::analyze(nl, model)?;
+        let ctx = CandidateContext::build(nl)?;
+        let baseline_delay = sta.circuit_delay();
+
+        let mut site_cands: Vec<(Site, Vec<SignalId>)> = Vec::new();
+        for g in nl.gates() {
+            if nl.fanout_count(g) == 0 {
+                continue;
+            }
+            let site = Site::Stem(g);
+            // Non-critical gates only (the delay phase owns critical ones),
+            // but every gate is a redundancy-removal candidate.
+            let bs = if sta.is_critical(g) {
+                Vec::new()
+            } else {
+                let budget = site_required(nl, site, &sta, model) - sta.eps();
+                pair_candidates(nl, &sta, &ctx, site, &self.cfg.candidates, budget)
+            };
+            site_cands.push((site, bs));
+        }
+        // Rank sites coarsely by prospective pruning gain to respect the
+        // per-round site cap.
+        site_cands.sort_by(|(sx, _), (sy, _)| {
+            let gx = crate::transform::dead_cone_area(nl, self.lib, sx.cone_root());
+            let gy = crate::transform::dead_cone_area(nl, self.lib, sy.cone_root());
+            gy.total_cmp(&gx)
+        });
+        site_cands.truncate(self.cfg.max_sites_per_round.max(self.cfg.area_batch));
+
+        *seed += 1;
+        let vectors = VectorSet::random(nl.inputs().len(), self.cfg.vectors, *seed);
+        let sim = simulate(nl, &vectors)?;
+        let mut rounds = run_c2(nl, &sim, site_cands)?;
+
+        let mut pvccs: Vec<(f64, Rewrite)> = Vec::new();
+        for round in &mut rounds {
+            let mut rewrites = const_candidates(round);
+            rewrites.extend(sub2_candidates(round));
+            if self.cfg.enable_sub3 {
+                let mut triples =
+                    and_or_triple_requests(round, self.cfg.candidates.max_triples_per_site);
+                if enable_xor && self.cfg.xor_direct {
+                    triples.extend(xor_triple_requests(
+                        round,
+                        self.cfg.candidates.max_triples_per_site,
+                    ));
+                }
+                run_c3(nl, &sim, round, triples);
+                rewrites.extend(sub3_candidates(round));
+            }
+            for rw in rewrites {
+                let gain = estimate_area_delta(nl, self.lib, &rw, false);
+                if gain > 1e-9 {
+                    pvccs.push((gain, rw));
+                }
+            }
+        }
+        pvccs.sort_by(|(gx, _), (gy, _)| gy.total_cmp(gx));
+
+        let mut applied = 0;
+        let mut proofs_here = 0usize;
+        for (_, rw) in pvccs {
+            if applied >= self.cfg.area_batch || proofs_here >= self.cfg.max_proofs_per_round {
+                break;
+            }
+            if !rw.is_applicable(nl) {
+                continue;
+            }
+            // Trial-apply on a scratch copy FIRST (cheap): the
+            // substitution must not lengthen the critical path and must
+            // actually save area. Only then pay for the validity proof.
+            let mut trial = nl.clone();
+            apply_rewrite(&mut trial, self.lib, &rw, false)?;
+            let trial_sta = Sta::analyze(&trial, model)?;
+            if trial_sta.circuit_delay() > baseline_delay + trial_sta.eps() {
+                continue;
+            }
+            if total_area(&trial, model) >= total_area(nl, model) {
+                continue;
+            }
+            stats.proofs += 1;
+            proofs_here += 1;
+            if !prove_rewrite_budgeted(nl, self.lib, &rw, self.cfg.prover, self.cfg.conflict_budget)? {
+                continue;
+            }
+            stats.proofs_valid += 1;
+            *nl = trial;
+            if std::env::var_os("GDO_TRACE").is_some() {
+                eprintln!("[gdo]     applied (area) {rw}");
+            }
+            count_mod(stats, &rw);
+            applied += 1;
+        }
+        Ok(applied)
+    }
+}
+
+fn count_mod(stats: &mut GdoStats, rw: &Rewrite) {
+    match rw.kind {
+        RewriteKind::Sub2 { .. } => stats.sub2_mods += 1,
+        RewriteKind::Sub3 { .. } => stats.sub3_mods += 1,
+        RewriteKind::SubConst { .. } => stats.const_mods += 1,
+    }
+}
+
+fn total_area<M: DelayModel>(nl: &Netlist, model: &M) -> f64 {
+    nl.gates().map(|g| model.area(nl, g)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use library::{standard_library, MapGoal, Mapper};
+
+    fn optimize_and_check(
+        nl: &Netlist,
+        cfg: GdoConfig,
+    ) -> (Netlist, GdoStats) {
+        let lib = standard_library();
+        let mut mapped = Mapper::new(&lib).goal(MapGoal::Area).map(nl).unwrap();
+        let stats = Optimizer::new(&lib, cfg).optimize(&mut mapped).unwrap();
+        mapped.validate().unwrap();
+        assert!(
+            nl.equiv_exhaustive(&mapped).unwrap(),
+            "optimization changed the function"
+        );
+        assert!(stats.delay_after <= stats.delay_before + 1e-9);
+        (mapped, stats)
+    }
+
+    /// A circuit recomputing an existing signal through a deep
+    /// XOR-cancellation detour (which survives structural hashing and
+    /// sweeping, unlike inverter chains): GDO should rewire the consumer
+    /// to the short version.
+    #[test]
+    fn removes_duplicate_logic_chain() {
+        let mut nl = Netlist::new("dup");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_input("d");
+        let short = nl.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        // deep = (a^c) ^ (b^c) == a^b, but structurally distinct.
+        let t1 = nl.add_gate(GateKind::Xor, &[a, c]).unwrap();
+        let t2 = nl.add_gate(GateKind::Xor, &[b, c]).unwrap();
+        let deep = nl.add_gate(GateKind::Xor, &[t1, t2]).unwrap();
+        let y = nl.add_gate(GateKind::And, &[deep, d]).unwrap();
+        nl.add_output("s", short);
+        nl.add_output("y", y);
+        let (_, stats) = optimize_and_check(&nl, GdoConfig::default());
+        assert!(stats.total_mods() > 0, "no modification found");
+        assert!(stats.delay_after < stats.delay_before);
+    }
+
+    /// Absorption redundancy: y = a + a·b collapses to a.
+    #[test]
+    fn removes_absorption_redundancy() {
+        let mut nl = Netlist::new("absorb");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let t = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let y = nl.add_gate(GateKind::Or, &[a, t]).unwrap();
+        nl.add_output("y", y);
+        let (mapped, stats) = optimize_and_check(&nl, GdoConfig::default());
+        assert!(stats.total_mods() > 0);
+        assert!(mapped.stats().gates <= 1);
+    }
+
+    #[test]
+    fn sub3_inserts_a_new_gate() {
+        // A hand-mapped NOR-of-inverters computing AND(a,b) slowly: no
+        // single existing signal equals it, but a *new* AND gate over the
+        // primary inputs is faster — exactly an OS3 with an AND. A
+        // single-strength-inverter library rules out the alternative of
+        // just upsizing the inverters with IS2.
+        let lib = library::parse_genlib(
+            "one-inv",
+            "GATE inv1  1.0 O=!a;     PIN * INV 1 999 1.0 0.0 1.0 0.0\n\
+             GATE nand2 2.0 O=!(a*b); PIN * INV 1 999 1.0 0.0 1.0 0.0\n\
+             GATE nor2  2.0 O=!(a+b); PIN * INV 1 999 1.2 0.0 1.2 0.0\n\
+             GATE and2  3.0 O=a*b;    PIN * INV 1 999 1.6 0.0 1.6 0.0\n\
+             GATE or2   3.0 O=a+b;    PIN * INV 1 999 1.8 0.0 1.8 0.0\n",
+        )
+        .unwrap();
+        let mut nl = Netlist::new("s3");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let na = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        let nb = nl.add_gate(GateKind::Not, &[b]).unwrap();
+        let deep = nl.add_gate(GateKind::Nor, &[na, nb]).unwrap();
+        nl.set_lib(na, Some(lib.find("inv1").unwrap().tag())).unwrap();
+        nl.set_lib(nb, Some(lib.find("inv1").unwrap().tag())).unwrap();
+        nl.set_lib(deep, Some(lib.find("nor2").unwrap().tag())).unwrap();
+        nl.add_output("y", deep);
+        let reference = nl.clone();
+        let mut opt = nl.clone();
+        let stats = Optimizer::new(&lib, GdoConfig::default())
+            .optimize(&mut opt)
+            .unwrap();
+        opt.validate().unwrap();
+        assert!(reference.equiv_exhaustive(&opt).unwrap());
+        // inv1+nor2 arrival = 2.2; a fresh and2 arrives at 1.6.
+        assert!(stats.sub3_mods >= 1, "OS3 not applied: {stats:?}");
+        assert!(stats.delay_after < stats.delay_before);
+    }
+
+    #[test]
+    fn xor_direct_finds_nor_structured_xor() {
+        // deep = b XOR c built from NOR/INV (the C6288 cell style). No
+        // single signal equals it and no AND/OR recombination is valid --
+        // only the XOR-type OS3 applies, and it is invisible to
+        // C2-exploitation (the paper notes exactly this loss). With
+        // xor_direct the optimizer must find it.
+        let lib = standard_library();
+        let mut nl = Netlist::new("norxor");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_input("d");
+        let nb = nl.add_gate(GateKind::Not, &[b]).unwrap();
+        let nc = nl.add_gate(GateKind::Not, &[c]).unwrap();
+        let and_bc = nl.add_gate(GateKind::Nor, &[nb, nc]).unwrap();
+        let nor_bc = nl.add_gate(GateKind::Nor, &[b, c]).unwrap();
+        let deep = nl.add_gate(GateKind::Nor, &[and_bc, nor_bc]).unwrap();
+        let y = nl.add_gate(GateKind::And, &[deep, d]).unwrap();
+        for (g, cell) in [
+            (nb, "inv1"),
+            (nc, "inv1"),
+            (and_bc, "nor2"),
+            (nor_bc, "nor2"),
+            (deep, "nor2"),
+            (y, "and2"),
+        ] {
+            nl.set_lib(g, Some(lib.find(cell).unwrap().tag())).unwrap();
+        }
+        nl.add_output("y", y);
+        let reference = nl.clone();
+        let cfg = GdoConfig {
+            xor_direct: true,
+            ..GdoConfig::default()
+        };
+        let mut opt = nl.clone();
+        let stats = Optimizer::new(&lib, cfg).optimize(&mut opt).unwrap();
+        opt.validate().unwrap();
+        assert!(reference.equiv_exhaustive(&opt).unwrap());
+        assert!(
+            stats.sub3_mods >= 1,
+            "XOR OS3 not found: {stats:?}\n{opt}"
+        );
+        assert!(stats.delay_after < stats.delay_before);
+        // An xor2 cell now computes deep.
+        assert!(opt
+            .gates()
+            .any(|g| matches!(opt.kind(g), GateKind::Xor | GateKind::Xnor)));
+    }
+
+    #[test]
+    fn respects_disable_flags() {
+        let mut nl = Netlist::new("flags");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let t = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let y = nl.add_gate(GateKind::Or, &[a, t]).unwrap();
+        nl.add_output("y", y);
+        let cfg = GdoConfig {
+            enable_sub3: false,
+            area_phase: false,
+            ..GdoConfig::default()
+        };
+        // Must still terminate and stay permissible.
+        let (_, stats) = optimize_and_check(&nl, cfg);
+        assert_eq!(stats.sub3_mods, 0);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let mut nl = Netlist::new("stats");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let t = nl.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        let y = nl.add_gate(GateKind::And, &[t, a]).unwrap();
+        nl.add_output("y", y);
+        let (_, stats) = optimize_and_check(&nl, GdoConfig::default());
+        assert!(stats.proofs >= stats.proofs_valid);
+        assert!(stats.proofs_valid >= stats.total_mods());
+        assert!(stats.cpu_seconds >= 0.0);
+        assert!(stats.rounds >= 1);
+    }
+
+    #[test]
+    fn trivial_netlists_are_no_ops() {
+        let lib = standard_library();
+        // No outputs.
+        let mut nl = Netlist::new("empty");
+        let _ = nl.add_input("a");
+        let stats = Optimizer::new(&lib, GdoConfig::default())
+            .optimize(&mut nl)
+            .unwrap();
+        assert_eq!(stats.total_mods(), 0);
+        // Input straight to output.
+        let mut nl = Netlist::new("wire");
+        let a = nl.add_input("a");
+        nl.add_output("y", a);
+        let stats = Optimizer::new(&lib, GdoConfig::default())
+            .optimize(&mut nl)
+            .unwrap();
+        assert_eq!(stats.total_mods(), 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Exact proof of a candidate rewrite — the step that turns a
+//! *potentially valid* clause combination into a permissible
+//! transformation.
+//!
+//! The paper offers two provers and so do we:
+//!
+//! * **ATPG-style / SAT** ([`ProverKind::SatClause`], the default): each
+//!   clause of the combination is checked by an incremental SAT query on
+//!   a faulty-cone construction ([`sat::ClauseProver`]). Scales to large
+//!   circuits.
+//! * **BDD equivalence** ([`ProverKind::BddEquiv`]): the rewrite is
+//!   applied to a scratch copy and the modified circuit is verified
+//!   against the original with BDDs; on node-budget exhaustion the check
+//!   falls back to a SAT miter, mirroring the paper's observation that
+//!   "ATPG ... enables the optimization of circuits for which BDD
+//!   representations become too large".
+
+use crate::{transform, GdoError, Rewrite};
+use library::Library;
+use netlist::Netlist;
+use sat::ClauseProver;
+
+/// Which engine proves PVCC validity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProverKind {
+    /// Incremental SAT on the observability clauses (default).
+    #[default]
+    SatClause,
+    /// BDD equivalence of original vs. modified circuit, with SAT
+    /// fallback past the node budget.
+    BddEquiv {
+        /// Maximum BDD nodes before falling back to SAT.
+        node_limit: usize,
+    },
+    /// SAT miter equivalence of original vs. modified circuit.
+    SatEquiv,
+}
+
+/// Proves whether `rw` is permissible on the current netlist, with the
+/// default SAT conflict budget (100 000 conflicts per clause query).
+///
+/// # Errors
+///
+/// [`GdoError`] if the scratch application of the rewrite fails
+/// structurally (equivalence-based provers only).
+pub fn prove_rewrite(
+    nl: &Netlist,
+    lib: &Library,
+    rw: &Rewrite,
+    prover: ProverKind,
+) -> Result<bool, GdoError> {
+    prove_rewrite_budgeted(nl, lib, rw, prover, 100_000)
+}
+
+/// Like [`prove_rewrite`] with an explicit SAT conflict budget for the
+/// clause prover. Budget exhaustion counts as *not proven*: optimization
+/// opportunities may be lost but never soundness.
+///
+/// # Errors
+///
+/// Same as [`prove_rewrite`].
+pub fn prove_rewrite_budgeted(
+    nl: &Netlist,
+    lib: &Library,
+    rw: &Rewrite,
+    prover: ProverKind,
+    conflict_budget: u64,
+) -> Result<bool, GdoError> {
+    match prover {
+        ProverKind::SatClause => {
+            // Restrict the encoding to the support of the fault cone and
+            // the queried literals — cone-local proofs on large circuits.
+            let clauses = rw.clauses(nl);
+            let support: Vec<netlist::SignalId> = clauses
+                .iter()
+                .flat_map(|c| c.iter().map(|&(s, _)| s))
+                .collect();
+            let mut p = ClauseProver::with_support(nl, rw.site.fault(), &support)?;
+            p.set_conflict_budget(conflict_budget);
+            Ok(clauses.iter().all(|clause| p.is_valid(clause)))
+        }
+        ProverKind::BddEquiv { node_limit } => {
+            let mut modified = nl.clone();
+            transform::apply_rewrite(&mut modified, lib, rw, true)?;
+            match bdd::check_equiv(nl, &modified, node_limit) {
+                Ok(eq) => Ok(eq),
+                Err(bdd::CircuitBddError::Bdd(_)) => {
+                    // Node budget exhausted: fall back to SAT, as the
+                    // paper prescribes for large circuits.
+                    Ok(sat::check_equiv(nl, &modified).map_err(equiv_to_gdo)?)
+                }
+                Err(bdd::CircuitBddError::Netlist(e)) => Err(GdoError::Netlist(e)),
+                Err(_) => unreachable!("modified copy keeps the interface"),
+            }
+        }
+        ProverKind::SatEquiv => {
+            let mut modified = nl.clone();
+            transform::apply_rewrite(&mut modified, lib, rw, true)?;
+            Ok(sat::check_equiv(nl, &modified).map_err(equiv_to_gdo)?)
+        }
+    }
+}
+
+fn equiv_to_gdo(e: sat::EquivError) -> GdoError {
+    match e {
+        sat::EquivError::Netlist(err) => GdoError::Netlist(err),
+        _ => unreachable!("modified copy keeps the interface"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gate3, RewriteKind, SigLit, Site};
+    use library::standard_library;
+    use netlist::{GateKind, SignalId};
+
+    /// y = OR(a, AND(a, b)) — absorption makes AND(a,b) substitutable in
+    /// several ways.
+    fn absorption() -> (Netlist, Library, [SignalId; 4]) {
+        let lib = standard_library();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let t = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let y = nl.add_gate(GateKind::Or, &[a, t]).unwrap();
+        nl.set_lib(t, Some(lib.find("and2").unwrap().tag())).unwrap();
+        nl.set_lib(y, Some(lib.find("or2").unwrap().tag())).unwrap();
+        nl.add_output("y", y);
+        (nl, lib, [a, b, t, y])
+    }
+
+    fn all_provers() -> [ProverKind; 3] {
+        [
+            ProverKind::SatClause,
+            ProverKind::BddEquiv { node_limit: 1 << 16 },
+            ProverKind::SatEquiv,
+        ]
+    }
+
+    #[test]
+    fn provers_agree_on_valid_const_sub() {
+        let (nl, lib, [_a, _b, t, _y]) = absorption();
+        // t is stuck-at-0 redundant: y = a + ab = a.
+        let rw = Rewrite {
+            site: Site::Stem(t),
+            kind: RewriteKind::SubConst { value: false },
+        };
+        for p in all_provers() {
+            assert!(prove_rewrite(&nl, &lib, &rw, p).unwrap(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn provers_agree_on_invalid_sub() {
+        let (nl, lib, [a, b, t, _y]) = absorption();
+        // Substituting t by b is NOT permissible (b=1, a=0 distinguishes).
+        let rw = Rewrite {
+            site: Site::Stem(t),
+            kind: RewriteKind::Sub2 { b: SigLit::pos(b) },
+        };
+        for p in all_provers() {
+            assert!(!prove_rewrite(&nl, &lib, &rw, p).unwrap(), "{p:?}");
+        }
+        let _ = a;
+    }
+
+    #[test]
+    fn provers_agree_on_valid_sub2() {
+        // d2 = NOT(NAND(a,b)) duplicates d1 = AND(a,b).
+        let lib = standard_library();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let d1 = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let n = nl.add_gate(GateKind::Nand, &[a, b]).unwrap();
+        let d2 = nl.add_gate(GateKind::Not, &[n]).unwrap();
+        nl.add_output("o1", d1);
+        nl.add_output("o2", d2);
+        let rw = Rewrite {
+            site: Site::Stem(d2),
+            kind: RewriteKind::Sub2 { b: SigLit::pos(d1) },
+        };
+        for p in all_provers() {
+            assert!(prove_rewrite(&nl, &lib, &rw, p).unwrap(), "{p:?}");
+        }
+        // And the inverted substitution by the NAND output.
+        let rw = Rewrite {
+            site: Site::Stem(d2),
+            kind: RewriteKind::Sub2 { b: SigLit::neg(n) },
+        };
+        // Structural note: n is d2's own fanin, not fanout — legal.
+        for p in all_provers() {
+            assert!(prove_rewrite(&nl, &lib, &rw, p).unwrap(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn provers_agree_on_sub3() {
+        // y drives PO; t = AND(a,b) computed via NAND+INV elsewhere:
+        // replace the INV chain output by a *new* AND gate — always
+        // permissible since it recomputes the same function.
+        let lib = standard_library();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let n = nl.add_gate(GateKind::Nand, &[a, b]).unwrap();
+        let t = nl.add_gate(GateKind::Not, &[n]).unwrap();
+        let y = nl.add_gate(GateKind::Or, &[t, a]).unwrap();
+        nl.add_output("y", y);
+        let rw = Rewrite {
+            site: Site::Stem(t),
+            kind: RewriteKind::Sub3 {
+                gate: Gate3::And(true, true),
+                b: a,
+                c: b,
+            },
+        };
+        for p in all_provers() {
+            assert!(prove_rewrite(&nl, &lib, &rw, p).unwrap(), "{p:?}");
+        }
+        // A wrong gate type is refuted.
+        let rw = Rewrite {
+            site: Site::Stem(t),
+            kind: RewriteKind::Sub3 {
+                gate: Gate3::Or(true, true),
+                b: a,
+                c: b,
+            },
+        };
+        for p in all_provers() {
+            assert!(!prove_rewrite(&nl, &lib, &rw, p).unwrap(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn bdd_fallback_on_tiny_budget_still_answers() {
+        let (nl, lib, [a, _b, t, _y]) = absorption();
+        let rw = Rewrite {
+            site: Site::Stem(t),
+            kind: RewriteKind::SubConst { value: false },
+        };
+        // A 3-node budget cannot even hold one variable: fallback to SAT.
+        let ok = prove_rewrite(&nl, &lib, &rw, ProverKind::BddEquiv { node_limit: 3 }).unwrap();
+        assert!(ok);
+        let _ = a;
+    }
+}

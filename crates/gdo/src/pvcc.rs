@@ -1,0 +1,366 @@
+//! Assembly of *potentially valid clause combinations* (PVCCs) from the
+//! surviving BPFS masks, and their NCP/LDS ranking (Section 5).
+
+use crate::bpfs::{SiteRound, TripleEntry};
+use crate::{Gate3, Rewrite, RewriteKind, SigLit, Site};
+use netlist::Netlist;
+use timing::{CriticalPaths, Sta};
+
+/// The paper's ranking key: candidates are sorted by the number of
+/// critical paths through the `a`-signal first, then by local delay save.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankKey {
+    /// Number of critical paths through the site.
+    pub ncp: f64,
+    /// Local delay save: old arrival minus estimated new arrival.
+    pub lds: f64,
+}
+
+impl RankKey {
+    /// Descending comparison: higher NCP first, then higher LDS.
+    #[must_use]
+    pub fn cmp_desc(&self, other: &RankKey) -> std::cmp::Ordering {
+        other
+            .ncp
+            .total_cmp(&self.ncp)
+            .then(other.lds.total_cmp(&self.lds))
+    }
+}
+
+/// A ranked candidate transformation awaiting proof.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pvcc {
+    /// The candidate rewrite.
+    pub rewrite: Rewrite,
+    /// Its ranking key.
+    pub rank: RankKey,
+}
+
+/// Extracts `OS2`/`IS2` candidates from a site's C2 masks (Theorem 1):
+/// bits (1,0)+(0,1) license the positive substitution, bits (1,1)+(0,0)
+/// the inverted one.
+#[must_use]
+pub fn sub2_candidates(round: &SiteRound) -> Vec<Rewrite> {
+    let mut out = Vec::new();
+    for p in &round.pairs {
+        // bit = pa | pb<<1.
+        const POS: u8 = 1 << 0b01 | 1 << 0b10; // (a + !b), (!a + b)
+        const NEG: u8 = 1 << 0b11 | 1 << 0b00; // (a + b),  (!a + !b)
+        if p.alive & POS == POS {
+            out.push(Rewrite {
+                site: round.site,
+                kind: RewriteKind::Sub2 {
+                    b: SigLit::pos(p.b),
+                },
+            });
+        }
+        if p.alive & NEG == NEG {
+            out.push(Rewrite {
+                site: round.site,
+                kind: RewriteKind::Sub2 {
+                    b: SigLit::neg(p.b),
+                },
+            });
+        }
+    }
+    out
+}
+
+/// Extracts constant substitutions from a site's C1 mask (stuck-at
+/// redundancies).
+#[must_use]
+pub fn const_candidates(round: &SiteRound) -> Vec<Rewrite> {
+    let mut out = Vec::new();
+    // bit pa = clause (!O_a + a^pa); (!O_a + a) ⇒ substitute by 1.
+    if round.c1_alive & 0b10 != 0 {
+        out.push(Rewrite {
+            site: round.site,
+            kind: RewriteKind::SubConst { value: true },
+        });
+    } else if round.c1_alive & 0b01 != 0 {
+        out.push(Rewrite {
+            site: round.site,
+            kind: RewriteKind::SubConst { value: false },
+        });
+    }
+    out
+}
+
+/// Builds AND/OR-type triple requests from the C2 masks — the paper's
+/// *reduction by exploitation of C2-clauses*: `a := b^σb · c^σc` needs the
+/// C2 clauses `(!O_a + !a + b^σb)` and `(!O_a + !a + c^σc)` to be alive,
+/// `a := b^σb + c^σc` needs `(!O_a + a + !b^σb)` / `(!O_a + a + !c^σc)`.
+/// The returned entries carry the single outstanding C3 clause to check.
+#[must_use]
+pub fn and_or_triple_requests(round: &SiteRound, max_triples: usize) -> Vec<TripleEntry> {
+    let mut out = Vec::new();
+    // For each phase σ: the C2 bit needed for an AND leg is
+    // (pa=0, pb=σ) = σ<<1; for an OR leg (pa=1, pb=!σ) = 1 | (!σ)<<1.
+    let and_leg = |alive: u8, sigma: bool| alive & (1 << ((u8::from(sigma)) << 1)) != 0;
+    let or_leg = |alive: u8, sigma: bool| alive & (1 << (1 | (u8::from(!sigma)) << 1)) != 0;
+    for (i, pb_entry) in round.pairs.iter().enumerate() {
+        for pc_entry in &round.pairs[i + 1..] {
+            for (sb, sc) in [(true, true), (true, false), (false, true), (false, false)] {
+                if and_leg(pb_entry.alive, sb) && and_leg(pc_entry.alive, sc) {
+                    // Outstanding C3 clause: (!O_a + a + !b^σb + !c^σc),
+                    // bit (pa=1, pb=!σb, pc=!σc).
+                    let bit = 1 | u8::from(!sb) << 1 | u8::from(!sc) << 2;
+                    out.push(TripleEntry {
+                        b: pb_entry.b,
+                        c: pc_entry.b,
+                        gate: Gate3::And(sb, sc),
+                        needed: 1 << bit,
+                        alive: 1 << bit,
+                    });
+                }
+                if or_leg(pb_entry.alive, sb) && or_leg(pc_entry.alive, sc) {
+                    // Outstanding C3 clause: (!O_a + !a + b^σb + c^σc),
+                    // bit (pa=0, pb=σb, pc=σc).
+                    let bit = u8::from(sb) << 1 | u8::from(sc) << 2;
+                    out.push(TripleEntry {
+                        b: pb_entry.b,
+                        c: pc_entry.b,
+                        gate: Gate3::Or(sb, sc),
+                        needed: 1 << bit,
+                        alive: 1 << bit,
+                    });
+                }
+                if out.len() >= max_triples {
+                    return out;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Builds XOR/XNOR triple requests by direct enumeration over the pair
+/// candidates. The paper notes these are lost under C2-exploitation, so
+/// they are enumerated structurally (and the caller bounds the volume).
+#[must_use]
+pub fn xor_triple_requests(round: &SiteRound, max_triples: usize) -> Vec<TripleEntry> {
+    // XOR clause bits: (0,1,1)=6, (0,0,0)=0, (1,1,0)=3, (1,0,1)=5.
+    const XOR_MASK: u8 = 1 << 6 | 1 << 0 | 1 << 3 | 1 << 5;
+    // XNOR: (0,1,0)=2, (0,0,1)=4, (1,1,1)=7, (1,0,0)=1.
+    const XNOR_MASK: u8 = 1 << 2 | 1 << 4 | 1 << 7 | 1 << 1;
+    let mut out = Vec::new();
+    for (i, pb_entry) in round.pairs.iter().enumerate() {
+        for pc_entry in &round.pairs[i + 1..] {
+            out.push(TripleEntry {
+                b: pb_entry.b,
+                c: pc_entry.b,
+                gate: Gate3::Xor,
+                needed: XOR_MASK,
+                alive: XOR_MASK,
+            });
+            out.push(TripleEntry {
+                b: pb_entry.b,
+                c: pc_entry.b,
+                gate: Gate3::Xnor,
+                needed: XNOR_MASK,
+                alive: XNOR_MASK,
+            });
+            if out.len() >= max_triples {
+                return out;
+            }
+        }
+    }
+    out
+}
+
+/// Converts a site's surviving triples into `OS3`/`IS3` rewrites.
+#[must_use]
+pub fn sub3_candidates(round: &SiteRound) -> Vec<Rewrite> {
+    round
+        .triples
+        .iter()
+        .filter(|t| t.survives())
+        .map(|t| Rewrite {
+            site: round.site,
+            kind: RewriteKind::Sub3 {
+                gate: t.gate,
+                b: t.b,
+                c: t.c,
+            },
+        })
+        .collect()
+}
+
+/// NCP of a site under a timing snapshot: the stem's path count, or the
+/// critical-path count through the specific edge for a branch.
+#[must_use]
+pub fn site_ncp(nl: &Netlist, site: Site, cp: &CriticalPaths) -> f64 {
+    match site {
+        Site::Stem(s) => cp.ncp(s),
+        Site::Branch(br) => {
+            let src = nl.branch_source(br).expect("live branch");
+            cp.forward(src) * cp.backward(br.cell)
+        }
+    }
+}
+
+/// The site's current arrival time — the baseline the LDS is measured
+/// against.
+#[must_use]
+pub fn site_arrival(nl: &Netlist, site: Site, sta: &Sta) -> f64 {
+    sta.arrival(site.source(nl))
+}
+
+/// The site's required time — the budget an area-phase rewrite must stay
+/// within to avoid creating a new critical path.
+#[must_use]
+pub fn site_required<M: timing::DelayModel>(
+    nl: &Netlist,
+    site: Site,
+    sta: &Sta,
+    model: &M,
+) -> f64 {
+    match site {
+        Site::Stem(s) => sta.required(s),
+        Site::Branch(br) => {
+            // The connection must deliver its value early enough for the
+            // consuming cell to meet its own required time.
+            sta.required(br.cell) - model.pin_delay(nl, br.cell, br.pin as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bpfs::PairEntry;
+    use netlist::SignalId;
+
+    fn round_with(pairs: Vec<PairEntry>, c1: u8) -> SiteRound {
+        SiteRound {
+            site: Site::Stem(SignalId::from_index(0)),
+            obs: vec![],
+            c1_alive: c1,
+            pairs,
+            triples: vec![],
+        }
+    }
+
+    #[test]
+    fn sub2_extraction_phases() {
+        let b = SignalId::from_index(1);
+        // Positive OS2 bits: 0b0110. Inverted: 0b1001.
+        let r = round_with(vec![PairEntry { b, alive: 0b0110 }], 0);
+        let subs = sub2_candidates(&r);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(
+            subs[0].kind,
+            RewriteKind::Sub2 { b: SigLit::pos(b) }
+        );
+        let r = round_with(vec![PairEntry { b, alive: 0b1001 }], 0);
+        assert_eq!(
+            sub2_candidates(&r)[0].kind,
+            RewriteKind::Sub2 { b: SigLit::neg(b) }
+        );
+        // All four alive (a never observable): both phases offered.
+        let r = round_with(vec![PairEntry { b, alive: 0b1111 }], 0);
+        assert_eq!(sub2_candidates(&r).len(), 2);
+        // Only one clause alive: nothing.
+        let r = round_with(vec![PairEntry { b, alive: 0b0100 }], 0);
+        assert!(sub2_candidates(&r).is_empty());
+    }
+
+    #[test]
+    fn const_extraction() {
+        let r = round_with(vec![], 0b10);
+        assert_eq!(
+            const_candidates(&r)[0].kind,
+            RewriteKind::SubConst { value: true }
+        );
+        let r = round_with(vec![], 0b01);
+        assert_eq!(
+            const_candidates(&r)[0].kind,
+            RewriteKind::SubConst { value: false }
+        );
+        let r = round_with(vec![], 0b00);
+        assert!(const_candidates(&r).is_empty());
+    }
+
+    #[test]
+    fn and_or_requests_respect_c2_masks() {
+        let b = SignalId::from_index(1);
+        let c = SignalId::from_index(2);
+        // b has (!a + b) alive (bit 2: pa=0,pb=1); c too. That licenses
+        // the positive AND leg on both.
+        let r = round_with(
+            vec![
+                PairEntry { b, alive: 1 << 2 },
+                PairEntry { b: c, alive: 1 << 2 },
+            ],
+            0,
+        );
+        let reqs = and_or_triple_requests(&r, 100);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].gate, Gate3::And(true, true));
+        // The outstanding clause is (a + !b + !c): literals (a,1),(b,0),
+        // (c,0), i.e. bit index pa|pb<<1|pc<<2 = 1.
+        assert_eq!(reqs[0].needed, 1 << 1);
+    }
+
+    #[test]
+    fn or_requests_use_the_dual_bits() {
+        let b = SignalId::from_index(1);
+        let c = SignalId::from_index(2);
+        // OR positive leg needs (a + !b): bit (pa=1, pb=0) = 1.
+        let r = round_with(
+            vec![
+                PairEntry { b, alive: 1 << 1 },
+                PairEntry { b: c, alive: 1 << 1 },
+            ],
+            0,
+        );
+        let reqs = and_or_triple_requests(&r, 100);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].gate, Gate3::Or(true, true));
+        // Outstanding: (!a + b + c): bit (0,1,1) = 0b110.
+        assert_eq!(reqs[0].needed, 1 << 0b110);
+    }
+
+    #[test]
+    fn xor_requests_cover_both_polarities() {
+        let b = SignalId::from_index(1);
+        let c = SignalId::from_index(2);
+        let r = round_with(
+            vec![
+                PairEntry { b, alive: 0b1111 },
+                PairEntry { b: c, alive: 0b1111 },
+            ],
+            0,
+        );
+        let reqs = xor_triple_requests(&r, 100);
+        assert_eq!(reqs.len(), 2);
+        assert!(reqs.iter().any(|t| t.gate == Gate3::Xor));
+        assert!(reqs.iter().any(|t| t.gate == Gate3::Xnor));
+        assert_eq!(reqs[0].needed.count_ones(), 4);
+    }
+
+    #[test]
+    fn rank_ordering() {
+        let hi = RankKey { ncp: 10.0, lds: 1.0 };
+        let mid = RankKey { ncp: 10.0, lds: 0.5 };
+        let lo = RankKey { ncp: 2.0, lds: 9.0 };
+        let mut keys = [lo, hi, mid];
+        keys.sort_by(RankKey::cmp_desc);
+        assert_eq!(keys[0], hi);
+        assert_eq!(keys[1], mid);
+        assert_eq!(keys[2], lo);
+    }
+
+    #[test]
+    fn triple_cap_respected() {
+        let pairs: Vec<PairEntry> = (1..20)
+            .map(|i| PairEntry {
+                b: SignalId::from_index(i),
+                alive: 0b1111,
+            })
+            .collect();
+        let r = round_with(pairs, 0);
+        assert!(and_or_triple_requests(&r, 10).len() <= 10);
+        assert!(xor_triple_requests(&r, 10).len() <= 10);
+    }
+}

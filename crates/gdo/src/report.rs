@@ -1,0 +1,155 @@
+//! Table-row formatting matching the paper's result tables.
+
+use crate::GdoStats;
+use std::fmt;
+
+/// One row of a Table-1/Table-2-style report: a circuit name plus its
+/// optimization statistics.
+///
+/// # Example
+///
+/// ```
+/// use gdo::{GdoStats, OptimizeReport};
+///
+/// let stats = GdoStats {
+///     gates_before: 106, gates_after: 77,
+///     literals_before: 212, literals_after: 152,
+///     delay_before: 32.7, delay_after: 10.6,
+///     sub2_mods: 42, sub3_mods: 5,
+///     ..GdoStats::default()
+/// };
+/// let row = OptimizeReport::new("Z5xp1", stats);
+/// let text = row.to_string();
+/// assert!(text.contains("Z5xp1") && text.contains("32.7"));
+/// println!("{}", OptimizeReport::header());
+/// println!("{row}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeReport {
+    /// Circuit name (paper's first column).
+    pub name: String,
+    /// The measured statistics.
+    pub stats: GdoStats,
+}
+
+impl OptimizeReport {
+    /// Bundles a name with its stats.
+    #[must_use]
+    pub fn new(name: impl Into<String>, stats: GdoStats) -> Self {
+        OptimizeReport {
+            name: name.into(),
+            stats,
+        }
+    }
+
+    /// The column header matching [`fmt::Display`] output.
+    #[must_use]
+    pub fn header() -> String {
+        format!(
+            "{:<10} {:>6} {:>6} {:>7} {:>7} {:>8} {:>8} {:>7} {:>7} {:>8}",
+            "circuit",
+            "gate<",
+            "gate>",
+            "lit<",
+            "lit>",
+            "delay<",
+            "delay>",
+            "OS/IS2",
+            "OS/IS3",
+            "CPU[s]"
+        )
+    }
+
+    /// A summary row aggregating several reports (the paper's Σ row).
+    #[must_use]
+    pub fn totals(rows: &[OptimizeReport]) -> GdoStats {
+        let mut t = GdoStats::default();
+        for r in rows {
+            t.gates_before += r.stats.gates_before;
+            t.gates_after += r.stats.gates_after;
+            t.literals_before += r.stats.literals_before;
+            t.literals_after += r.stats.literals_after;
+            t.delay_before += r.stats.delay_before;
+            t.delay_after += r.stats.delay_after;
+            t.area_before += r.stats.area_before;
+            t.area_after += r.stats.area_after;
+            t.sub2_mods += r.stats.sub2_mods;
+            t.sub3_mods += r.stats.sub3_mods;
+            t.const_mods += r.stats.const_mods;
+            t.proofs += r.stats.proofs;
+            t.proofs_valid += r.stats.proofs_valid;
+            t.cpu_seconds += r.stats.cpu_seconds;
+        }
+        t
+    }
+}
+
+impl fmt::Display for OptimizeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = &self.stats;
+        write!(
+            f,
+            "{:<10} {:>6} {:>6} {:>7} {:>7} {:>8.1} {:>8.1} {:>7} {:>7} {:>8.1}",
+            self.name,
+            s.gates_before,
+            s.gates_after,
+            s.literals_before,
+            s.literals_after,
+            s.delay_before,
+            s.delay_after,
+            s.sub2_mods,
+            s.sub3_mods,
+            s.cpu_seconds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_row_align() {
+        let stats = GdoStats {
+            gates_before: 10,
+            gates_after: 8,
+            literals_before: 20,
+            literals_after: 16,
+            delay_before: 5.0,
+            delay_after: 4.0,
+            sub2_mods: 2,
+            sub3_mods: 1,
+            cpu_seconds: 0.5,
+            ..GdoStats::default()
+        };
+        let row = OptimizeReport::new("c17", stats);
+        assert!(row.to_string().contains("c17"));
+        assert!(!OptimizeReport::header().is_empty());
+    }
+
+    #[test]
+    fn totals_sum_fields() {
+        let a = OptimizeReport::new(
+            "a",
+            GdoStats {
+                gates_before: 3,
+                delay_before: 1.5,
+                sub2_mods: 1,
+                ..GdoStats::default()
+            },
+        );
+        let b = OptimizeReport::new(
+            "b",
+            GdoStats {
+                gates_before: 4,
+                delay_before: 2.5,
+                sub2_mods: 2,
+                ..GdoStats::default()
+            },
+        );
+        let t = OptimizeReport::totals(&[a, b]);
+        assert_eq!(t.gates_before, 7);
+        assert_eq!(t.sub2_mods, 3);
+        assert!((t.delay_before - 4.0).abs() < 1e-12);
+    }
+}

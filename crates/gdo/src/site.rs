@@ -1,0 +1,156 @@
+use netlist::{Branch, Netlist, SignalId};
+use sat::FaultSite;
+use std::fmt;
+
+/// The place a substitution acts on: the paper's `a`-signal.
+///
+/// Output substitutions (`OS2`/`OS3`) replace a *stem* — the root of a
+/// signal, rerouting every fanout. Input substitutions (`IS2`/`IS3`)
+/// replace a single *branch* — one gate-input connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// A stem signal (output substitution).
+    Stem(SignalId),
+    /// A branch (input substitution).
+    Branch(Branch),
+}
+
+impl Site {
+    /// The signal whose *value* the site carries — the stem itself, or the
+    /// branch's driving stem. Clause literals over `a` refer to this
+    /// signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site references dead structure.
+    #[must_use]
+    pub fn source(&self, nl: &Netlist) -> SignalId {
+        match *self {
+            Site::Stem(s) => s,
+            Site::Branch(b) => nl.branch_source(b).expect("live branch"),
+        }
+    }
+
+    /// The node from which a cycle could form if a replacement signal lay
+    /// in its transitive fanout: the stem itself, or the consuming cell of
+    /// the branch.
+    #[must_use]
+    pub fn cone_root(&self) -> SignalId {
+        match *self {
+            Site::Stem(s) => s,
+            Site::Branch(b) => b.cell,
+        }
+    }
+
+    /// Returns `true` if the site still references live structure with a
+    /// consistent source.
+    #[must_use]
+    pub fn is_live(&self, nl: &Netlist) -> bool {
+        match *self {
+            Site::Stem(s) => nl.is_live(s),
+            Site::Branch(b) => nl.is_live(b.cell) && nl.branch_source(b).is_ok(),
+        }
+    }
+
+    /// The corresponding SAT fault site for exact observability proofs.
+    #[must_use]
+    pub fn fault(&self) -> FaultSite {
+        match *self {
+            Site::Stem(s) => FaultSite::Stem(s),
+            Site::Branch(b) => FaultSite::Branch(b),
+        }
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Site::Stem(s) => write!(f, "stem {s}"),
+            Site::Branch(b) => write!(f, "branch {b}"),
+        }
+    }
+}
+
+/// A signal literal: a signal or its complement. `positive = false` means
+/// the inverted signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SigLit {
+    /// The referenced stem signal.
+    pub signal: SignalId,
+    /// `true` for the plain signal, `false` for its complement.
+    pub positive: bool,
+}
+
+impl SigLit {
+    /// A positive literal.
+    #[must_use]
+    pub fn pos(signal: SignalId) -> Self {
+        SigLit {
+            signal,
+            positive: true,
+        }
+    }
+
+    /// A negative literal.
+    #[must_use]
+    pub fn neg(signal: SignalId) -> Self {
+        SigLit {
+            signal,
+            positive: false,
+        }
+    }
+}
+
+impl fmt::Display for SigLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "{}", self.signal)
+        } else {
+            write!(f, "!{}", self.signal)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::GateKind;
+
+    #[test]
+    fn source_and_cone_root() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        nl.add_output("y", g);
+        let stem = Site::Stem(g);
+        assert_eq!(stem.source(&nl), g);
+        assert_eq!(stem.cone_root(), g);
+        let branch = Site::Branch(Branch { cell: g, pin: 1 });
+        assert_eq!(branch.source(&nl), b);
+        assert_eq!(branch.cone_root(), g);
+        assert!(stem.is_live(&nl));
+        assert!(branch.is_live(&nl));
+    }
+
+    #[test]
+    fn liveness_after_pruning() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        let h = nl.add_gate(GateKind::Not, &[g]).unwrap();
+        nl.add_output("y", h);
+        let site = Site::Stem(g);
+        nl.substitute_stem(h, a).unwrap();
+        nl.prune_dangling();
+        assert!(!site.is_live(&nl));
+    }
+
+    #[test]
+    fn display_forms() {
+        let s = SignalId::from_index(4);
+        assert_eq!(Site::Stem(s).to_string(), "stem n4");
+        assert_eq!(SigLit::neg(s).to_string(), "!n4");
+        assert_eq!(SigLit::pos(s).to_string(), "n4");
+    }
+}

@@ -1,0 +1,138 @@
+//! The one invariant that matters most: whatever the optimizer does to
+//! whatever circuit, the function never changes and the delay never gets
+//! worse. Property-tested over random circuits and configurations.
+
+use gdo::{CandidateConfig, GdoConfig, Optimizer, ProverKind};
+use library::{standard_library, MapGoal, Mapper};
+use netlist::{GateKind, Netlist, SignalId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Recipe {
+    n_inputs: usize,
+    gates: Vec<(u8, Vec<usize>)>,
+    outputs: Vec<usize>,
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    (3usize..=7).prop_flat_map(|n_inputs| {
+        let gate = (0u8..8, proptest::collection::vec(0usize..64, 1..4));
+        (
+            proptest::collection::vec(gate, 2..30),
+            proptest::collection::vec(0usize..64, 1..4),
+        )
+            .prop_map(move |(gates, outputs)| Recipe {
+                n_inputs,
+                gates,
+                outputs,
+            })
+    })
+}
+
+fn build(recipe: &Recipe) -> Netlist {
+    let mut nl = Netlist::new("prop");
+    let mut pool: Vec<SignalId> = (0..recipe.n_inputs)
+        .map(|i| nl.add_input(format!("x{i}")))
+        .collect();
+    for (sel, fanin_refs) in &recipe.gates {
+        let kind = match sel % 8 {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            2 => GateKind::Nand,
+            3 => GateKind::Nor,
+            4 | 5 => GateKind::Xor,
+            6 => GateKind::Xnor,
+            _ => GateKind::Not,
+        };
+        let arity = match kind {
+            GateKind::Not => 1,
+            _ => fanin_refs.len().clamp(2, 3),
+        };
+        let fanins: Vec<SignalId> = (0..arity)
+            .map(|i| pool[fanin_refs.get(i).copied().unwrap_or(i) % pool.len()])
+            .collect();
+        if let Ok(g) = nl.add_gate(kind, &fanins) {
+            pool.push(g);
+        }
+    }
+    for (k, &o) in recipe.outputs.iter().enumerate() {
+        nl.add_output(format!("z{k}"), pool[o % pool.len()]);
+    }
+    nl
+}
+
+fn check(recipe: &Recipe, cfg: GdoConfig) -> Result<(), TestCaseError> {
+    let nl = build(recipe);
+    let lib = standard_library();
+    let mapped = Mapper::new(&lib)
+        .goal(MapGoal::Area)
+        .map(&nl)
+        .expect("mapping succeeds");
+    let mut optimized = mapped.clone();
+    let stats = Optimizer::new(&lib, cfg)
+        .optimize(&mut optimized)
+        .expect("optimizer succeeds");
+    optimized.validate().expect("sound");
+    prop_assert!(
+        nl.equiv_exhaustive(&optimized).expect("small"),
+        "function changed ({} mods)",
+        stats.total_mods()
+    );
+    prop_assert!(stats.delay_after <= stats.delay_before + 1e-9);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn default_config_is_sound(recipe in recipe_strategy()) {
+        check(&recipe, GdoConfig {
+            vectors: 128,
+            ..GdoConfig::default()
+        })?;
+    }
+
+    #[test]
+    fn no_filters_is_sound(recipe in recipe_strategy()) {
+        // Filters only cut the candidate set; turning them off must stay
+        // sound (everything still gets proved).
+        check(&recipe, GdoConfig {
+            vectors: 64,
+            candidates: CandidateConfig {
+                arrival_filter: false,
+                structural_filter: false,
+                ..CandidateConfig::default()
+            },
+            ..GdoConfig::default()
+        })?;
+    }
+
+    #[test]
+    fn xor_direct_is_sound(recipe in recipe_strategy()) {
+        check(&recipe, GdoConfig {
+            vectors: 64,
+            xor_direct: true,
+            ..GdoConfig::default()
+        })?;
+    }
+
+    #[test]
+    fn miter_prover_is_sound(recipe in recipe_strategy()) {
+        check(&recipe, GdoConfig {
+            vectors: 64,
+            prover: ProverKind::SatEquiv,
+            ..GdoConfig::default()
+        })?;
+    }
+
+    /// Tiny vector budgets leave many false candidates alive — the proof
+    /// stage must catch every one of them.
+    #[test]
+    fn starved_simulation_is_still_sound(recipe in recipe_strategy()) {
+        check(&recipe, GdoConfig {
+            vectors: 1, // one word of vectors
+            ..GdoConfig::default()
+        })?;
+    }
+}

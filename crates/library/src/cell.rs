@@ -1,0 +1,348 @@
+use netlist::{GateKind, Netlist, SignalId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a cell within a [`Library`].
+///
+/// This is what a mapped netlist stores in its opaque
+/// [`lib`](netlist::Cell::lib) tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LibCellId(pub(crate) u32);
+
+impl LibCellId {
+    /// The raw index within the library.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from the opaque tag stored in a netlist cell.
+    #[must_use]
+    pub fn from_tag(tag: u32) -> Self {
+        LibCellId(tag)
+    }
+
+    /// The opaque tag to store in a netlist cell.
+    #[must_use]
+    pub fn tag(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for LibCellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lib{}", self.0)
+    }
+}
+
+/// One standard cell: a named, sized implementation of a [`GateKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibCell {
+    pub(crate) name: String,
+    pub(crate) kind: GateKind,
+    pub(crate) area: f64,
+    /// Pin-to-output block delay, indexed in *kind* pin order.
+    pub(crate) pin_delays: Vec<f64>,
+    /// Pin names in kind pin order (from genlib; defaults `a`..`d`).
+    pub(crate) pin_names: Vec<String>,
+    /// Output pin name (from genlib; defaults `O`).
+    pub(crate) output_name: String,
+}
+
+impl LibCell {
+    /// Creates a cell. `pin_delays` must have one entry per input pin, in
+    /// the pin order of `kind`. Pin names default to `a`..`d` and the
+    /// output to `O`; use [`with_pin_names`](Self::with_pin_names) to
+    /// match an external library's naming.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delay count violates the kind's arity or any value is
+    /// negative or non-finite.
+    #[must_use]
+    pub fn new(name: impl Into<String>, kind: GateKind, area: f64, pin_delays: Vec<f64>) -> Self {
+        assert!(
+            kind.arity().accepts(pin_delays.len()),
+            "{kind} cell cannot have {} pins",
+            pin_delays.len()
+        );
+        assert!(area.is_finite() && area >= 0.0, "area must be non-negative");
+        assert!(
+            pin_delays.iter().all(|d| d.is_finite() && *d >= 0.0),
+            "pin delays must be non-negative"
+        );
+        let pin_names = ["a", "b", "c", "d"]
+            .iter()
+            .take(pin_delays.len())
+            .map(|s| (*s).to_string())
+            .collect();
+        LibCell {
+            name: name.into(),
+            kind,
+            area,
+            pin_delays,
+            pin_names,
+            output_name: "O".to_string(),
+        }
+    }
+
+    /// Overrides the pin names (in kind pin order) and output name —
+    /// needed when round-tripping mapped netlists against an external
+    /// genlib whose pin names differ from the `a`..`d` defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin_names` does not match the pin count.
+    #[must_use]
+    pub fn with_pin_names(mut self, pin_names: Vec<String>, output_name: String) -> Self {
+        assert_eq!(
+            pin_names.len(),
+            self.pin_delays.len(),
+            "one name per input pin"
+        );
+        self.pin_names = pin_names;
+        self.output_name = output_name;
+        self
+    }
+
+    /// Pin names in kind pin order.
+    #[must_use]
+    pub fn pin_names(&self) -> &[String] {
+        &self.pin_names
+    }
+
+    /// The output pin name.
+    #[must_use]
+    pub fn output_name(&self) -> &str {
+        &self.output_name
+    }
+
+    /// The cell name as written in the genlib source.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The logic function implemented by this cell.
+    #[must_use]
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Number of input pins.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.pin_delays.len()
+    }
+
+    /// Cell area in library units.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+
+    /// Pin-to-output block delays in kind pin order.
+    #[must_use]
+    pub fn pin_delays(&self) -> &[f64] {
+        &self.pin_delays
+    }
+
+    /// The slowest pin's delay: the cell's worst-case block delay.
+    #[must_use]
+    pub fn max_delay(&self) -> f64 {
+        self.pin_delays.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// A technology library: an ordered collection of [`LibCell`]s.
+///
+/// # Example
+///
+/// ```
+/// use library::{Library, LibCell};
+/// use netlist::GateKind;
+///
+/// let mut lib = Library::new("tiny");
+/// let inv = lib.add(LibCell::new("inv1", GateKind::Not, 1.0, vec![1.0]));
+/// let nand = lib.add(LibCell::new("nand2", GateKind::Nand, 2.0, vec![1.0, 1.0]));
+/// assert_eq!(lib.cell(inv).name(), "inv1");
+/// assert_eq!(lib.cells().len(), 2);
+/// assert_eq!(lib.find("nand2"), Some(nand));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Library {
+    name: String,
+    cells: Vec<LibCell>,
+    by_name: HashMap<String, LibCellId>,
+}
+
+impl Library {
+    /// Creates an empty library.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Library {
+            name: name.into(),
+            ..Library::default()
+        }
+    }
+
+    /// The library name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a cell and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell with the same name exists; use
+    /// [`try_add`](Self::try_add) for a fallible variant.
+    pub fn add(&mut self, cell: LibCell) -> LibCellId {
+        self.try_add(cell).expect("duplicate cell name")
+    }
+
+    /// Adds a cell and returns its id, or an error on a duplicate name.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::LibraryError::DuplicateCell`] if the name is taken.
+    pub fn try_add(&mut self, cell: LibCell) -> Result<LibCellId, crate::LibraryError> {
+        if self.by_name.contains_key(&cell.name) {
+            return Err(crate::LibraryError::DuplicateCell(cell.name));
+        }
+        let id = LibCellId(self.cells.len() as u32);
+        self.by_name.insert(cell.name.clone(), id);
+        self.cells.push(cell);
+        Ok(id)
+    }
+
+    /// All cells in insertion order.
+    #[must_use]
+    pub fn cells(&self) -> &[LibCell] {
+        &self.cells
+    }
+
+    /// The cell with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is from a different library.
+    #[must_use]
+    pub fn cell(&self, id: LibCellId) -> &LibCell {
+        &self.cells[id.index()]
+    }
+
+    /// Looks up a cell by name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<LibCellId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// All cells implementing `kind` with exactly `arity` pins.
+    pub fn cells_for(
+        &self,
+        kind: GateKind,
+        arity: usize,
+    ) -> impl Iterator<Item = LibCellId> + '_ {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(move |(_, c)| c.kind == kind && c.arity() == arity)
+            .map(|(i, _)| LibCellId(i as u32))
+    }
+
+    /// The minimum-area cell implementing `kind`/`arity`, if any.
+    #[must_use]
+    pub fn cheapest(&self, kind: GateKind, arity: usize) -> Option<LibCellId> {
+        self.cells_for(kind, arity)
+            .min_by(|&a, &b| self.cell(a).area.total_cmp(&self.cell(b).area))
+    }
+
+    /// The minimum-worst-case-delay cell implementing `kind`/`arity`.
+    #[must_use]
+    pub fn fastest(&self, kind: GateKind, arity: usize) -> Option<LibCellId> {
+        self.cells_for(kind, arity)
+            .min_by(|&a, &b| self.cell(a).max_delay().total_cmp(&self.cell(b).max_delay()))
+    }
+
+    /// Looks up the library cell bound to a mapped netlist gate.
+    ///
+    /// Returns `None` for unmapped gates, inputs and constants.
+    #[must_use]
+    pub fn binding(&self, nl: &Netlist, gate: SignalId) -> Option<&LibCell> {
+        nl.cell(gate).lib().map(|tag| self.cell(LibCellId(tag)))
+    }
+
+    /// Total area of a mapped netlist: the sum of bound cell areas.
+    /// Unmapped gates contribute zero.
+    #[must_use]
+    pub fn total_area(&self, nl: &Netlist) -> f64 {
+        nl.gates()
+            .filter_map(|g| self.binding(nl, g))
+            .map(LibCell::area)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Library {
+        let mut lib = Library::new("tiny");
+        lib.add(LibCell::new("inv1", GateKind::Not, 1.0, vec![1.0]));
+        lib.add(LibCell::new("inv4", GateKind::Not, 4.0, vec![0.4]));
+        lib.add(LibCell::new("nand2", GateKind::Nand, 2.0, vec![1.0, 1.1]));
+        lib
+    }
+
+    #[test]
+    fn cheapest_and_fastest_differ() {
+        let lib = tiny();
+        let cheap = lib.cheapest(GateKind::Not, 1).unwrap();
+        let fast = lib.fastest(GateKind::Not, 1).unwrap();
+        assert_eq!(lib.cell(cheap).name(), "inv1");
+        assert_eq!(lib.cell(fast).name(), "inv4");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut lib = tiny();
+        assert!(lib
+            .try_add(LibCell::new("inv1", GateKind::Not, 1.0, vec![1.0]))
+            .is_err());
+    }
+
+    #[test]
+    fn binding_and_total_area() {
+        let lib = tiny();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::Nand, &[a, b]).unwrap();
+        nl.set_lib(g, Some(lib.find("nand2").unwrap().tag())).unwrap();
+        nl.add_output("o", g);
+        assert_eq!(lib.binding(&nl, g).unwrap().name(), "nand2");
+        assert!((lib.total_area(&nl) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "pins")]
+    fn libcell_checks_arity() {
+        let _ = LibCell::new("bad", GateKind::Not, 1.0, vec![1.0, 1.0]);
+    }
+
+
+    #[test]
+    fn types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Library>();
+    }
+
+    #[test]
+    fn max_delay_is_worst_pin() {
+        let c = LibCell::new("nand2", GateKind::Nand, 2.0, vec![1.0, 1.3]);
+        assert!((c.max_delay() - 1.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,294 @@
+//! Decomposition of an arbitrary netlist into the NAND2/INV *subject
+//! graph* used by the tree-covering mapper.
+
+use netlist::{GateKind, Netlist, NetlistError, SignalId};
+
+/// Decomposes `source` into an equivalent netlist containing only 2-input
+/// NAND gates, inverters, primary inputs and constants, then sweeps
+/// inverter pairs and merges structurally identical nodes.
+///
+/// Variadic gates are decomposed as balanced trees so both the balanced
+/// and left-deep patterns of wide library cells can match.
+///
+/// # Errors
+///
+/// [`NetlistError::CycleDetected`] if `source` is cyclic.
+///
+/// # Example
+///
+/// ```
+/// use netlist::{Netlist, GateKind};
+/// use library::to_subject_graph;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let g = nl.add_gate(GateKind::Xor, &[a, b])?;
+/// nl.add_output("y", g);
+/// let subject = to_subject_graph(&nl)?;
+/// assert!(subject
+///     .gates()
+///     .all(|s| matches!(subject.kind(s), GateKind::Nand | GateKind::Not)));
+/// assert!(nl.equiv_exhaustive(&subject)?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_subject_graph(source: &Netlist) -> Result<Netlist, NetlistError> {
+    let order = source.topo_order()?;
+    let mut out = Netlist::new(source.name().to_string());
+    let mut map: Vec<Option<SignalId>> = vec![None; source.capacity()];
+    // Inputs first, in interface order, so positional equivalence holds.
+    for &pi in source.inputs() {
+        let name = source
+            .cell(pi)
+            .name()
+            .map_or_else(|| format!("pi_{}", pi.index()), str::to_string);
+        map[pi.index()] = Some(out.try_add_input(name)?);
+    }
+    for s in order {
+        let mapped = match source.kind(s) {
+            GateKind::Input => map[s.index()].expect("input mapped above"),
+            GateKind::Const0 => out.const0(),
+            GateKind::Const1 => out.const1(),
+            kind => {
+                let fanins: Vec<SignalId> = source
+                    .fanins(s)
+                    .iter()
+                    .map(|f| map[f.index()].expect("fanin mapped before use"))
+                    .collect();
+                emit(&mut out, kind, &fanins)?
+            }
+        };
+        map[s.index()] = Some(mapped);
+    }
+    for po in source.outputs() {
+        let driver = map[po.driver().index()].expect("driver mapped");
+        out.add_output(po.name().to_string(), driver);
+    }
+    out.sweep()?;
+    out.strash()?;
+    out.prune_dangling();
+    Ok(out)
+}
+
+/// Emits the NAND2/INV expansion of one gate into `out`.
+pub(crate) fn emit(
+    out: &mut Netlist,
+    kind: GateKind,
+    fanins: &[SignalId],
+) -> Result<SignalId, NetlistError> {
+    use GateKind::*;
+    Ok(match kind {
+        Input | Const0 | Const1 => unreachable!("sources handled by caller"),
+        Buf => fanins[0],
+        Not => inv(out, fanins[0])?,
+        And => and_of(out, fanins)?,
+        Nand => {
+            let a = and_of_halves(out, fanins)?;
+            match a {
+                Halves::Single(x) => inv(out, x)?,
+                Halves::Pair(l, r) => nand2(out, l, r)?,
+            }
+        }
+        Or => or_of(out, fanins)?,
+        Nor => {
+            let o = or_of(out, fanins)?;
+            inv(out, o)?
+        }
+        Xor => xor_of(out, fanins)?,
+        Xnor => {
+            let x = xor_of(out, fanins)?;
+            inv(out, x)?
+        }
+        Aoi21 => {
+            let ab = nand2(out, fanins[0], fanins[1])?;
+            let nc = inv(out, fanins[2])?;
+            let n = nand2(out, ab, nc)?;
+            inv(out, n)?
+        }
+        Oai21 => {
+            let or_ab = or2(out, fanins[0], fanins[1])?;
+            nand2(out, or_ab, fanins[2])?
+        }
+        Aoi22 => {
+            let ab = nand2(out, fanins[0], fanins[1])?;
+            let cd = nand2(out, fanins[2], fanins[3])?;
+            let n = nand2(out, ab, cd)?;
+            inv(out, n)?
+        }
+        Oai22 => {
+            let or_ab = or2(out, fanins[0], fanins[1])?;
+            let or_cd = or2(out, fanins[2], fanins[3])?;
+            nand2(out, or_ab, or_cd)?
+        }
+    })
+}
+
+enum Halves {
+    Single(SignalId),
+    Pair(SignalId, SignalId),
+}
+
+fn nand2(nl: &mut Netlist, a: SignalId, b: SignalId) -> Result<SignalId, NetlistError> {
+    nl.add_gate(GateKind::Nand, &[a, b])
+}
+
+fn inv(nl: &mut Netlist, a: SignalId) -> Result<SignalId, NetlistError> {
+    nl.add_gate(GateKind::Not, &[a])
+}
+
+fn or2(nl: &mut Netlist, a: SignalId, b: SignalId) -> Result<SignalId, NetlistError> {
+    let na = inv(nl, a)?;
+    let nb = inv(nl, b)?;
+    nand2(nl, na, nb)
+}
+
+/// Balanced AND tree; returns the two top-level halves so NAND roots can
+/// avoid a redundant inverter pair.
+fn and_of_halves(nl: &mut Netlist, sigs: &[SignalId]) -> Result<Halves, NetlistError> {
+    match sigs.len() {
+        0 => unreachable!("variadic gates have at least two fanins"),
+        1 => Ok(Halves::Single(sigs[0])),
+        n => {
+            let (l, r) = sigs.split_at(n.div_ceil(2));
+            Ok(Halves::Pair(and_of(nl, l)?, and_of(nl, r)?))
+        }
+    }
+}
+
+fn and_of(nl: &mut Netlist, sigs: &[SignalId]) -> Result<SignalId, NetlistError> {
+    match and_of_halves(nl, sigs)? {
+        Halves::Single(x) => Ok(x),
+        Halves::Pair(l, r) => {
+            let n = nand2(nl, l, r)?;
+            inv(nl, n)
+        }
+    }
+}
+
+fn or_of(nl: &mut Netlist, sigs: &[SignalId]) -> Result<SignalId, NetlistError> {
+    match sigs.len() {
+        1 => Ok(sigs[0]),
+        n => {
+            let (l, r) = sigs.split_at(n.div_ceil(2));
+            let lo = or_of(nl, l)?;
+            let ro = or_of(nl, r)?;
+            or2(nl, lo, ro)
+        }
+    }
+}
+
+fn xor2(nl: &mut Netlist, a: SignalId, b: SignalId) -> Result<SignalId, NetlistError> {
+    let nb = inv(nl, b)?;
+    let na = inv(nl, a)?;
+    let l = nand2(nl, a, nb)?;
+    let r = nand2(nl, na, b)?;
+    nand2(nl, l, r)
+}
+
+fn xor_of(nl: &mut Netlist, sigs: &[SignalId]) -> Result<SignalId, NetlistError> {
+    match sigs.len() {
+        1 => Ok(sigs[0]),
+        n => {
+            let (l, r) = sigs.split_at(n.div_ceil(2));
+            let lo = xor_of(nl, l)?;
+            let ro = xor_of(nl, r)?;
+            xor2(nl, lo, ro)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_equiv(build: impl Fn(&mut Netlist) -> SignalId) {
+        let mut nl = Netlist::new("t");
+        let drv = build(&mut nl);
+        nl.add_output("y", drv);
+        let subject = to_subject_graph(&nl).unwrap();
+        subject.validate().unwrap();
+        assert!(
+            subject
+                .gates()
+                .all(|s| matches!(subject.kind(s), GateKind::Nand | GateKind::Not)),
+            "subject graph contains non-base gates"
+        );
+        assert!(nl.equiv_exhaustive(&subject).unwrap());
+    }
+
+    #[test]
+    fn every_kind_decomposes_equivalently() {
+        use GateKind::*;
+        for kind in [And, Nand, Or, Nor, Xor, Xnor] {
+            for n in 2..=5 {
+                check_equiv(|nl| {
+                    let ins: Vec<SignalId> =
+                        (0..n).map(|i| nl.add_input(format!("x{i}"))).collect();
+                    nl.add_gate(kind, &ins).unwrap()
+                });
+            }
+        }
+        for kind in [Aoi21, Oai21] {
+            check_equiv(|nl| {
+                let ins: Vec<SignalId> = (0..3).map(|i| nl.add_input(format!("x{i}"))).collect();
+                nl.add_gate(kind, &ins).unwrap()
+            });
+        }
+        for kind in [Aoi22, Oai22] {
+            check_equiv(|nl| {
+                let ins: Vec<SignalId> = (0..4).map(|i| nl.add_input(format!("x{i}"))).collect();
+                nl.add_gate(kind, &ins).unwrap()
+            });
+        }
+    }
+
+    #[test]
+    fn multi_level_circuit_decomposes() {
+        check_equiv(|nl| {
+            let a = nl.add_input("a");
+            let b = nl.add_input("b");
+            let c = nl.add_input("c");
+            let d = nl.add_input("d");
+            let g1 = nl.add_gate(GateKind::Xor, &[a, b]).unwrap();
+            let g2 = nl.add_gate(GateKind::Aoi21, &[g1, c, d]).unwrap();
+            nl.add_gate(GateKind::Nor, &[g2, a, b]).unwrap()
+        });
+    }
+
+    #[test]
+    fn nand_root_avoids_double_inverter() {
+        // NAND2 should decompose to exactly one NAND2 cell.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::Nand, &[a, b]).unwrap();
+        nl.add_output("y", g);
+        let subject = to_subject_graph(&nl).unwrap();
+        assert_eq!(subject.stats().gates, 1);
+    }
+
+    #[test]
+    fn buffers_vanish() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        nl.add_output("y", g);
+        let subject = to_subject_graph(&nl).unwrap();
+        assert_eq!(subject.stats().gates, 0);
+        assert_eq!(subject.outputs()[0].driver(), subject.find("a").unwrap());
+    }
+
+    #[test]
+    fn input_names_survive() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("alpha");
+        let b = nl.add_input("beta");
+        let g = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        nl.add_output("y", g);
+        let subject = to_subject_graph(&nl).unwrap();
+        assert!(subject.find("alpha").is_ok());
+        assert!(subject.find("beta").is_ok());
+    }
+}

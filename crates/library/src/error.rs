@@ -1,0 +1,82 @@
+use std::fmt;
+
+/// Errors produced while parsing genlib text, recognizing cell functions or
+/// mapping netlists.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LibraryError {
+    /// Genlib text could not be parsed.
+    Parse {
+        /// 1-based line number of the offending token.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A cell's boolean function is not one of the supported gate kinds.
+    UnsupportedFunction {
+        /// The cell's name.
+        cell: String,
+    },
+    /// The library lacks a cell required for mapping (an inverter or a
+    /// 2-input NAND).
+    IncompleteLibrary(&'static str),
+    /// The netlist to be mapped is invalid.
+    Netlist(netlist::NetlistError),
+    /// A cell name was defined twice.
+    DuplicateCell(String),
+}
+
+impl fmt::Display for LibraryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibraryError::Parse { line, message } => {
+                write!(f, "genlib parse error at line {line}: {message}")
+            }
+            LibraryError::UnsupportedFunction { cell } => {
+                write!(f, "cell {cell:?} computes a function outside the supported gate kinds")
+            }
+            LibraryError::IncompleteLibrary(what) => {
+                write!(f, "library is missing a {what}, required for mapping")
+            }
+            LibraryError::Netlist(e) => write!(f, "netlist error: {e}"),
+            LibraryError::DuplicateCell(n) => write!(f, "cell {n:?} is defined twice"),
+        }
+    }
+}
+
+impl std::error::Error for LibraryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LibraryError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<netlist::NetlistError> for LibraryError {
+    fn from(e: netlist::NetlistError) -> Self {
+        LibraryError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LibraryError::Parse {
+            line: 7,
+            message: "expected GATE".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let e = LibraryError::IncompleteLibrary("2-input NAND");
+        assert!(e.to_string().contains("NAND"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LibraryError>();
+    }
+}

@@ -1,0 +1,490 @@
+//! Genlib boolean expressions: parsing, truth tables and gate-kind
+//! recognition.
+
+use crate::LibraryError;
+use netlist::GateKind;
+
+/// A parsed genlib boolean expression.
+///
+/// Supports the classic genlib operators: `!`/postfix `'` for negation,
+/// `*` (or juxtaposition) for AND, `+` for OR, `^` for XOR, parentheses and
+/// the `CONST0`/`CONST1` atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A named input pin.
+    Var(String),
+    /// Constant false.
+    Const0,
+    /// Constant true.
+    Const1,
+    /// Negation.
+    Not(Box<Expr>),
+    /// Conjunction.
+    And(Vec<Expr>),
+    /// Disjunction.
+    Or(Vec<Expr>),
+    /// Exclusive or.
+    Xor(Vec<Expr>),
+}
+
+impl Expr {
+    /// Parses a genlib expression such as `!(A*B+C)`.
+    ///
+    /// # Errors
+    ///
+    /// [`LibraryError::Parse`] (with `line` = 0; the genlib parser rewrites
+    /// it with the true line number) on malformed input.
+    pub fn parse(text: &str) -> Result<Expr, LibraryError> {
+        let tokens = tokenize(text)?;
+        let mut p = Parser { tokens, pos: 0 };
+        let e = p.parse_or()?;
+        if p.pos != p.tokens.len() {
+            return Err(err(format!("trailing input after expression: {:?}", p.tokens[p.pos])));
+        }
+        Ok(e)
+    }
+
+    /// The distinct variable names in first-appearance order. This is the
+    /// genlib pin order when no explicit `PIN` names fix it.
+    #[must_use]
+    pub fn support(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_support(&mut out);
+        out
+    }
+
+    fn collect_support(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(v) => {
+                if !out.iter().any(|x| x == v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Const0 | Expr::Const1 => {}
+            Expr::Not(e) => e.collect_support(out),
+            Expr::And(es) | Expr::Or(es) | Expr::Xor(es) => {
+                for e in es {
+                    e.collect_support(out);
+                }
+            }
+        }
+    }
+
+    /// Evaluates under an assignment of the support variables (in
+    /// [`support`](Self::support) order).
+    #[must_use]
+    pub fn eval(&self, vars: &[String], assignment: &[bool]) -> bool {
+        match self {
+            Expr::Var(v) => {
+                let i = vars.iter().position(|x| x == v).expect("var in support");
+                assignment[i]
+            }
+            Expr::Const0 => false,
+            Expr::Const1 => true,
+            Expr::Not(e) => !e.eval(vars, assignment),
+            Expr::And(es) => es.iter().all(|e| e.eval(vars, assignment)),
+            Expr::Or(es) => es.iter().any(|e| e.eval(vars, assignment)),
+            Expr::Xor(es) => es.iter().fold(false, |a, e| a ^ e.eval(vars, assignment)),
+        }
+    }
+
+    /// Computes the truth table over the expression's support.
+    ///
+    /// # Errors
+    ///
+    /// [`LibraryError::Parse`] if the support exceeds four variables (the
+    /// largest cells this library model handles).
+    pub fn truth_table(&self) -> Result<TruthTable, LibraryError> {
+        let vars = self.support();
+        if vars.len() > 4 {
+            return Err(err(format!(
+                "cell function has {} inputs; at most 4 are supported",
+                vars.len()
+            )));
+        }
+        let n = vars.len();
+        let mut bits: u16 = 0;
+        for v in 0..(1u16 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| v >> i & 1 == 1).collect();
+            if self.eval(&vars, &assignment) {
+                bits |= 1 << v;
+            }
+        }
+        Ok(TruthTable { vars, bits })
+    }
+}
+
+/// Truth table of a cell function over up to four named inputs.
+///
+/// Bit `v` of [`bits`](Self::bits) is the function value for the assignment
+/// where input `i` equals bit `i` of `v`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthTable {
+    /// Input names, in genlib pin order.
+    pub vars: Vec<String>,
+    /// The 2^n function values packed into a word.
+    pub bits: u16,
+}
+
+impl TruthTable {
+    /// Tries to recognize the table as one of the supported [`GateKind`]s.
+    ///
+    /// On success returns the kind together with a permutation `perm` such
+    /// that kind pin `j` must be fed by genlib pin `perm[j]`. Commutative
+    /// kinds return the identity permutation.
+    #[must_use]
+    pub fn recognize(&self) -> Option<(GateKind, Vec<usize>)> {
+        let n = self.vars.len();
+        let candidates: &[GateKind] = match n {
+            0 => &[GateKind::Const0, GateKind::Const1],
+            1 => &[GateKind::Buf, GateKind::Not],
+            2 => &[
+                GateKind::And,
+                GateKind::Nand,
+                GateKind::Or,
+                GateKind::Nor,
+                GateKind::Xor,
+                GateKind::Xnor,
+            ],
+            3 => &[
+                GateKind::And,
+                GateKind::Nand,
+                GateKind::Or,
+                GateKind::Nor,
+                GateKind::Xor,
+                GateKind::Xnor,
+                GateKind::Aoi21,
+                GateKind::Oai21,
+            ],
+            4 => &[
+                GateKind::And,
+                GateKind::Nand,
+                GateKind::Or,
+                GateKind::Nor,
+                GateKind::Xor,
+                GateKind::Xnor,
+                GateKind::Aoi22,
+                GateKind::Oai22,
+            ],
+            _ => return None,
+        };
+        for &kind in candidates {
+            if kind.is_commutative() || n <= 1 {
+                let perm: Vec<usize> = (0..n).collect();
+                if self.matches(kind, &perm) {
+                    return Some((kind, perm));
+                }
+            } else {
+                for perm in permutations(n) {
+                    if self.matches(kind, &perm) {
+                        return Some((kind, perm));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn matches(&self, kind: GateKind, perm: &[usize]) -> bool {
+        let n = self.vars.len();
+        if !kind.arity().accepts(n) {
+            return false;
+        }
+        for v in 0..(1u16 << n) {
+            let kind_inputs: Vec<bool> = (0..n).map(|j| v >> perm[j] & 1 == 1).collect();
+            let expected = match kind {
+                GateKind::Const0 => false,
+                GateKind::Const1 => true,
+                _ => kind.eval(&kind_inputs),
+            };
+            if expected != (self.bits >> v & 1 == 1) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    fn go(head: &mut Vec<usize>, rest: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if rest.is_empty() {
+            out.push(head.clone());
+            return;
+        }
+        for i in 0..rest.len() {
+            let x = rest.remove(i);
+            head.push(x);
+            go(head, rest, out);
+            head.pop();
+            rest.insert(i, x);
+        }
+    }
+    let mut out = Vec::new();
+    go(&mut Vec::new(), &mut (0..n).collect(), &mut out);
+    out
+}
+
+fn err(message: String) -> LibraryError {
+    LibraryError::Parse { line: 0, message }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Bang,
+    Star,
+    Plus,
+    Caret,
+    Tick,
+    LParen,
+    RParen,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>, LibraryError> {
+    let mut out = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                chars.next();
+            }
+            '!' => {
+                chars.next();
+                out.push(Token::Bang);
+            }
+            '*' => {
+                chars.next();
+                out.push(Token::Star);
+            }
+            '+' => {
+                chars.next();
+                out.push(Token::Plus);
+            }
+            '^' => {
+                chars.next();
+                out.push(Token::Caret);
+            }
+            '\'' => {
+                chars.next();
+                out.push(Token::Tick);
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '[' || c == ']' || c == '.' => {
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '[' || c == ']' || c == '.' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(name));
+            }
+            other => return Err(err(format!("unexpected character {other:?} in expression"))),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, LibraryError> {
+        let mut terms = vec![self.parse_xor()?];
+        while self.peek() == Some(&Token::Plus) {
+            self.pos += 1;
+            terms.push(self.parse_xor()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("non-empty")
+        } else {
+            Expr::Or(terms)
+        })
+    }
+
+    fn parse_xor(&mut self) -> Result<Expr, LibraryError> {
+        let mut terms = vec![self.parse_and()?];
+        while self.peek() == Some(&Token::Caret) {
+            self.pos += 1;
+            terms.push(self.parse_and()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("non-empty")
+        } else {
+            Expr::Xor(terms)
+        })
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, LibraryError> {
+        let mut factors = vec![self.parse_factor()?];
+        loop {
+            match self.peek() {
+                Some(&Token::Star) => {
+                    self.pos += 1;
+                    factors.push(self.parse_factor()?);
+                }
+                // Juxtaposition: `a b` or `a(b+c)` also means AND.
+                Some(&Token::Ident(_)) | Some(&Token::Bang) | Some(&Token::LParen) => {
+                    factors.push(self.parse_factor()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(if factors.len() == 1 {
+            factors.pop().expect("non-empty")
+        } else {
+            Expr::And(factors)
+        })
+    }
+
+    fn parse_factor(&mut self) -> Result<Expr, LibraryError> {
+        let mut e = match self.peek().cloned() {
+            Some(Token::Bang) => {
+                self.pos += 1;
+                Expr::Not(Box::new(self.parse_factor()?))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let inner = self.parse_or()?;
+                if self.peek() != Some(&Token::RParen) {
+                    return Err(err("missing closing parenthesis".into()));
+                }
+                self.pos += 1;
+                inner
+            }
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                match name.as_str() {
+                    "CONST0" => Expr::Const0,
+                    "CONST1" => Expr::Const1,
+                    _ => Expr::Var(name),
+                }
+            }
+            other => return Err(err(format!("expected expression, found {other:?}"))),
+        };
+        while self.peek() == Some(&Token::Tick) {
+            self.pos += 1;
+            e = Expr::Not(Box::new(e));
+        }
+        Ok(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_operators() {
+        let e = Expr::parse("!(A*B+C)").unwrap();
+        assert_eq!(e.support(), vec!["A", "B", "C"]);
+        let tt = e.truth_table().unwrap();
+        // AOI21 in genlib pin order (A, B, C).
+        let (kind, perm) = tt.recognize().unwrap();
+        assert_eq!(kind, GateKind::Aoi21);
+        assert_eq!(perm, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn postfix_tick_negation() {
+        let e = Expr::parse("a'").unwrap();
+        let (kind, _) = e.truth_table().unwrap().recognize().unwrap();
+        assert_eq!(kind, GateKind::Not);
+    }
+
+    #[test]
+    fn juxtaposition_means_and() {
+        let e1 = Expr::parse("a b c").unwrap();
+        let e2 = Expr::parse("a*b*c").unwrap();
+        assert_eq!(e1.truth_table().unwrap().bits, e2.truth_table().unwrap().bits);
+    }
+
+    #[test]
+    fn recognizes_all_library_kinds() {
+        let cases = [
+            ("a", GateKind::Buf),
+            ("!a", GateKind::Not),
+            ("a*b", GateKind::And),
+            ("!(a*b)", GateKind::Nand),
+            ("a+b", GateKind::Or),
+            ("!(a+b)", GateKind::Nor),
+            ("a^b", GateKind::Xor),
+            ("!(a^b)", GateKind::Xnor),
+            ("a*b*c*d", GateKind::And),
+            ("!(a*b*c)", GateKind::Nand),
+            ("!(a*b+c)", GateKind::Aoi21),
+            ("!((a+b)*c)", GateKind::Oai21),
+            ("!(a*b+c*d)", GateKind::Aoi22),
+            ("!((a+b)*(c+d))", GateKind::Oai22),
+            ("CONST0", GateKind::Const0),
+            ("CONST1", GateKind::Const1),
+        ];
+        for (text, expected) in cases {
+            let e = Expr::parse(text).unwrap();
+            let (kind, _) = e
+                .truth_table()
+                .unwrap()
+                .recognize()
+                .unwrap_or_else(|| panic!("failed to recognize {text}"));
+            assert_eq!(kind, expected, "{text}");
+        }
+    }
+
+    #[test]
+    fn recognizes_permuted_aoi21() {
+        // !(c + a*b) written with the OR-leg first: pin order (C, A, B).
+        let e = Expr::parse("!(C + A*B)").unwrap();
+        let tt = e.truth_table().unwrap();
+        assert_eq!(tt.vars, vec!["C", "A", "B"]);
+        let (kind, perm) = tt.recognize().unwrap();
+        assert_eq!(kind, GateKind::Aoi21);
+        // Aoi21 pins are (and-leg, and-leg, or-leg): perm must route genlib
+        // pins A (index 1) and B (index 2) to the and-leg and C (0) to the
+        // or-leg.
+        assert_eq!(perm[2], 0);
+        assert!(perm[0] == 1 && perm[1] == 2 || perm[0] == 2 && perm[1] == 1);
+    }
+
+    #[test]
+    fn xor_equivalence_via_sop() {
+        let sop = Expr::parse("a*!b + !a*b").unwrap();
+        let (kind, _) = sop.truth_table().unwrap().recognize().unwrap();
+        assert_eq!(kind, GateKind::Xor);
+    }
+
+    #[test]
+    fn rejects_unknown_functions() {
+        // A 3-input majority gate is not in the supported kind set.
+        let e = Expr::parse("a*b + b*c + a*c").unwrap();
+        assert!(e.truth_table().unwrap().recognize().is_none());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Expr::parse("a +").is_err());
+        assert!(Expr::parse("(a").is_err());
+        assert!(Expr::parse("a ) b").is_err());
+        assert!(Expr::parse("#").is_err());
+    }
+
+    #[test]
+    fn rejects_wide_support() {
+        let e = Expr::parse("a*b*c*d*e").unwrap();
+        assert!(e.truth_table().is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! Parser and writer for the classic genlib library format used by SIS and
+//! misII, written from scratch.
+//!
+//! Supported subset (everything `mcnc.genlib`-style libraries use):
+//!
+//! ```text
+//! # comment
+//! GATE <name> <area> <out>=<expr>;
+//!     PIN <pin|*> <phase> <in-load> <max-load> <r-block> <r-fanout> <f-block> <f-fanout>
+//! ```
+//!
+//! The pin-to-output delay of a pin is taken as the mean of its rise and
+//! fall block delays; fanout-dependent terms are ignored because the paper
+//! maps "without fanout optimization since ... fanout dependencies" are not
+//! considered.
+
+use crate::{Expr, LibCell, Library, LibraryError};
+use std::fmt::Write as _;
+
+/// Parses genlib text into a [`Library`].
+///
+/// # Errors
+///
+/// [`LibraryError::Parse`] on malformed syntax,
+/// [`LibraryError::UnsupportedFunction`] when a cell's function is not a
+/// supported gate kind, and [`LibraryError::DuplicateCell`] on repeated
+/// names.
+///
+/// # Example
+///
+/// ```
+/// let lib = library::parse_genlib(
+///     "lib",
+///     "GATE inv 1.0 O=!a; PIN * INV 1 999 1.0 0.2 1.0 0.2",
+/// )?;
+/// assert_eq!(lib.cells().len(), 1);
+/// assert_eq!(lib.cell(lib.find("inv").unwrap()).arity(), 1);
+/// # Ok::<(), library::LibraryError>(())
+/// ```
+pub fn parse_genlib(name: &str, text: &str) -> Result<Library, LibraryError> {
+    let words = tokenize_words(text);
+    let mut lib = Library::new(name);
+    let mut i = 0;
+    while i < words.len() {
+        let (word, line) = &words[i];
+        if word != "GATE" {
+            return Err(parse_err(*line, format!("expected GATE, found {word:?}")));
+        }
+        i += 1;
+        let (cell_name, line) = take(&words, &mut i, "cell name")?;
+        let (area_text, line_area) = take(&words, &mut i, "cell area")?;
+        let area: f64 = area_text
+            .parse()
+            .map_err(|_| parse_err(line_area, format!("bad area {area_text:?}")))?;
+        // Collect words until the one terminated by ';' — together they are
+        // the `out=expr` assignment.
+        let mut assignment = String::new();
+        let mut terminated = false;
+        while i < words.len() {
+            let (w, l) = &words[i];
+            i += 1;
+            if let Some(stripped) = w.strip_suffix(';') {
+                assignment.push_str(stripped);
+                terminated = true;
+                break;
+            }
+            if *l != line && w == "PIN" {
+                break;
+            }
+            assignment.push_str(w);
+            assignment.push(' ');
+        }
+        if !terminated {
+            return Err(parse_err(line, "cell function not terminated by ';'".into()));
+        }
+        let expr_text = assignment
+            .split_once('=')
+            .map(|(_, rhs)| rhs)
+            .ok_or_else(|| parse_err(line, format!("expected out=expr, found {assignment:?}")))?;
+        let expr = Expr::parse(expr_text).map_err(|e| at_line(e, line))?;
+        let tt = expr.truth_table().map_err(|e| at_line(e, line))?;
+        let (kind, perm) = tt.recognize().ok_or_else(|| LibraryError::UnsupportedFunction {
+            cell: cell_name.clone(),
+        })?;
+
+        // Gather PIN statements until the next GATE.
+        let mut pins: Vec<(String, f64)> = Vec::new();
+        while i < words.len() && words[i].0 == "PIN" {
+            let pin_line = words[i].1;
+            i += 1;
+            let mut fields = Vec::with_capacity(8);
+            for _ in 0..8 {
+                let (w, _) = take(&words, &mut i, "PIN field")?;
+                fields.push(w);
+            }
+            let rise: f64 = fields[4]
+                .parse()
+                .map_err(|_| parse_err(pin_line, format!("bad rise delay {:?}", fields[4])))?;
+            let fall: f64 = fields[6]
+                .parse()
+                .map_err(|_| parse_err(pin_line, format!("bad fall delay {:?}", fields[6])))?;
+            pins.push((fields[0].clone(), (rise + fall) / 2.0));
+        }
+
+        let delay_of = |pin_name: &str| -> Result<f64, LibraryError> {
+            pins.iter()
+                .find(|(n, _)| n == pin_name || n == "*")
+                .map(|(_, d)| *d)
+                .ok_or_else(|| parse_err(line, format!("no PIN entry covers pin {pin_name:?}")))
+        };
+        // Kind pin j is fed by genlib pin perm[j]; delays and names follow.
+        let mut pin_delays = Vec::with_capacity(tt.vars.len());
+        let mut pin_names = Vec::with_capacity(tt.vars.len());
+        for &g in &perm {
+            pin_delays.push(delay_of(&tt.vars[g])?);
+            pin_names.push(tt.vars[g].clone());
+        }
+        let out_name = assignment
+            .split_once('=')
+            .map(|(lhs, _)| lhs.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "O".to_string());
+        lib.try_add(
+            LibCell::new(cell_name, kind, area, pin_delays).with_pin_names(pin_names, out_name),
+        )?;
+    }
+    Ok(lib)
+}
+
+/// Serializes a [`Library`] back to genlib text.
+///
+/// The output can be re-parsed by [`parse_genlib`]; cell functions are
+/// written in canonical form with pins named `a`..`d` in kind pin order, so
+/// round-tripping preserves kind, area and per-pin delays.
+#[must_use]
+pub fn write_genlib(lib: &Library) -> String {
+    use netlist::GateKind::*;
+    let mut out = String::new();
+    let _ = writeln!(out, "# library {} ({} cells)", lib.name(), lib.cells().len());
+    for cell in lib.cells() {
+        let names: Vec<&str> = cell.pin_names().iter().map(String::as_str).collect();
+        let expr = match (cell.kind(), cell.arity()) {
+            (Const0, _) => "CONST0".to_string(),
+            (Const1, _) => "CONST1".to_string(),
+            (Buf, _) => names[0].to_string(),
+            (Not, _) => format!("!{}", names[0]),
+            (And, n) => names[..n].join("*"),
+            (Nand, n) => format!("!({})", names[..n].join("*")),
+            (Or, n) => names[..n].join("+"),
+            (Nor, n) => format!("!({})", names[..n].join("+")),
+            (Xor, n) => names[..n].join("^"),
+            (Xnor, n) => format!("!({})", names[..n].join("^")),
+            (Aoi21, _) => format!("!({}*{}+{})", names[0], names[1], names[2]),
+            (Oai21, _) => format!("!(({}+{})*{})", names[0], names[1], names[2]),
+            (Aoi22, _) => format!("!({}*{}+{}*{})", names[0], names[1], names[2], names[3]),
+            (Oai22, _) => {
+                format!("!(({}+{})*({}+{}))", names[0], names[1], names[2], names[3])
+            }
+            (Input, _) => unreachable!("libraries have no input cells"),
+        };
+        let _ = writeln!(
+            out,
+            "GATE {} {} {}={};",
+            cell.name(),
+            cell.area(),
+            cell.output_name(),
+            expr
+        );
+        for (i, d) in cell.pin_delays().iter().enumerate() {
+            let _ = writeln!(out, "    PIN {} UNKNOWN 1 999 {d} 0.0 {d} 0.0", names[i]);
+        }
+    }
+    out
+}
+
+fn tokenize_words(text: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("");
+        for word in line.split_whitespace() {
+            out.push((word.to_string(), lineno + 1));
+        }
+    }
+    out
+}
+
+fn take(
+    words: &[(String, usize)],
+    i: &mut usize,
+    what: &str,
+) -> Result<(String, usize), LibraryError> {
+    match words.get(*i) {
+        Some((w, l)) => {
+            *i += 1;
+            Ok((w.clone(), *l))
+        }
+        None => Err(parse_err(
+            words.last().map_or(0, |(_, l)| *l),
+            format!("unexpected end of file, expected {what}"),
+        )),
+    }
+}
+
+fn parse_err(line: usize, message: String) -> LibraryError {
+    LibraryError::Parse { line, message }
+}
+
+fn at_line(e: LibraryError, line: usize) -> LibraryError {
+    match e {
+        LibraryError::Parse { message, .. } => LibraryError::Parse { line, message },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::GateKind;
+
+    #[test]
+    fn parses_multi_cell_library() {
+        let text = "\
+# two cells
+GATE inv1 1.0 O=!a;
+    PIN a INV 1 999 0.9 0.0 1.1 0.0
+GATE nand2 2.0 O=!(a*b);
+    PIN * INV 1 999 1.0 0.2 1.0 0.2
+";
+        let lib = parse_genlib("t", text).unwrap();
+        assert_eq!(lib.cells().len(), 2);
+        let inv = lib.cell(lib.find("inv1").unwrap());
+        assert_eq!(inv.kind(), GateKind::Not);
+        assert!((inv.pin_delays()[0] - 1.0).abs() < 1e-12);
+        let nand = lib.cell(lib.find("nand2").unwrap());
+        assert_eq!(nand.kind(), GateKind::Nand);
+        assert_eq!(nand.arity(), 2);
+    }
+
+    #[test]
+    fn permuted_pins_get_matching_delays() {
+        // OR-leg pin C is slow; genlib order is (C, A, B) but Aoi21 kind
+        // order is (and, and, or).
+        let text = "\
+GATE aoi 3.0 O=!(C + A*B);
+    PIN A INV 1 999 1.0 0.0 1.0 0.0
+    PIN B INV 1 999 1.1 0.0 1.1 0.0
+    PIN C INV 1 999 2.0 0.0 2.0 0.0
+";
+        let lib = parse_genlib("t", text).unwrap();
+        let cell = lib.cell(lib.find("aoi").unwrap());
+        assert_eq!(cell.kind(), GateKind::Aoi21);
+        // Kind pin 2 is the or-leg and must carry C's delay.
+        assert!((cell.pin_delays()[2] - 2.0).abs() < 1e-12);
+        let ab: Vec<f64> = cell.pin_delays()[..2].to_vec();
+        assert!(ab.contains(&1.0) && ab.contains(&1.1));
+    }
+
+    #[test]
+    fn constant_cells_parse() {
+        let lib = parse_genlib("t", "GATE zero 0 O=CONST0;\nGATE one 0 O=CONST1;").unwrap();
+        assert_eq!(lib.cells().len(), 2);
+        assert_eq!(lib.cell(lib.find("zero").unwrap()).arity(), 0);
+    }
+
+    #[test]
+    fn unsupported_function_is_reported() {
+        let text = "GATE maj 4.0 O=a*b+b*c+a*c; PIN * INV 1 999 1 0 1 0";
+        let err = parse_genlib("t", text).unwrap_err();
+        assert!(matches!(err, LibraryError::UnsupportedFunction { .. }));
+    }
+
+    #[test]
+    fn missing_semicolon_is_reported() {
+        let err = parse_genlib("t", "GATE inv 1.0 O=!a").unwrap_err();
+        assert!(matches!(err, LibraryError::Parse { .. }));
+    }
+
+    #[test]
+    fn missing_pin_coverage_is_reported() {
+        let text = "GATE nand2 2.0 O=!(a*b);\n PIN a INV 1 999 1 0 1 0";
+        let err = parse_genlib("t", text).unwrap_err();
+        assert!(matches!(err, LibraryError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let text = "\
+GATE inv1 1.0 O=!a;
+    PIN a INV 1 999 0.5 0.0 0.5 0.0
+GATE oai22 4.0 O=!((a+b)*(c+d));
+    PIN * INV 1 999 1.5 0.0 1.5 0.0
+";
+        let lib = parse_genlib("t", text).unwrap();
+        let written = write_genlib(&lib);
+        let reparsed = parse_genlib("t", &written).unwrap();
+        assert_eq!(lib.cells().len(), reparsed.cells().len());
+        for (a, b) in lib.cells().iter().zip(reparsed.cells()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.kind(), b.kind());
+            assert!((a.area() - b.area()).abs() < 1e-12);
+            for (x, y) in a.pin_delays().iter().zip(b.pin_delays()) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_pin_statement_is_reported() {
+        let err = parse_genlib("t", "GATE inv 1.0 O=!a;\n PIN a INV 1 999 1").unwrap_err();
+        assert!(matches!(err, LibraryError::Parse { .. }));
+        assert!(err.to_string().contains("PIN field"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_gate_names_are_reported() {
+        let text = "GATE inv 1.0 O=!a; PIN * INV 1 999 1 0 1 0\n\
+                    GATE inv 2.0 O=!a; PIN * INV 1 999 1 0 1 0\n";
+        let err = parse_genlib("t", text).unwrap_err();
+        assert!(matches!(err, LibraryError::DuplicateCell(_)));
+    }
+
+    #[test]
+    fn pin_names_and_output_name_survive_parsing() {
+        let text = "GATE nd2 2.0 Y=!(A1*B2);\n\
+                    PIN A1 INV 1 999 1.0 0 1.0 0\n\
+                    PIN B2 INV 1 999 1.5 0 1.5 0\n";
+        let lib = parse_genlib("t", text).unwrap();
+        let cell = lib.cell(lib.find("nd2").unwrap());
+        assert_eq!(cell.output_name(), "Y");
+        assert_eq!(cell.pin_names(), ["A1".to_string(), "B2".to_string()]);
+        // Delays follow the named pins.
+        assert!((cell.pin_delays()[0] - 1.0).abs() < 1e-12);
+        assert!((cell.pin_delays()[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# a comment\n\nGATE inv 1.0 O=!a; PIN * INV 1 999 1 0 1 0\n# trailing\n";
+        assert_eq!(parse_genlib("t", text).unwrap().cells().len(), 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! Technology library and technology mapping.
+//!
+//! The paper optimizes *mapped* netlists: every gate is bound to a cell of a
+//! standard-cell library (`mcnc.genlib` in the paper) so that exact per-pin
+//! delays are known. This crate provides everything needed to get there
+//! without SIS:
+//!
+//! * [`Library`] / [`LibCell`] — cells with area and per-pin block delays;
+//! * [`parse_genlib`] / [`write_genlib`] — a from-scratch parser and writer
+//!   for the classic genlib format, including its boolean expression
+//!   syntax;
+//! * [`standard_library`] — an embedded library modeled on `mcnc.genlib`;
+//! * [`to_subject_graph`] — decomposition of an arbitrary netlist into the
+//!   NAND2/INV subject graph used for matching;
+//! * [`Mapper`] — a tree-covering, dynamic-programming technology mapper
+//!   with area- and delay-oriented cost functions, standing in for the SIS
+//!   command `map -n 1` (no fanout optimization, as in the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use netlist::{Netlist, GateKind};
+//! use library::{standard_library, Mapper, MapGoal};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut nl = Netlist::new("demo");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let c = nl.add_input("c");
+//! let g1 = nl.add_gate(GateKind::And, &[a, b])?;
+//! let g2 = nl.add_gate(GateKind::Or, &[g1, c])?;
+//! nl.add_output("y", g2);
+//!
+//! let lib = standard_library();
+//! let mapped = Mapper::new(&lib).goal(MapGoal::Area).map(&nl)?;
+//! assert!(mapped.gates().all(|g| mapped.cell(g).lib().is_some()
+//!     || mapped.kind(g).is_source()));
+//! # Ok(())
+//! # }
+//! ```
+
+mod cell;
+mod decompose;
+mod error;
+mod expr;
+mod genlib;
+mod mapped_blif;
+mod mapper;
+mod pattern;
+mod std_lib;
+
+pub use cell::{LibCell, LibCellId, Library};
+pub use decompose::to_subject_graph;
+pub use error::LibraryError;
+pub use expr::{Expr, TruthTable};
+pub use genlib::{parse_genlib, write_genlib};
+pub use mapped_blif::{parse_mapped_blif, write_mapped_blif};
+pub use mapper::{MapGoal, Mapper};
+pub use pattern::Pattern;
+pub use std_lib::{standard_library, STANDARD_GENLIB};

@@ -1,0 +1,358 @@
+//! Mapped-netlist BLIF: the `.gate` construct that binds every gate to a
+//! library cell — the interchange format for *mapped* designs, which is
+//! what GDO operates on.
+
+use crate::{LibCellId, Library, LibraryError};
+use netlist::{GateKind, Netlist, SignalId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Serializes a mapped netlist as BLIF `.gate` lines against `lib`.
+///
+/// Constants are written through the library's constant cells when
+/// present (`zero`/`one` in the embedded library).
+///
+/// # Errors
+///
+/// [`LibraryError::IncompleteLibrary`] if a gate is unbound, a binding
+/// does not match the gate, or a needed constant cell is missing.
+pub fn write_mapped_blif(lib: &Library, nl: &Netlist) -> Result<String, LibraryError> {
+    let mut out = String::new();
+    let names = nl.unique_names("n");
+    let name_of = |s: SignalId| -> String { names[s.index()].clone() };
+    let _ = writeln!(out, ".model {}", nl.name());
+    let ins: Vec<String> = nl.inputs().iter().map(|&s| name_of(s)).collect();
+    let _ = writeln!(out, ".inputs {}", ins.join(" "));
+    let outs: Vec<String> = nl.outputs().iter().map(|po| name_of(po.driver())).collect();
+    let _ = writeln!(out, ".outputs {}", outs.join(" "));
+    for s in nl.topo_order().map_err(LibraryError::from)? {
+        let kind = nl.kind(s);
+        match kind {
+            GateKind::Input => continue,
+            GateKind::Const0 | GateKind::Const1 => {
+                let cell_id = lib
+                    .cells_for(kind, 0)
+                    .next()
+                    .ok_or(LibraryError::IncompleteLibrary("constant cell"))?;
+                let cell = lib.cell(cell_id);
+                let _ = writeln!(
+                    out,
+                    ".gate {} {}={}",
+                    cell.name(),
+                    cell.output_name(),
+                    name_of(s)
+                );
+            }
+            _ => {
+                let tag = nl.cell(s).lib().ok_or(LibraryError::IncompleteLibrary(
+                    "binding for a gate (map the netlist first)",
+                ))?;
+                let cell = lib.cell(LibCellId::from_tag(tag));
+                if cell.kind() != kind || cell.arity() != nl.fanins(s).len() {
+                    return Err(LibraryError::IncompleteLibrary(
+                        "binding consistent with the gate function",
+                    ));
+                }
+                let mut line = format!(".gate {}", cell.name());
+                for (pin, &f) in nl.fanins(s).iter().enumerate() {
+                    let _ = write!(line, " {}={}", cell.pin_names()[pin], name_of(f));
+                }
+                let _ = write!(line, " {}={}", cell.output_name(), name_of(s));
+                let _ = writeln!(out, "{line}");
+            }
+        }
+    }
+    let _ = writeln!(out, ".end");
+    Ok(out)
+}
+
+/// Parses mapped BLIF (`.gate` lines) against `lib`, producing a netlist
+/// with every gate bound.
+///
+/// # Errors
+///
+/// [`LibraryError::Parse`] on malformed text, unknown cells or dangling
+/// signals.
+pub fn parse_mapped_blif(lib: &Library, text: &str) -> Result<Netlist, LibraryError> {
+    struct GateDef {
+        cell: LibCellId,
+        /// Fanin net names in kind pin order.
+        fanins: Vec<String>,
+        line: usize,
+    }
+    let mut model = String::from("mapped");
+    let mut input_names: Vec<String> = Vec::new();
+    let mut output_names: Vec<String> = Vec::new();
+    // Output net name -> gate definition.
+    let mut defs: HashMap<String, GateDef> = HashMap::new();
+
+    let perr = |line: usize, message: String| LibraryError::Parse { line, message };
+
+    // Join continuation lines, strip comments.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut cont = false;
+    for (i, raw) in text.lines().enumerate() {
+        let stripped = raw.split('#').next().unwrap_or("").trim_end();
+        let (content, continues) = match stripped.strip_suffix('\\') {
+            Some(head) => (head.trim(), true),
+            None => (stripped.trim(), false),
+        };
+        if content.is_empty() && !continues {
+            cont = false;
+            continue;
+        }
+        if cont {
+            let last = logical.last_mut().expect("continuation follows a line");
+            last.1.push(' ');
+            last.1.push_str(content);
+        } else {
+            logical.push((i + 1, content.to_string()));
+        }
+        cont = continues;
+    }
+
+    for (line, content) in &logical {
+        let mut words = content.split_whitespace();
+        match words.next().unwrap_or("") {
+            ".model" => {
+                if let Some(n) = words.next() {
+                    model = n.to_string();
+                }
+            }
+            ".inputs" => input_names.extend(words.map(str::to_string)),
+            ".outputs" => output_names.extend(words.map(str::to_string)),
+            ".end" => {}
+            ".gate" => {
+                let cell_name = words
+                    .next()
+                    .ok_or_else(|| perr(*line, ".gate needs a cell name".into()))?;
+                let cell_id = lib.find(cell_name).ok_or_else(|| {
+                    perr(*line, format!("unknown library cell {cell_name:?}"))
+                })?;
+                let cell = lib.cell(cell_id);
+                let mut bindings: HashMap<&str, &str> = HashMap::new();
+                for w in words {
+                    let (pin, net) = w
+                        .split_once('=')
+                        .ok_or_else(|| perr(*line, format!("expected pin=net, got {w:?}")))?;
+                    bindings.insert(pin, net);
+                }
+                let output = bindings.remove(cell.output_name()).ok_or_else(|| {
+                    perr(
+                        *line,
+                        format!("missing output pin {} of {cell_name}", cell.output_name()),
+                    )
+                })?;
+                let mut fanins = Vec::with_capacity(cell.arity());
+                for pin in cell.pin_names() {
+                    let net = bindings.remove(pin.as_str()).ok_or_else(|| {
+                        perr(*line, format!("missing pin {pin} of {cell_name}"))
+                    })?;
+                    fanins.push(net.to_string());
+                }
+                if let Some((extra, _)) = bindings.into_iter().next() {
+                    return Err(perr(*line, format!("unknown pin {extra:?} of {cell_name}")));
+                }
+                if defs
+                    .insert(
+                        output.to_string(),
+                        GateDef {
+                            cell: cell_id,
+                            fanins,
+                            line: *line,
+                        },
+                    )
+                    .is_some()
+                {
+                    return Err(perr(*line, format!("net {output:?} driven twice")));
+                }
+            }
+            ".names" => {
+                return Err(perr(
+                    *line,
+                    "mapped blif must not mix .names with .gate (use formats::parse_blif)"
+                        .into(),
+                ))
+            }
+            other => return Err(perr(*line, format!("unsupported construct {other:?}"))),
+        }
+    }
+
+    let mut nl = Netlist::new(model);
+    let mut resolved: HashMap<String, SignalId> = HashMap::new();
+    for name in &input_names {
+        let s = nl
+            .try_add_input(name.clone())
+            .map_err(|e| perr(0, e.to_string()))?;
+        resolved.insert(name.clone(), s);
+    }
+    fn resolve(
+        name: &str,
+        lib: &Library,
+        nl: &mut Netlist,
+        defs: &HashMap<String, GateDefRef<'_>>,
+        resolved: &mut HashMap<String, SignalId>,
+        depth: usize,
+    ) -> Result<SignalId, LibraryError> {
+        if let Some(&s) = resolved.get(name) {
+            return Ok(s);
+        }
+        let def = defs.get(name).ok_or(LibraryError::Parse {
+            line: 0,
+            message: format!("net {name:?} is never driven"),
+        })?;
+        if depth > defs.len() {
+            return Err(LibraryError::Parse {
+                line: def.line,
+                message: "gate definitions form a cycle".into(),
+            });
+        }
+        let mut fanins = Vec::with_capacity(def.fanins.len());
+        for f in def.fanins {
+            fanins.push(resolve(f, lib, nl, defs, resolved, depth + 1)?);
+        }
+        let cell = lib.cell(def.cell);
+        let s = if cell.arity() == 0 {
+            match cell.kind() {
+                GateKind::Const0 => nl.const0(),
+                GateKind::Const1 => nl.const1(),
+                _ => unreachable!("zero-arity cells are constants"),
+            }
+        } else {
+            let g = nl
+                .add_named_gate(name.to_string(), cell.kind(), &fanins)
+                .map_err(|e| LibraryError::Parse {
+                    line: def.line,
+                    message: e.to_string(),
+                })?;
+            nl.set_lib(g, Some(def.cell.tag())).expect("just added");
+            g
+        };
+        resolved.insert(name.to_string(), s);
+        Ok(s)
+    }
+    struct GateDefRef<'a> {
+        cell: LibCellId,
+        fanins: &'a [String],
+        line: usize,
+    }
+    let def_refs: HashMap<String, GateDefRef<'_>> = defs
+        .iter()
+        .map(|(k, d)| {
+            (
+                k.clone(),
+                GateDefRef {
+                    cell: d.cell,
+                    fanins: &d.fanins,
+                    line: d.line,
+                },
+            )
+        })
+        .collect();
+    let names: Vec<String> = def_refs.keys().cloned().collect();
+    for n in names {
+        resolve(&n, lib, &mut nl, &def_refs, &mut resolved, 0)?;
+    }
+    for name in output_names {
+        let driver = *resolved.get(&name).ok_or_else(|| LibraryError::Parse {
+            line: 0,
+            message: format!("output {name:?} is undefined"),
+        })?;
+        nl.add_output(name, driver);
+    }
+    nl.topo_order().map_err(LibraryError::from)?;
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{standard_library, MapGoal, Mapper};
+
+    fn mapped_sample() -> (crate::Library, Netlist) {
+        let lib = standard_library();
+        let mut nl = Netlist::new("rt");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let g1 = nl.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        let g2 = nl.add_gate(GateKind::Aoi21, &[g1, c, a]).unwrap();
+        nl.add_output("y", g2);
+        let mapped = Mapper::new(&lib).goal(MapGoal::Area).map(&nl).unwrap();
+        (lib, mapped)
+    }
+
+    #[test]
+    fn round_trip_preserves_function_and_bindings() {
+        let (lib, mapped) = mapped_sample();
+        let text = write_mapped_blif(&lib, &mapped).unwrap();
+        assert!(text.contains(".gate"));
+        let back = parse_mapped_blif(&lib, &text).unwrap();
+        back.validate().unwrap();
+        assert!(mapped.equiv_exhaustive(&back).unwrap());
+        for g in back.gates() {
+            assert!(back.cell(g).lib().is_some(), "gate lost its binding");
+        }
+        // Total area is identical: the same cells came back.
+        assert!((lib.total_area(&mapped) - lib.total_area(&back)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constants_round_trip() {
+        let lib = standard_library();
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let one = nl.const1();
+        let g = nl.add_gate(GateKind::Nand, &[a, one]).unwrap();
+        nl.set_lib(g, Some(lib.find("nand2").unwrap().tag())).unwrap();
+        nl.add_output("y", g);
+        let text = write_mapped_blif(&lib, &nl).unwrap();
+        let back = parse_mapped_blif(&lib, &text).unwrap();
+        assert!(nl.equiv_exhaustive(&back).unwrap());
+    }
+
+    #[test]
+    fn unbound_gate_is_rejected() {
+        let lib = standard_library();
+        let mut nl = Netlist::new("u");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::Not, &[a]).unwrap(); // unbound
+        nl.add_output("y", g);
+        assert!(write_mapped_blif(&lib, &nl).is_err());
+    }
+
+    #[test]
+    fn parser_rejects_unknown_cell_and_bad_pins() {
+        let lib = standard_library();
+        let err = parse_mapped_blif(
+            &lib,
+            ".model m\n.inputs a\n.outputs y\n.gate frobnicator a=a O=y\n.end\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("frobnicator"));
+        let err = parse_mapped_blif(
+            &lib,
+            ".model m\n.inputs a b\n.outputs y\n.gate nand2 a=a q=b O=y\n.end\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("pin"));
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let lib = standard_library();
+        let text = "\
+.model fwd
+.inputs a b
+.outputs y
+.gate inv1 a=t O=y
+.gate nand2 a=a b=b O=t
+.end
+";
+        let back = parse_mapped_blif(&lib, text).unwrap();
+        assert_eq!(back.stats().gates, 2);
+        // y = NOT(NAND(a,b)) = AND(a,b).
+        assert_eq!(back.eval_outputs(&[true, true]).unwrap(), vec![true]);
+        assert_eq!(back.eval_outputs(&[true, false]).unwrap(), vec![false]);
+    }
+}

@@ -1,0 +1,365 @@
+//! Pattern trees for library cells and structural matching against the
+//! NAND2/INV subject graph.
+
+use netlist::{Fanout, GateKind, Netlist, SignalId};
+
+/// A pattern tree over the subject-graph base (2-input NAND and INV).
+///
+/// `Leaf(i)` stands for kind pin `i` of the library cell; the same leaf
+/// index may appear several times (the XOR pattern references each input
+/// twice), in which case a match must bind all occurrences to the same
+/// subject signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pattern {
+    /// Cell input pin `i`.
+    Leaf(u8),
+    /// An inverter over a sub-pattern.
+    Inv(Box<Pattern>),
+    /// A 2-input NAND over two sub-patterns.
+    Nand(Box<Pattern>, Box<Pattern>),
+}
+
+impl Pattern {
+    /// Number of internal (non-leaf) nodes — the number of subject cells a
+    /// match covers.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            Pattern::Leaf(_) => 0,
+            Pattern::Inv(p) => 1 + p.size(),
+            Pattern::Nand(l, r) => 1 + l.size() + r.size(),
+        }
+    }
+
+    /// Attempts to match this pattern rooted at `node` in `subject`.
+    ///
+    /// Internal pattern nodes may only bind subject gates with exactly one
+    /// fanout that feeds a gate (multi-fanout points and primary-output
+    /// drivers are tree boundaries); the root itself is exempt. On success
+    /// returns the subject signal bound to each leaf pin.
+    #[must_use]
+    pub fn match_at(&self, subject: &Netlist, node: SignalId) -> Option<Vec<SignalId>> {
+        let mut bind: [Option<SignalId>; 4] = [None; 4];
+        if match_rec(subject, node, self, true, &mut bind) {
+            let n = (0..4)
+                .take_while(|&i| bind[i].is_some())
+                .count()
+                .max(leaf_count(self));
+            Some((0..n).map(|i| bind[i].expect("bound leaf")).collect())
+        } else {
+            None
+        }
+    }
+}
+
+fn leaf_count(p: &Pattern) -> usize {
+    match p {
+        Pattern::Leaf(i) => *i as usize + 1,
+        Pattern::Inv(q) => leaf_count(q),
+        Pattern::Nand(l, r) => leaf_count(l).max(leaf_count(r)),
+    }
+}
+
+fn match_rec(
+    subject: &Netlist,
+    node: SignalId,
+    pattern: &Pattern,
+    is_root: bool,
+    bind: &mut [Option<SignalId>; 4],
+) -> bool {
+    match pattern {
+        Pattern::Leaf(i) => match bind[*i as usize] {
+            Some(b) => b == node,
+            None => {
+                bind[*i as usize] = Some(node);
+                true
+            }
+        },
+        Pattern::Inv(p) => {
+            if subject.kind(node) != GateKind::Not || !(is_root || internal_ok(subject, node)) {
+                return false;
+            }
+            match_rec(subject, subject.fanins(node)[0], p, false, bind)
+        }
+        Pattern::Nand(l, r) => {
+            if subject.kind(node) != GateKind::Nand
+                || subject.fanins(node).len() != 2
+                || !(is_root || internal_ok(subject, node))
+            {
+                return false;
+            }
+            let (a, b) = (subject.fanins(node)[0], subject.fanins(node)[1]);
+            let saved = *bind;
+            if match_rec(subject, a, l, false, bind) && match_rec(subject, b, r, false, bind) {
+                return true;
+            }
+            *bind = saved;
+            if match_rec(subject, b, l, false, bind) && match_rec(subject, a, r, false, bind) {
+                return true;
+            }
+            *bind = saved;
+            false
+        }
+    }
+}
+
+fn internal_ok(subject: &Netlist, node: SignalId) -> bool {
+    let fo = subject.fanouts(node);
+    fo.len() == 1 && matches!(fo[0], Fanout::Gate { .. })
+}
+
+/// All binary tree shapes over `n` ordered leaves (Catalan number many).
+fn tree_shapes(lo: u8, hi: u8, build: &dyn Fn(Shape, Shape) -> Shape) -> Vec<Shape> {
+    if hi - lo == 1 {
+        return vec![Shape::Leaf(lo)];
+    }
+    let mut out = Vec::new();
+    for split in lo + 1..hi {
+        for l in tree_shapes(lo, split, build) {
+            for r in tree_shapes(split, hi, build) {
+                out.push(build(l.clone(), r.clone()));
+            }
+        }
+    }
+    out
+}
+
+#[derive(Debug, Clone)]
+enum Shape {
+    Leaf(u8),
+    Node(Box<Shape>, Box<Shape>),
+}
+
+fn and_pattern(shape: &Shape) -> Pattern {
+    Pattern::Inv(Box::new(nand_pattern(shape)))
+}
+
+fn nand_pattern(shape: &Shape) -> Pattern {
+    match shape {
+        Shape::Leaf(i) => panic!("nand pattern needs an internal node, got leaf {i}"),
+        Shape::Node(l, r) => Pattern::Nand(Box::new(and_leg(l)), Box::new(and_leg(r))),
+    }
+}
+
+fn and_leg(shape: &Shape) -> Pattern {
+    match shape {
+        Shape::Leaf(i) => Pattern::Leaf(*i),
+        node => and_pattern(node),
+    }
+}
+
+fn or_pattern(shape: &Shape) -> Pattern {
+    match shape {
+        Shape::Leaf(i) => Pattern::Leaf(*i),
+        Shape::Node(l, r) => Pattern::Nand(
+            Box::new(inv_of_or(l)),
+            Box::new(inv_of_or(r)),
+        ),
+    }
+}
+
+fn inv_of_or(shape: &Shape) -> Pattern {
+    // INV(or(x)) — for a leaf this is a plain inverter; for a node the
+    // subject graph's sweep has collapsed INV(NAND(..)) pairs away, so the
+    // inverted or-tree is NOT re-inverted: or(l, r) = NAND(INV l, INV r)
+    // means INV(or(l, r)) would be INV(NAND(..)); sweep leaves that intact.
+    Pattern::Inv(Box::new(or_pattern(shape)))
+}
+
+/// Generates the pattern set of a library cell kind at the given arity.
+///
+/// Returns an empty vector for kinds the mapper never instantiates by
+/// matching (buffers, constants, inputs).
+#[must_use]
+pub fn patterns_for(kind: GateKind, arity: usize) -> Vec<Pattern> {
+    use GateKind::*;
+    let shapes = |n: usize| {
+        tree_shapes(0, n as u8, &|l, r| Shape::Node(Box::new(l), Box::new(r)))
+    };
+    match (kind, arity) {
+        (Not, 1) => vec![Pattern::Inv(Box::new(Pattern::Leaf(0)))],
+        (Nand, n) if n >= 2 => shapes(n).iter().map(nand_pattern).collect(),
+        (And, n) if n >= 2 => shapes(n).iter().map(and_pattern).collect(),
+        (Or, n) if n >= 2 => shapes(n).iter().map(or_pattern).collect(),
+        (Nor, n) if n >= 2 => shapes(n)
+            .iter()
+            .map(|s| Pattern::Inv(Box::new(or_pattern(s))))
+            .collect(),
+        (Xor, 2) => vec![xor2_pattern()],
+        (Xnor, 2) => vec![Pattern::Inv(Box::new(xor2_pattern()))],
+        (Aoi21, 3) => vec![Pattern::Inv(Box::new(oai_inner_and()))],
+        (Oai21, 3) => vec![Pattern::Nand(
+            Box::new(or2_leg(0, 1)),
+            Box::new(Pattern::Leaf(2)),
+        )],
+        (Aoi22, 4) => vec![Pattern::Inv(Box::new(Pattern::Nand(
+            Box::new(Pattern::Nand(
+                Box::new(Pattern::Leaf(0)),
+                Box::new(Pattern::Leaf(1)),
+            )),
+            Box::new(Pattern::Nand(
+                Box::new(Pattern::Leaf(2)),
+                Box::new(Pattern::Leaf(3)),
+            )),
+        )))],
+        (Oai22, 4) => vec![Pattern::Nand(
+            Box::new(or2_leg(0, 1)),
+            Box::new(or2_leg(2, 3)),
+        )],
+        _ => Vec::new(),
+    }
+}
+
+fn xor2_pattern() -> Pattern {
+    // NAND( NAND(a, !b), NAND(!a, b) )
+    Pattern::Nand(
+        Box::new(Pattern::Nand(
+            Box::new(Pattern::Leaf(0)),
+            Box::new(Pattern::Inv(Box::new(Pattern::Leaf(1)))),
+        )),
+        Box::new(Pattern::Nand(
+            Box::new(Pattern::Inv(Box::new(Pattern::Leaf(0)))),
+            Box::new(Pattern::Leaf(1)),
+        )),
+    )
+}
+
+/// `NAND(NAND(a, b), !c)` — the inner structure of AOI21 before the final
+/// inversion: `!(ab + c) = !!(!(ab) · !c)`.
+fn oai_inner_and() -> Pattern {
+    Pattern::Nand(
+        Box::new(Pattern::Nand(
+            Box::new(Pattern::Leaf(0)),
+            Box::new(Pattern::Leaf(1)),
+        )),
+        Box::new(Pattern::Inv(Box::new(Pattern::Leaf(2)))),
+    )
+}
+
+fn or2_leg(i: u8, j: u8) -> Pattern {
+    Pattern::Nand(
+        Box::new(Pattern::Inv(Box::new(Pattern::Leaf(i)))),
+        Box::new(Pattern::Inv(Box::new(Pattern::Leaf(j)))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_subject_graph;
+    use netlist::Netlist;
+
+    /// Builds the subject graph of a single `kind` gate and checks that one
+    /// of the generated patterns matches at its output, binding each leaf
+    /// to the corresponding primary input.
+    fn check_self_match(kind: GateKind, arity: usize) {
+        let mut nl = Netlist::new("t");
+        let ins: Vec<SignalId> = (0..arity)
+            .map(|i| nl.add_input(format!("x{i}")))
+            .collect();
+        let g = nl.add_gate(kind, &ins).unwrap();
+        nl.add_output("y", g);
+        let subject = to_subject_graph(&nl).unwrap();
+        let root = subject.outputs()[0].driver();
+        let pats = patterns_for(kind, arity);
+        assert!(!pats.is_empty(), "no patterns for {kind}/{arity}");
+        let matched = pats.iter().any(|p| {
+            p.match_at(&subject, root).is_some_and(|bind| {
+                bind.len() == arity
+                    && (0..arity).all(|i| {
+                        bind[i] == subject.find(&format!("x{i}")).expect("pi exists")
+                    })
+            })
+        });
+        assert!(matched, "{kind}/{arity} pattern does not match its own decomposition");
+    }
+
+    #[test]
+    fn every_cell_pattern_matches_its_own_decomposition() {
+        use GateKind::*;
+        for kind in [And, Nand, Or, Nor] {
+            for n in 2..=4 {
+                check_self_match(kind, n);
+            }
+        }
+        check_self_match(Not, 1);
+        check_self_match(Xor, 2);
+        check_self_match(Xnor, 2);
+        check_self_match(Aoi21, 3);
+        check_self_match(Oai21, 3);
+        check_self_match(Aoi22, 4);
+        check_self_match(Oai22, 4);
+    }
+
+    #[test]
+    fn internal_multi_fanout_blocks_match() {
+        // and2 pattern must not match when the inner NAND also feeds a
+        // second consumer.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let n = nl.add_gate(GateKind::Nand, &[a, b]).unwrap();
+        let g = nl.add_gate(GateKind::Not, &[n]).unwrap();
+        let extra = nl.add_gate(GateKind::Not, &[n]).unwrap();
+        nl.add_output("y", g);
+        nl.add_output("z", extra);
+        let and2 = &patterns_for(GateKind::And, 2)[0];
+        assert!(and2.match_at(&nl, g).is_none());
+        // Without the second consumer it matches.
+        let mut nl2 = Netlist::new("t");
+        let a = nl2.add_input("a");
+        let b = nl2.add_input("b");
+        let n = nl2.add_gate(GateKind::Nand, &[a, b]).unwrap();
+        let g = nl2.add_gate(GateKind::Not, &[n]).unwrap();
+        nl2.add_output("y", g);
+        assert_eq!(and2.match_at(&nl2, g).unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn xor_leaf_consistency_enforced() {
+        // Build NAND(NAND(a, !b), NAND(!c, d)) — xor shape but with four
+        // distinct leaves; the xor pattern must refuse it.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_input("d");
+        let nb = nl.add_gate(GateKind::Not, &[b]).unwrap();
+        let nc = nl.add_gate(GateKind::Not, &[c]).unwrap();
+        let l = nl.add_gate(GateKind::Nand, &[a, nb]).unwrap();
+        let r = nl.add_gate(GateKind::Nand, &[nc, d]).unwrap();
+        let g = nl.add_gate(GateKind::Nand, &[l, r]).unwrap();
+        nl.add_output("y", g);
+        assert!(xor2_pattern().match_at(&nl, g).is_none());
+    }
+
+    #[test]
+    fn commutative_matching_tries_both_orders() {
+        // or2 = NAND(!a, !b); present the inverters in swapped pin order.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let nb = nl.add_gate(GateKind::Not, &[b]).unwrap();
+        let na = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        let g = nl.add_gate(GateKind::Nand, &[nb, na]).unwrap();
+        nl.add_output("y", g);
+        let or2 = &patterns_for(GateKind::Or, 2)[0];
+        let bind = or2.match_at(&nl, g).unwrap();
+        assert_eq!(bind.len(), 2);
+        assert!(bind.contains(&a) && bind.contains(&b));
+    }
+
+    #[test]
+    fn pattern_sizes() {
+        assert_eq!(patterns_for(GateKind::Not, 1)[0].size(), 1);
+        assert_eq!(patterns_for(GateKind::Nand, 2)[0].size(), 1);
+        assert_eq!(patterns_for(GateKind::And, 2)[0].size(), 2);
+        assert_eq!(xor2_pattern().size(), 5);
+    }
+
+    #[test]
+    fn shape_count_is_catalan() {
+        assert_eq!(patterns_for(GateKind::Nand, 3).len(), 2);
+        assert_eq!(patterns_for(GateKind::Nand, 4).len(), 5);
+    }
+}

@@ -1,0 +1,121 @@
+//! The embedded standard-cell library used throughout the reproduction.
+//!
+//! The paper maps onto `mcnc.genlib`; that file is not redistributable
+//! here, so this library is modeled on it: the same cell families
+//! (inverters in several drive strengths, 2–4-input NAND/NOR, AND/OR,
+//! XOR/XNOR, AOI/OAI complex gates and constants) with areas and delays in
+//! realistic ratios. Areas are in grid units, delays in nanoseconds.
+//!
+//! Faster inverter drive strengths cost more area, which is what lets the
+//! delay-oriented mapper trade area for speed — the effect behind the
+//! paper's Table 2 observation that GDO recovers area spent by the delay
+//! script.
+
+use crate::{parse_genlib, Library};
+
+/// Genlib source of the embedded standard library.
+pub const STANDARD_GENLIB: &str = "\
+# gdo-std: mcnc.genlib-class standard cell library
+GATE zero   0.0 O=CONST0;
+GATE one    0.0 O=CONST1;
+GATE inv1   1.0 O=!a;               PIN * INV 1 999 1.00 0.0 1.00 0.0
+GATE inv2   2.0 O=!a;               PIN * INV 2 999 0.70 0.0 0.70 0.0
+GATE inv3   3.0 O=!a;               PIN * INV 3 999 0.50 0.0 0.50 0.0
+GATE inv4   4.0 O=!a;               PIN * INV 4 999 0.40 0.0 0.40 0.0
+GATE buf    2.0 O=a;                PIN * NONINV 1 999 1.20 0.0 1.20 0.0
+GATE nand2  2.0 O=!(a*b);           PIN * INV 1 999 1.00 0.0 1.00 0.0
+GATE nand3  3.0 O=!(a*b*c);         PIN * INV 1 999 1.20 0.0 1.20 0.0
+GATE nand4  4.0 O=!(a*b*c*d);       PIN * INV 1 999 1.40 0.0 1.40 0.0
+GATE nor2   2.0 O=!(a+b);           PIN * INV 1 999 1.20 0.0 1.20 0.0
+GATE nor3   3.0 O=!(a+b+c);         PIN * INV 1 999 1.60 0.0 1.60 0.0
+GATE nor4   4.0 O=!(a+b+c+d);       PIN * INV 1 999 2.00 0.0 2.00 0.0
+GATE and2   3.0 O=a*b;              PIN * NONINV 1 999 1.60 0.0 1.60 0.0
+GATE or2    3.0 O=a+b;              PIN * NONINV 1 999 1.80 0.0 1.80 0.0
+GATE xor2   5.0 O=a^b;              PIN * UNKNOWN 1 999 2.00 0.0 2.00 0.0
+GATE xnor2  5.0 O=!(a^b);           PIN * UNKNOWN 1 999 2.00 0.0 2.00 0.0
+GATE aoi21  3.0 O=!(a*b+c);         PIN * INV 1 999 1.40 0.0 1.40 0.0
+GATE oai21  3.0 O=!((a+b)*c);       PIN * INV 1 999 1.40 0.0 1.40 0.0
+GATE aoi22  4.0 O=!(a*b+c*d);       PIN * INV 1 999 1.60 0.0 1.60 0.0
+GATE oai22  4.0 O=!((a+b)*(c+d));   PIN * INV 1 999 1.60 0.0 1.60 0.0
+";
+
+/// Parses and returns the embedded standard library.
+///
+/// # Example
+///
+/// ```
+/// let lib = library::standard_library();
+/// assert!(lib.find("nand2").is_some());
+/// assert!(lib.cells().len() >= 20);
+/// ```
+///
+/// # Panics
+///
+/// Never panics in practice: the embedded source is covered by tests.
+#[must_use]
+pub fn standard_library() -> Library {
+    parse_genlib("gdo-std", STANDARD_GENLIB).expect("embedded library must parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::GateKind;
+
+    #[test]
+    fn embedded_library_parses() {
+        let lib = standard_library();
+        assert_eq!(lib.cells().len(), 21);
+    }
+
+    #[test]
+    fn has_mapping_essentials() {
+        let lib = standard_library();
+        assert!(lib.cheapest(GateKind::Not, 1).is_some());
+        assert!(lib.cheapest(GateKind::Nand, 2).is_some());
+    }
+
+    #[test]
+    fn inverter_strengths_trade_area_for_delay() {
+        let lib = standard_library();
+        let inv1 = lib.cell(lib.find("inv1").unwrap());
+        let inv4 = lib.cell(lib.find("inv4").unwrap());
+        assert!(inv4.area() > inv1.area());
+        assert!(inv4.max_delay() < inv1.max_delay());
+    }
+
+    #[test]
+    fn covers_all_supported_kinds() {
+        let lib = standard_library();
+        for (kind, arity) in [
+            (GateKind::Nand, 2),
+            (GateKind::Nand, 3),
+            (GateKind::Nand, 4),
+            (GateKind::Nor, 2),
+            (GateKind::Nor, 4),
+            (GateKind::And, 2),
+            (GateKind::Or, 2),
+            (GateKind::Xor, 2),
+            (GateKind::Xnor, 2),
+            (GateKind::Aoi21, 3),
+            (GateKind::Oai21, 3),
+            (GateKind::Aoi22, 4),
+            (GateKind::Oai22, 4),
+            (GateKind::Const0, 0),
+            (GateKind::Const1, 0),
+        ] {
+            assert!(
+                lib.cheapest(kind, arity).is_some(),
+                "missing {kind} arity {arity}"
+            );
+        }
+    }
+
+    #[test]
+    fn xor_is_slower_than_nand() {
+        let lib = standard_library();
+        let xor = lib.cell(lib.find("xor2").unwrap());
+        let nand = lib.cell(lib.find("nand2").unwrap());
+        assert!(xor.max_delay() > nand.max_delay());
+    }
+}

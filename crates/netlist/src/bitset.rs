@@ -1,0 +1,181 @@
+use crate::SignalId;
+
+/// A dense bit set over signal ids.
+///
+/// Used for transitive-fanin/fanout cones, reachability checks and the
+/// critical-gate set. Written in-repo to keep the reproduction free of
+/// external data-structure dependencies.
+///
+/// # Example
+///
+/// ```
+/// use netlist::{SignalSet, SignalId};
+///
+/// let mut s = SignalSet::with_capacity(100);
+/// let a = SignalId::from_index(7);
+/// assert!(!s.contains(a));
+/// s.insert(a);
+/// assert!(s.contains(a));
+/// assert_eq!(s.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SignalSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SignalSet {
+    /// Creates an empty set able to hold ids below `capacity` without
+    /// reallocation.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        SignalSet {
+            words: vec![0; capacity.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of signals in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no signal is in the set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a signal; returns `true` if it was not already present.
+    pub fn insert(&mut self, s: SignalId) -> bool {
+        let (w, b) = (s.index() / 64, s.index() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let newly = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        self.len += usize::from(newly);
+        newly
+    }
+
+    /// Removes a signal; returns `true` if it was present.
+    pub fn remove(&mut self, s: SignalId) -> bool {
+        let (w, b) = (s.index() / 64, s.index() % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        self.len -= usize::from(present);
+        present
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, s: SignalId) -> bool {
+        let (w, b) = (s.index() / 64, s.index() % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Removes every element while keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterates over the members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = SignalId> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(SignalId::from_index(w * 64 + b))
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<SignalId> for SignalSet {
+    fn from_iter<I: IntoIterator<Item = SignalId>>(iter: I) -> Self {
+        let mut s = SignalSet::new();
+        for id in iter {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+impl Extend<SignalId> for SignalSet {
+    fn extend<I: IntoIterator<Item = SignalId>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: usize) -> SignalId {
+        SignalId::from_index(i)
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = SignalSet::new();
+        assert!(s.insert(id(5)));
+        assert!(!s.insert(id(5)));
+        assert!(s.contains(id(5)));
+        assert!(!s.contains(id(6)));
+        assert!(s.remove(id(5)));
+        assert!(!s.remove(id(5)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn grows_on_demand() {
+        let mut s = SignalSet::with_capacity(8);
+        s.insert(id(1000));
+        assert!(s.contains(id(1000)));
+        assert!(!s.contains(id(999)));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut s = SignalSet::new();
+        for i in [130usize, 2, 64, 63, 7] {
+            s.insert(id(i));
+        }
+        let got: Vec<usize> = s.iter().map(SignalId::index).collect();
+        assert_eq!(got, vec![2, 7, 63, 64, 130]);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut s: SignalSet = [id(1), id(3)].into_iter().collect();
+        s.extend([id(3), id(9)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = SignalSet::with_capacity(256);
+        s.insert(id(200));
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(id(200)));
+    }
+}

@@ -1,0 +1,94 @@
+use crate::{GateKind, SignalId};
+
+/// One cell of the netlist together with its fanin connections.
+///
+/// A cell's output *is* its signal: the paper's *stem* signal. The fanout
+/// side is stored separately in the netlist so that cells stay small and
+/// rewiring one branch does not touch the cell itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    pub(crate) kind: GateKind,
+    pub(crate) fanins: Vec<SignalId>,
+    /// Index of the bound library cell, if this netlist is mapped.
+    pub(crate) lib: Option<u32>,
+    pub(crate) name: Option<String>,
+}
+
+impl Cell {
+    /// The logic function of this cell.
+    #[must_use]
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// The input signals, in pin order.
+    #[must_use]
+    pub fn fanins(&self) -> &[SignalId] {
+        &self.fanins
+    }
+
+    /// Index of the technology-library cell this gate is mapped to, if any.
+    ///
+    /// The netlist crate treats this as an opaque tag; the `library` crate
+    /// interprets it.
+    #[must_use]
+    pub fn lib(&self) -> Option<u32> {
+        self.lib
+    }
+
+    /// The user-visible name of this signal, if one was assigned.
+    #[must_use]
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+}
+
+/// One fanout connection of a stem signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fanout {
+    /// The stem drives input pin `pin` of cell `cell`.
+    Gate {
+        /// Consuming cell.
+        cell: SignalId,
+        /// Zero-based input-pin index within the consuming cell.
+        pin: u32,
+    },
+    /// The stem drives primary output number `index`.
+    Po(u32),
+}
+
+/// A *branch* signal: one particular gate-input connection.
+///
+/// The paper distinguishes the root of a multi-fanout signal (the *stem*)
+/// from its individual fanout connections (the *branches*). An input
+/// substitution `IS2`/`IS3` rewires a single branch; an output substitution
+/// `OS2`/`OS3` rewires the stem, i.e. every branch at once.
+///
+/// # Example
+///
+/// ```
+/// use netlist::{Netlist, GateKind, Branch};
+///
+/// # fn main() -> Result<(), netlist::NetlistError> {
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let g = nl.add_gate(GateKind::And, &[a, b])?;
+/// let br = Branch { cell: g, pin: 0 };
+/// assert_eq!(nl.branch_source(br)?, a);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Branch {
+    /// The consuming cell.
+    pub cell: SignalId,
+    /// The input-pin index within `cell`.
+    pub pin: u32,
+}
+
+impl std::fmt::Display for Branch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.cell, self.pin)
+    }
+}

@@ -1,0 +1,85 @@
+use crate::SignalId;
+use std::fmt;
+
+/// Errors produced by netlist construction and editing operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate was given a fanin count its kind does not accept.
+    ArityMismatch {
+        /// The offending kind's mnemonic.
+        kind: &'static str,
+        /// The fanin count that was supplied.
+        got: usize,
+    },
+    /// A referenced signal does not exist or has been deleted.
+    DeadSignal(SignalId),
+    /// A pin index was out of range for the cell.
+    PinOutOfRange {
+        /// The cell being edited.
+        cell: SignalId,
+        /// The requested pin.
+        pin: u32,
+    },
+    /// The requested edit would create a combinational cycle.
+    WouldCycle {
+        /// The signal being substituted.
+        target: SignalId,
+        /// The replacement whose cone reaches back to `target`.
+        replacement: SignalId,
+    },
+    /// A name was not found in the netlist's symbol table.
+    UnknownName(String),
+    /// A name is already bound to a different signal.
+    DuplicateName(String),
+    /// The netlist contains a combinational cycle.
+    CycleDetected,
+    /// An operation targeted a primary input where a gate was required.
+    NotAGate(SignalId),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::ArityMismatch { kind, got } => {
+                write!(f, "gate kind {kind} cannot take {got} fanins")
+            }
+            NetlistError::DeadSignal(s) => write!(f, "signal {s} does not exist or was deleted"),
+            NetlistError::PinOutOfRange { cell, pin } => {
+                write!(f, "cell {cell} has no input pin {pin}")
+            }
+            NetlistError::WouldCycle {
+                target,
+                replacement,
+            } => write!(
+                f,
+                "substituting {target} by {replacement} would create a combinational cycle"
+            ),
+            NetlistError::UnknownName(n) => write!(f, "no signal named {n:?}"),
+            NetlistError::DuplicateName(n) => write!(f, "signal name {n:?} is already in use"),
+            NetlistError::CycleDetected => write!(f, "netlist contains a combinational cycle"),
+            NetlistError::NotAGate(s) => write!(f, "signal {s} is not a gate"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = NetlistError::DeadSignal(SignalId::from_index(3));
+        assert_eq!(e.to_string(), "signal n3 does not exist or was deleted");
+        let e = NetlistError::ArityMismatch { kind: "NOT", got: 2 };
+        assert!(e.to_string().contains("NOT"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

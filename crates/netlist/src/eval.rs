@@ -1,0 +1,149 @@
+//! Single-vector functional evaluation, used by tests and small tools.
+//! Bulk bit-parallel simulation lives in the `sim` crate.
+
+use crate::{GateKind, Netlist, NetlistError};
+
+impl Netlist {
+    /// Evaluates the netlist on a single primary-input assignment.
+    ///
+    /// `inputs[i]` is the value of `self.inputs()[i]`. Returns one value
+    /// per signal slot, indexed by [`crate::SignalId::index`] (dead slots hold
+    /// `false`).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::CycleDetected`] if the netlist is not a DAG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub fn eval(&self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        assert_eq!(
+            inputs.len(),
+            self.inputs().len(),
+            "expected {} input values",
+            self.inputs().len()
+        );
+        let order = self.topo_order()?;
+        let mut values = vec![false; self.capacity()];
+        for (i, &pi) in self.inputs().iter().enumerate() {
+            values[pi.index()] = inputs[i];
+        }
+        let mut buf: Vec<bool> = Vec::new();
+        for s in order {
+            let kind = self.kind(s);
+            if kind == GateKind::Input {
+                continue;
+            }
+            buf.clear();
+            buf.extend(self.fanins(s).iter().map(|f| values[f.index()]));
+            values[s.index()] = kind.eval(&buf);
+        }
+        Ok(values)
+    }
+
+    /// Evaluates the netlist and returns only the primary-output values, in
+    /// output order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`eval`](Self::eval).
+    pub fn eval_outputs(&self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        let values = self.eval(inputs)?;
+        Ok(self
+            .outputs()
+            .iter()
+            .map(|po| values[po.driver().index()])
+            .collect())
+    }
+
+    /// Checks functional equivalence against another netlist by exhaustive
+    /// enumeration. Only usable for small input counts; the `sat` and
+    /// `bdd` crates provide scalable equivalence checking.
+    ///
+    /// Both netlists must have the same number of inputs and outputs
+    /// (matched positionally).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::CycleDetected`] if either netlist is cyclic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interfaces differ in size or there are more than 20
+    /// inputs.
+    pub fn equiv_exhaustive(&self, other: &Netlist) -> Result<bool, NetlistError> {
+        assert_eq!(self.inputs().len(), other.inputs().len());
+        assert_eq!(self.outputs().len(), other.outputs().len());
+        let n = self.inputs().len();
+        assert!(n <= 20, "exhaustive equivalence limited to 20 inputs");
+        for v in 0u32..(1u32 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| v >> i & 1 == 1).collect();
+            if self.eval_outputs(&assignment)? != other.eval_outputs(&assignment)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GateKind, Netlist};
+
+    #[test]
+    fn fig1_truth_table() {
+        // d = AND(a,b); e = NOT(c); f = OR(d,e)
+        let mut nl = Netlist::new("fig1");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let e = nl.add_gate(GateKind::Not, &[c]).unwrap();
+        let f = nl.add_gate(GateKind::Or, &[d, e]).unwrap();
+        nl.add_output("f", f);
+        for v in 0u32..8 {
+            let (va, vb, vc) = (v & 1 == 1, v >> 1 & 1 == 1, v >> 2 & 1 == 1);
+            let out = nl.eval_outputs(&[va, vb, vc]).unwrap();
+            assert_eq!(out[0], (va && vb) || !vc);
+        }
+    }
+
+    #[test]
+    fn equivalence_of_demorgan_pair() {
+        // NAND(a,b) == OR(!a,!b)
+        let mut n1 = Netlist::new("n1");
+        let a = n1.add_input("a");
+        let b = n1.add_input("b");
+        let g = n1.add_gate(GateKind::Nand, &[a, b]).unwrap();
+        n1.add_output("o", g);
+
+        let mut n2 = Netlist::new("n2");
+        let a = n2.add_input("a");
+        let b = n2.add_input("b");
+        let na = n2.add_gate(GateKind::Not, &[a]).unwrap();
+        let nb = n2.add_gate(GateKind::Not, &[b]).unwrap();
+        let g = n2.add_gate(GateKind::Or, &[na, nb]).unwrap();
+        n2.add_output("o", g);
+
+        assert!(n1.equiv_exhaustive(&n2).unwrap());
+
+        let mut n3 = Netlist::new("n3");
+        let a = n3.add_input("a");
+        let b = n3.add_input("b");
+        let g = n3.add_gate(GateKind::And, &[a, b]).unwrap();
+        n3.add_output("o", g);
+        assert!(!n1.equiv_exhaustive(&n3).unwrap());
+    }
+
+    #[test]
+    fn constants_evaluate() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let one = nl.const1();
+        let g = nl.add_gate(GateKind::Xor, &[a, one]).unwrap();
+        nl.add_output("o", g);
+        assert_eq!(nl.eval_outputs(&[false]).unwrap(), vec![true]);
+        assert_eq!(nl.eval_outputs(&[true]).unwrap(), vec![false]);
+    }
+}

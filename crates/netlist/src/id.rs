@@ -1,0 +1,70 @@
+use std::fmt;
+
+/// Identifier of a signal in a [`Netlist`](crate::Netlist).
+///
+/// Every signal is the output of exactly one cell (primary inputs are cells
+/// of kind [`GateKind::Input`](crate::GateKind::Input)), so a `SignalId`
+/// names both the cell and its output signal — the *stem* signal in the
+/// paper's terminology.
+///
+/// # Example
+///
+/// ```
+/// use netlist::{Netlist, SignalId};
+///
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// assert_eq!(a, SignalId::from_index(0));
+/// assert_eq!(a.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(u32);
+
+impl SignalId {
+    /// Builds a `SignalId` from a raw cell index.
+    ///
+    /// Mostly useful in tests and when deserializing; regular code receives
+    /// ids from [`Netlist::add_gate`](crate::Netlist::add_gate) and friends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        SignalId(u32::try_from(index).expect("signal index overflows u32"))
+    }
+
+    /// Returns the raw cell index of this signal.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in [0usize, 1, 17, 65535, 1 << 20] {
+            assert_eq!(SignalId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(SignalId::from_index(42).to_string(), "n42");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(SignalId::from_index(1) < SignalId::from_index(2));
+    }
+}

@@ -1,0 +1,90 @@
+//! Size statistics matching the columns of the paper's result tables.
+
+use crate::Netlist;
+use std::fmt;
+
+/// Size summary of a netlist: the "#gates" and "#literals" columns of the
+/// paper's Tables 1 and 2.
+///
+/// *Gates* counts live logic cells (not inputs or constants). *Literals*
+/// counts gate input pins, the standard literal count of a mapped netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of live logic gates.
+    pub gates: usize,
+    /// Total number of gate input pins.
+    pub literals: usize,
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} inputs, {} outputs, {} gates, {} literals",
+            self.inputs, self.outputs, self.gates, self.literals
+        )
+    }
+}
+
+impl Netlist {
+    /// Computes the current size statistics.
+    ///
+    /// ```
+    /// use netlist::{Netlist, GateKind};
+    /// # fn main() -> Result<(), netlist::NetlistError> {
+    /// let mut nl = Netlist::new("t");
+    /// let a = nl.add_input("a");
+    /// let b = nl.add_input("b");
+    /// let g = nl.add_gate(GateKind::Nand, &[a, b])?;
+    /// nl.add_output("o", g);
+    /// let s = nl.stats();
+    /// assert_eq!((s.inputs, s.outputs, s.gates, s.literals), (2, 1, 1, 2));
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn stats(&self) -> NetlistStats {
+        let mut gates = 0;
+        let mut literals = 0;
+        for s in self.gates() {
+            gates += 1;
+            literals += self.fanins(s).len();
+        }
+        NetlistStats {
+            inputs: self.inputs().len(),
+            outputs: self.outputs().len(),
+            gates,
+            literals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GateKind, Netlist};
+
+    #[test]
+    fn constants_do_not_count_as_gates() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let one = nl.const1();
+        let g = nl.add_gate(GateKind::And, &[a, one]).unwrap();
+        nl.add_output("o", g);
+        let s = nl.stats();
+        assert_eq!(s.gates, 1);
+        assert_eq!(s.literals, 2);
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        nl.add_output("o", a);
+        let text = nl.stats().to_string();
+        assert!(text.contains("1 inputs") && text.contains("0 gates"));
+    }
+}

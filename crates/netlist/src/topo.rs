@@ -1,0 +1,141 @@
+//! Topological ordering and level computation.
+
+use crate::{Fanout, Netlist, NetlistError, SignalId};
+
+impl Netlist {
+    /// Returns all live signals in topological order (every signal after
+    /// all of its fanins). Sources (inputs and constants) come first.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::CycleDetected`] if the netlist is not a DAG.
+    pub fn topo_order(&self) -> Result<Vec<SignalId>, NetlistError> {
+        let cap = self.capacity();
+        let mut pending: Vec<u32> = vec![0; cap];
+        let mut order = Vec::with_capacity(cap);
+        let mut ready: Vec<SignalId> = Vec::new();
+        let mut live = 0usize;
+        for s in self.signals() {
+            live += 1;
+            let n = self.fanins(s).len() as u32;
+            pending[s.index()] = n;
+            if n == 0 {
+                ready.push(s);
+            }
+        }
+        while let Some(s) = ready.pop() {
+            order.push(s);
+            for f in self.fanouts(s) {
+                if let Fanout::Gate { cell, .. } = *f {
+                    // A cell with k pins fed by the same stem appears k
+                    // times in the fanout list; each occurrence decrements.
+                    pending[cell.index()] -= 1;
+                    if pending[cell.index()] == 0 {
+                        ready.push(cell);
+                    }
+                }
+            }
+        }
+        if order.len() != live {
+            return Err(NetlistError::CycleDetected);
+        }
+        Ok(order)
+    }
+
+    /// Computes the structural level of every signal: sources are level 0,
+    /// a gate is one more than its deepest fanin. Indexed by
+    /// [`SignalId::index`]; dead slots hold 0.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::CycleDetected`] if the netlist is not a DAG.
+    pub fn levels(&self) -> Result<Vec<u32>, NetlistError> {
+        let order = self.topo_order()?;
+        let mut level = vec![0u32; self.capacity()];
+        for s in order {
+            let l = self
+                .fanins(s)
+                .iter()
+                .map(|f| level[f.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            level[s.index()] = l;
+        }
+        Ok(level)
+    }
+
+    /// The maximum structural level over all primary outputs (the
+    /// unit-delay depth of the circuit).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::CycleDetected`] if the netlist is not a DAG.
+    pub fn depth(&self) -> Result<u32, NetlistError> {
+        let levels = self.levels()?;
+        Ok(self
+            .outputs()
+            .iter()
+            .map(|po| levels[po.driver().index()])
+            .max()
+            .unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GateKind, Netlist};
+
+    #[test]
+    fn topo_respects_dependencies() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let g2 = nl.add_gate(GateKind::Not, &[g1]).unwrap();
+        let g3 = nl.add_gate(GateKind::Or, &[g2, a]).unwrap();
+        nl.add_output("o", g3);
+
+        let order = nl.topo_order().unwrap();
+        let pos = |s| order.iter().position(|&x| x == s).unwrap();
+        assert!(pos(a) < pos(g1));
+        assert!(pos(b) < pos(g1));
+        assert!(pos(g1) < pos(g2));
+        assert!(pos(g2) < pos(g3));
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn duplicated_fanin_pin_counts() {
+        // g = AND(a, a): the same stem feeds two pins.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::And, &[a, a]).unwrap();
+        nl.add_output("o", g);
+        let order = nl.topo_order().unwrap();
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let g2 = nl.add_gate(GateKind::Not, &[g1]).unwrap();
+        let g3 = nl.add_gate(GateKind::Or, &[g2, a]).unwrap();
+        nl.add_output("o", g3);
+        let levels = nl.levels().unwrap();
+        assert_eq!(levels[a.index()], 0);
+        assert_eq!(levels[g1.index()], 1);
+        assert_eq!(levels[g2.index()], 2);
+        assert_eq!(levels[g3.index()], 3);
+        assert_eq!(nl.depth().unwrap(), 3);
+    }
+
+    #[test]
+    fn empty_netlist_has_depth_zero() {
+        let nl = Netlist::new("t");
+        assert_eq!(nl.depth().unwrap(), 0);
+        assert!(nl.topo_order().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the netlist editing engine: arbitrary legal edit
+//! sequences must preserve every structural invariant, and rejected edits
+//! must leave the netlist untouched.
+
+use netlist::{Branch, GateKind, Netlist, NetlistError, SignalId};
+use proptest::prelude::*;
+
+/// A deterministic seed circuit with some depth and fanout.
+fn seed_netlist() -> Netlist {
+    let mut nl = Netlist::new("seed");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let c = nl.add_input("c");
+    let d = nl.add_input("d");
+    let g1 = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+    let g2 = nl.add_gate(GateKind::Or, &[g1, c]).unwrap();
+    let g3 = nl.add_gate(GateKind::Xor, &[g1, d]).unwrap();
+    let g4 = nl.add_gate(GateKind::Nand, &[g2, g3]).unwrap();
+    let g5 = nl.add_gate(GateKind::Not, &[g4]).unwrap();
+    nl.add_output("y", g5);
+    nl.add_output("z", g2);
+    nl
+}
+
+/// One random edit operation, encoded with indices resolved at runtime.
+#[derive(Debug, Clone)]
+enum Edit {
+    AddGate(u8, Vec<usize>),
+    RewireBranch { cell: usize, pin: usize, to: usize },
+    SubstituteStem { from: usize, to: usize },
+    Prune,
+    Sweep,
+    Strash,
+}
+
+fn edit_strategy() -> impl Strategy<Value = Edit> {
+    prop_oneof![
+        (0u8..6, proptest::collection::vec(0usize..64, 1..4)).prop_map(|(k, f)| Edit::AddGate(k, f)),
+        (0usize..64, 0usize..4, 0usize..64)
+            .prop_map(|(cell, pin, to)| Edit::RewireBranch { cell, pin, to }),
+        (0usize..64, 0usize..64).prop_map(|(from, to)| Edit::SubstituteStem { from, to }),
+        Just(Edit::Prune),
+        Just(Edit::Sweep),
+        Just(Edit::Strash),
+    ]
+}
+
+fn live_signals(nl: &Netlist) -> Vec<SignalId> {
+    nl.signals().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any sequence of edits — including ones the netlist rejects — keeps
+    /// validate() green.
+    #[test]
+    fn edits_preserve_invariants(edits in proptest::collection::vec(edit_strategy(), 1..24)) {
+        let mut nl = seed_netlist();
+        for e in &edits {
+            let pool = live_signals(&nl);
+            prop_assert!(!pool.is_empty());
+            let pick = |i: usize| pool[i % pool.len()];
+            match e {
+                Edit::AddGate(k, fanin_refs) => {
+                    let kind = match k % 6 {
+                        0 => GateKind::And,
+                        1 => GateKind::Or,
+                        2 => GateKind::Nand,
+                        3 => GateKind::Xor,
+                        4 => GateKind::Not,
+                        _ => GateKind::Nor,
+                    };
+                    let arity = if kind == GateKind::Not { 1 } else { fanin_refs.len().clamp(2, 4) };
+                    let fanins: Vec<SignalId> =
+                        (0..arity).map(|i| pick(*fanin_refs.get(i).unwrap_or(&i))).collect();
+                    let _ = nl.add_gate(kind, &fanins);
+                }
+                Edit::RewireBranch { cell, pin, to } => {
+                    let cell = pick(*cell);
+                    let branch = Branch { cell, pin: *pin as u32 };
+                    // May fail (pin range, cycle) — failure must not corrupt.
+                    let _ = nl.rewire_branch(branch, pick(*to));
+                }
+                Edit::SubstituteStem { from, to } => {
+                    let _ = nl.substitute_stem(pick(*from), pick(*to));
+                }
+                Edit::Prune => {
+                    nl.prune_dangling();
+                }
+                Edit::Sweep => {
+                    nl.sweep().expect("acyclic by construction");
+                }
+                Edit::Strash => {
+                    nl.strash().expect("acyclic by construction");
+                }
+            }
+            nl.validate().unwrap_or_else(|err| panic!("after {e:?}: {err}"));
+        }
+    }
+
+    /// Rejected rewires leave the netlist byte-identical.
+    #[test]
+    fn rejected_edits_are_no_ops(to_pick in 0usize..8) {
+        let mut nl = seed_netlist();
+        let g4 = nl.find("a").unwrap();
+        let pool = live_signals(&nl);
+        let target = pool[to_pick % pool.len()];
+        let before = format!("{nl:?}");
+        // Rewiring an input's (nonexistent) pin always fails.
+        let result = nl.rewire_branch(Branch { cell: g4, pin: 9 }, target);
+        let rejected = matches!(result, Err(NetlistError::PinOutOfRange { .. }));
+        prop_assert!(rejected);
+        prop_assert_eq!(before, format!("{nl:?}"));
+    }
+
+    /// Substituting a stem by itself or by something in its fanout never
+    /// changes the circuit.
+    #[test]
+    fn cycle_rejections_preserve_function(idx in 0usize..16) {
+        let mut nl = seed_netlist();
+        let pool = live_signals(&nl);
+        let s = pool[idx % pool.len()];
+        let tfo: Vec<SignalId> = nl.transitive_fanout(s).iter().collect();
+        if let Some(&bad) = tfo.first() {
+            let reference = nl.clone();
+            let result = nl.substitute_stem(s, bad);
+            let rejected = matches!(result, Err(NetlistError::WouldCycle { .. }));
+            prop_assert!(rejected);
+            prop_assert!(reference.equiv_exhaustive(&nl).expect("small"));
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! DIMACS CNF import/export — the standard SAT interchange format, so
+//! the solver can be exercised against external instances and our CNF
+//! encodings can be inspected with off-the-shelf tools.
+
+use crate::{Cnf, Lit, Var};
+use std::fmt;
+
+/// Errors from DIMACS parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DimacsError {
+    /// Malformed header or clause line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimacsError::Parse { line, message } => {
+                write!(f, "dimacs parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses DIMACS CNF text (`p cnf <vars> <clauses>` header, clauses as
+/// 0-terminated literal lists, `c` comment lines).
+///
+/// The declared variable count is honored even if some variables never
+/// appear; clauses may span lines. A mismatch between the declared and
+/// actual clause count is tolerated (common in the wild).
+///
+/// # Errors
+///
+/// [`DimacsError::Parse`] on malformed input.
+///
+/// # Example
+///
+/// ```
+/// let cnf = sat::parse_dimacs("c demo\np cnf 2 2\n1 -2 0\n2 0\n")?;
+/// assert_eq!(cnf.num_vars(), 2);
+/// assert_eq!(cnf.clauses().len(), 2);
+/// # Ok::<(), sat::DimacsError>(())
+/// ```
+pub fn parse_dimacs(text: &str) -> Result<Cnf, DimacsError> {
+    let mut cnf = Cnf::new();
+    let mut declared_vars: Option<usize> = None;
+    let mut current: Vec<Lit> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let content = raw.trim();
+        if content.is_empty() || content.starts_with('c') || content.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = content.strip_prefix('p') {
+            let mut w = rest.split_whitespace();
+            if w.next() != Some("cnf") {
+                return Err(DimacsError::Parse {
+                    line,
+                    message: "expected 'p cnf <vars> <clauses>'".into(),
+                });
+            }
+            let vars: usize = w
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| DimacsError::Parse {
+                    line,
+                    message: "bad variable count".into(),
+                })?;
+            declared_vars = Some(vars);
+            for _ in 0..vars {
+                cnf.new_var();
+            }
+            continue;
+        }
+        let n_vars = declared_vars.ok_or_else(|| DimacsError::Parse {
+            line,
+            message: "clause before 'p cnf' header".into(),
+        })?;
+        for tok in content.split_whitespace() {
+            let v: i64 = tok.parse().map_err(|_| DimacsError::Parse {
+                line,
+                message: format!("bad literal {tok:?}"),
+            })?;
+            if v == 0 {
+                cnf.add_clause(current.drain(..));
+                continue;
+            }
+            let idx = v.unsigned_abs() as usize;
+            if idx > n_vars {
+                return Err(DimacsError::Parse {
+                    line,
+                    message: format!("literal {v} exceeds declared variable count {n_vars}"),
+                });
+            }
+            current.push(Lit::with_sign(Var::from_index(idx - 1), v > 0));
+        }
+    }
+    if !current.is_empty() {
+        // Unterminated final clause: accept it (tolerant, like most tools).
+        cnf.add_clause(current.drain(..));
+    }
+    Ok(cnf)
+}
+
+/// Serializes a [`Cnf`] as DIMACS text.
+#[must_use]
+pub fn write_dimacs(cnf: &Cnf) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars(), cnf.clauses().len());
+    for clause in cnf.clauses() {
+        for &l in clause {
+            let v = l.var().index() as i64 + 1;
+            let _ = write!(out, "{} ", if l.is_pos() { v } else { -v });
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+/// Loads a [`Cnf`] into a fresh [`crate::Solver`].
+#[must_use]
+pub fn solver_from_cnf(cnf: &Cnf) -> crate::Solver {
+    let mut s = crate::Solver::new();
+    for _ in 0..cnf.num_vars() {
+        s.new_var();
+    }
+    for clause in cnf.clauses() {
+        s.add_clause(clause);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SatResult;
+
+    #[test]
+    fn round_trip() {
+        let text = "c header\np cnf 3 3\n1 -2 0\n2 3 0\n-1 -3 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.clauses().len(), 3);
+        let again = parse_dimacs(&write_dimacs(&cnf)).unwrap();
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn multi_line_clauses_and_comments() {
+        let text = "p cnf 4 1\nc mid comment\n1 2\n3 -4 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        assert_eq!(cnf.clauses().len(), 1);
+        assert_eq!(cnf.clauses()[0].len(), 4);
+    }
+
+    #[test]
+    fn solves_parsed_instances() {
+        let sat_inst = parse_dimacs("p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+        let mut s = solver_from_cnf(&sat_inst);
+        match s.solve(&[]) {
+            SatResult::Sat(m) => assert!(sat_inst.eval(&[
+                m.var_value(Var::from_index(0)),
+                m.var_value(Var::from_index(1)),
+            ])),
+            SatResult::Unsat => panic!("satisfiable instance"),
+        }
+        let unsat = parse_dimacs("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        assert_eq!(solver_from_cnf(&unsat).solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_dimacs("1 2 0\n").is_err()); // clause before header
+        assert!(parse_dimacs("p cnf x 1\n1 0\n").is_err());
+        assert!(parse_dimacs("p cnf 1 1\n2 0\n").is_err()); // var out of range
+        assert!(parse_dimacs("p cnf 1 1\nfoo 0\n").is_err());
+    }
+
+    #[test]
+    fn tolerates_unterminated_final_clause() {
+        let cnf = parse_dimacs("p cnf 2 1\n1 2\n").unwrap();
+        assert_eq!(cnf.clauses().len(), 1);
+    }
+}

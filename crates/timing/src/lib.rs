@@ -1,0 +1,43 @@
+//! Static timing analysis on (mapped) combinational netlists.
+//!
+//! The paper's optimizer works on the *topological* critical path of a
+//! mapped netlist, using the per-pin block delays of the bound library
+//! cells. This crate computes:
+//!
+//! * arrival times, required times and slack per signal ([`Sta`]);
+//! * the circuit delay (the "delay" column of Tables 1 and 2);
+//! * the set of *critical gates* (slack ≈ 0), which is where the paper
+//!   restricts its `a`-signals;
+//! * **NCP**, the number of critical paths through each signal — the
+//!   primary ranking key for substitutions (Section 5);
+//! * an explicit worst path for reporting.
+//!
+//! # Example
+//!
+//! ```
+//! use netlist::{Netlist, GateKind};
+//! use timing::{Sta, UnitDelay};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut nl = Netlist::new("t");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let g1 = nl.add_gate(GateKind::And, &[a, b])?;
+//! let g2 = nl.add_gate(GateKind::Not, &[g1])?;
+//! nl.add_output("y", g2);
+//! let sta = Sta::analyze(&nl, &UnitDelay)?;
+//! assert_eq!(sta.circuit_delay(), 2.0);
+//! assert!(sta.is_critical(g1));
+//! # Ok(())
+//! # }
+//! ```
+
+mod model;
+mod ncp;
+mod paths;
+mod sta;
+
+pub use model::{DelayModel, LibDelay, LoadDelay, UnitDelay};
+pub use ncp::CriticalPaths;
+pub use paths::{worst_paths, TimingPath};
+pub use sta::Sta;

@@ -1,0 +1,190 @@
+use library::{LibCellId, Library};
+use netlist::{GateKind, Netlist, SignalId};
+
+/// A delay model: maps a gate input pin to its pin-to-output block delay.
+///
+/// Implementations must return non-negative finite values. Sources
+/// (inputs, constants) are never queried.
+pub trait DelayModel {
+    /// Block delay from input `pin` of `gate` to its output.
+    fn pin_delay(&self, nl: &Netlist, gate: SignalId, pin: usize) -> f64;
+
+    /// Area contribution of `gate`, used for area-aware reporting.
+    fn area(&self, nl: &Netlist, gate: SignalId) -> f64;
+}
+
+/// The unit delay model: every gate adds one delay unit, every gate has
+/// unit area. Used for unmapped netlists (the model the paper criticizes
+/// pre-mapping optimizers for relying on).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitDelay;
+
+impl DelayModel for UnitDelay {
+    fn pin_delay(&self, _nl: &Netlist, _gate: SignalId, _pin: usize) -> f64 {
+        1.0
+    }
+
+    fn area(&self, _nl: &Netlist, _gate: SignalId) -> f64 {
+        1.0
+    }
+}
+
+/// Library-accurate delays for mapped netlists: each gate's bound cell
+/// supplies per-pin block delays and area.
+///
+/// Gates without a binding fall back to the cheapest library cell of the
+/// same kind and arity, and to the unit model if the library has none —
+/// this keeps freshly inserted, not-yet-bound gates analyzable.
+#[derive(Debug, Clone, Copy)]
+pub struct LibDelay<'a> {
+    lib: &'a Library,
+}
+
+impl<'a> LibDelay<'a> {
+    /// Creates the model over `lib`.
+    #[must_use]
+    pub fn new(lib: &'a Library) -> Self {
+        LibDelay { lib }
+    }
+
+    /// The underlying library.
+    #[must_use]
+    pub fn library(&self) -> &'a Library {
+        self.lib
+    }
+
+    fn cell_of(&self, nl: &Netlist, gate: SignalId) -> Option<&'a library::LibCell> {
+        match nl.cell(gate).lib() {
+            Some(tag) => Some(self.lib.cell(LibCellId::from_tag(tag))),
+            None => {
+                let kind = nl.kind(gate);
+                let arity = nl.fanins(gate).len();
+                self.lib.cheapest(kind, arity).map(|id| self.lib.cell(id))
+            }
+        }
+    }
+}
+
+impl DelayModel for LibDelay<'_> {
+    fn pin_delay(&self, nl: &Netlist, gate: SignalId, pin: usize) -> f64 {
+        match self.cell_of(nl, gate) {
+            Some(cell) => cell.pin_delays()[pin],
+            None => 1.0,
+        }
+    }
+
+    fn area(&self, nl: &Netlist, gate: SignalId) -> f64 {
+        match nl.kind(gate) {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0.0,
+            _ => self.cell_of(nl, gate).map_or(1.0, library::LibCell::area),
+        }
+    }
+}
+
+/// A fanout-load-aware delay model: each gate's pin delay grows linearly
+/// with the number of loads its output drives.
+///
+/// The paper deliberately ignores fanout dependencies ("mapping was done
+/// without fanout optimization since at this point we do not consider
+/// fanout dependencies in our implementation"); this model quantifies
+/// what that simplification hides. See the `fanout_sensitivity` example
+/// for the comparison experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadDelay<'a> {
+    base: LibDelay<'a>,
+    per_load: f64,
+}
+
+impl<'a> LoadDelay<'a> {
+    /// Creates the model: `per_load` is the extra delay added per fanout
+    /// connection beyond the first (in the library's delay units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_load` is negative or non-finite.
+    #[must_use]
+    pub fn new(lib: &'a Library, per_load: f64) -> Self {
+        assert!(
+            per_load.is_finite() && per_load >= 0.0,
+            "per-load delay must be non-negative"
+        );
+        LoadDelay {
+            base: LibDelay::new(lib),
+            per_load,
+        }
+    }
+}
+
+impl DelayModel for LoadDelay<'_> {
+    fn pin_delay(&self, nl: &Netlist, gate: SignalId, pin: usize) -> f64 {
+        let loads = nl.fanout_count(gate).saturating_sub(1) as f64;
+        self.base.pin_delay(nl, gate, pin) + self.per_load * loads
+    }
+
+    fn area(&self, nl: &Netlist, gate: SignalId) -> f64 {
+        self.base.area(nl, gate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use library::standard_library;
+
+    #[test]
+    fn unit_delay_is_one_everywhere() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        nl.add_output("y", g);
+        assert_eq!(UnitDelay.pin_delay(&nl, g, 0), 1.0);
+        assert_eq!(UnitDelay.area(&nl, g), 1.0);
+    }
+
+    #[test]
+    fn lib_delay_reads_bindings() {
+        let lib = standard_library();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        nl.set_lib(g, Some(lib.find("inv4").unwrap().tag())).unwrap();
+        nl.add_output("y", g);
+        let model = LibDelay::new(&lib);
+        assert!((model.pin_delay(&nl, g, 0) - 0.4).abs() < 1e-12);
+        assert!((model.area(&nl, g) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_delay_scales_with_fanout() {
+        let lib = standard_library();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        nl.set_lib(g, Some(lib.find("inv1").unwrap().tag())).unwrap();
+        let c1 = nl.add_gate(GateKind::Buf, &[g]).unwrap();
+        let c2 = nl.add_gate(GateKind::Buf, &[g]).unwrap();
+        let c3 = nl.add_gate(GateKind::Buf, &[g]).unwrap();
+        nl.add_output("y1", c1);
+        nl.add_output("y2", c2);
+        nl.add_output("y3", c3);
+        let model = LoadDelay::new(&lib, 0.2);
+        // inv1 base 1.0 + 2 extra loads x 0.2.
+        assert!((model.pin_delay(&nl, g, 0) - 1.4).abs() < 1e-12);
+        // Zero per-load degenerates to the plain library model.
+        let flat = LoadDelay::new(&lib, 0.0);
+        assert!((flat.pin_delay(&nl, g, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbound_gate_falls_back_to_cheapest() {
+        let lib = standard_library();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::Not, &[a]).unwrap(); // no binding
+        nl.add_output("y", g);
+        let model = LibDelay::new(&lib);
+        // inv1 is the cheapest inverter: delay 1.0, area 1.0.
+        assert!((model.pin_delay(&nl, g, 0) - 1.0).abs() < 1e-12);
+        assert!((model.area(&nl, g) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,205 @@
+//! NCP — the Number of Critical Paths through each signal.
+//!
+//! Section 5 of the paper ranks candidate substitutions first by the NCP
+//! of their `a`-signal: shortening the signal that the most critical paths
+//! run through gives the best chance of reducing the overall delay.
+//! Counts are computed as products of forward and backward critical-path
+//! counts along critical edges; `f64` accumulation saturates gracefully
+//! for circuits with exponentially many critical paths.
+
+use crate::{DelayModel, Sta};
+use netlist::{Fanout, Netlist, NetlistError, SignalId};
+
+/// Per-signal critical-path counts for one timing snapshot.
+///
+/// # Example
+///
+/// ```
+/// use netlist::{Netlist, GateKind};
+/// use timing::{CriticalPaths, Sta, UnitDelay};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Two equal-length paths from `a` converge on the output.
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let g1 = nl.add_gate(GateKind::Not, &[a])?;
+/// let g2 = nl.add_gate(GateKind::Buf, &[a])?;
+/// let g3 = nl.add_gate(GateKind::And, &[g1, g2])?;
+/// nl.add_output("y", g3);
+/// let sta = Sta::analyze(&nl, &UnitDelay)?;
+/// let cp = CriticalPaths::count(&nl, &UnitDelay, &sta)?;
+/// assert_eq!(cp.ncp(a), 2.0);
+/// assert_eq!(cp.ncp(g1), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CriticalPaths {
+    forward: Vec<f64>,
+    backward: Vec<f64>,
+}
+
+impl CriticalPaths {
+    /// Counts critical paths through every signal under the given timing
+    /// snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::CycleDetected`] if `nl` is not a DAG.
+    pub fn count<M: DelayModel>(
+        nl: &Netlist,
+        model: &M,
+        sta: &Sta,
+    ) -> Result<CriticalPaths, NetlistError> {
+        let order = nl.topo_order()?;
+        let mut forward = vec![0.0_f64; nl.capacity()];
+        for &s in &order {
+            if !sta.is_critical(s) {
+                continue;
+            }
+            if nl.kind(s).is_source() {
+                forward[s.index()] = 1.0;
+                continue;
+            }
+            let mut count = 0.0;
+            for (pin, &f) in nl.fanins(s).iter().enumerate() {
+                if sta.is_critical_edge(nl, model, s, pin) {
+                    count += forward[f.index()];
+                }
+            }
+            forward[s.index()] = count;
+        }
+        let mut backward = vec![0.0_f64; nl.capacity()];
+        for &s in order.iter().rev() {
+            if !sta.is_critical(s) {
+                continue;
+            }
+            let mut count = 0.0;
+            for fo in nl.fanouts(s) {
+                match *fo {
+                    Fanout::Po(_) => {
+                        if (sta.arrival(s) - sta.circuit_delay()).abs() <= sta.eps() {
+                            count += 1.0;
+                        }
+                    }
+                    Fanout::Gate { cell, pin } => {
+                        if sta.is_critical_edge(nl, model, cell, pin as usize) {
+                            count += backward[cell.index()];
+                        }
+                    }
+                }
+            }
+            backward[s.index()] = count;
+        }
+        Ok(CriticalPaths { forward, backward })
+    }
+
+    /// The number of complete critical paths running through `s` (0 for
+    /// non-critical signals).
+    #[must_use]
+    pub fn ncp(&self, s: SignalId) -> f64 {
+        self.forward[s.index()] * self.backward[s.index()]
+    }
+
+    /// Number of critical partial paths from primary inputs to `s`.
+    #[must_use]
+    pub fn forward(&self, s: SignalId) -> f64 {
+        self.forward[s.index()]
+    }
+
+    /// Number of critical partial paths from `s` to primary outputs.
+    #[must_use]
+    pub fn backward(&self, s: SignalId) -> f64 {
+        self.backward[s.index()]
+    }
+
+    /// Total number of critical paths in the circuit (the sum of NCP over
+    /// critical primary-output drivers' backward counts from sources).
+    #[must_use]
+    pub fn total(&self, nl: &Netlist) -> f64 {
+        nl.inputs()
+            .iter()
+            .map(|&pi| self.forward[pi.index()] * self.backward[pi.index()])
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sta, UnitDelay};
+    use netlist::GateKind;
+
+    #[test]
+    fn diamond_has_two_critical_paths() {
+        // a -> g1 -> g3 and a -> g2 -> g3: both length 2, both critical.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g1 = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        let g2 = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        let g3 = nl.add_gate(GateKind::And, &[g1, g2]).unwrap();
+        nl.add_output("y", g3);
+        let sta = Sta::analyze(&nl, &UnitDelay).unwrap();
+        let cp = CriticalPaths::count(&nl, &UnitDelay, &sta).unwrap();
+        assert_eq!(cp.ncp(g3), 2.0);
+        assert_eq!(cp.ncp(a), 2.0);
+        assert_eq!(cp.ncp(g1), 1.0);
+        assert_eq!(cp.ncp(g2), 1.0);
+        assert_eq!(cp.total(&nl), 2.0);
+    }
+
+    #[test]
+    fn noncritical_signal_has_zero_ncp() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        let g2 = nl.add_gate(GateKind::And, &[g1, b]).unwrap();
+        nl.add_output("y", g2);
+        let sta = Sta::analyze(&nl, &UnitDelay).unwrap();
+        let cp = CriticalPaths::count(&nl, &UnitDelay, &sta).unwrap();
+        assert_eq!(cp.ncp(b), 0.0);
+        assert_eq!(cp.ncp(g1), 1.0);
+    }
+
+    #[test]
+    fn wide_fanout_multiplies() {
+        // a feeds two parallel 2-level chains converging on two outputs:
+        // four critical paths through a? No: two chains, each one path,
+        // NCP(a) = 2.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g1 = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        let g2 = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        let g3 = nl.add_gate(GateKind::Not, &[g1]).unwrap();
+        let g4 = nl.add_gate(GateKind::Not, &[g2]).unwrap();
+        nl.add_output("y", g3);
+        nl.add_output("z", g4);
+        let sta = Sta::analyze(&nl, &UnitDelay).unwrap();
+        let cp = CriticalPaths::count(&nl, &UnitDelay, &sta).unwrap();
+        assert_eq!(cp.ncp(a), 2.0);
+        assert_eq!(cp.ncp(g1), 1.0);
+        assert_eq!(cp.total(&nl), 2.0);
+    }
+
+    #[test]
+    fn ladder_counts_grow() {
+        // A ladder of n XOR stages where both legs are critical gives 2^n
+        // critical paths.
+        let mut nl = Netlist::new("t");
+        let mut cur = nl.add_input("x0");
+        let mut side = nl.add_input("x1");
+        for i in 0..10 {
+            let next = nl.add_gate(GateKind::Xor, &[cur, side]).unwrap();
+            let next_side = nl.add_gate(GateKind::Xnor, &[cur, side]).unwrap();
+            cur = next;
+            side = next_side;
+            let _ = i;
+        }
+        let g = nl.add_gate(GateKind::And, &[cur, side]).unwrap();
+        nl.add_output("y", g);
+        let sta = Sta::analyze(&nl, &UnitDelay).unwrap();
+        let cp = CriticalPaths::count(&nl, &UnitDelay, &sta).unwrap();
+        assert!(cp.ncp(g) >= 1024.0);
+    }
+}

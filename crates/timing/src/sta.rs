@@ -1,0 +1,396 @@
+use crate::DelayModel;
+use netlist::{Fanout, Netlist, NetlistError, SignalId};
+
+/// Tolerance for "critical" comparisons, relative to the circuit delay.
+const REL_EPS: f64 = 1e-9;
+
+/// A static timing analysis snapshot of one netlist state.
+///
+/// Arrival times propagate forward from primary inputs (arrival 0);
+/// required times propagate backward from primary outputs, whose required
+/// time is the circuit delay. A signal is *critical* when its slack is
+/// (numerically) zero — critical gates are the only `a`-signal candidates
+/// of the paper's delay-reduction phase.
+#[derive(Debug, Clone)]
+pub struct Sta {
+    arrival: Vec<f64>,
+    required: Vec<f64>,
+    circuit_delay: f64,
+    eps: f64,
+}
+
+impl Sta {
+    /// Runs a full forward/backward timing analysis with the default
+    /// boundary conditions: inputs arrive at 0, outputs are required at
+    /// the circuit delay (so the worst paths have zero slack).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::CycleDetected`] if `nl` is not a DAG.
+    pub fn analyze<M: DelayModel>(nl: &Netlist, model: &M) -> Result<Sta, NetlistError> {
+        Self::analyze_constrained(nl, model, None, None)
+    }
+
+    /// Timing analysis under explicit boundary constraints.
+    ///
+    /// `input_arrivals[i]` is the arrival time of primary input `i`
+    /// (default 0). `po_required` is the required time at every primary
+    /// output; when `None`, the circuit delay is used, making the worst
+    /// paths exactly critical. With an explicit requirement, slacks can
+    /// be genuinely negative (the constraint is violated) or uniformly
+    /// positive (timing met with margin) — and
+    /// [`is_critical`](Self::is_critical) then reflects the *constraint*,
+    /// not the topological worst path.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::CycleDetected`] if `nl` is not a DAG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_arrivals` is given with the wrong length.
+    pub fn analyze_constrained<M: DelayModel>(
+        nl: &Netlist,
+        model: &M,
+        input_arrivals: Option<&[f64]>,
+        po_required: Option<f64>,
+    ) -> Result<Sta, NetlistError> {
+        if let Some(ia) = input_arrivals {
+            assert_eq!(
+                ia.len(),
+                nl.inputs().len(),
+                "one arrival time per primary input"
+            );
+        }
+        let order = nl.topo_order()?;
+        let mut arrival = vec![0.0_f64; nl.capacity()];
+        if let Some(ia) = input_arrivals {
+            for (i, &pi) in nl.inputs().iter().enumerate() {
+                arrival[pi.index()] = ia[i];
+            }
+        }
+        for &s in &order {
+            if nl.kind(s).is_source() {
+                continue;
+            }
+            let mut at: f64 = 0.0;
+            for (pin, &f) in nl.fanins(s).iter().enumerate() {
+                at = at.max(arrival[f.index()] + model.pin_delay(nl, s, pin));
+            }
+            arrival[s.index()] = at;
+        }
+        let circuit_delay = nl
+            .outputs()
+            .iter()
+            .map(|po| arrival[po.driver().index()])
+            .fold(0.0_f64, f64::max);
+        let eps = circuit_delay.abs().max(1.0) * REL_EPS;
+        let po_req = po_required.unwrap_or(circuit_delay);
+
+        let mut required = vec![f64::INFINITY; nl.capacity()];
+        for &s in order.iter().rev() {
+            let mut req = f64::INFINITY;
+            for fo in nl.fanouts(s) {
+                match *fo {
+                    Fanout::Po(_) => req = req.min(po_req),
+                    Fanout::Gate { cell, pin } => {
+                        req = req.min(
+                            required[cell.index()] - model.pin_delay(nl, cell, pin as usize),
+                        );
+                    }
+                }
+            }
+            required[s.index()] = req;
+        }
+        Ok(Sta {
+            arrival,
+            required,
+            circuit_delay,
+            eps,
+        })
+    }
+
+    /// The worst (smallest) slack over all signals that drive anything —
+    /// negative iff a constraint is violated.
+    #[must_use]
+    pub fn worst_slack(&self, nl: &Netlist) -> f64 {
+        nl.signals()
+            .filter(|&s| nl.fanout_count(s) > 0)
+            .map(|s| self.slack(s))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Arrival time of a signal.
+    #[must_use]
+    pub fn arrival(&self, s: SignalId) -> f64 {
+        self.arrival[s.index()]
+    }
+
+    /// Required time of a signal (`+inf` for signals driving nothing).
+    #[must_use]
+    pub fn required(&self, s: SignalId) -> f64 {
+        self.required[s.index()]
+    }
+
+    /// Slack of a signal: `required - arrival`.
+    #[must_use]
+    pub fn slack(&self, s: SignalId) -> f64 {
+        self.required[s.index()] - self.arrival[s.index()]
+    }
+
+    /// The topological circuit delay: the latest primary-output arrival.
+    #[must_use]
+    pub fn circuit_delay(&self) -> f64 {
+        self.circuit_delay
+    }
+
+    /// The comparison tolerance used by the criticality tests.
+    #[must_use]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Returns `true` if `s` lies on a topological critical path.
+    #[must_use]
+    pub fn is_critical(&self, s: SignalId) -> bool {
+        self.slack(s) <= self.eps
+    }
+
+    /// All critical signals of the netlist, in id order (inputs included).
+    #[must_use]
+    pub fn critical_signals(&self, nl: &Netlist) -> Vec<SignalId> {
+        nl.signals().filter(|&s| self.is_critical(s)).collect()
+    }
+
+    /// All critical *gates* (the paper's critical-gate set).
+    #[must_use]
+    pub fn critical_gates(&self, nl: &Netlist) -> Vec<SignalId> {
+        nl.gates().filter(|&s| self.is_critical(s)).collect()
+    }
+
+    /// Returns `true` if the fanin edge `(fanin pin `pin` of `gate`)` is a
+    /// critical edge: both endpoints critical and the edge delay tight.
+    #[must_use]
+    pub fn is_critical_edge<M: DelayModel>(
+        &self,
+        nl: &Netlist,
+        model: &M,
+        gate: SignalId,
+        pin: usize,
+    ) -> bool {
+        let src = nl.fanins(gate)[pin];
+        self.is_critical(src)
+            && self.is_critical(gate)
+            && (self.arrival(src) + model.pin_delay(nl, gate, pin) - self.arrival(gate)).abs()
+                <= self.eps
+    }
+
+    /// Extracts one worst (topologically longest) path as a signal chain
+    /// from a primary input to a primary output driver.
+    ///
+    /// Returns an empty vector for netlists without outputs.
+    #[must_use]
+    pub fn worst_path<M: DelayModel>(&self, nl: &Netlist, model: &M) -> Vec<SignalId> {
+        let Some(end) = nl
+            .outputs()
+            .iter()
+            .map(netlist::PrimaryOutput::driver)
+            .max_by(|&a, &b| self.arrival(a).total_cmp(&self.arrival(b)))
+        else {
+            return Vec::new();
+        };
+        let mut path = vec![end];
+        let mut cur = end;
+        while !nl.kind(cur).is_source() {
+            let (pin, _) = nl
+                .fanins(cur)
+                .iter()
+                .enumerate()
+                .max_by(|(pa, &a), (pb, &b)| {
+                    (self.arrival(a) + model.pin_delay(nl, cur, *pa))
+                        .total_cmp(&(self.arrival(b) + model.pin_delay(nl, cur, *pb)))
+                })
+                .expect("gates have fanins");
+            cur = nl.fanins(cur)[pin];
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UnitDelay;
+    use netlist::GateKind;
+
+    /// Chain a -> g1 -> g2 -> y, plus a short side branch b -> g2.
+    fn chain() -> (Netlist, [SignalId; 4]) {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        let g2 = nl.add_gate(GateKind::And, &[g1, b]).unwrap();
+        nl.add_output("y", g2);
+        (nl, [a, b, g1, g2])
+    }
+
+    #[test]
+    fn arrivals_and_delay() {
+        let (nl, [a, b, g1, g2]) = chain();
+        let sta = Sta::analyze(&nl, &UnitDelay).unwrap();
+        assert_eq!(sta.arrival(a), 0.0);
+        assert_eq!(sta.arrival(g1), 1.0);
+        assert_eq!(sta.arrival(g2), 2.0);
+        assert_eq!(sta.circuit_delay(), 2.0);
+        assert_eq!(sta.required(g2), 2.0);
+        assert_eq!(sta.required(g1), 1.0);
+        assert_eq!(sta.required(b), 1.0);
+        assert_eq!(sta.slack(b), 1.0);
+        assert!(!sta.is_critical(b));
+        for s in [a, g1, g2] {
+            assert!(sta.is_critical(s), "{s} should be critical");
+        }
+    }
+
+    #[test]
+    fn critical_edges() {
+        let (nl, [_, _, _, g2]) = chain();
+        let sta = Sta::analyze(&nl, &UnitDelay).unwrap();
+        assert!(sta.is_critical_edge(&nl, &UnitDelay, g2, 0)); // from g1
+        assert!(!sta.is_critical_edge(&nl, &UnitDelay, g2, 1)); // from b
+    }
+
+    #[test]
+    fn worst_path_walks_the_chain() {
+        let (nl, [a, _, g1, g2]) = chain();
+        let sta = Sta::analyze(&nl, &UnitDelay).unwrap();
+        assert_eq!(sta.worst_path(&nl, &UnitDelay), vec![a, g1, g2]);
+    }
+
+    #[test]
+    fn unused_signal_has_infinite_required() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let _dangling = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        let g = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        nl.add_output("y", g);
+        let sta = Sta::analyze(&nl, &UnitDelay).unwrap();
+        assert!(sta.required(_dangling).is_infinite());
+        assert!(!sta.is_critical(_dangling));
+    }
+
+    #[test]
+    fn mapped_delays_respected() {
+        use crate::LibDelay;
+        use library::{standard_library, MapGoal, Mapper};
+        let lib = standard_library();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        nl.add_output("y", g);
+        let mapped = Mapper::new(&lib).goal(MapGoal::Area).map(&nl).unwrap();
+        let sta = Sta::analyze(&mapped, &LibDelay::new(&lib)).unwrap();
+        // One xor2 cell with 2.0 ns pins.
+        assert!((sta.circuit_delay() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_netlist() {
+        let nl = Netlist::new("t");
+        let sta = Sta::analyze(&nl, &UnitDelay).unwrap();
+        assert_eq!(sta.circuit_delay(), 0.0);
+        assert!(sta.worst_path(&nl, &UnitDelay).is_empty());
+    }
+
+    #[test]
+    fn constrained_analysis_shifts_slack() {
+        let (nl, [a, b, g1, g2]) = chain();
+        // Tight requirement: everything is late.
+        let sta = Sta::analyze_constrained(&nl, &UnitDelay, None, Some(1.0)).unwrap();
+        assert!(sta.worst_slack(&nl) < 0.0);
+        assert!(sta.slack(g1) < 0.0);
+        // Loose requirement: nothing is critical.
+        let sta = Sta::analyze_constrained(&nl, &UnitDelay, None, Some(10.0)).unwrap();
+        assert!(sta.worst_slack(&nl) > 0.0);
+        assert!(!sta.is_critical(g2));
+        // Input arrival shifts downstream arrivals.
+        let sta =
+            Sta::analyze_constrained(&nl, &UnitDelay, Some(&[5.0, 0.0]), None).unwrap();
+        assert_eq!(sta.arrival(a), 5.0);
+        assert_eq!(sta.arrival(g1), 6.0);
+        assert_eq!(sta.circuit_delay(), 7.0);
+        // b's path is now very uncritical.
+        assert!(sta.slack(b) > 5.0);
+    }
+
+    #[test]
+    fn default_analysis_equals_unconstrained() {
+        let (nl, _) = chain();
+        let a = Sta::analyze(&nl, &UnitDelay).unwrap();
+        let b = Sta::analyze_constrained(&nl, &UnitDelay, None, None).unwrap();
+        for s in nl.signals() {
+            assert_eq!(a.arrival(s), b.arrival(s));
+            assert_eq!(a.required(s), b.required(s));
+        }
+    }
+
+    #[test]
+    fn worst_path_delays_telescope() {
+        // Along the worst path, each step's arrival difference equals the
+        // pin delay — on a mapped netlist with heterogeneous cells.
+        use crate::LibDelay;
+        use library::{standard_library, MapGoal, Mapper};
+        let lib = standard_library();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let g1 = nl.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        let g2 = nl.add_gate(GateKind::Aoi21, &[g1, c, a]).unwrap();
+        let g3 = nl.add_gate(GateKind::Nand, &[g2, b]).unwrap();
+        nl.add_output("y", g3);
+        let mapped = Mapper::new(&lib).goal(MapGoal::Delay).map(&nl).unwrap();
+        let model = LibDelay::new(&lib);
+        let sta = Sta::analyze(&mapped, &model).unwrap();
+        let path = sta.worst_path(&mapped, &model);
+        assert!(path.len() >= 2);
+        for w in path.windows(2) {
+            let (src, dst) = (w[0], w[1]);
+            let pin = mapped
+                .fanins(dst)
+                .iter()
+                .position(|&f| f == src)
+                .expect("consecutive path nodes are connected");
+            let step = model.pin_delay(&mapped, dst, pin);
+            assert!(
+                (sta.arrival(src) + step - sta.arrival(dst)).abs() < 1e-9,
+                "non-tight worst-path step"
+            );
+        }
+        assert!((sta.arrival(*path.last().unwrap()) - sta.circuit_delay()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slack_is_never_negative_without_constraints() {
+        // With required = circuit delay at every PO, min slack is 0.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let g2 = nl.add_gate(GateKind::Xor, &[g1, a]).unwrap();
+        nl.add_output("y", g2);
+        nl.add_output("z", g1);
+        let sta = Sta::analyze(&nl, &UnitDelay).unwrap();
+        for s in nl.signals() {
+            assert!(sta.slack(s) >= -sta.eps(), "negative slack at {s}");
+        }
+        let min_slack = nl
+            .signals()
+            .map(|s| sta.slack(s))
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_slack.abs() <= sta.eps());
+    }
+}

@@ -1,0 +1,114 @@
+//! The alu4-class arithmetic-logic unit.
+
+use crate::arith::ripple_adder;
+use netlist::{GateKind, Netlist, SignalId};
+
+/// Builds an `n`-bit ALU in the 74181 spirit (the MCNC `alu4` class):
+/// operands `a`, `b`, carry-in and a 2-bit opcode selecting
+/// ADD / AND / OR / XOR. Outputs `n` result bits plus carry-out.
+///
+/// Inputs: `a0.. an-1, b0.. bn-1, cin, s0, s1` — for `alu(4)` that is 11
+/// inputs and 5 outputs, alu4-class in size once mapped.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// let nl = workloads::alu(4);
+/// assert_eq!(nl.stats().inputs, 11);
+/// assert_eq!(nl.stats().outputs, 5);
+/// ```
+#[must_use]
+pub fn alu(n: usize) -> Netlist {
+    assert!(n > 0, "alu width must be positive");
+    let mut nl = Netlist::new(format!("alu{n}"));
+    let a: Vec<SignalId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<SignalId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let cin = nl.add_input("cin");
+    let s0 = nl.add_input("s0");
+    let s1 = nl.add_input("s1");
+
+    let (sum, cout) = ripple_adder(&mut nl, &a, &b, Some(cin));
+
+    // Opcode decode: 00 = ADD, 01 = AND, 10 = OR, 11 = XOR.
+    let ns0 = nl.add_gate(GateKind::Not, &[s0]).expect("live");
+    let ns1 = nl.add_gate(GateKind::Not, &[s1]).expect("live");
+    let sel_add = nl.add_gate(GateKind::And, &[ns0, ns1]).expect("live");
+    let sel_and = nl.add_gate(GateKind::And, &[s0, ns1]).expect("live");
+    let sel_or = nl.add_gate(GateKind::And, &[ns0, s1]).expect("live");
+    let sel_xor = nl.add_gate(GateKind::And, &[s0, s1]).expect("live");
+
+    for i in 0..n {
+        let and_i = nl.add_gate(GateKind::And, &[a[i], b[i]]).expect("live");
+        let or_i = nl.add_gate(GateKind::Or, &[a[i], b[i]]).expect("live");
+        let xor_i = nl.add_gate(GateKind::Xor, &[a[i], b[i]]).expect("live");
+        let m0 = nl.add_gate(GateKind::And, &[sel_add, sum[i]]).expect("live");
+        let m1 = nl.add_gate(GateKind::And, &[sel_and, and_i]).expect("live");
+        let m2 = nl.add_gate(GateKind::And, &[sel_or, or_i]).expect("live");
+        let m3 = nl.add_gate(GateKind::And, &[sel_xor, xor_i]).expect("live");
+        let y = nl.add_gate(GateKind::Or, &[m0, m1, m2, m3]).expect("live");
+        nl.add_output(format!("y{i}"), y);
+    }
+    let carry_gated = nl.add_gate(GateKind::And, &[sel_add, cout]).expect("live");
+    nl.add_output("cout", carry_gated);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(nl: &Netlist, n: usize, a: u32, b: u32, cin: bool, op: u32) -> (u32, bool) {
+        let mut ins = Vec::new();
+        for i in 0..n {
+            ins.push(a >> i & 1 == 1);
+        }
+        for i in 0..n {
+            ins.push(b >> i & 1 == 1);
+        }
+        ins.push(cin);
+        ins.push(op & 1 == 1);
+        ins.push(op >> 1 & 1 == 1);
+        let out = nl.eval_outputs(&ins).unwrap();
+        let y: u32 = out[..n]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| u32::from(v) << i)
+            .sum();
+        (y, out[n])
+    }
+
+    #[test]
+    fn all_operations_exhaustive_4bit() {
+        let nl = alu(4);
+        nl.validate().unwrap();
+        for a in 0u32..16 {
+            for b in 0u32..16 {
+                for cin in [false, true] {
+                    let (add, cout) = run(&nl, 4, a, b, cin, 0b00);
+                    let full = a + b + u32::from(cin);
+                    assert_eq!(add, full & 0xf, "{a}+{b}+{cin}");
+                    assert_eq!(cout, full > 0xf);
+                    let (and, c) = run(&nl, 4, a, b, cin, 0b01);
+                    assert_eq!((and, c), (a & b, false));
+                    let (or, c) = run(&nl, 4, a, b, cin, 0b10);
+                    assert_eq!((or, c), (a | b, false));
+                    let (xor, c) = run(&nl, 4, a, b, cin, 0b11);
+                    assert_eq!((xor, c), (a ^ b, false));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wider_alu_spot_checks() {
+        let nl = alu(8);
+        nl.validate().unwrap();
+        assert_eq!(run(&nl, 8, 200, 100, false, 0b00), (44, true)); // 300 mod 256
+        assert_eq!(run(&nl, 8, 0xF0, 0x0F, false, 0b10), (0xFF, false));
+        assert_eq!(run(&nl, 8, 0xAA, 0xFF, false, 0b11), (0x55, false));
+    }
+}

@@ -1,0 +1,143 @@
+//! Shared gate-level arithmetic building blocks.
+
+use netlist::{GateKind, Netlist, SignalId};
+
+/// Builds a half adder; returns `(sum, carry)`.
+///
+/// # Panics
+///
+/// Panics if the inputs are dead (generator-internal misuse).
+pub fn half_adder(nl: &mut Netlist, a: SignalId, b: SignalId) -> (SignalId, SignalId) {
+    let sum = nl.add_gate(GateKind::Xor, &[a, b]).expect("live inputs");
+    let carry = nl.add_gate(GateKind::And, &[a, b]).expect("live inputs");
+    (sum, carry)
+}
+
+/// Builds a full adder; returns `(sum, carry)`. Uses the classic
+/// two-half-adder structure (as the ISCAS multiplier does).
+///
+/// # Panics
+///
+/// Panics if the inputs are dead.
+pub fn full_adder(
+    nl: &mut Netlist,
+    a: SignalId,
+    b: SignalId,
+    cin: SignalId,
+) -> (SignalId, SignalId) {
+    let (s1, c1) = half_adder(nl, a, b);
+    let (sum, c2) = half_adder(nl, s1, cin);
+    let carry = nl.add_gate(GateKind::Or, &[c1, c2]).expect("live inputs");
+    (sum, carry)
+}
+
+/// Builds a ripple-carry adder over two equally wide operands; returns
+/// `(sum_bits, carry_out)`.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ or are zero.
+pub fn ripple_adder(
+    nl: &mut Netlist,
+    a: &[SignalId],
+    b: &[SignalId],
+    cin: Option<SignalId>,
+) -> (Vec<SignalId>, SignalId) {
+    assert_eq!(a.len(), b.len(), "operand widths differ");
+    assert!(!a.is_empty(), "zero-width adder");
+    let mut sums = Vec::with_capacity(a.len());
+    let mut carry = cin;
+    for (&x, &y) in a.iter().zip(b) {
+        let (s, c) = match carry {
+            None => half_adder(nl, x, y),
+            Some(cin) => full_adder(nl, x, y, cin),
+        };
+        sums.push(s);
+        carry = Some(c);
+    }
+    (sums, carry.expect("non-empty"))
+}
+
+/// Builds a balanced XOR tree over the given signals (parity).
+///
+/// # Panics
+///
+/// Panics if `signals` is empty.
+pub fn xor_tree(nl: &mut Netlist, signals: &[SignalId]) -> SignalId {
+    match signals.len() {
+        0 => panic!("empty xor tree"),
+        1 => signals[0],
+        n => {
+            let (l, r) = signals.split_at(n.div_ceil(2));
+            let lt = xor_tree(nl, l);
+            let rt = xor_tree(nl, r);
+            nl.add_gate(GateKind::Xor, &[lt, rt]).expect("live inputs")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_adder_truth_table() {
+        for v in 0u32..8 {
+            let mut nl = Netlist::new("fa");
+            let a = nl.add_input("a");
+            let b = nl.add_input("b");
+            let c = nl.add_input("c");
+            let (s, co) = full_adder(&mut nl, a, b, c);
+            nl.add_output("s", s);
+            nl.add_output("co", co);
+            let ins = [v & 1 == 1, v >> 1 & 1 == 1, v >> 2 & 1 == 1];
+            let out = nl.eval_outputs(&ins).unwrap();
+            let total = u32::from(ins[0]) + u32::from(ins[1]) + u32::from(ins[2]);
+            assert_eq!(out[0], total & 1 == 1);
+            assert_eq!(out[1], total >= 2);
+        }
+    }
+
+    #[test]
+    fn ripple_adder_adds() {
+        let mut nl = Netlist::new("add");
+        let a: Vec<SignalId> = (0..4).map(|i| nl.add_input(format!("a{i}"))).collect();
+        let b: Vec<SignalId> = (0..4).map(|i| nl.add_input(format!("b{i}"))).collect();
+        let (sums, cout) = ripple_adder(&mut nl, &a, &b, None);
+        for (i, s) in sums.iter().enumerate() {
+            nl.add_output(format!("s{i}"), *s);
+        }
+        nl.add_output("cout", cout);
+        for x in 0u32..16 {
+            for y in 0u32..16 {
+                let mut ins = Vec::new();
+                for i in 0..4 {
+                    ins.push(x >> i & 1 == 1);
+                }
+                for i in 0..4 {
+                    ins.push(y >> i & 1 == 1);
+                }
+                let out = nl.eval_outputs(&ins).unwrap();
+                let got: u32 = out
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| u32::from(b) << i)
+                    .sum();
+                assert_eq!(got, x + y, "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_tree_is_parity() {
+        let mut nl = Netlist::new("p");
+        let ins: Vec<SignalId> = (0..7).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let p = xor_tree(&mut nl, &ins);
+        nl.add_output("p", p);
+        for v in 0u32..128 {
+            let bits: Vec<bool> = (0..7).map(|i| v >> i & 1 == 1).collect();
+            let out = nl.eval_outputs(&bits).unwrap();
+            assert_eq!(out[0], v.count_ones() % 2 == 1);
+        }
+    }
+}

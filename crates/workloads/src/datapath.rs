@@ -1,0 +1,119 @@
+//! The C880-class datapath slice: add / subtract / compare / select.
+
+use crate::arith::ripple_adder;
+use netlist::{GateKind, Netlist, SignalId};
+
+/// Builds an `n`-bit add-compare-select datapath (the C880 "ALU and
+/// control" class): computes `a + b` and `a - b`, compares `a` and `b`,
+/// and selects one of the results with a control input. Outputs the
+/// selected word, carry/borrow, and the comparison flags.
+///
+/// Inputs: `a0..`, `b0..`, `sel` — `2n + 1` total. Outputs: `n` result
+/// bits, `carry`, `eq`, `lt`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// let nl = workloads::datapath(8);
+/// assert_eq!(nl.stats().inputs, 17);
+/// assert_eq!(nl.stats().outputs, 11);
+/// ```
+#[must_use]
+pub fn datapath(n: usize) -> Netlist {
+    assert!(n > 0, "datapath width must be positive");
+    let mut nl = Netlist::new(format!("dp{n}"));
+    let a: Vec<SignalId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<SignalId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let sel = nl.add_input("sel");
+
+    // a + b.
+    let (sum, cout) = ripple_adder(&mut nl, &a, &b, None);
+    // a - b = a + !b + 1.
+    let nb: Vec<SignalId> = b
+        .iter()
+        .map(|&x| nl.add_gate(GateKind::Not, &[x]).expect("live"))
+        .collect();
+    let one = nl.const1();
+    let (diff, bout) = ripple_adder(&mut nl, &a, &nb, Some(one));
+
+    // Equality: AND of bitwise XNOR. Less-than: !carry of the subtract.
+    let eqs: Vec<SignalId> = a
+        .iter()
+        .zip(&b)
+        .map(|(&x, &y)| nl.add_gate(GateKind::Xnor, &[x, y]).expect("live"))
+        .collect();
+    let eq = match eqs.len() {
+        1 => eqs[0],
+        _ => nl.add_gate(GateKind::And, &eqs).expect("live"),
+    };
+    let lt = nl.add_gate(GateKind::Not, &[bout]).expect("live");
+
+    // Select sum (sel = 0) or difference (sel = 1).
+    let nsel = nl.add_gate(GateKind::Not, &[sel]).expect("live");
+    for i in 0..n {
+        let s_leg = nl.add_gate(GateKind::And, &[nsel, sum[i]]).expect("live");
+        let d_leg = nl.add_gate(GateKind::And, &[sel, diff[i]]).expect("live");
+        let y = nl.add_gate(GateKind::Or, &[s_leg, d_leg]).expect("live");
+        nl.add_output(format!("y{i}"), y);
+    }
+    let c_leg = nl.add_gate(GateKind::And, &[nsel, cout]).expect("live");
+    let b_leg = nl.add_gate(GateKind::And, &[sel, bout]).expect("live");
+    let carry = nl.add_gate(GateKind::Or, &[c_leg, b_leg]).expect("live");
+    nl.add_output("carry", carry);
+    nl.add_output("eq", eq);
+    nl.add_output("lt", lt);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(nl: &Netlist, n: usize, a: u32, b: u32, sel: bool) -> (u32, bool, bool, bool) {
+        let mut ins = Vec::new();
+        for i in 0..n {
+            ins.push(a >> i & 1 == 1);
+        }
+        for i in 0..n {
+            ins.push(b >> i & 1 == 1);
+        }
+        ins.push(sel);
+        let out = nl.eval_outputs(&ins).unwrap();
+        let y: u32 = out[..n]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| u32::from(v) << i)
+            .sum();
+        (y, out[n], out[n + 1], out[n + 2])
+    }
+
+    #[test]
+    fn exhaustive_4bit() {
+        let nl = datapath(4);
+        nl.validate().unwrap();
+        for a in 0u32..16 {
+            for b in 0u32..16 {
+                let (sum, carry, eq, lt) = run(&nl, 4, a, b, false);
+                assert_eq!(sum, (a + b) & 0xf);
+                assert_eq!(carry, a + b > 0xf);
+                assert_eq!(eq, a == b);
+                assert_eq!(lt, a < b);
+                let (diff, borrow, ..) = run(&nl, 4, a, b, true);
+                assert_eq!(diff, a.wrapping_sub(b) & 0xf);
+                // The subtract "carry" is the no-borrow flag.
+                assert_eq!(borrow, a >= b);
+            }
+        }
+    }
+
+    #[test]
+    fn c880_class_size() {
+        let nl = datapath(8);
+        let s = nl.stats();
+        assert!(s.gates >= 80, "got {} gates", s.gates);
+    }
+}

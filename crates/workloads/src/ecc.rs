@@ -1,0 +1,256 @@
+//! C499/C1355/C1908-class single-error-correcting circuits.
+
+use crate::arith::xor_tree;
+use netlist::{GateKind, Netlist, SignalId};
+
+/// Structural style of the generated corrector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccStyle {
+    /// XOR gates kept as XOR cells (the C499 style).
+    Xor,
+    /// Every XOR expanded into its four-NAND realization — functionally
+    /// identical but structurally different, exactly how ISCAS C1355
+    /// relates to C499.
+    NandExpanded,
+    /// Adds an overall-parity check output (SEC/DED, the C1908 class).
+    ExtraParity,
+}
+
+/// Builds a Hamming single-error corrector over `data_bits` data inputs:
+/// inputs are the received data word plus the received check bits;
+/// outputs are the corrected data word (plus an error indicator for
+/// [`EccStyle::ExtraParity`]).
+///
+/// For `data_bits = 32` the interface is 32 + 6 inputs and 32 outputs —
+/// the C499/C1355 class.
+///
+/// # Panics
+///
+/// Panics if `data_bits == 0`.
+///
+/// # Example
+///
+/// ```
+/// use workloads::{sec_corrector, EccStyle};
+///
+/// let c499 = sec_corrector(32, EccStyle::Xor);
+/// let c1355 = sec_corrector(32, EccStyle::NandExpanded);
+/// assert_eq!(c499.stats().inputs, 38);
+/// assert_eq!(c499.stats().outputs, 32);
+/// // Same function, different structure:
+/// assert!(c1355.stats().gates > c499.stats().gates);
+/// ```
+#[must_use]
+pub fn sec_corrector(data_bits: usize, style: EccStyle) -> Netlist {
+    assert!(data_bits > 0, "data width must be positive");
+    // Number of check bits: smallest m with 2^m >= data + m + 1.
+    let mut check_bits = 1;
+    while (1usize << check_bits) < data_bits + check_bits + 1 {
+        check_bits += 1;
+    }
+    let mut nl = Netlist::new(format!("sec{data_bits}"));
+    let data: Vec<SignalId> = (0..data_bits)
+        .map(|i| nl.add_input(format!("d{i}")))
+        .collect();
+    let check: Vec<SignalId> = (0..check_bits)
+        .map(|i| nl.add_input(format!("c{i}")))
+        .collect();
+
+    // Hamming positions: data bit k sits at the k-th non-power-of-two
+    // code position (1-based).
+    let mut positions = Vec::with_capacity(data_bits);
+    let mut pos = 1usize;
+    while positions.len() < data_bits {
+        if !pos.is_power_of_two() {
+            positions.push(pos);
+        }
+        pos += 1;
+    }
+
+    // Syndrome bit j = parity of (received check j) and all data bits
+    // whose position has bit j set.
+    let mut syndrome = Vec::with_capacity(check_bits);
+    for (j, &check_bit) in check.iter().enumerate() {
+        let mut taps = vec![check_bit];
+        for (k, &p) in positions.iter().enumerate() {
+            if p >> j & 1 == 1 {
+                taps.push(data[k]);
+            }
+        }
+        syndrome.push(xor_tree(&mut nl, &taps));
+    }
+
+    // Correct data bit k when the syndrome equals its position: a match
+    // detector (AND over syndrome bits in the right phase) XORed into the
+    // data bit.
+    let inverted: Vec<SignalId> = syndrome
+        .iter()
+        .map(|&s| nl.add_gate(GateKind::Not, &[s]).expect("live"))
+        .collect();
+    for (k, &p) in positions.iter().enumerate() {
+        let taps: Vec<SignalId> = (0..check_bits)
+            .map(|j| if p >> j & 1 == 1 { syndrome[j] } else { inverted[j] })
+            .collect();
+        let hit = nl.add_gate(GateKind::And, &taps).expect("live");
+        let corrected = nl.add_gate(GateKind::Xor, &[data[k], hit]).expect("live");
+        nl.add_output(format!("q{k}"), corrected);
+    }
+    if style == EccStyle::ExtraParity {
+        let mut all: Vec<SignalId> = data.clone();
+        all.extend(&check);
+        let parity = xor_tree(&mut nl, &all);
+        nl.add_output("err", parity);
+    }
+    if style == EccStyle::NandExpanded {
+        return expand_xors(&nl);
+    }
+    nl
+}
+
+/// Rebuilds the netlist with every XOR/XNOR replaced by its four-NAND
+/// (plus inverter) realization.
+fn expand_xors(src: &Netlist) -> Netlist {
+    let mut out = Netlist::new(format!("{}_nand", src.name()));
+    let mut map: Vec<Option<SignalId>> = vec![None; src.capacity()];
+    for &pi in src.inputs() {
+        let name = src.cell(pi).name().expect("named input").to_string();
+        map[pi.index()] = Some(out.add_input(name));
+    }
+    for s in src.topo_order().expect("acyclic") {
+        if src.kind(s) == GateKind::Input {
+            continue;
+        }
+        let fanins: Vec<SignalId> = src
+            .fanins(s)
+            .iter()
+            .map(|f| map[f.index()].expect("mapped"))
+            .collect();
+        let mapped = match src.kind(s) {
+            GateKind::Xor | GateKind::Xnor => {
+                let mut acc = fanins[0];
+                for &f in &fanins[1..] {
+                    acc = nand_xor2(&mut out, acc, f);
+                }
+                if src.kind(s) == GateKind::Xnor {
+                    out.add_gate(GateKind::Not, &[acc]).expect("live")
+                } else {
+                    acc
+                }
+            }
+            kind => out.add_gate(kind, &fanins).expect("live"),
+        };
+        map[s.index()] = Some(mapped);
+    }
+    for po in src.outputs() {
+        out.add_output(po.name().to_string(), map[po.driver().index()].expect("mapped"));
+    }
+    out
+}
+
+fn nand_xor2(nl: &mut Netlist, a: SignalId, b: SignalId) -> SignalId {
+    let m = nl.add_gate(GateKind::Nand, &[a, b]).expect("live");
+    let l = nl.add_gate(GateKind::Nand, &[a, m]).expect("live");
+    let r = nl.add_gate(GateKind::Nand, &[b, m]).expect("live");
+    nl.add_gate(GateKind::Nand, &[l, r]).expect("live")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Encodes a data word into check bits matching the generator's
+    /// parity equations.
+    fn encode(data: u64, data_bits: usize, check_bits: usize) -> u64 {
+        let mut positions = Vec::new();
+        let mut pos = 1usize;
+        while positions.len() < data_bits {
+            if !pos.is_power_of_two() {
+                positions.push(pos);
+            }
+            pos += 1;
+        }
+        let mut check = 0u64;
+        for j in 0..check_bits {
+            let mut parity = false;
+            for (k, &p) in positions.iter().enumerate() {
+                if p >> j & 1 == 1 && data >> k & 1 == 1 {
+                    parity = !parity;
+                }
+            }
+            if parity {
+                check |= 1 << j;
+            }
+        }
+        check
+    }
+
+    fn run(nl: &Netlist, data_bits: usize, check_bits: usize, d: u64, c: u64) -> u64 {
+        let mut ins = Vec::new();
+        for i in 0..data_bits {
+            ins.push(d >> i & 1 == 1);
+        }
+        for i in 0..check_bits {
+            ins.push(c >> i & 1 == 1);
+        }
+        let out = nl.eval_outputs(&ins).unwrap();
+        out[..data_bits]
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| u64::from(b) << i)
+            .sum()
+    }
+
+    #[test]
+    fn clean_words_pass_through() {
+        let nl = sec_corrector(8, EccStyle::Xor);
+        nl.validate().unwrap();
+        for d in [0u64, 0xAB % 256, 0xFF, 0x55] {
+            let c = encode(d, 8, 4);
+            assert_eq!(run(&nl, 8, 4, d, c), d);
+        }
+    }
+
+    #[test]
+    fn single_data_errors_corrected() {
+        let nl = sec_corrector(8, EccStyle::Xor);
+        for d in [0x3Cu64, 0x81] {
+            let c = encode(d, 8, 4);
+            for bit in 0..8 {
+                let corrupted = d ^ (1 << bit);
+                assert_eq!(run(&nl, 8, 4, corrupted, c), d, "bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn check_bit_errors_leave_data_alone() {
+        let nl = sec_corrector(8, EccStyle::Xor);
+        let d = 0x5Au64;
+        let c = encode(d, 8, 4);
+        for bit in 0..4 {
+            assert_eq!(run(&nl, 8, 4, d, c ^ (1 << bit)), d, "check bit {bit}");
+        }
+    }
+
+    #[test]
+    fn nand_expansion_is_equivalent() {
+        let a = sec_corrector(4, EccStyle::Xor);
+        let b = sec_corrector(4, EccStyle::NandExpanded);
+        assert!(a.equiv_exhaustive(&b).unwrap());
+        assert!(
+            b.gates()
+                .all(|g| !matches!(b.kind(g), GateKind::Xor | GateKind::Xnor)),
+            "expansion left an XOR behind"
+        );
+    }
+
+    #[test]
+    fn c499_class_interface() {
+        let nl = sec_corrector(32, EccStyle::Xor);
+        let s = nl.stats();
+        assert_eq!(s.inputs, 38);
+        assert_eq!(s.outputs, 32);
+        let ded = sec_corrector(16, EccStyle::ExtraParity);
+        assert_eq!(ded.stats().outputs, 17);
+    }
+}

@@ -1,0 +1,145 @@
+//! The C432-class priority interrupt controller.
+
+use netlist::{GateKind, Netlist, SignalId};
+
+/// Builds a `channels`-line priority interrupt controller in the C432
+/// spirit: each channel has a request line and an enable line; the
+/// outputs are the binary index of the highest-priority (lowest-numbered)
+/// enabled request, plus a `valid` flag. `priority_controller(18)` has 36
+/// inputs like C432.
+///
+/// # Panics
+///
+/// Panics if `channels == 0`.
+///
+/// # Example
+///
+/// ```
+/// let nl = workloads::priority_controller(18);
+/// assert_eq!(nl.stats().inputs, 36);
+/// // 5 index bits + valid.
+/// assert_eq!(nl.stats().outputs, 6);
+/// ```
+#[must_use]
+pub fn priority_controller(channels: usize) -> Netlist {
+    assert!(channels > 0, "need at least one channel");
+    let mut nl = Netlist::new(format!("pic{channels}"));
+    let req: Vec<SignalId> = (0..channels)
+        .map(|i| nl.add_input(format!("r{i}")))
+        .collect();
+    let en: Vec<SignalId> = (0..channels)
+        .map(|i| nl.add_input(format!("e{i}")))
+        .collect();
+
+    // Active = request AND enable.
+    let active: Vec<SignalId> = (0..channels)
+        .map(|i| nl.add_gate(GateKind::And, &[req[i], en[i]]).expect("live"))
+        .collect();
+
+    // Grant i = active_i AND none of the lower-numbered actives — a
+    // ripple priority chain.
+    let mut grants = Vec::with_capacity(channels);
+    let mut none_before: Option<SignalId> = None;
+    for (i, &a) in active.iter().enumerate() {
+        let grant = match none_before {
+            None => a,
+            Some(nb) => nl.add_gate(GateKind::And, &[a, nb]).expect("live"),
+        };
+        grants.push(grant);
+        if i + 1 < channels {
+            let na = nl.add_gate(GateKind::Not, &[a]).expect("live");
+            none_before = Some(match none_before {
+                None => na,
+                Some(nb) => nl.add_gate(GateKind::And, &[nb, na]).expect("live"),
+            });
+        }
+    }
+
+    // Binary encode the one-hot grants.
+    let index_bits = usize::BITS as usize - (channels - 1).leading_zeros() as usize;
+    for j in 0..index_bits.max(1) {
+        let taps: Vec<SignalId> = grants
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i >> j & 1 == 1)
+            .map(|(_, &g)| g)
+            .collect();
+        let bit = match taps.len() {
+            0 => nl.const0(),
+            1 => taps[0],
+            _ => nl.add_gate(GateKind::Or, &taps).expect("live"),
+        };
+        nl.add_output(format!("idx{j}"), bit);
+    }
+    let valid = match grants.len() {
+        1 => grants[0],
+        _ => nl.add_gate(GateKind::Or, &grants).expect("live"),
+    };
+    nl.add_output("valid", valid);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(nl: &Netlist, channels: usize, req: u32, en: u32) -> (u32, bool) {
+        let mut ins = Vec::new();
+        for i in 0..channels {
+            ins.push(req >> i & 1 == 1);
+        }
+        for i in 0..channels {
+            ins.push(en >> i & 1 == 1);
+        }
+        let out = nl.eval_outputs(&ins).unwrap();
+        let n = out.len() - 1;
+        let idx: u32 = out[..n]
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| u32::from(b) << i)
+            .sum();
+        (idx, out[n])
+    }
+
+    #[test]
+    fn exhaustive_small_controller() {
+        let nl = priority_controller(4);
+        nl.validate().unwrap();
+        for req in 0u32..16 {
+            for en in 0u32..16 {
+                let (idx, valid) = run(&nl, 4, req, en);
+                let active = req & en;
+                if active == 0 {
+                    assert!(!valid, "req={req:04b} en={en:04b}");
+                } else {
+                    assert!(valid);
+                    assert_eq!(idx, active.trailing_zeros(), "req={req:04b} en={en:04b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn c432_class_interface_and_samples() {
+        let nl = priority_controller(18);
+        nl.validate().unwrap();
+        assert_eq!(nl.stats().inputs, 36);
+        let (idx, valid) = run(&nl, 18, 1 << 17, 1 << 17);
+        assert!(valid);
+        assert_eq!(idx, 17);
+        let (idx, valid) = run(&nl, 18, 0b1010_0000, 0b0010_0000);
+        assert!(valid);
+        assert_eq!(idx, 5);
+        let (_, valid) = run(&nl, 18, 0x3FFFF, 0);
+        assert!(!valid);
+    }
+
+    #[test]
+    fn single_channel_degenerate() {
+        let nl = priority_controller(1);
+        let (idx, valid) = run(&nl, 1, 1, 1);
+        assert_eq!((idx, valid), (0, true));
+        let (_, valid) = run(&nl, 1, 1, 0);
+        assert!(!valid);
+    }
+}

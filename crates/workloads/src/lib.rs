@@ -1,0 +1,66 @@
+//! Benchmark-circuit generators and SIS-script stand-ins.
+//!
+//! The paper evaluates on ISCAS-85/89 and MCNC circuits prepared with the
+//! SIS scripts `script.rugged` (area flow, Table 1) and `script.delay`
+//! (depth-reduction flow, Table 2). Neither the benchmark files nor SIS
+//! are redistributable here, so this crate generates *functionally
+//! comparable* circuits of the same classes and sizes:
+//!
+//! | paper circuit | stand-in generator |
+//! |---|---|
+//! | C6288 (16×16 multiplier) | [`array_multiplier`] |
+//! | C499/C1355 (32-bit SEC) | [`sec_corrector`] (+ XOR expansion) |
+//! | C1908 (16-bit SEC/DED) | [`sec_corrector`] with extra parity |
+//! | C432 (27-ch interrupt) | [`priority_controller`] |
+//! | C880/C5315 (ALU+control) | [`datapath`] / [`alu`] |
+//! | rot (rotator) | [`barrel_rotator`] |
+//! | alu4 | [`alu`] |
+//! | 9sym | [`sym_detector`] |
+//! | Z5xp1, term1, vda (PLA-derived) | [`random_sop`] sized to match |
+//! | x3, apex6, frg2, pair | [`random_logic`] sized to match |
+//!
+//! The two pre-optimization scripts are approximated by
+//! [`script_rugged`] (sweep + structural hashing) and [`script_delay`]
+//! (associative-chain collapsing + balanced re-decomposition, which
+//! shortens the topological depth at an area cost, like the depth
+//! reduction of \[4\]).
+//!
+//! # Example
+//!
+//! ```
+//! let nl = workloads::array_multiplier(4);
+//! // 4x4 multiplier: 8 inputs, 8 outputs.
+//! assert_eq!(nl.stats().inputs, 8);
+//! assert_eq!(nl.stats().outputs, 8);
+//! // 3 * 5 = 15.
+//! let out = nl.eval_outputs(&[true, true, false, false, // a = 3
+//!                             true, false, true, false, // b = 5
+//! ])?;
+//! let product: u32 = out.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum();
+//! assert_eq!(product, 15);
+//! # Ok::<(), netlist::NetlistError>(())
+//! ```
+
+mod alu;
+mod arith;
+mod datapath;
+mod ecc;
+mod interrupt;
+mod multiplier;
+mod parity;
+mod randlogic;
+mod rotator;
+mod scripts;
+mod suite;
+
+pub use alu::alu;
+pub use arith::{full_adder, half_adder, ripple_adder, xor_tree};
+pub use datapath::datapath;
+pub use ecc::{sec_corrector, EccStyle};
+pub use interrupt::priority_controller;
+pub use multiplier::{array_multiplier, array_multiplier_nor};
+pub use parity::{parity_tree, sym_detector};
+pub use randlogic::{random_logic, random_sop};
+pub use rotator::barrel_rotator;
+pub use scripts::{script_delay, script_rugged};
+pub use suite::{circuit_by_name, suite_table1, suite_table2, SuiteEntry};

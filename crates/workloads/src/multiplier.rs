@@ -1,0 +1,212 @@
+//! The C6288-class array multiplier.
+
+use crate::arith::{full_adder, half_adder};
+use netlist::{GateKind, Netlist, SignalId};
+
+/// Builds the `n × n` multiplier in the *ISCAS C6288 style*: the same
+/// carry-save array as [`array_multiplier`], but with every half/full
+/// adder realized from 2-input NOR gates and inverters — the actual gate
+/// structure of C6288 (which is famously redundant and is where the
+/// paper's 22 % delay reduction comes from).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// let xor_style = workloads::array_multiplier(4);
+/// let nor_style = workloads::array_multiplier_nor(4);
+/// assert!(xor_style.equiv_exhaustive(&nor_style)?);
+/// assert!(nor_style.stats().gates > xor_style.stats().gates);
+/// # Ok::<(), netlist::NetlistError>(())
+/// ```
+#[must_use]
+pub fn array_multiplier_nor(n: usize) -> Netlist {
+    let mut nl = array_multiplier_with(n, nor_half_adder, nor_full_adder);
+    nl.set_name(format!("mul{n}x{n}_nor"));
+    nl
+}
+
+/// NOR/INV half adder: `s = !(ab + !a!b)`, `c = ab`.
+fn nor_half_adder(nl: &mut Netlist, a: SignalId, b: SignalId) -> (SignalId, SignalId) {
+    let na = nl.add_gate(GateKind::Not, &[a]).expect("live");
+    let nb = nl.add_gate(GateKind::Not, &[b]).expect("live");
+    let and_ab = nl.add_gate(GateKind::Nor, &[na, nb]).expect("live");
+    let nor_ab = nl.add_gate(GateKind::Nor, &[a, b]).expect("live");
+    let sum = nl.add_gate(GateKind::Nor, &[and_ab, nor_ab]).expect("live");
+    (sum, and_ab)
+}
+
+/// NOR/INV full adder built from two NOR half adders plus a carry merge.
+fn nor_full_adder(
+    nl: &mut Netlist,
+    a: SignalId,
+    b: SignalId,
+    cin: SignalId,
+) -> (SignalId, SignalId) {
+    let (s1, c1) = nor_half_adder(nl, a, b);
+    let (sum, c2) = nor_half_adder(nl, s1, cin);
+    // carry = c1 + c2 = INV(NOR(c1, c2)).
+    let nc = nl.add_gate(GateKind::Nor, &[c1, c2]).expect("live");
+    let carry = nl.add_gate(GateKind::Not, &[nc]).expect("live");
+    (sum, carry)
+}
+
+/// Builds an `n × n` carry-save array multiplier — the structure of
+/// ISCAS-85 C6288 (which is the 16×16 instance). Inputs `a0..a(n-1)`,
+/// `b0..b(n-1)` (LSB first); outputs `p0..p(2n-1)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// let nl = workloads::array_multiplier(16);
+/// let s = nl.stats();
+/// assert_eq!(s.inputs, 32);
+/// assert_eq!(s.outputs, 32);
+/// // C6288-class size: a couple of thousand gates.
+/// assert!(s.gates > 1200);
+/// ```
+#[must_use]
+pub fn array_multiplier(n: usize) -> Netlist {
+    array_multiplier_with(n, half_adder, full_adder)
+}
+
+/// The carry-save array shared by both multiplier styles, parameterized
+/// over the adder realizations.
+fn array_multiplier_with(
+    n: usize,
+    ha: fn(&mut Netlist, SignalId, SignalId) -> (SignalId, SignalId),
+    fa: fn(&mut Netlist, SignalId, SignalId, SignalId) -> (SignalId, SignalId),
+) -> Netlist {
+    assert!(n > 0, "multiplier width must be positive");
+    let mut nl = Netlist::new(format!("mul{n}x{n}"));
+    let a: Vec<SignalId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<SignalId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+
+    // Partial products pp[i][j] = a[i] AND b[j].
+    let pp = |nl: &mut Netlist, i: usize, j: usize| -> SignalId {
+        nl.add_gate(GateKind::And, &[a[i], b[j]]).expect("live")
+    };
+
+    // Row-by-row carry-save accumulation: running[k] holds the current
+    // sum bit of weight k relative to the processed rows.
+    let mut outputs: Vec<SignalId> = Vec::with_capacity(2 * n);
+    let mut running: Vec<SignalId> = (0..n).map(|i| pp(&mut nl, i, 0)).collect();
+    outputs.push(running[0]);
+
+    for j in 1..n {
+        // Add row j (a[i]·b[j]) to running[1..], producing a new running
+        // vector and emitting the lowest bit.
+        let mut carry: Option<SignalId> = None;
+        let mut next: Vec<SignalId> = Vec::with_capacity(n);
+        for i in 0..n {
+            let product = pp(&mut nl, i, j);
+            let acc = running.get(i + 1).copied();
+            let (sum, c) = match (acc, carry) {
+                (Some(acc), Some(cin)) => {
+                    let (s1, c1) = fa(&mut nl, product, acc, cin);
+                    (s1, Some(c1))
+                }
+                (Some(acc), None) => {
+                    let (s1, c1) = ha(&mut nl, product, acc);
+                    (s1, Some(c1))
+                }
+                (None, Some(cin)) => {
+                    let (s1, c1) = ha(&mut nl, product, cin);
+                    (s1, Some(c1))
+                }
+                (None, None) => (product, None),
+            };
+            next.push(sum);
+            carry = c;
+        }
+        if let Some(c) = carry {
+            next.push(c);
+        }
+        outputs.push(next[0]);
+        running = next;
+    }
+    for (k, &s) in running.iter().skip(1).enumerate() {
+        outputs.push(s);
+        let _ = k;
+    }
+    while outputs.len() < 2 * n {
+        // Width-1 multiplier has a single product bit; pad with constant 0
+        // to keep the 2n-bit interface.
+        let zero = nl.const0();
+        outputs.push(zero);
+    }
+    for (k, &s) in outputs.iter().enumerate() {
+        nl.add_output(format!("p{k}"), s);
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_products(n: usize) {
+        let nl = array_multiplier(n);
+        nl.validate().unwrap();
+        let max = 1u64 << n;
+        // Exhaustive for small n, corners + samples otherwise.
+        let cases: Vec<(u64, u64)> = if n <= 4 {
+            (0..max).flat_map(|x| (0..max).map(move |y| (x, y))).collect()
+        } else {
+            vec![
+                (0, 0),
+                (max - 1, max - 1),
+                (1, max - 1),
+                (0b1011 % max, 0b1101 % max),
+                (max / 2, 3 % max),
+                (12345 % max, 54321 % max),
+            ]
+        };
+        for (x, y) in cases {
+            let mut ins = Vec::new();
+            for i in 0..n {
+                ins.push(x >> i & 1 == 1);
+            }
+            for i in 0..n {
+                ins.push(y >> i & 1 == 1);
+            }
+            let out = nl.eval_outputs(&ins).unwrap();
+            let got: u64 = out
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| u64::from(b) << i)
+                .sum();
+            assert_eq!(got, x * y, "{n}-bit {x}*{y}");
+        }
+    }
+
+    #[test]
+    fn small_multipliers_exhaustive() {
+        for n in 1..=4 {
+            check_products(n);
+        }
+    }
+
+    #[test]
+    fn wide_multipliers_sampled() {
+        check_products(8);
+        check_products(16);
+    }
+
+    #[test]
+    fn c6288_class_size() {
+        let nl = array_multiplier(16);
+        let s = nl.stats();
+        // C6288 has 2406 gates / 32 inputs / 32 outputs.
+        assert_eq!(s.inputs, 32);
+        assert_eq!(s.outputs, 32);
+        assert!(s.gates > 1200 && s.gates < 4000, "got {} gates", s.gates);
+    }
+}

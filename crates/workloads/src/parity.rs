@@ -1,0 +1,191 @@
+//! Parity trees and the 9sym-class symmetric-function detector.
+
+use crate::arith::{full_adder, half_adder, xor_tree};
+use netlist::{GateKind, Netlist, SignalId};
+
+/// Builds an `n`-input parity tree circuit.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn parity_tree(n: usize) -> Netlist {
+    assert!(n > 0);
+    let mut nl = Netlist::new(format!("parity{n}"));
+    let ins: Vec<SignalId> = (0..n).map(|i| nl.add_input(format!("x{i}"))).collect();
+    let p = xor_tree(&mut nl, &ins);
+    nl.add_output("p", p);
+    nl
+}
+
+/// Builds an `n`-input totally symmetric function detector: the output is
+/// 1 iff the number of 1-inputs lies in `[lo, hi]`. `sym_detector(9, 3, 6)`
+/// is the MCNC `9sym` function.
+///
+/// The structure is a gate-level ones-counter (a tree of adders) followed
+/// by a magnitude comparator — a multi-level, reconvergent circuit of the
+/// kind GDO likes.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `lo > hi` or `hi > n`.
+///
+/// # Example
+///
+/// ```
+/// let nl = workloads::sym_detector(9, 3, 6);
+/// let ins = vec![true, true, true, false, false, false, false, false, false];
+/// assert_eq!(nl.eval_outputs(&ins)?, vec![true]); // 3 ones: inside [3,6]
+/// # Ok::<(), netlist::NetlistError>(())
+/// ```
+#[must_use]
+pub fn sym_detector(n: usize, lo: usize, hi: usize) -> Netlist {
+    assert!(n > 0 && lo <= hi && hi <= n, "bad symmetric window");
+    let mut nl = Netlist::new(format!("sym{n}_{lo}_{hi}"));
+    let ins: Vec<SignalId> = (0..n).map(|i| nl.add_input(format!("x{i}"))).collect();
+
+    // Ones counter: repeatedly compress groups of three equal-weight bits
+    // with full adders (a Wallace-style counter). Columns grow on demand:
+    // a structurally possible (even if never-asserted) carry gets a wire.
+    let mut columns: Vec<Vec<SignalId>> = vec![ins];
+    let mut w = 0;
+    while w < columns.len() {
+        while columns[w].len() > 1 {
+            let (s, carry) = if columns[w].len() >= 3 {
+                let a = columns[w].pop().expect("len>=3");
+                let b = columns[w].pop().expect("len>=2");
+                let c = columns[w].pop().expect("len>=1");
+                full_adder(&mut nl, a, b, c)
+            } else {
+                let a = columns[w].pop().expect("len==2");
+                let b = columns[w].pop().expect("len==1");
+                half_adder(&mut nl, a, b)
+            };
+            // The sum stays in this column (net shrink), the carry moves up.
+            columns[w].insert(0, s);
+            if w + 1 == columns.len() {
+                columns.push(Vec::new());
+            }
+            columns[w + 1].push(carry);
+        }
+        w += 1;
+    }
+    let count: Vec<SignalId> = columns
+        .iter()
+        .map(|col| col.first().copied())
+        .map(|c| c.unwrap_or_else(|| nl.const0()))
+        .collect();
+
+    // Comparators: count >= lo and count <= hi, via equality/threshold
+    // logic on the binary count.
+    let ge_lo = threshold_ge(&mut nl, &count, lo as u64);
+    let le_hi = {
+        let gt_hi = threshold_ge(&mut nl, &count, hi as u64 + 1);
+        nl.add_gate(GateKind::Not, &[gt_hi]).expect("live")
+    };
+    let out = nl.add_gate(GateKind::And, &[ge_lo, le_hi]).expect("live");
+    nl.add_output("y", out);
+    nl
+}
+
+/// Builds `value >= k` over a little-endian binary word, as a ripple of
+/// compare cells from the MSB down.
+fn threshold_ge(nl: &mut Netlist, value: &[SignalId], k: u64) -> SignalId {
+    if k == 0 {
+        return nl.const1();
+    }
+    if k > (1 << value.len()) - 1 {
+        return nl.const0();
+    }
+    // ge = OR over bits where value has a 1 above k's prefix; classic
+    // MSB-first recursion: ge(i) considers bits i..0.
+    let mut ge: Option<SignalId> = None; // strictly-greater-so-far
+    let mut eq: Option<SignalId> = None; // equal-so-far
+    for i in (0..value.len()).rev() {
+        let kv = k >> i & 1 == 1;
+        let v = value[i];
+        let (gt_here, eq_here) = if kv {
+            // bit must be 1 to stay equal; cannot be greater here.
+            (None, Some(v))
+        } else {
+            let nv = nl.add_gate(GateKind::Not, &[v]).expect("live");
+            (Some(v), Some(nv))
+        };
+        ge = match (ge, eq, gt_here) {
+            (None, None, Some(g)) => Some(g),
+            (None, None, None) => None,
+            (prev_ge, prev_eq, g) => {
+                // new_ge = prev_ge + prev_eq·gt_here
+                let mut terms: Vec<SignalId> = Vec::new();
+                if let Some(pg) = prev_ge {
+                    terms.push(pg);
+                }
+                if let (Some(pe), Some(gh)) = (prev_eq, g) {
+                    let t = nl.add_gate(GateKind::And, &[pe, gh]).expect("live");
+                    terms.push(t);
+                }
+                match terms.len() {
+                    0 => None,
+                    1 => Some(terms[0]),
+                    _ => Some(nl.add_gate(GateKind::Or, &terms).expect("live")),
+                }
+            }
+        };
+        eq = match (eq, eq_here) {
+            (None, e) => e,
+            (Some(pe), Some(eh)) => {
+                Some(nl.add_gate(GateKind::And, &[pe, eh]).expect("live"))
+            }
+            (Some(_), None) => None,
+        };
+    }
+    // value >= k  ⟺  greater-so-far OR equal-at-end.
+    match (ge, eq) {
+        (Some(g), Some(e)) => nl.add_gate(GateKind::Or, &[g, e]).expect("live"),
+        (Some(g), None) => g,
+        (None, Some(e)) => e,
+        (None, None) => nl.const0(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_sym_matches_definition() {
+        let nl = sym_detector(9, 3, 6);
+        nl.validate().unwrap();
+        for v in 0u32..512 {
+            let bits: Vec<bool> = (0..9).map(|i| v >> i & 1 == 1).collect();
+            let expected = (3..=6).contains(&v.count_ones());
+            let got = nl.eval_outputs(&bits).unwrap()[0];
+            assert_eq!(got, expected, "v={v:09b}");
+        }
+    }
+
+    #[test]
+    fn degenerate_windows() {
+        // Exactly-k detector.
+        let nl = sym_detector(5, 2, 2);
+        for v in 0u32..32 {
+            let bits: Vec<bool> = (0..5).map(|i| v >> i & 1 == 1).collect();
+            assert_eq!(nl.eval_outputs(&bits).unwrap()[0], v.count_ones() == 2);
+        }
+        // Full window is constant true.
+        let nl = sym_detector(4, 0, 4);
+        for v in 0u32..16 {
+            let bits: Vec<bool> = (0..4).map(|i| v >> i & 1 == 1).collect();
+            assert!(nl.eval_outputs(&bits).unwrap()[0]);
+        }
+    }
+
+    #[test]
+    fn parity_tree_works() {
+        let nl = parity_tree(6);
+        for v in 0u32..64 {
+            let bits: Vec<bool> = (0..6).map(|i| v >> i & 1 == 1).collect();
+            assert_eq!(nl.eval_outputs(&bits).unwrap()[0], v.count_ones() % 2 == 1);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Seeded random multi-level logic, standing in for the MCNC control
+//! benchmarks (term1, vda, rot, x3, apex6, frg2, pair, Z5xp1).
+
+use netlist::{GateKind, Netlist, SignalId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a reproducible random multi-level netlist with roughly
+/// `gates` gates over `inputs` inputs and `outputs` outputs.
+///
+/// Structure mirrors MCNC control logic: 2–4-input AND/OR/NAND/NOR with
+/// occasional XOR and inverters, fanins biased towards recent signals so
+/// depth grows logarithmically, and outputs drawn from late gates so most
+/// of the circuit is live. The same `(seed, shape)` always produces the
+/// same netlist.
+///
+/// # Panics
+///
+/// Panics if `inputs == 0` or `outputs == 0`.
+///
+/// # Example
+///
+/// ```
+/// let a = workloads::random_logic(7, 34, 10, 300);
+/// let b = workloads::random_logic(7, 34, 10, 300);
+/// assert_eq!(a.stats(), b.stats());
+/// assert_eq!(a.stats().inputs, 34);
+/// assert_eq!(a.stats().outputs, 10);
+/// ```
+#[must_use]
+pub fn random_logic(seed: u64, inputs: usize, outputs: usize, gates: usize) -> Netlist {
+    assert!(inputs > 0 && outputs > 0, "interface must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6d2b_79f5_ca1b_77e5);
+    let mut nl = Netlist::new(format!("rand_s{seed}_{inputs}x{outputs}"));
+    let mut pool: Vec<SignalId> = (0..inputs)
+        .map(|i| nl.add_input(format!("x{i}")))
+        .collect();
+
+    for _ in 0..gates {
+        // Inverting and parity gates dominate: chains of plain AND/OR
+        // drift towards constants, which would make the circuit mostly
+        // redundant — unlike the MCNC netlists these stand in for.
+        let kind = match rng.gen_range(0..100) {
+            0..=13 => GateKind::And,
+            14..=27 => GateKind::Or,
+            28..=47 => GateKind::Nand,
+            48..=67 => GateKind::Nor,
+            68..=89 => GateKind::Xor,
+            _ => GateKind::Not,
+        };
+        let arity = match kind {
+            GateKind::Not => 1,
+            GateKind::Xor => 2,
+            _ => rng.gen_range(2..=4usize),
+        };
+        // Bias towards recent signals: exponential-ish window over the
+        // tail of the pool keeps the logic deep and reconvergent.
+        let mut fanins = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let window = (pool.len() / 3).max(8).min(pool.len());
+            let idx = if rng.gen_bool(0.7) {
+                pool.len() - 1 - rng.gen_range(0..window)
+            } else {
+                rng.gen_range(0..pool.len())
+            };
+            fanins.push(pool[idx]);
+        }
+        fanins.dedup();
+        if fanins.len() < arity.min(2) && kind != GateKind::Not {
+            continue; // skip degenerate draws; keeps counts approximate
+        }
+        if kind == GateKind::Not {
+            fanins.truncate(1);
+        }
+        if let Ok(g) = nl.add_gate(kind, &fanins) {
+            pool.push(g);
+        }
+    }
+
+    // Outputs from the latest fifth of the pool (plus spread), so deep
+    // logic stays observable.
+    let tail = (pool.len() / 5).max(outputs.min(pool.len()));
+    for k in 0..outputs {
+        let idx = pool.len() - 1 - (k * tail / outputs) % tail.max(1);
+        nl.add_output(format!("z{k}"), pool[idx]);
+    }
+    nl.prune_dangling();
+    nl
+}
+
+/// Generates a reproducible random two-level (sum-of-products) circuit —
+/// the shape of the PLA-derived MCNC benchmarks (Z5xp1, term1, vda):
+/// every output is an OR of `terms` AND-terms, each over `term_literals`
+/// randomly chosen, randomly phased inputs.
+///
+/// Two-level covers over enough inputs are mostly irredundant, which
+/// gives GDO realistic (not degenerate) optimization potential after the
+/// multi-level scripts restructure them.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero or `term_literals > inputs`.
+///
+/// # Example
+///
+/// ```
+/// let nl = workloads::random_sop(1, 7, 10, 12, 4);
+/// assert_eq!(nl.stats().inputs, 7);
+/// assert_eq!(nl.stats().outputs, 10);
+/// ```
+#[must_use]
+pub fn random_sop(
+    seed: u64,
+    inputs: usize,
+    outputs: usize,
+    terms: usize,
+    term_literals: usize,
+) -> Netlist {
+    assert!(
+        inputs > 0 && outputs > 0 && terms > 0 && term_literals > 0,
+        "interface must be non-empty"
+    );
+    assert!(term_literals <= inputs, "terms cannot exceed the input count");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x517c_c1b7_2722_0a95);
+    let mut nl = Netlist::new(format!("sop_s{seed}_{inputs}x{outputs}"));
+    let ins: Vec<SignalId> = (0..inputs)
+        .map(|i| nl.add_input(format!("x{i}")))
+        .collect();
+    // Shared inverters, created on demand.
+    let mut inverted: Vec<Option<SignalId>> = vec![None; inputs];
+    for k in 0..outputs {
+        let mut term_sigs = Vec::with_capacity(terms);
+        for _ in 0..terms {
+            // Choose distinct inputs for this term.
+            let mut chosen: Vec<usize> = Vec::with_capacity(term_literals);
+            while chosen.len() < term_literals {
+                let i = rng.gen_range(0..inputs);
+                if !chosen.contains(&i) {
+                    chosen.push(i);
+                }
+            }
+            let literals: Vec<SignalId> = chosen
+                .iter()
+                .map(|&i| {
+                    if rng.gen_bool(0.5) {
+                        ins[i]
+                    } else {
+                        *inverted[i].get_or_insert_with(|| {
+                            nl.add_gate(GateKind::Not, &[ins[i]]).expect("live")
+                        })
+                    }
+                })
+                .collect();
+            let term = if literals.len() == 1 {
+                literals[0]
+            } else {
+                nl.add_gate(GateKind::And, &literals).expect("live")
+            };
+            term_sigs.push(term);
+        }
+        let out = if term_sigs.len() == 1 {
+            term_sigs[0]
+        } else {
+            nl.add_gate(GateKind::Or, &term_sigs).expect("live")
+        };
+        nl.add_output(format!("z{k}"), out);
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sop_interface_and_determinism() {
+        let a = random_sop(3, 7, 10, 12, 4);
+        let b = random_sop(3, 7, 10, 12, 4);
+        a.validate().unwrap();
+        assert!(a.equiv_exhaustive(&b).unwrap());
+        assert_eq!(a.stats().inputs, 7);
+        assert_eq!(a.stats().outputs, 10);
+        assert!(a.stats().gates > 50);
+    }
+
+    #[test]
+    fn sop_is_mostly_irredundant() {
+        // A two-level cover over enough inputs should not collapse to
+        // (almost) nothing under sweep + strash.
+        let nl = random_sop(5, 10, 8, 10, 4);
+        let mut cleaned = nl.clone();
+        cleaned.sweep().unwrap();
+        cleaned.strash().unwrap();
+        cleaned.prune_dangling();
+        assert!(
+            cleaned.stats().gates * 10 >= nl.stats().gates * 7,
+            "structural cleanup removed {} of {} gates",
+            nl.stats().gates - cleaned.stats().gates,
+            nl.stats().gates
+        );
+    }
+
+    #[test]
+    fn reproducible_and_seed_sensitive() {
+        let a = random_logic(1, 10, 4, 100);
+        let b = random_logic(1, 10, 4, 100);
+        let c = random_logic(2, 10, 4, 100);
+        assert_eq!(a.stats(), b.stats());
+        // Functional identity, not just size.
+        assert!(a.equiv_exhaustive(&b).unwrap());
+        assert_ne!(a.stats(), c.stats());
+    }
+
+    #[test]
+    fn interface_is_exact() {
+        for (i, o, g) in [(5, 3, 40), (34, 10, 200), (100, 50, 800)] {
+            let nl = random_logic(9, i, o, g);
+            nl.validate().unwrap();
+            let s = nl.stats();
+            assert_eq!(s.inputs, i);
+            assert_eq!(s.outputs, o);
+            assert!(s.gates > g / 3, "only {} gates of ~{g}", s.gates);
+        }
+    }
+
+    #[test]
+    fn produces_multi_level_logic() {
+        let nl = random_logic(3, 20, 8, 300);
+        assert!(nl.depth().unwrap() >= 5, "depth {}", nl.depth().unwrap());
+    }
+}

@@ -1,0 +1,108 @@
+//! A barrel rotator — the `rot`-class benchmark (MCNC `rot` is a
+//! rotator/shifter datapath).
+
+use netlist::{GateKind, Netlist, SignalId};
+
+/// Builds an `n`-bit left-rotator: `y = x rotl s`, with `s` a
+/// `log2(n)`-bit rotate amount. Classic log-stage barrel structure: stage
+/// `j` rotates by `2^j` when `s_j` is set, each bit through a 2:1 mux.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or is less than 2.
+///
+/// # Example
+///
+/// ```
+/// let nl = workloads::barrel_rotator(8);
+/// assert_eq!(nl.stats().inputs, 8 + 3);
+/// assert_eq!(nl.stats().outputs, 8);
+/// ```
+#[must_use]
+pub fn barrel_rotator(n: usize) -> Netlist {
+    assert!(n >= 2 && n.is_power_of_two(), "width must be a power of two");
+    let stages = n.trailing_zeros() as usize;
+    let mut nl = Netlist::new(format!("rot{n}"));
+    let x: Vec<SignalId> = (0..n).map(|i| nl.add_input(format!("x{i}"))).collect();
+    let s: Vec<SignalId> = (0..stages).map(|j| nl.add_input(format!("s{j}"))).collect();
+
+    let mut cur = x;
+    for (j, &sel) in s.iter().enumerate() {
+        let shift = 1usize << j;
+        let nsel = nl.add_gate(GateKind::Not, &[sel]).expect("live");
+        let mut next = Vec::with_capacity(n);
+        for i in 0..n {
+            // Left-rotate by `shift`: output bit i takes input bit
+            // (i - shift) mod n when selected.
+            let from = (i + n - shift) % n;
+            let keep = nl.add_gate(GateKind::And, &[nsel, cur[i]]).expect("live");
+            let take = nl.add_gate(GateKind::And, &[sel, cur[from]]).expect("live");
+            next.push(nl.add_gate(GateKind::Or, &[keep, take]).expect("live"));
+        }
+        cur = next;
+    }
+    for (i, &b) in cur.iter().enumerate() {
+        nl.add_output(format!("y{i}"), b);
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(nl: &Netlist, n: usize, x: u64, s: u64) -> u64 {
+        let stages = n.trailing_zeros() as usize;
+        let mut ins = Vec::new();
+        for i in 0..n {
+            ins.push(x >> i & 1 == 1);
+        }
+        for j in 0..stages {
+            ins.push(s >> j & 1 == 1);
+        }
+        let out = nl.eval_outputs(&ins).unwrap();
+        out.iter()
+            .enumerate()
+            .map(|(i, &b)| u64::from(b) << i)
+            .sum()
+    }
+
+    fn rotl(x: u64, s: u64, n: usize) -> u64 {
+        let mask = (1u64 << n) - 1;
+        ((x << s) | (x >> (n as u64 - s) % n as u64)) & mask
+    }
+
+    #[test]
+    fn rotates_exhaustively_8bit() {
+        let nl = barrel_rotator(8);
+        nl.validate().unwrap();
+        for x in [0u64, 0b1, 0b1010_0101, 0xFF, 0b1100_0011] {
+            for s in 0..8 {
+                let expected = if s == 0 { x } else { rotl(x, s, 8) };
+                assert_eq!(run(&nl, 8, x, s), expected, "x={x:08b} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_rotator_spot_checks() {
+        let nl = barrel_rotator(32);
+        nl.validate().unwrap();
+        assert_eq!(run(&nl, 32, 1, 31), 1 << 31);
+        assert_eq!(run(&nl, 32, 0x8000_0001, 1), 0x0000_0003);
+        assert_eq!(run(&nl, 32, 0xDEAD_BEEF, 0), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn rot_class_size() {
+        // MCNC rot is ~700 gates mapped; a 32-bit rotator is in class.
+        let nl = barrel_rotator(32);
+        assert!(nl.stats().gates >= 400, "got {}", nl.stats().gates);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = barrel_rotator(12);
+    }
+}

@@ -1,0 +1,196 @@
+//! Stand-ins for the SIS preparation scripts.
+//!
+//! * [`script_rugged`] ≈ `script.rugged`: technology-independent clean-up
+//!   (constant propagation, buffer/inverter-pair collapapsing, structural
+//!   hashing) — an area-oriented flow.
+//! * [`script_delay`] ≈ `script.delay`: the depth-reduction flow of
+//!   Touati et al. \[4\] in miniature — associative chains are collapsed
+//!   and re-decomposed as balanced trees, trading area for shorter
+//!   topological depth. This is the flow whose area fat GDO recovers in
+//!   Table 2.
+
+use netlist::{GateKind, Netlist, NetlistError, SignalId};
+
+/// Area-oriented clean-up: sweep to a fixpoint, then structurally hash.
+///
+/// # Errors
+///
+/// [`NetlistError::CycleDetected`] if `nl` is cyclic.
+///
+/// # Example
+///
+/// ```
+/// use netlist::{Netlist, GateKind};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let n1 = nl.add_gate(GateKind::Not, &[a])?;
+/// let n2 = nl.add_gate(GateKind::Not, &[n1])?;
+/// let g = nl.add_gate(GateKind::And, &[n2, a])?;
+/// nl.add_output("y", g);
+/// let cleaned = workloads::script_rugged(&nl)?;
+/// assert!(cleaned.stats().gates < nl.stats().gates);
+/// # Ok(())
+/// # }
+/// ```
+pub fn script_rugged(nl: &Netlist) -> Result<Netlist, NetlistError> {
+    let mut out = nl.clone();
+    out.sweep()?;
+    out.strash()?;
+    out.sweep()?;
+    out.prune_dangling();
+    Ok(out)
+}
+
+/// Delay-oriented preparation: collapse single-fanout chains of the same
+/// associative gate into wide gates, re-decompose them as balanced trees,
+/// then clean up. Reduces topological depth, possibly duplicating logic.
+///
+/// # Errors
+///
+/// [`NetlistError::CycleDetected`] if `nl` is cyclic.
+pub fn script_delay(nl: &Netlist) -> Result<Netlist, NetlistError> {
+    let mut out = script_rugged(nl)?;
+    collapse_chains(&mut out)?;
+    balance(&mut out)?;
+    out.sweep()?;
+    out.prune_dangling();
+    Ok(out)
+}
+
+/// Merges `g = OP(OP(a, b), c)` into `g = OP(a, b, c)` when the inner
+/// gate has a single fanout and the operator is associative.
+fn collapse_chains(nl: &mut Netlist) -> Result<(), NetlistError> {
+    loop {
+        let mut changed = false;
+        for s in nl.topo_order()? {
+            if !nl.is_live(s) {
+                continue;
+            }
+            let kind = nl.kind(s);
+            if !matches!(kind, GateKind::And | GateKind::Or | GateKind::Xor) {
+                continue;
+            }
+            let fanins = nl.fanins(s).to_vec();
+            let mut widened: Vec<SignalId> = Vec::with_capacity(fanins.len() + 2);
+            let mut any = false;
+            for f in fanins {
+                if nl.kind(f) == kind && nl.fanout_count(f) == 1 && !nl.kind(f).is_source() {
+                    widened.extend(nl.fanins(f).iter().copied());
+                    any = true;
+                } else {
+                    widened.push(f);
+                }
+            }
+            if any && widened.len() <= 16 {
+                let wide = nl.add_gate(kind, &widened)?;
+                nl.substitute_stem(s, wide)?;
+                changed = true;
+            }
+        }
+        nl.prune_dangling();
+        if !changed {
+            return Ok(());
+        }
+    }
+}
+
+/// Re-decomposes wide associative gates into balanced binary trees.
+fn balance(nl: &mut Netlist) -> Result<(), NetlistError> {
+    for s in nl.topo_order()? {
+        if !nl.is_live(s) {
+            continue;
+        }
+        let kind = nl.kind(s);
+        if !matches!(kind, GateKind::And | GateKind::Or | GateKind::Xor)
+            || nl.fanins(s).len() <= 2
+        {
+            continue;
+        }
+        let fanins = nl.fanins(s).to_vec();
+        let tree = balanced_tree(nl, kind, &fanins)?;
+        nl.substitute_stem(s, tree)?;
+    }
+    nl.prune_dangling();
+    Ok(())
+}
+
+fn balanced_tree(
+    nl: &mut Netlist,
+    kind: GateKind,
+    sigs: &[SignalId],
+) -> Result<SignalId, NetlistError> {
+    match sigs.len() {
+        1 => Ok(sigs[0]),
+        2 => nl.add_gate(kind, sigs),
+        n => {
+            let (l, r) = sigs.split_at(n.div_ceil(2));
+            let lt = balanced_tree(nl, kind, l)?;
+            let rt = balanced_tree(nl, kind, r)?;
+            nl.add_gate(kind, &[lt, rt])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately skewed AND chain.
+    fn skewed_chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let ins: Vec<SignalId> = (0..n).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let mut acc = ins[0];
+        for &x in &ins[1..] {
+            acc = nl.add_gate(GateKind::And, &[acc, x]).unwrap();
+        }
+        nl.add_output("y", acc);
+        nl
+    }
+
+    #[test]
+    fn delay_script_reduces_depth() {
+        let nl = skewed_chain(16);
+        assert_eq!(nl.depth().unwrap(), 15);
+        let balanced = script_delay(&nl).unwrap();
+        balanced.validate().unwrap();
+        assert!(nl.equiv_exhaustive(&balanced).unwrap());
+        assert!(
+            balanced.depth().unwrap() <= 5,
+            "depth {} after balancing",
+            balanced.depth().unwrap()
+        );
+    }
+
+    #[test]
+    fn rugged_script_preserves_function() {
+        let nl = crate::random_logic(5, 12, 6, 150);
+        let cleaned = script_rugged(&nl).unwrap();
+        cleaned.validate().unwrap();
+        assert!(nl.equiv_exhaustive(&cleaned).unwrap());
+        assert!(cleaned.stats().gates <= nl.stats().gates);
+    }
+
+    #[test]
+    fn delay_script_preserves_function_on_random_logic() {
+        let nl = crate::random_logic(11, 10, 5, 120);
+        let prepared = script_delay(&nl).unwrap();
+        prepared.validate().unwrap();
+        assert!(nl.equiv_exhaustive(&prepared).unwrap());
+    }
+
+    #[test]
+    fn xor_chains_balance_too() {
+        let mut nl = Netlist::new("xchain");
+        let ins: Vec<SignalId> = (0..8).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let mut acc = ins[0];
+        for &x in &ins[1..] {
+            acc = nl.add_gate(GateKind::Xor, &[acc, x]).unwrap();
+        }
+        nl.add_output("y", acc);
+        let balanced = script_delay(&nl).unwrap();
+        assert!(nl.equiv_exhaustive(&balanced).unwrap());
+        assert!(balanced.depth().unwrap() <= 3);
+    }
+}

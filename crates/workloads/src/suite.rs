@@ -1,0 +1,142 @@
+//! The benchmark suite: named stand-ins for the circuits of the paper's
+//! Tables 1 and 2.
+//!
+//! Every entry generates a circuit of the same *class* and comparable
+//! size as the paper's benchmark of that name (see the crate-level table
+//! and DESIGN.md §3 for the substitution rationale). Generation is fully
+//! deterministic.
+
+use crate::{
+    alu, array_multiplier_nor, barrel_rotator, datapath, priority_controller, random_logic,
+    random_sop, sec_corrector, sym_detector, EccStyle,
+};
+use netlist::Netlist;
+
+/// One named benchmark generator.
+#[derive(Clone, Copy)]
+pub struct SuiteEntry {
+    /// The paper's circuit name this entry stands in for.
+    pub name: &'static str,
+    gen: fn() -> Netlist,
+}
+
+impl SuiteEntry {
+    /// Generates the circuit (deterministic).
+    #[must_use]
+    pub fn build(&self) -> Netlist {
+        let mut nl = (self.gen)();
+        nl.set_name(self.name.to_string());
+        nl
+    }
+}
+
+impl std::fmt::Debug for SuiteEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SuiteEntry({})", self.name)
+    }
+}
+
+const ENTRIES: &[SuiteEntry] = &[
+    // Z5xp1, term1 and vda are PLA-derived in MCNC: random two-level
+    // covers restructured by the scripts match their character.
+    SuiteEntry { name: "Z5xp1", gen: || random_sop(0x5e01, 7, 10, 10, 4) },
+    SuiteEntry { name: "term1", gen: || random_sop(0x7e21, 34, 10, 14, 6) },
+    SuiteEntry { name: "9sym", gen: || sym_detector(9, 3, 6) },
+    SuiteEntry { name: "C432", gen: || priority_controller(18) },
+    SuiteEntry { name: "C499", gen: || sec_corrector(32, EccStyle::Xor) },
+    SuiteEntry { name: "C1355", gen: || sec_corrector(32, EccStyle::NandExpanded) },
+    SuiteEntry { name: "C880", gen: || datapath(8) },
+    SuiteEntry { name: "C1908", gen: || sec_corrector(24, EccStyle::ExtraParity) },
+    SuiteEntry { name: "vda", gen: || random_sop(0xda0a, 17, 39, 16, 5) },
+    SuiteEntry { name: "rot", gen: || barrel_rotator(32) },
+    SuiteEntry { name: "alu4", gen: || alu(12) },
+    SuiteEntry { name: "x3", gen: || random_logic(0x0333, 135, 99, 400) },
+    SuiteEntry { name: "apex6", gen: || random_logic(0xa9e6, 135, 99, 430) },
+    SuiteEntry { name: "frg2", gen: || random_logic(0xf462, 143, 139, 480) },
+    SuiteEntry { name: "pair", gen: || random_logic(0x9a12, 173, 137, 850) },
+    SuiteEntry { name: "C5315", gen: || random_logic(0x5315, 178, 123, 950) },
+    // The true C6288 is NOR-structured (and famously redundant).
+    SuiteEntry { name: "C6288", gen: || array_multiplier_nor(16) },
+];
+
+/// The 17 circuits of the paper's Table 1, in table order.
+#[must_use]
+pub fn suite_table1() -> Vec<SuiteEntry> {
+    ENTRIES.to_vec()
+}
+
+/// The 11 circuits of the paper's Table 2, in table order.
+#[must_use]
+pub fn suite_table2() -> Vec<SuiteEntry> {
+    const TABLE2: [&str; 11] = [
+        "Z5xp1", "term1", "9sym", "C432", "C499", "C1355", "C880", "C1908", "apex6", "rot",
+        "frg2",
+    ];
+    TABLE2
+        .iter()
+        .map(|n| circuit_by_name(n).expect("table 2 subset of table 1"))
+        .collect()
+}
+
+/// Looks up a suite entry by its paper name.
+#[must_use]
+pub fn circuit_by_name(name: &str) -> Option<SuiteEntry> {
+    ENTRIES.iter().copied().find(|e| e.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_entries_generate_valid_circuits() {
+        for entry in suite_table1() {
+            let nl = entry.build();
+            nl.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            let s = nl.stats();
+            assert!(s.inputs > 0 && s.outputs > 0 && s.gates > 0, "{}", entry.name);
+            assert_eq!(nl.name(), entry.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for entry in suite_table1() {
+            let a = entry.build();
+            let b = entry.build();
+            assert_eq!(a.stats(), b.stats(), "{}", entry.name);
+        }
+    }
+
+    #[test]
+    fn table2_is_a_subset_in_order() {
+        let t2 = suite_table2();
+        assert_eq!(t2.len(), 11);
+        assert_eq!(t2[0].name, "Z5xp1");
+        assert_eq!(t2[10].name, "frg2");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(circuit_by_name("C6288").is_some());
+        assert!(circuit_by_name("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn c6288_is_the_multiplier() {
+        let nl = circuit_by_name("C6288").unwrap().build();
+        assert_eq!(nl.stats().inputs, 32);
+        assert!(nl.stats().gates > 1200);
+    }
+
+    #[test]
+    fn sizes_are_in_class() {
+        // Loose size-order check against the paper's table (mapped counts
+        // are larger than these unmapped ones; only the ordering matters).
+        let small = circuit_by_name("Z5xp1").unwrap().build().stats().gates;
+        let big = circuit_by_name("C6288").unwrap().build().stats().gates;
+        assert!(small < 200);
+        assert!(big > 1000);
+    }
+}

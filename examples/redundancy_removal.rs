@@ -1,0 +1,42 @@
+//! Redundancy removal from valid C1 clauses — the classic special case
+//! of clause analysis (a valid `(!O_a + a)` clause is a stuck-at-1
+//! redundancy).
+//!
+//! ```text
+//! cargo run -p gdo --example redundancy_removal
+//! ```
+
+use gdo::{remove_redundancies, ProverKind};
+use library::standard_library;
+use netlist::{GateKind, Netlist};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A circuit with layered redundancies:
+    //   y = a + a·b + a·b·c   (both AND cones are absorbed by a)
+    //   z = (a + b) · (a + b + c)   (the wider OR is absorbed)
+    let mut nl = Netlist::new("redundant");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let c = nl.add_input("c");
+    let ab = nl.add_gate(GateKind::And, &[a, b])?;
+    let abc = nl.add_gate(GateKind::And, &[a, b, c])?;
+    let y = nl.add_gate(GateKind::Or, &[a, ab, abc])?;
+    let a_or_b = nl.add_gate(GateKind::Or, &[a, b])?;
+    let a_or_b_or_c = nl.add_gate(GateKind::Or, &[a, b, c])?;
+    let z = nl.add_gate(GateKind::And, &[a_or_b, a_or_b_or_c])?;
+    nl.add_output("y", y);
+    nl.add_output("z", z);
+    let reference = nl.clone();
+    println!("before: {}", nl.stats());
+
+    let lib = standard_library();
+    let removed = remove_redundancies(&mut nl, &lib, 256, 42, ProverKind::SatClause)?;
+    println!("after:  {} ({removed} constant substitutions)", nl.stats());
+
+    assert!(reference.equiv_exhaustive(&nl)?);
+    println!("function verified unchanged");
+
+    // y should have collapsed to `a` and z to `a + b`.
+    assert!(nl.stats().gates <= 2);
+    Ok(())
+}

@@ -1,0 +1,181 @@
+//! Property-based invariants over randomly generated circuits and
+//! formulas, via proptest.
+
+use library::{standard_library, MapGoal, Mapper};
+use netlist::{GateKind, Netlist, SignalId};
+use proptest::prelude::*;
+
+/// A recipe for building a small random netlist inside proptest.
+#[derive(Debug, Clone)]
+struct CircuitRecipe {
+    n_inputs: usize,
+    gates: Vec<(u8, Vec<usize>)>, // (kind selector, fanin back-references)
+    outputs: Vec<usize>,
+}
+
+fn recipe_strategy() -> impl Strategy<Value = CircuitRecipe> {
+    (2usize..=6).prop_flat_map(|n_inputs| {
+        let gate = (0u8..8, proptest::collection::vec(0usize..64, 1..4));
+        (
+            proptest::collection::vec(gate, 1..24),
+            proptest::collection::vec(0usize..64, 1..4),
+        )
+            .prop_map(move |(gates, outputs)| CircuitRecipe {
+                n_inputs,
+                gates,
+                outputs,
+            })
+    })
+}
+
+fn build(recipe: &CircuitRecipe) -> Netlist {
+    let mut nl = Netlist::new("prop");
+    let mut pool: Vec<SignalId> = (0..recipe.n_inputs)
+        .map(|i| nl.add_input(format!("x{i}")))
+        .collect();
+    for (sel, fanin_refs) in &recipe.gates {
+        let kind = match sel % 8 {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            2 => GateKind::Nand,
+            3 => GateKind::Nor,
+            4 => GateKind::Xor,
+            5 => GateKind::Xnor,
+            6 => GateKind::Not,
+            _ => GateKind::Buf,
+        };
+        let arity = match kind {
+            GateKind::Not | GateKind::Buf => 1,
+            _ => fanin_refs.len().clamp(2, 4),
+        };
+        let mut fanins: Vec<SignalId> = (0..arity)
+            .map(|i| {
+                let r = fanin_refs.get(i).copied().unwrap_or(i);
+                pool[r % pool.len()]
+            })
+            .collect();
+        fanins.truncate(arity);
+        if let Ok(g) = nl.add_gate(kind, &fanins) {
+            pool.push(g);
+        }
+    }
+    for (k, &o) in recipe.outputs.iter().enumerate() {
+        nl.add_output(format!("z{k}"), pool[o % pool.len()]);
+    }
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sweeping and structural hashing never change the function and
+    /// never grow the netlist.
+    #[test]
+    fn sweep_and_strash_preserve_function(recipe in recipe_strategy()) {
+        let nl = build(&recipe);
+        let mut cleaned = nl.clone();
+        cleaned.sweep().expect("acyclic");
+        cleaned.strash().expect("acyclic");
+        cleaned.prune_dangling();
+        cleaned.validate().expect("sound");
+        prop_assert!(nl.equiv_exhaustive(&cleaned).expect("small"));
+        prop_assert!(cleaned.stats().gates <= nl.stats().gates + recipe.gates.len());
+    }
+
+    /// Technology mapping is always equivalence-preserving and always
+    /// produces fully bound gates.
+    #[test]
+    fn mapping_preserves_function(recipe in recipe_strategy()) {
+        let nl = build(&recipe);
+        let lib = standard_library();
+        let mapped = Mapper::new(&lib).goal(MapGoal::Area).map(&nl).expect("maps");
+        mapped.validate().expect("sound");
+        prop_assert!(nl.equiv_exhaustive(&mapped).expect("small"));
+        for g in mapped.gates() {
+            prop_assert!(mapped.cell(g).lib().is_some());
+        }
+    }
+
+    /// The subject-graph decomposition only produces NAND2/INV and stays
+    /// equivalent.
+    #[test]
+    fn subject_graph_is_base_only(recipe in recipe_strategy()) {
+        let nl = build(&recipe);
+        let subject = library::to_subject_graph(&nl).expect("acyclic");
+        prop_assert!(nl.equiv_exhaustive(&subject).expect("small"));
+        for g in subject.gates() {
+            prop_assert!(matches!(subject.kind(g), GateKind::Nand | GateKind::Not));
+            if subject.kind(g) == GateKind::Nand {
+                prop_assert_eq!(subject.fanins(g).len(), 2);
+            }
+        }
+    }
+
+    /// BLIF round trips reproduce the function exactly.
+    #[test]
+    fn blif_round_trip(recipe in recipe_strategy()) {
+        let nl = build(&recipe);
+        let text = formats::write_blif(&nl);
+        let back = formats::parse_blif(&text).expect("own output parses");
+        prop_assert!(nl.equiv_exhaustive(&back).expect("small"));
+    }
+
+    /// The SAT solver agrees with brute force on random CNF.
+    #[test]
+    fn sat_matches_brute_force(
+        n_vars in 1usize..7,
+        clauses in proptest::collection::vec(
+            proptest::collection::vec((0usize..7, proptest::bool::ANY), 1..4),
+            0..14,
+        ),
+    ) {
+        let mut solver = sat::Solver::new();
+        let vars: Vec<sat::Var> = (0..n_vars).map(|_| solver.new_var()).collect();
+        let mut normalized: Vec<Vec<(usize, bool)>> = Vec::new();
+        for c in &clauses {
+            let lits: Vec<(usize, bool)> =
+                c.iter().map(|&(v, s)| (v % n_vars, s)).collect();
+            normalized.push(lits.clone());
+            let sat_lits: Vec<sat::Lit> = lits
+                .iter()
+                .map(|&(v, s)| sat::Lit::with_sign(vars[v], s))
+                .collect();
+            solver.add_clause(&sat_lits);
+        }
+        let got = solver.solve(&[]).is_sat();
+        let brute = (0u32..1 << n_vars).any(|assign| {
+            normalized.iter().all(|c| {
+                c.iter().any(|&(v, s)| (assign >> v & 1 == 1) == s)
+            })
+        });
+        prop_assert_eq!(got, brute);
+    }
+
+    /// Bit-parallel simulation equals scalar evaluation everywhere.
+    #[test]
+    fn sim_equals_eval(recipe in recipe_strategy(), seed in 0u64..1000) {
+        let nl = build(&recipe);
+        let vectors = sim::VectorSet::random(nl.inputs().len(), 64, seed);
+        let result = sim::simulate(&nl, &vectors).expect("acyclic");
+        for v in [0usize, 13, 63] {
+            let ins: Vec<bool> =
+                (0..nl.inputs().len()).map(|i| vectors.bit(i, v)).collect();
+            let scalar = nl.eval_outputs(&ins).expect("acyclic");
+            for (o, po) in nl.outputs().iter().enumerate() {
+                prop_assert_eq!(result.bit(po.driver(), v), scalar[o]);
+            }
+        }
+    }
+
+    /// Redundancy removal keeps the function (and never grows gates).
+    #[test]
+    fn redundancy_removal_preserves_function(recipe in recipe_strategy()) {
+        let nl = build(&recipe);
+        let lib = standard_library();
+        let mut cleaned = nl.clone();
+        gdo::remove_redundancies(&mut cleaned, &lib, 128, 9, gdo::ProverKind::SatClause)
+            .expect("succeeds");
+        cleaned.validate().expect("sound");
+        prop_assert!(nl.equiv_exhaustive(&cleaned).expect("small"));
+    }
+}
