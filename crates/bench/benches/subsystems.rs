@@ -146,6 +146,44 @@ fn bench_bpfs_vectors(c: &mut Criterion) {
     group.finish();
 }
 
+/// BPFS thread scaling on a fixed round: the seed-style
+/// full-topological-walk engine as baseline, then the cone-local engine
+/// at 1/2/4/8 worker threads. All variants produce bit-identical
+/// survival masks (property-tested in `gdo/tests/bpfs_parallel.rs`).
+fn bench_bpfs_threads(c: &mut Criterion) {
+    let nl = mapped_multiplier(8);
+    let lib = standard_library();
+    let model = LibDelay::new(&lib);
+    let sta = Sta::analyze(&nl, &model).expect("acyclic");
+    let ctx = gdo::CandidateContext::build(&nl).expect("acyclic");
+    let cfg = gdo::CandidateConfig::default();
+    let site_cands: Vec<_> = sta
+        .critical_gates(&nl)
+        .into_iter()
+        .take(48)
+        .map(Site::Stem)
+        .map(|site| {
+            let max_arrival = sta.arrival(site.source(&nl)) - sta.eps();
+            (
+                site,
+                gdo::pair_candidates(&nl, &sta, &ctx, site, &cfg, max_arrival),
+            )
+        })
+        .collect();
+    let vectors = VectorSet::random(nl.inputs().len(), 1024, 7);
+    let sim = simulate(&nl, &vectors).expect("acyclic");
+    let mut group = c.benchmark_group("gdo/bpfs_threads");
+    group.bench_function("full_walk_serial", |b| {
+        b.iter(|| gdo::run_c2_full_walk(&nl, &sim, site_cands.clone()).expect("acyclic"))
+    });
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_function(format!("cone_local_{threads}t"), |b| {
+            b.iter(|| gdo::run_c2_threaded(&nl, &sim, site_cands.clone(), threads).expect("acyclic"))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
@@ -156,6 +194,7 @@ criterion_group!(
         bench_sat_equiv,
         bench_bdd_build,
         bench_clause_prover,
-        bench_bpfs_vectors
+        bench_bpfs_vectors,
+        bench_bpfs_threads
 );
 criterion_main!(benches);

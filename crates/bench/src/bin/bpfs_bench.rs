@@ -1,0 +1,71 @@
+//! Regenerates `BENCH_bpfs.json`: the BPFS thread-scaling measurement
+//! with the full-topological-walk engine as baseline.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bpfs_bench [-- --out PATH] [--quick]
+//! ```
+
+use bench::{run_bpfs_bench, BenchCircuit, BpfsBenchConfig};
+
+fn main() {
+    let mut out_path = String::from("BENCH_bpfs.json");
+    let mut cfg = BpfsBenchConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--quick" => {
+                cfg.circuit = BenchCircuit::Datapath(24);
+                cfg.vectors = 256;
+                cfg.max_sites = 24;
+                cfg.samples = 1;
+            }
+            "--mul" => {
+                cfg.circuit = BenchCircuit::Mul(
+                    args.next()
+                        .expect("--mul needs a width")
+                        .parse()
+                        .expect("--mul needs an integer"),
+                );
+            }
+            "--datapath" => {
+                cfg.circuit = BenchCircuit::Datapath(
+                    args.next()
+                        .expect("--datapath needs a width")
+                        .parse()
+                        .expect("--datapath needs an integer"),
+                );
+            }
+            "--vectors" => {
+                cfg.vectors = args
+                    .next()
+                    .expect("--vectors needs a count")
+                    .parse()
+                    .expect("--vectors needs an integer");
+            }
+            other => panic!(
+                "unknown flag {other:?}; known: --out PATH --mul N --datapath N \
+                 --vectors N --quick"
+            ),
+        }
+    }
+    let report = run_bpfs_bench(&cfg);
+    assert!(
+        report.bit_identical,
+        "parallel BPFS diverged from serial masks — refusing to publish timings"
+    );
+    let json = report.to_json();
+    std::fs::write(&out_path, format!("{json}\n")).expect("write report");
+    println!("{json}");
+    println!(
+        "\nwrote {out_path}: full-walk {:.3}s vs best cone-local {:.3}s ({:.1}x); \
+         end-to-end seed {:.2}s / 1t {:.2}s / 4t {:.2}s ({:.1}x vs seed)",
+        report.full_walk_serial_s,
+        report.full_walk_serial_s / report.best_speedup_vs_full_walk,
+        report.best_speedup_vs_full_walk,
+        report.end_to_end_seed_s,
+        report.end_to_end_1t_s,
+        report.end_to_end_4t_s,
+        report.speedup_4t_vs_seed
+    );
+}

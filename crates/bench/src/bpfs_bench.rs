@@ -1,0 +1,367 @@
+//! The BPFS scaling benchmark behind `BENCH_bpfs.json`: serial vs
+//! threaded clause invalidation, with the pre-levelization
+//! full-topological-walk engine as the baseline, plus end-to-end
+//! optimizer timings. All variants are checked bit-identical before any
+//! number is reported.
+
+use gdo::{pair_candidates, CandidateConfig, CandidateContext, GdoConfig, Optimizer, Site, SiteRound};
+use library::{standard_library, MapGoal, Mapper};
+use netlist::{Netlist, SignalId};
+use sim::{simulate, SimResult, VectorSet};
+use std::time::Instant;
+use timing::{LibDelay, Sta};
+use workloads::{array_multiplier, datapath};
+
+/// Benchmark workload. The two choices sit at opposite ends of the cost
+/// spectrum: the multiplier's rewrites are SAT-proof-bound (its miters
+/// are adversarial), while the datapath is clause-analysis-bound — the
+/// regime the parallel/incremental BPFS work targets.
+#[derive(Debug, Clone)]
+pub enum BenchCircuit {
+    /// `workloads::array_multiplier(n)` (the paper's C6288 class).
+    Mul(usize),
+    /// `workloads::datapath(n)`.
+    Datapath(usize),
+}
+
+impl BenchCircuit {
+    fn build(&self) -> Netlist {
+        match *self {
+            BenchCircuit::Mul(n) => array_multiplier(n),
+            BenchCircuit::Datapath(n) => datapath(n),
+        }
+    }
+
+    fn name(&self) -> String {
+        match *self {
+            BenchCircuit::Mul(n) => format!("mul{n}"),
+            BenchCircuit::Datapath(n) => format!("dp{n}"),
+        }
+    }
+}
+
+/// What to measure.
+#[derive(Debug, Clone)]
+pub struct BpfsBenchConfig {
+    /// The workload circuit.
+    pub circuit: BenchCircuit,
+    /// Random vectors per BPFS round.
+    pub vectors: usize,
+    /// Critical sites fed to the round.
+    pub max_sites: usize,
+    /// Thread counts to sweep.
+    pub thread_counts: Vec<usize>,
+    /// Timed repetitions per variant (the minimum is reported).
+    pub samples: usize,
+}
+
+impl Default for BpfsBenchConfig {
+    fn default() -> Self {
+        BpfsBenchConfig {
+            circuit: BenchCircuit::Datapath(96),
+            vectors: 1024,
+            max_sites: 64,
+            thread_counts: vec![1, 2, 4, 8],
+            samples: 3,
+        }
+    }
+}
+
+/// One timed variant of the C2 round.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// Variant label (e.g. `cone_local_4t`).
+    pub label: String,
+    /// Best-of-samples wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// The full report serialized into `BENCH_bpfs.json`.
+#[derive(Debug, Clone)]
+pub struct BpfsReport {
+    /// Workload name.
+    pub circuit: String,
+    /// Gate count of the mapped workload.
+    pub gates: usize,
+    /// Sites in the measured round.
+    pub sites: usize,
+    /// Pair candidates across all sites.
+    pub candidates: usize,
+    /// Vectors per round.
+    pub vectors: usize,
+    /// Seed-style baseline: full-topological-walk observability, serial.
+    pub full_walk_serial_s: f64,
+    /// Cone-local rounds per thread count, in `thread_counts` order.
+    pub cone_local: Vec<Timing>,
+    /// Area-phase-style round (non-critical sites): full-walk baseline,
+    /// serial.
+    pub area_full_walk_s: f64,
+    /// The same area-style round with the cone-local engine, serial. On
+    /// the deep bundled workloads cones span most of the circuit, so this
+    /// sits near parity with the full walk; the cone-local engine's value
+    /// is the bound (cost ∝ cone, not netlist) on shallower circuits.
+    pub area_cone_local_s: f64,
+    /// `true` when every variant produced identical survival masks.
+    pub bit_identical: bool,
+    /// End-to-end `Optimizer::optimize` seconds with the seed evaluation
+    /// path (`legacy_eval`: full-walk observability + clone-per-candidate
+    /// area trials), serial.
+    pub end_to_end_seed_s: f64,
+    /// End-to-end `Optimizer::optimize` seconds at 1 thread.
+    pub end_to_end_1t_s: f64,
+    /// End-to-end `Optimizer::optimize` seconds at 4 threads.
+    pub end_to_end_4t_s: f64,
+    /// Best cone-local round speedup over the full-walk baseline.
+    pub best_speedup_vs_full_walk: f64,
+    /// End-to-end speedup of the 4-thread incremental path over the seed
+    /// path — the headline number.
+    pub speedup_4t_vs_seed: f64,
+}
+
+fn best_of<T>(samples: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..samples.max(1) {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("at least one sample"))
+}
+
+fn rounds_equal(a: &[SiteRound], b: &[SiteRound]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.site == y.site
+                && x.obs == y.obs
+                && x.c1_alive == y.c1_alive
+                && x.pairs == y.pairs
+                && x.triples == y.triples
+        })
+}
+
+fn critical_site_cands(
+    nl: &Netlist,
+    sta: &Sta,
+    max_sites: usize,
+) -> Vec<(Site, Vec<SignalId>)> {
+    let ctx = CandidateContext::build(nl).expect("acyclic");
+    let cfg = CandidateConfig::default();
+    sta.critical_gates(nl)
+        .into_iter()
+        .take(max_sites)
+        .map(Site::Stem)
+        .map(|site| {
+            let max_arrival = sta.arrival(site.source(nl)) - sta.eps();
+            (site, pair_candidates(nl, sta, &ctx, site, &cfg, max_arrival))
+        })
+        .collect()
+}
+
+/// Area-round-style sites: non-critical stems with fanout, as the area
+/// phase enumerates them.
+fn area_site_cands(nl: &Netlist, sta: &Sta, max_sites: usize) -> Vec<(Site, Vec<SignalId>)> {
+    let ctx = CandidateContext::build(nl).expect("acyclic");
+    let cfg = CandidateConfig::default();
+    nl.gates()
+        .filter(|&g| nl.fanout_count(g) > 0 && !sta.is_critical(g))
+        .take(max_sites)
+        .map(Site::Stem)
+        .map(|site| {
+            let max_arrival = sta.arrival(site.source(nl)) - sta.eps();
+            (site, pair_candidates(nl, sta, &ctx, site, &cfg, max_arrival))
+        })
+        .collect()
+}
+
+fn measured_round(
+    nl: &Netlist,
+    sim: &SimResult,
+    sites: &[(Site, Vec<SignalId>)],
+    cfg: &BpfsBenchConfig,
+) -> (f64, Vec<Timing>, bool) {
+    let (full_walk_s, reference) = best_of(cfg.samples, || {
+        gdo::run_c2_full_walk(nl, sim, sites.to_vec()).expect("acyclic")
+    });
+    let mut identical = true;
+    let mut cone = Vec::new();
+    for &threads in &cfg.thread_counts {
+        let (s, rounds) = best_of(cfg.samples, || {
+            gdo::run_c2_threaded(nl, sim, sites.to_vec(), threads).expect("acyclic")
+        });
+        identical &= rounds_equal(&reference, &rounds);
+        cone.push(Timing {
+            label: format!("cone_local_{threads}t"),
+            seconds: s,
+        });
+    }
+    (full_walk_s, cone, identical)
+}
+
+/// Runs the benchmark.
+///
+/// # Panics
+///
+/// Panics on internal pipeline errors (the workload is valid by
+/// construction).
+#[must_use]
+pub fn run_bpfs_bench(cfg: &BpfsBenchConfig) -> BpfsReport {
+    let lib = standard_library();
+    let nl = Mapper::new(&lib)
+        .goal(MapGoal::Area)
+        .map(&cfg.circuit.build())
+        .expect("mapping succeeds");
+    let model = LibDelay::new(&lib);
+    let sta = Sta::analyze(&nl, &model).expect("acyclic");
+    let sites = critical_site_cands(&nl, &sta, cfg.max_sites);
+    let candidates = sites.iter().map(|(_, bs)| bs.len()).sum();
+    let vectors = VectorSet::random(nl.inputs().len(), cfg.vectors, 7);
+    let sim = simulate(&nl, &vectors).expect("acyclic");
+
+    let (full_walk_s, cone_local, bit_identical) = measured_round(&nl, &sim, &sites, cfg);
+
+    // Area-phase regime: many sites, small cones. Use 4x the critical
+    // site budget to mirror the area round's breadth.
+    let area_sites = area_site_cands(&nl, &sta, cfg.max_sites * 4);
+    let (area_full_walk_s, area_ref) = best_of(cfg.samples, || {
+        gdo::run_c2_full_walk(&nl, &sim, area_sites.to_vec()).expect("acyclic")
+    });
+    let (area_cone_local_s, area_rounds) = best_of(cfg.samples, || {
+        gdo::run_c2_threaded(&nl, &sim, area_sites.to_vec(), 1).expect("acyclic")
+    });
+    let bit_identical = bit_identical && rounds_equal(&area_ref, &area_rounds);
+
+    let optimize_with = |gdo_cfg: GdoConfig| -> f64 {
+        let mut work = nl.clone();
+        let t = Instant::now();
+        let _ = Optimizer::new(&lib, gdo_cfg)
+            .optimize(&mut work)
+            .expect("optimizer succeeds");
+        t.elapsed().as_secs_f64()
+    };
+    let end_to_end_seed_s = optimize_with(GdoConfig {
+        legacy_eval: true,
+        threads: 1,
+        ..GdoConfig::default()
+    });
+    let end_to_end_1t_s = optimize_with(GdoConfig {
+        threads: 1,
+        ..GdoConfig::default()
+    });
+    let end_to_end_4t_s = optimize_with(GdoConfig {
+        threads: 4,
+        ..GdoConfig::default()
+    });
+
+    let best_cone = cone_local
+        .iter()
+        .map(|t| t.seconds)
+        .fold(f64::INFINITY, f64::min);
+    BpfsReport {
+        circuit: cfg.circuit.name(),
+        gates: nl.stats().gates,
+        sites: sites.len(),
+        candidates,
+        vectors: cfg.vectors,
+        full_walk_serial_s: full_walk_s,
+        cone_local,
+        area_full_walk_s,
+        area_cone_local_s,
+        bit_identical,
+        end_to_end_seed_s,
+        end_to_end_1t_s,
+        end_to_end_4t_s,
+        best_speedup_vs_full_walk: if best_cone > 0.0 {
+            full_walk_s / best_cone
+        } else {
+            f64::INFINITY
+        },
+        speedup_4t_vs_seed: if end_to_end_4t_s > 0.0 {
+            end_to_end_seed_s / end_to_end_4t_s
+        } else {
+            f64::INFINITY
+        },
+    }
+}
+
+impl BpfsReport {
+    /// Machine-readable JSON (hand-rolled; the workspace has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"circuit\": \"{}\",\n", self.circuit));
+        s.push_str(&format!("  \"gates\": {},\n", self.gates));
+        s.push_str(&format!("  \"sites\": {},\n", self.sites));
+        s.push_str(&format!("  \"candidates\": {},\n", self.candidates));
+        s.push_str(&format!("  \"vectors\": {},\n", self.vectors));
+        s.push_str(&format!(
+            "  \"full_walk_serial_s\": {:.6},\n",
+            self.full_walk_serial_s
+        ));
+        s.push_str("  \"cone_local\": {\n");
+        for (i, t) in self.cone_local.iter().enumerate() {
+            let comma = if i + 1 < self.cone_local.len() { "," } else { "" };
+            s.push_str(&format!("    \"{}\": {:.6}{comma}\n", t.label, t.seconds));
+        }
+        s.push_str("  },\n");
+        s.push_str(&format!(
+            "  \"area_full_walk_s\": {:.6},\n",
+            self.area_full_walk_s
+        ));
+        s.push_str(&format!(
+            "  \"area_cone_local_s\": {:.6},\n",
+            self.area_cone_local_s
+        ));
+        s.push_str(&format!("  \"bit_identical\": {},\n", self.bit_identical));
+        s.push_str(&format!(
+            "  \"end_to_end_seed_s\": {:.6},\n",
+            self.end_to_end_seed_s
+        ));
+        s.push_str(&format!(
+            "  \"end_to_end_1t_s\": {:.6},\n",
+            self.end_to_end_1t_s
+        ));
+        s.push_str(&format!(
+            "  \"end_to_end_4t_s\": {:.6},\n",
+            self.end_to_end_4t_s
+        ));
+        s.push_str(&format!(
+            "  \"best_speedup_vs_full_walk\": {:.3},\n",
+            self.best_speedup_vs_full_walk
+        ));
+        s.push_str(&format!(
+            "  \"speedup_4t_vs_seed\": {:.3}\n",
+            self.speedup_4t_vs_seed
+        ));
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_consistent_and_exact() {
+        // A deliberately tiny configuration: this is a smoke test of the
+        // report plumbing, not a measurement.
+        let cfg = BpfsBenchConfig {
+            circuit: BenchCircuit::Mul(4),
+            vectors: 128,
+            max_sites: 8,
+            thread_counts: vec![1, 2],
+            samples: 1,
+        };
+        let report = run_bpfs_bench(&cfg);
+        assert!(report.bit_identical, "parallel masks diverged from serial");
+        assert_eq!(report.cone_local.len(), 2);
+        assert!(report.full_walk_serial_s > 0.0);
+        assert!(report.end_to_end_seed_s > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"bit_identical\": true"));
+        assert!(json.contains("cone_local_2t"));
+        assert!(json.contains("speedup_4t_vs_seed"));
+    }
+}

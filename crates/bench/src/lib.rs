@@ -1,6 +1,10 @@
 //! Shared harness code for the table-regeneration binaries and the
 //! criterion micro-benchmarks.
 
+pub mod bpfs_bench;
+
+pub use bpfs_bench::{run_bpfs_bench, BenchCircuit, BpfsBenchConfig, BpfsReport};
+
 use gdo::{GdoConfig, GdoStats, Optimizer, OptimizeReport};
 use library::{standard_library, Library, MapGoal, Mapper};
 use netlist::Netlist;
@@ -172,11 +176,19 @@ impl HarnessArgs {
                         .parse()
                         .expect("--vectors needs an integer");
                 }
+                "--threads" => {
+                    out.cfg.threads = args
+                        .next()
+                        .expect("--threads needs a count")
+                        .parse()
+                        .expect("--threads needs an integer");
+                }
                 "--quick" => out.quick = true,
                 "--verify" => out.verify = true,
                 other => panic!(
                     "unknown flag {other:?}; known: --circuit NAME --no-os3 \
-                     --no-area-phase --xor-direct --vectors N --budget N --quick --verify"
+                     --no-area-phase --xor-direct --vectors N --budget N --threads N \
+                     --quick --verify"
                 ),
             }
         }

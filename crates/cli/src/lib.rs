@@ -166,6 +166,11 @@ impl Options {
                         .parse()
                         .map_err(|_| CliError::Usage("--seed needs an integer".into()))?;
                 }
+                "--threads" => {
+                    out.cfg.threads = need("--threads")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--threads needs an integer".into()))?;
+                }
                 "--prover" => {
                     out.cfg.prover = match need("--prover")?.as_str() {
                         "sat" => ProverKind::SatClause,
@@ -223,6 +228,7 @@ pub fn usage() -> &'static str {
      --no-area-phase          skip the area-recovery phase\n\
      --vectors N              BPFS vectors per round (default 512)\n\
      --seed N                 BPFS seed (default 1995)\n\
+     --threads N              BPFS worker threads (default 0 = all cores)\n\
      --prover sat|bdd|miter   validity prover (default sat)\n\
      --mapped-output          write .gate (mapped) BLIF\n\
      --require T              report MET/VIOLATED for output required time T\n\

@@ -1,0 +1,201 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter` / `iter_batched`, `BatchSize`,
+//! `black_box` and the `criterion_group!` / `criterion_main!` macros —
+//! as a plain wall-clock harness: per benchmark it runs one warm-up
+//! iteration plus `sample_size` timed samples and prints mean / min /
+//! max. No statistical regression machinery, no HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; only a hint upstream, ignored here
+/// (every iteration re-runs setup untimed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self._criterion.sample_size);
+        run_one(&format!("{}/{}", self.name, id.into()), samples, &mut f);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher {
+        samples,
+        collected: Vec::with_capacity(samples),
+    };
+    f(&mut b);
+    let n = b.collected.len().max(1);
+    let total: Duration = b.collected.iter().sum();
+    let mean = total / n as u32;
+    let min = b.collected.iter().min().copied().unwrap_or_default();
+    let max = b.collected.iter().max().copied().unwrap_or_default();
+    println!("{id:<55} mean {mean:>12.3?}   min {min:>12.3?}   max {max:>12.3?}   ({n} samples)");
+}
+
+/// The per-benchmark timing hook.
+pub struct Bencher {
+    samples: usize,
+    collected: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples (plus one
+    /// untimed warm-up call).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(routine());
+            self.collected.push(t.elapsed());
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.collected.push(t.elapsed());
+        }
+    }
+}
+
+/// Declares a benchmark group function, in either criterion syntax.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags (e.g. --bench); ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("shim/noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("shim/group");
+        group.sample_size(3);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(
+        name = benches;
+        config = Criterion::default().sample_size(2);
+        targets = target
+    );
+
+    criterion_group!(short_form, target);
+
+    #[test]
+    fn groups_run_to_completion() {
+        benches();
+        short_form();
+    }
+}

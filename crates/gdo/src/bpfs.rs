@@ -15,7 +15,9 @@
 
 use crate::{Gate3, Site};
 use netlist::{Netlist, NetlistError, SignalId};
-use sim::{ObservabilityEngine, SimResult};
+use sim::{ObsPlan, ObservabilityEngine, SimResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// One pair candidate's surviving C2 clauses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,9 +67,95 @@ pub struct SiteRound {
     pub triples: Vec<TripleEntry>,
 }
 
+/// Resolves a thread-count knob: `0` means one worker per available
+/// core, anything else is taken literally.
+#[must_use]
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+}
+
+/// The per-site C1/C2 worker: computes one [`SiteRound`] from the site's
+/// observability and the simulation words. Sites are independent — no
+/// worker reads another site's state — which is what makes the fan-out
+/// in [`run_c2_threaded`] safe and bit-exact.
+fn compute_site_round(
+    nl: &Netlist,
+    sim: &SimResult,
+    engine: &mut ObservabilityEngine<'_>,
+    site: Site,
+    bs: &[SignalId],
+) -> SiteRound {
+    let n_words = sim.n_words();
+    let obs: Vec<u64> = match site {
+        Site::Stem(a) => engine.observability(a).to_vec(),
+        Site::Branch(br) => engine.observability_branch(br).to_vec(),
+    };
+    let a_vals = sim.value(site.source(nl));
+    // C1: clause (!O_a + a^pa) dies when O & (pa ? !A : A) != 0.
+    let mut c1_alive: u8 = 0b11;
+    for w in 0..n_words {
+        let o = obs[w];
+        if o == 0 {
+            continue;
+        }
+        if o & a_vals[w] != 0 {
+            c1_alive &= !0b01; // literal !a was 0 somewhere observable
+        }
+        if o & !a_vals[w] != 0 {
+            c1_alive &= !0b10;
+        }
+        if c1_alive == 0 {
+            break;
+        }
+    }
+    let mut pairs = Vec::with_capacity(bs.len());
+    for &b in bs {
+        let b_vals = sim.value(b);
+        let mut alive: u8 = 0b1111;
+        for w in 0..n_words {
+            let o = obs[w];
+            if o == 0 {
+                continue;
+            }
+            let a = a_vals[w];
+            let bv = b_vals[w];
+            // Literal a^pa is 0 on (pa ? !a : a); same for b.
+            for bit in 0..4u8 {
+                if alive & (1 << bit) == 0 {
+                    continue;
+                }
+                let am = if bit & 1 != 0 { !a } else { a };
+                let bm = if bit & 2 != 0 { !bv } else { bv };
+                if o & am & bm != 0 {
+                    alive &= !(1 << bit);
+                }
+            }
+            if alive == 0 {
+                break;
+            }
+        }
+        // Keep even fully-dead entries: XOR-type OS3 candidates have
+        // no valid C2 clause by nature (b alone never determines
+        // a = b xor c), so the triple enumeration must still see them.
+        pairs.push(PairEntry { b, alive });
+    }
+    SiteRound {
+        site,
+        obs,
+        c1_alive,
+        pairs,
+        triples: Vec::new(),
+    }
+}
+
 /// Runs the C1/C2 invalidation for every site against one simulation.
 ///
 /// `sites` pairs each site with its pre-filtered `b`-candidates.
+/// Equivalent to [`run_c2_threaded`] with one thread.
 ///
 /// # Errors
 ///
@@ -77,84 +165,106 @@ pub fn run_c2(
     sim: &SimResult,
     sites: Vec<(Site, Vec<SignalId>)>,
 ) -> Result<Vec<SiteRound>, NetlistError> {
-    let mut engine = ObservabilityEngine::new(nl, sim)?;
-    let n_words = sim.n_words();
-    let mut rounds = Vec::with_capacity(sites.len());
-    for (site, bs) in sites {
-        let obs: Vec<u64> = match site {
-            Site::Stem(a) => engine.observability(a).to_vec(),
-            Site::Branch(br) => engine.observability_branch(br).to_vec(),
-        };
-        let a_vals = sim.value(site.source(nl));
-        // C1: clause (!O_a + a^pa) dies when O & (pa ? !A : A) != 0.
-        let mut c1_alive: u8 = 0b11;
-        for w in 0..n_words {
-            let o = obs[w];
-            if o == 0 {
-                continue;
-            }
-            if o & a_vals[w] != 0 {
-                c1_alive &= !0b01; // literal !a was 0 somewhere observable
-            }
-            if o & !a_vals[w] != 0 {
-                c1_alive &= !0b10;
-            }
-            if c1_alive == 0 {
-                break;
-            }
-        }
-        let mut pairs = Vec::with_capacity(bs.len());
-        for b in bs {
-            let b_vals = sim.value(b);
-            let mut alive: u8 = 0b1111;
-            for w in 0..n_words {
-                let o = obs[w];
-                if o == 0 {
-                    continue;
-                }
-                let a = a_vals[w];
-                let bv = b_vals[w];
-                // Literal a^pa is 0 on (pa ? !a : a); same for b.
-                for bit in 0..4u8 {
-                    if alive & (1 << bit) == 0 {
-                        continue;
-                    }
-                    let am = if bit & 1 != 0 { !a } else { a };
-                    let bm = if bit & 2 != 0 { !bv } else { bv };
-                    if o & am & bm != 0 {
-                        alive &= !(1 << bit);
-                    }
-                }
-                if alive == 0 {
-                    break;
-                }
-            }
-            // Keep even fully-dead entries: XOR-type OS3 candidates have
-            // no valid C2 clause by nature (b alone never determines
-            // a = b xor c), so the triple enumeration must still see them.
-            pairs.push(PairEntry { b, alive });
-        }
-        rounds.push(SiteRound {
-            site,
-            obs,
-            c1_alive,
-            pairs,
-            triples: Vec::new(),
-        });
-    }
-    Ok(rounds)
+    run_c2_threaded(nl, sim, sites, 1)
 }
 
-/// Runs the C3 invalidation for a site's triple candidates, using the
-/// observability cached by [`run_c2`]. Dead triples are removed.
-pub fn run_c3(
+/// [`run_c2`] fanned out over a thread pool.
+///
+/// Each worker owns an [`ObservabilityEngine`] over a shared [`ObsPlan`]
+/// (the netlist is levelized once, not per worker) and claims sites from
+/// an atomic cursor. Results are merged back in site order, so the
+/// output is **bit-identical to the serial run regardless of thread
+/// count or scheduling**: per-site computation touches no cross-site
+/// state, and ordering is restored by original index.
+///
+/// `threads == 0` uses one worker per available core.
+///
+/// # Errors
+///
+/// [`NetlistError::CycleDetected`] if `nl` is cyclic.
+pub fn run_c2_threaded(
     nl: &Netlist,
     sim: &SimResult,
-    round: &mut SiteRound,
+    sites: Vec<(Site, Vec<SignalId>)>,
+    threads: usize,
+) -> Result<Vec<SiteRound>, NetlistError> {
+    let threads = resolve_threads(threads).min(sites.len().max(1));
+    if threads <= 1 {
+        let mut engine = ObservabilityEngine::new(nl, sim)?;
+        return Ok(sites
+            .into_iter()
+            .map(|(site, bs)| compute_site_round(nl, sim, &mut engine, site, &bs))
+            .collect());
+    }
+    let plan = Arc::new(ObsPlan::new(nl)?);
+    let next = AtomicUsize::new(0);
+    let sites = &sites;
+    let mut merged: Vec<Option<SiteRound>> = std::iter::repeat_with(|| None)
+        .take(sites.len())
+        .collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let plan = Arc::clone(&plan);
+                let next = &next;
+                scope.spawn(move || {
+                    let mut engine = ObservabilityEngine::with_plan(nl, sim, plan);
+                    let mut local: Vec<(usize, SiteRound)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((site, bs)) = sites.get(i) else {
+                            break;
+                        };
+                        local.push((i, compute_site_round(nl, sim, &mut engine, *site, bs)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (i, round) in worker.join().expect("BPFS worker panicked") {
+                merged[i] = Some(round);
+            }
+        }
+    });
+    Ok(merged
+        .into_iter()
+        .map(|r| r.expect("every claimed site produces a round"))
+        .collect())
+}
+
+/// [`run_c2`] on a full-topological-walk observability engine: every
+/// query resimulates the whole netlist instead of the seed's fanout
+/// cone. This is the pre-levelization behaviour, kept as the baseline
+/// the benchmarks measure the cone-local engine against. Results are
+/// bit-identical to [`run_c2`].
+///
+/// # Errors
+///
+/// [`NetlistError::CycleDetected`] if `nl` is cyclic.
+pub fn run_c2_full_walk(
+    nl: &Netlist,
+    sim: &SimResult,
+    sites: Vec<(Site, Vec<SignalId>)>,
+) -> Result<Vec<SiteRound>, NetlistError> {
+    let mut engine = ObservabilityEngine::new_full_walk(nl, sim)?;
+    Ok(sites
+        .into_iter()
+        .map(|(site, bs)| compute_site_round(nl, sim, &mut engine, site, &bs))
+        .collect())
+}
+
+/// The per-site C3 worker: kills clause bits of `triples` against the
+/// observability cached in `round`, returning only survivors. Reads the
+/// round immutably so many sites can be processed concurrently.
+fn invalidate_triples(
+    nl: &Netlist,
+    sim: &SimResult,
+    round: &SiteRound,
     mut triples: Vec<TripleEntry>,
-) {
+) -> Vec<TripleEntry> {
     let n_words = sim.n_words();
-    let a_vals = sim.value(round.site.source(nl)).to_vec();
+    let a_vals = sim.value(round.site.source(nl));
     for t in &mut triples {
         let b_vals = sim.value(t.b);
         let c_vals = sim.value(t.c);
@@ -181,7 +291,85 @@ pub fn run_c3(
         }
     }
     triples.retain(TripleEntry::survives);
-    round.triples = triples;
+    triples
+}
+
+/// Runs the C3 invalidation for a site's triple candidates, using the
+/// observability cached by [`run_c2`]. Dead triples are removed.
+pub fn run_c3(nl: &Netlist, sim: &SimResult, round: &mut SiteRound, triples: Vec<TripleEntry>) {
+    round.triples = invalidate_triples(nl, sim, round, triples);
+}
+
+/// [`run_c3`] for many sites at once, fanned out over a thread pool.
+///
+/// `requests[i]` holds the triple candidates of `rounds[i]`. Workers
+/// read rounds immutably and claim (round, request) pairs from an atomic
+/// cursor; surviving triples are written back by index, so the result is
+/// bit-identical to calling [`run_c3`] on each round in order.
+///
+/// # Panics
+///
+/// Panics if `requests.len() != rounds.len()`.
+pub fn run_c3_threaded(
+    nl: &Netlist,
+    sim: &SimResult,
+    rounds: &mut [SiteRound],
+    requests: Vec<Vec<TripleEntry>>,
+    threads: usize,
+) {
+    assert_eq!(requests.len(), rounds.len(), "one request set per round");
+    let threads = resolve_threads(threads).min(rounds.len().max(1));
+    if threads <= 1 {
+        for (round, triples) in rounds.iter_mut().zip(requests) {
+            round.triples = invalidate_triples(nl, sim, round, triples);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let work: Vec<(usize, &SiteRound, Vec<TripleEntry>)> = rounds
+        .iter()
+        .zip(requests)
+        .enumerate()
+        .map(|(i, (round, triples))| (i, round, triples))
+        .collect();
+    let work = std::sync::Mutex::new(
+        work.into_iter()
+            .map(Some)
+            .collect::<Vec<Option<(usize, &SiteRound, Vec<TripleEntry>)>>>(),
+    );
+    let n = rounds.len();
+    let mut survivors: Vec<Option<Vec<TripleEntry>>> =
+        std::iter::repeat_with(|| None).take(n).collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let work = &work;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, Vec<TripleEntry>)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let (idx, round, triples) = work.lock().expect("poisoned")[i]
+                            .take()
+                            .expect("each work item claimed once");
+                        local.push((idx, invalidate_triples(nl, sim, round, triples)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (i, t) in worker.join().expect("C3 worker panicked") {
+                survivors[i] = Some(t);
+            }
+        }
+    });
+    for (round, t) in rounds.iter_mut().zip(survivors) {
+        round.triples = t.expect("every round processed");
+    }
 }
 
 #[cfg(test)]

@@ -73,7 +73,10 @@ mod rewrite;
 mod site;
 mod transform;
 
-pub use bpfs::{run_c2, run_c3, PairEntry, SiteRound, TripleEntry};
+pub use bpfs::{
+    resolve_threads, run_c2, run_c2_full_walk, run_c2_threaded, run_c3, run_c3_threaded, PairEntry,
+    SiteRound, TripleEntry,
+};
 pub use candidates::{pair_candidates, CandidateConfig, CandidateContext};
 pub use error::GdoError;
 pub use optimizer::{GdoConfig, GdoStats, Optimizer};

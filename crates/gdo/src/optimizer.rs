@@ -4,7 +4,7 @@
 //! non-critical logic without creating new critical paths, returning to
 //! the delay phase after every batch of area substitutions.
 
-use crate::bpfs::{run_c2, run_c3};
+use crate::bpfs::{run_c2_full_walk, run_c2_threaded, run_c3_threaded, SiteRound, TripleEntry};
 use crate::candidates::{pair_candidates, CandidateConfig, CandidateContext};
 use crate::pvcc::{
     and_or_triple_requests, const_candidates, site_arrival, site_ncp, site_required,
@@ -15,6 +15,7 @@ use crate::prove::prove_rewrite_budgeted;
 use crate::{GdoError, ProverKind, Rewrite, RewriteKind, Site};
 use library::Library;
 use netlist::{Branch, GateKind, Netlist, SignalId};
+use std::collections::HashSet;
 use sim::{simulate, VectorSet};
 use timing::{CriticalPaths, DelayModel, LibDelay, Sta};
 
@@ -59,6 +60,16 @@ pub struct GdoConfig {
     pub max_delay_rounds: usize,
     /// Safety bound on outer delay/area alternations.
     pub max_outer_rounds: usize,
+    /// Worker threads for the BPFS fan-out (`0` = one per available
+    /// core). Per-site clause invalidation is independent work, and
+    /// results are merged in site order, so any thread count produces
+    /// bit-identical survival masks.
+    pub threads: usize,
+    /// Re-enables the original evaluation paths — full-topological-walk
+    /// observability (serial, ignoring [`threads`](Self::threads)) and
+    /// clone-plus-full-STA trial evaluation per area candidate — as a
+    /// benchmark baseline. Produces the same results, never faster.
+    pub legacy_eval: bool,
 }
 
 impl Default for GdoConfig {
@@ -78,6 +89,8 @@ impl Default for GdoConfig {
             max_proofs_per_round: 4096,
             max_delay_rounds: 40,
             max_outer_rounds: 25,
+            threads: 0,
+            legacy_eval: false,
         }
     }
 }
@@ -170,6 +183,21 @@ impl<'a> Optimizer<'a> {
         &self.cfg
     }
 
+    /// The configured C2 engine: threaded cone-local by default, the
+    /// serial full-walk baseline under [`GdoConfig::legacy_eval`].
+    fn run_c2(
+        &self,
+        nl: &Netlist,
+        sim: &sim::SimResult,
+        sites: Vec<(Site, Vec<SignalId>)>,
+    ) -> Result<Vec<SiteRound>, netlist::NetlistError> {
+        if self.cfg.legacy_eval {
+            run_c2_full_walk(nl, sim, sites)
+        } else {
+            run_c2_threaded(nl, sim, sites, self.cfg.threads)
+        }
+    }
+
     /// Optimizes `nl` in place and reports what happened.
     ///
     /// # Errors
@@ -194,15 +222,33 @@ impl<'a> Optimizer<'a> {
 
         let trace = std::env::var_os("GDO_TRACE").is_some();
         let mut seed_counter = self.cfg.seed;
+        // SAT refutations stay valid as long as the netlist is unchanged:
+        // validity depends only on the circuit function, not on timing or
+        // on the vector sample. Rounds skip re-proving cached refutations
+        // and clear the cache on every applied rewrite.
+        let mut refuted: HashSet<Rewrite> = HashSet::new();
         for outer in 0..self.cfg.max_outer_rounds {
             stats.rounds += 1;
             let t = std::time::Instant::now();
-            let delay_applied =
-                self.delay_phase(nl, &model, enable_xor, &mut stats, &mut seed_counter)?;
+            let delay_applied = self.delay_phase(
+                nl,
+                &model,
+                enable_xor,
+                &mut stats,
+                &mut seed_counter,
+                &mut refuted,
+            )?;
             let t_delay = t.elapsed();
             let t = std::time::Instant::now();
             let area_applied = if self.cfg.area_phase {
-                self.area_round(nl, &model, enable_xor, &mut stats, &mut seed_counter)?
+                self.area_round(
+                    nl,
+                    &model,
+                    enable_xor,
+                    &mut stats,
+                    &mut seed_counter,
+                    &mut refuted,
+                )?
             } else {
                 0
             };
@@ -244,16 +290,17 @@ impl<'a> Optimizer<'a> {
         enable_xor: bool,
         stats: &mut GdoStats,
         seed: &mut u64,
+        refuted: &mut HashSet<Rewrite>,
     ) -> Result<usize, GdoError> {
         let mut total = 0;
         for _ in 0..self.cfg.max_delay_rounds {
-            let n2 = self.delay_round(nl, model, false, enable_xor, stats, seed)?;
+            let n2 = self.delay_round(nl, model, false, enable_xor, stats, seed, refuted)?;
             total += n2;
             if n2 > 0 {
                 continue;
             }
             if self.cfg.enable_sub3 {
-                let n3 = self.delay_round(nl, model, true, enable_xor, stats, seed)?;
+                let n3 = self.delay_round(nl, model, true, enable_xor, stats, seed, refuted)?;
                 total += n3;
                 if n3 > 0 {
                     continue;
@@ -267,6 +314,7 @@ impl<'a> Optimizer<'a> {
     /// One delay-phase simulate/rank/prove/apply round. `use_c3` selects
     /// `OS3`/`IS3` candidates (run after C2 candidates dry up, as in the
     /// paper, since C2 simulation is cheaper).
+    #[allow(clippy::too_many_arguments)]
     fn delay_round(
         &self,
         nl: &mut Netlist,
@@ -275,6 +323,7 @@ impl<'a> Optimizer<'a> {
         enable_xor: bool,
         stats: &mut GdoStats,
         seed: &mut u64,
+        refuted: &mut HashSet<Rewrite>,
     ) -> Result<usize, GdoError> {
         if nl.outputs().is_empty() || nl.inputs().is_empty() {
             return Ok(0);
@@ -325,21 +374,31 @@ impl<'a> Optimizer<'a> {
         let t0 = std::time::Instant::now();
         let vectors = VectorSet::random(nl.inputs().len(), self.cfg.vectors, *seed);
         let sim = simulate(nl, &vectors)?;
-        let mut rounds = run_c2(nl, &sim, site_cands)?;
+        let mut rounds = self.run_c2(nl, &sim, site_cands)?;
+        if use_c3 {
+            // Enumerate every site's triple requests first so the C3
+            // invalidation fans out across all sites at once.
+            let requests: Vec<Vec<TripleEntry>> = rounds
+                .iter()
+                .map(|round| {
+                    let mut triples =
+                        and_or_triple_requests(round, self.cfg.candidates.max_triples_per_site);
+                    if enable_xor && self.cfg.xor_direct {
+                        triples.extend(xor_triple_requests(
+                            round,
+                            self.cfg.candidates.max_triples_per_site,
+                        ));
+                    }
+                    triples
+                })
+                .collect();
+            run_c3_threaded(nl, &sim, &mut rounds, requests, self.cfg.threads);
+        }
         let t_bpfs = t0.elapsed();
 
         let mut pvccs: Vec<Pvcc> = Vec::new();
-        for round in &mut rounds {
+        for round in &rounds {
             let rewrites: Vec<Rewrite> = if use_c3 {
-                let mut triples =
-                    and_or_triple_requests(round, self.cfg.candidates.max_triples_per_site);
-                if enable_xor && self.cfg.xor_direct {
-                    triples.extend(xor_triple_requests(
-                        round,
-                        self.cfg.candidates.max_triples_per_site,
-                    ));
-                }
-                run_c3(nl, &sim, round, triples);
                 sub3_candidates(round)
                     .into_iter()
                     .filter(|rw| {
@@ -401,13 +460,20 @@ impl<'a> Optimizer<'a> {
             if new_arrival + cur_sta.eps() >= cur_sta.arrival(src) {
                 continue;
             }
+            if !self.cfg.legacy_eval && refuted.contains(&rw) {
+                continue;
+            }
             stats.proofs += 1;
             proofs_here += 1;
             if !prove_rewrite_budgeted(nl, self.lib, &rw, self.cfg.prover, self.cfg.conflict_budget)? {
+                if !self.cfg.legacy_eval {
+                    refuted.insert(rw);
+                }
                 continue;
             }
             stats.proofs_valid += 1;
             apply_rewrite(nl, self.lib, &rw, true)?;
+            refuted.clear();
             if trace {
                 eprintln!("[gdo]     applied {rw} (ncp {:.0}, lds {:.2})", pvcc.rank.ncp, pvcc.rank.lds);
             }
@@ -436,6 +502,7 @@ impl<'a> Optimizer<'a> {
         enable_xor: bool,
         stats: &mut GdoStats,
         seed: &mut u64,
+        refuted: &mut HashSet<Rewrite>,
     ) -> Result<usize, GdoError> {
         if nl.outputs().is_empty() || nl.inputs().is_empty() {
             return Ok(0);
@@ -472,22 +539,30 @@ impl<'a> Optimizer<'a> {
         *seed += 1;
         let vectors = VectorSet::random(nl.inputs().len(), self.cfg.vectors, *seed);
         let sim = simulate(nl, &vectors)?;
-        let mut rounds = run_c2(nl, &sim, site_cands)?;
+        let mut rounds = self.run_c2(nl, &sim, site_cands)?;
+        if self.cfg.enable_sub3 {
+            let requests: Vec<Vec<TripleEntry>> = rounds
+                .iter()
+                .map(|round| {
+                    let mut triples =
+                        and_or_triple_requests(round, self.cfg.candidates.max_triples_per_site);
+                    if enable_xor && self.cfg.xor_direct {
+                        triples.extend(xor_triple_requests(
+                            round,
+                            self.cfg.candidates.max_triples_per_site,
+                        ));
+                    }
+                    triples
+                })
+                .collect();
+            run_c3_threaded(nl, &sim, &mut rounds, requests, self.cfg.threads);
+        }
 
         let mut pvccs: Vec<(f64, Rewrite)> = Vec::new();
-        for round in &mut rounds {
+        for round in &rounds {
             let mut rewrites = const_candidates(round);
             rewrites.extend(sub2_candidates(round));
             if self.cfg.enable_sub3 {
-                let mut triples =
-                    and_or_triple_requests(round, self.cfg.candidates.max_triples_per_site);
-                if enable_xor && self.cfg.xor_direct {
-                    triples.extend(xor_triple_requests(
-                        round,
-                        self.cfg.candidates.max_triples_per_site,
-                    ));
-                }
-                run_c3(nl, &sim, round, triples);
                 rewrites.extend(sub3_candidates(round));
             }
             for rw in rewrites {
@@ -501,6 +576,7 @@ impl<'a> Optimizer<'a> {
 
         let mut applied = 0;
         let mut proofs_here = 0usize;
+        let mut cur_sta = sta;
         for (_, rw) in pvccs {
             if applied >= self.cfg.area_batch || proofs_here >= self.cfg.max_proofs_per_round {
                 break;
@@ -508,25 +584,86 @@ impl<'a> Optimizer<'a> {
             if !rw.is_applicable(nl) {
                 continue;
             }
-            // Trial-apply on a scratch copy FIRST (cheap): the
-            // substitution must not lengthen the critical path and must
-            // actually save area. Only then pay for the validity proof.
-            let mut trial = nl.clone();
-            apply_rewrite(&mut trial, self.lib, &rw, false)?;
-            let trial_sta = Sta::analyze(&trial, model)?;
-            if trial_sta.circuit_delay() > baseline_delay + trial_sta.eps() {
-                continue;
+            if self.cfg.legacy_eval {
+                // Seed-style trial: clone the whole netlist, apply the
+                // rewrite, and re-run full timing analysis for every
+                // candidate. Kept as an opt-in baseline so the
+                // incremental path below has something honest to be
+                // benchmarked against.
+                let mut trial = nl.clone();
+                apply_rewrite(&mut trial, self.lib, &rw, false)?;
+                let trial_sta = Sta::analyze(&trial, model)?;
+                if trial_sta.circuit_delay() > baseline_delay + trial_sta.eps()
+                    || total_area(&trial, model) >= total_area(nl, model)
+                {
+                    continue;
+                }
+                stats.proofs += 1;
+                proofs_here += 1;
+                if !prove_rewrite_budgeted(
+                    nl,
+                    self.lib,
+                    &rw,
+                    self.cfg.prover,
+                    self.cfg.conflict_budget,
+                )? {
+                    continue;
+                }
+                stats.proofs_valid += 1;
+                *nl = trial;
+                cur_sta = trial_sta;
+            } else {
+                // Trial-evaluate against the cached STA FIRST (cheap): the
+                // substitution must not lengthen the critical path and must
+                // actually save area. Only then pay for the validity proof.
+                // The replacement's arrival is exact (it mirrors
+                // `apply_rewrite`'s realization, inverter reuse included) and
+                // the site's downstream cone is untouched by a substitution,
+                // so comparing arrival against the site's required time
+                // decides the delay question without cloning the netlist or
+                // re-running timing analysis per candidate.
+                let budget = site_required(nl, rw.site, &cur_sta, model);
+                let new_arrival = estimate_arrival(nl, self.lib, &cur_sta, &rw, false);
+                if new_arrival > budget + cur_sta.eps() {
+                    continue;
+                }
+                // Re-estimate the gain on the evolved netlist: earlier
+                // applications in this batch may have claimed the savings.
+                if estimate_area_delta(nl, self.lib, &rw, false) <= 1e-9 {
+                    continue;
+                }
+                if refuted.contains(&rw) {
+                    continue;
+                }
+                stats.proofs += 1;
+                proofs_here += 1;
+                if !prove_rewrite_budgeted(
+                    nl,
+                    self.lib,
+                    &rw,
+                    self.cfg.prover,
+                    self.cfg.conflict_budget,
+                )? {
+                    refuted.insert(rw);
+                    continue;
+                }
+                stats.proofs_valid += 1;
+                // One backup per *accepted* candidate (bounded by the batch
+                // size) guards the estimates end to end: constant
+                // substitutions sweep and rebind downstream logic, which the
+                // estimators do not model. Rejected candidates never clone.
+                let backup = nl.clone();
+                apply_rewrite(nl, self.lib, &rw, false)?;
+                let new_sta = Sta::analyze(nl, model)?;
+                if new_sta.circuit_delay() > baseline_delay + new_sta.eps()
+                    || total_area(nl, model) >= total_area(&backup, model)
+                {
+                    *nl = backup;
+                    continue;
+                }
+                cur_sta = new_sta;
             }
-            if total_area(&trial, model) >= total_area(nl, model) {
-                continue;
-            }
-            stats.proofs += 1;
-            proofs_here += 1;
-            if !prove_rewrite_budgeted(nl, self.lib, &rw, self.cfg.prover, self.cfg.conflict_budget)? {
-                continue;
-            }
-            stats.proofs_valid += 1;
-            *nl = trial;
+            refuted.clear();
             if std::env::var_os("GDO_TRACE").is_some() {
                 eprintln!("[gdo]     applied (area) {rw}");
             }
@@ -693,6 +830,29 @@ mod tests {
         assert!(opt
             .gates()
             .any(|g| matches!(opt.kind(g), GateKind::Xor | GateKind::Xnor)));
+    }
+
+    /// The opt-in seed-style evaluation path (full-walk observability +
+    /// clone-per-candidate area trials) must remain sound and reach the
+    /// same kind of result as the incremental path.
+    #[test]
+    fn legacy_eval_path_is_sound() {
+        let mut nl = Netlist::new("legacy");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let t = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let u = nl.add_gate(GateKind::Or, &[a, t]).unwrap();
+        let y = nl.add_gate(GateKind::Xor, &[u, c]).unwrap();
+        nl.add_output("y", y);
+        let cfg = GdoConfig {
+            legacy_eval: true,
+            ..GdoConfig::default()
+        };
+        let (mapped, stats) = optimize_and_check(&nl, cfg);
+        assert!(stats.total_mods() > 0, "legacy path found nothing");
+        assert!(stats.delay_after <= stats.delay_before);
+        mapped.validate().unwrap();
     }
 
     #[test]

@@ -301,7 +301,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "applied to")]
     fn eval_rejects_bad_arity() {
-        GateKind::Not.eval(&[true, false]);
+        let _ = GateKind::Not.eval(&[true, false]);
     }
 
     #[test]

@@ -323,7 +323,7 @@ mod tests {
 
     #[test]
     fn paper_section2_clauses() {
-        let (nl, [a, b, _c, d, _e, _f]) = fig1();
+        let (nl, [a, b, _c, _d, _e, _f]) = fig1();
         // (!O_a + b): a observable through the AND requires b = 1.
         let mut p = ClauseProver::new(&nl, a.into()).unwrap();
         assert!(p.is_valid(&[(b, true)]));

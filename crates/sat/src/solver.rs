@@ -628,6 +628,7 @@ mod tests {
         for row in &p {
             s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
         }
+        #[allow(clippy::needless_range_loop)]
         for j in 0..2 {
             for i1 in 0..3 {
                 for i2 in i1 + 1..3 {
@@ -734,6 +735,7 @@ mod tests {
             let lits: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
             s.add_clause(&lits);
         }
+        #[allow(clippy::needless_range_loop)]
         for j in 0..holes {
             for i1 in 0..pigeons {
                 for i2 in i1 + 1..pigeons {

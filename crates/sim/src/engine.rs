@@ -1,5 +1,6 @@
 use crate::VectorSet;
 use netlist::{Branch, Fanout, GateKind, Netlist, NetlistError, SignalId};
+use std::sync::Arc;
 
 /// Good-value simulation result: one word row per signal slot.
 #[derive(Debug, Clone)]
@@ -70,6 +71,49 @@ pub fn simulate(nl: &Netlist, vectors: &VectorSet) -> Result<SimResult, NetlistE
     Ok(SimResult { n_words, values })
 }
 
+/// Shared levelization of a netlist for observability queries: the
+/// topological order plus each signal's topological level.
+///
+/// Building the plan walks the whole netlist once; every
+/// [`ObservabilityEngine`] query then touches only the seed's fanout
+/// cone, evaluated in level order. One plan can back many engines (e.g.
+/// one engine per worker thread over the same netlist/simulation), so
+/// the levelization cost is paid once per simulation round rather than
+/// once per engine.
+#[derive(Debug)]
+pub struct ObsPlan {
+    topo: Vec<SignalId>,
+    level: Vec<u32>,
+}
+
+impl ObsPlan {
+    /// Levelizes `nl`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::CycleDetected`] if `nl` is not a DAG.
+    pub fn new(nl: &Netlist) -> Result<Self, NetlistError> {
+        let topo = nl.topo_order()?;
+        let mut level = vec![0u32; nl.capacity()];
+        for &s in &topo {
+            let l = nl
+                .fanins(s)
+                .iter()
+                .map(|f| level[f.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            level[s.index()] = l;
+        }
+        Ok(ObsPlan { topo, level })
+    }
+
+    /// The topological level of `s` (inputs and constants are level 0).
+    #[must_use]
+    pub fn level(&self, s: SignalId) -> u32 {
+        self.level[s.index()]
+    }
+}
+
 /// Per-vector observability computation by single-fault cone resimulation.
 ///
 /// For a signal `a`, bit `v` of the observability row is 1 iff flipping
@@ -77,17 +121,27 @@ pub fn simulate(nl: &Netlist, vectors: &VectorSet) -> Result<SimResult, NetlistE
 /// fault on `a` is observable, matching the paper's `O_a` variable.
 ///
 /// The engine reuses internal buffers across queries; create it once per
-/// simulation round and query many signals.
+/// simulation round and query many signals. Queries resimulate only the
+/// seed's transitive fanout cone in level order ([`ObsPlan`]), so the
+/// cost of a query is proportional to the cone, not the netlist. The
+/// result is bit-identical to a full-netlist walk: gate evaluation only
+/// requires fanins before fanouts, which any topological order — global
+/// or cone-local — provides.
 #[derive(Debug)]
 pub struct ObservabilityEngine<'a> {
     nl: &'a Netlist,
     sim: &'a SimResult,
-    topo: Vec<SignalId>,
+    plan: Arc<ObsPlan>,
+    /// Evaluate the whole topological order per query instead of the
+    /// cone. Same results, kept for baseline benchmarking.
+    full_walk: bool,
     /// Alternative values for cone members, stamped per query.
     alt: Vec<u64>,
     stamp: Vec<u32>,
     current: u32,
     obs: Vec<u64>,
+    /// Cone scratch, reused across queries.
+    cone: Vec<SignalId>,
 }
 
 impl<'a> ObservabilityEngine<'a> {
@@ -97,16 +151,42 @@ impl<'a> ObservabilityEngine<'a> {
     ///
     /// [`NetlistError::CycleDetected`] if `nl` is not a DAG.
     pub fn new(nl: &'a Netlist, sim: &'a SimResult) -> Result<Self, NetlistError> {
-        let topo = nl.topo_order()?;
-        Ok(ObservabilityEngine {
+        Ok(Self::with_plan(nl, sim, Arc::new(ObsPlan::new(nl)?)))
+    }
+
+    /// Prepares an engine reusing an existing levelization of `nl`.
+    ///
+    /// # Panics
+    ///
+    /// Downstream queries misbehave if `plan` was built for a different
+    /// netlist; debug builds assert the capacity matches.
+    #[must_use]
+    pub fn with_plan(nl: &'a Netlist, sim: &'a SimResult, plan: Arc<ObsPlan>) -> Self {
+        debug_assert_eq!(plan.level.len(), nl.capacity(), "plan from another netlist");
+        ObservabilityEngine {
             nl,
             sim,
-            topo,
+            plan,
+            full_walk: false,
             alt: vec![0; nl.capacity() * sim.n_words()],
             stamp: vec![0; nl.capacity()],
             current: 0,
             obs: vec![0; sim.n_words()],
-        })
+            cone: Vec::new(),
+        }
+    }
+
+    /// Prepares an engine that resimulates the whole netlist per query
+    /// (the pre-levelization behaviour). Only useful as a benchmark
+    /// baseline against the cone-local default.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::CycleDetected`] if `nl` is not a DAG.
+    pub fn new_full_walk(nl: &'a Netlist, sim: &'a SimResult) -> Result<Self, NetlistError> {
+        let mut engine = Self::new(nl, sim)?;
+        engine.full_walk = true;
+        Ok(engine)
     }
 
     /// Computes the observability word row of stem signal `a`: bit `v` is
@@ -171,7 +251,9 @@ impl<'a> ObservabilityEngine<'a> {
     fn propagate_and_compare(&mut self, seed: SignalId, stamp: u32) -> &[u64] {
         let nw = self.sim.n_words();
         // Mark the transitive fanout cone.
-        let mut in_cone = vec![seed];
+        let mut in_cone = std::mem::take(&mut self.cone);
+        in_cone.clear();
+        in_cone.push(seed);
         let mut i = 0;
         while i < in_cone.len() {
             let s = in_cone[i];
@@ -185,30 +267,27 @@ impl<'a> ObservabilityEngine<'a> {
                 }
             }
         }
-        // Reset stamps of cone members except `a` so the topo pass can
-        // distinguish "in cone" (recomputed) from "done": we re-stamp as we
-        // compute. Use a second marker value instead.
-        // Simpler: collect the cone set in `stamp` with `stamp` value, and
-        // recompute values in global topo order.
+        // Resimulate the cone against the seeded `alt` values. Any
+        // topological order of the cone works; level order is one. The
+        // legacy mode walks the global order instead, skipping non-cone
+        // signals — identical results, O(netlist) per query.
         let mut fanin_buf: Vec<u64> = Vec::with_capacity(4);
-        for &s in &self.topo {
-            if self.stamp[s.index()] != stamp || s == seed {
-                continue;
-            }
-            let kind = self.nl.kind(s);
-            for w in 0..nw {
-                fanin_buf.clear();
-                for &f in self.nl.fanins(s) {
-                    let v = if self.stamp[f.index()] == stamp {
-                        self.alt[f.index() * nw + w]
-                    } else {
-                        self.sim.value(f)[w]
-                    };
-                    fanin_buf.push(v);
+        let plan = Arc::clone(&self.plan);
+        if self.full_walk {
+            for &s in &plan.topo {
+                if self.stamp[s.index()] == stamp && s != seed {
+                    self.eval_into_alt(s, stamp, nw, &mut fanin_buf);
                 }
-                self.alt[s.index() * nw + w] = kind.eval_words(&fanin_buf);
+            }
+        } else {
+            in_cone.sort_unstable_by_key(|&s| plan.level[s.index()]);
+            for &s in &in_cone {
+                if s != seed {
+                    self.eval_into_alt(s, stamp, nw, &mut fanin_buf);
+                }
             }
         }
+        self.cone = in_cone;
         // Compare primary outputs.
         for po in self.nl.outputs() {
             let d = po.driver();
@@ -219,6 +298,24 @@ impl<'a> ObservabilityEngine<'a> {
             }
         }
         &self.obs
+    }
+
+    /// Evaluates gate `s` against `alt` values of stamped fanins (and
+    /// good values of everything else), storing the result in `alt`.
+    fn eval_into_alt(&mut self, s: SignalId, stamp: u32, nw: usize, fanin_buf: &mut Vec<u64>) {
+        let kind = self.nl.kind(s);
+        for w in 0..nw {
+            fanin_buf.clear();
+            for &f in self.nl.fanins(s) {
+                let v = if self.stamp[f.index()] == stamp {
+                    self.alt[f.index() * nw + w]
+                } else {
+                    self.sim.value(f)[w]
+                };
+                fanin_buf.push(v);
+            }
+            self.alt[s.index() * nw + w] = kind.eval_words(fanin_buf);
+        }
     }
 }
 
@@ -380,6 +477,60 @@ mod tests {
         let stem = engine.observability(a)[0] & 0b1111;
         let br = engine.observability_branch(Branch { cell: g, pin: 0 })[0] & 0b1111;
         assert_eq!(stem, br);
+    }
+
+    #[test]
+    fn cone_local_matches_full_walk() {
+        // A reconvergent multi-output circuit exercising stem and branch
+        // queries: cone-local evaluation must be bit-identical to the
+        // full-topological-walk baseline for every signal.
+        let mut nl = Netlist::new("t");
+        let ins: Vec<SignalId> = (0..6).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let g1 = nl.add_gate(GateKind::And, &[ins[0], ins[1]]).unwrap();
+        let g2 = nl.add_gate(GateKind::Or, &[g1, ins[2]]).unwrap();
+        let g3 = nl.add_gate(GateKind::Xor, &[g1, ins[3]]).unwrap();
+        let g4 = nl.add_gate(GateKind::Nand, &[g2, g3]).unwrap();
+        let g5 = nl.add_gate(GateKind::Nor, &[g4, ins[4]]).unwrap();
+        let g6 = nl.add_gate(GateKind::And, &[g2, ins[5]]).unwrap();
+        nl.add_output("y1", g5);
+        nl.add_output("y2", g6);
+        let vectors = VectorSet::random(6, 256, 7);
+        let sim = simulate(&nl, &vectors).unwrap();
+        let mut cone = ObservabilityEngine::new(&nl, &sim).unwrap();
+        let mut full = ObservabilityEngine::new_full_walk(&nl, &sim).unwrap();
+        for s in nl.signals() {
+            assert_eq!(
+                cone.observability(s),
+                full.observability(s),
+                "stem {s} differs"
+            );
+        }
+        for g in [g1, g2, g3, g4, g5, g6] {
+            for pin in 0..nl.fanins(g).len() {
+                let br = Branch {
+                    cell: g,
+                    pin: pin as u32,
+                };
+                assert_eq!(
+                    cone.observability_branch(br).to_vec(),
+                    full.observability_branch(br).to_vec(),
+                    "branch {g}/{pin} differs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_plan_across_engines() {
+        let (nl, sigs) = fig1();
+        let vectors = VectorSet::random(3, 128, 5);
+        let sim = simulate(&nl, &vectors).unwrap();
+        let plan = std::sync::Arc::new(ObsPlan::new(&nl).unwrap());
+        let mut own = ObservabilityEngine::new(&nl, &sim).unwrap();
+        let mut shared = ObservabilityEngine::with_plan(&nl, &sim, plan);
+        for s in sigs {
+            assert_eq!(own.observability(s), shared.observability(s));
+        }
     }
 
     #[test]

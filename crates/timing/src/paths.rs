@@ -2,7 +2,7 @@
 //! counterpart to [`crate::CriticalPaths`]' counting.
 
 use crate::{DelayModel, Sta};
-use netlist::{Netlist, NetlistError, SignalId};
+use netlist::{Netlist, SignalId};
 
 /// One enumerated path: signals from a primary input (or constant) to a
 /// primary-output driver, with its total delay.

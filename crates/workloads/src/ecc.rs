@@ -204,7 +204,7 @@ mod tests {
     fn clean_words_pass_through() {
         let nl = sec_corrector(8, EccStyle::Xor);
         nl.validate().unwrap();
-        for d in [0u64, 0xAB % 256, 0xFF, 0x55] {
+        for d in [0u64, 0xAB, 0xFF, 0x55] {
             let c = encode(d, 8, 4);
             assert_eq!(run(&nl, 8, 4, d, c), d);
         }

@@ -69,7 +69,7 @@ mod tests {
 
     fn rotl(x: u64, s: u64, n: usize) -> u64 {
         let mask = (1u64 << n) - 1;
-        ((x << s) | (x >> (n as u64 - s) % n as u64)) & mask
+        ((x << s) | (x >> ((n as u64 - s) % n as u64))) & mask
     }
 
     #[test]
