@@ -50,10 +50,7 @@ impl From<NetlistError> for CircuitBddError {
 /// [`CircuitBddError::Bdd`] if the node budget runs out (the caller should
 /// fall back to the SAT prover) or [`CircuitBddError::Netlist`] for a
 /// cyclic netlist.
-pub fn build_outputs(
-    mgr: &mut BddManager,
-    nl: &Netlist,
-) -> Result<Vec<BddRef>, CircuitBddError> {
+pub fn build_outputs(mgr: &mut BddManager, nl: &Netlist) -> Result<Vec<BddRef>, CircuitBddError> {
     let order = nl.topo_order()?;
     let mut node: Vec<BddRef> = vec![BddRef::FALSE; nl.capacity()];
     for (i, &pi) in nl.inputs().iter().enumerate() {
@@ -160,18 +157,41 @@ pub fn build_outputs(
 /// # Ok(())
 /// # }
 /// ```
-pub fn check_equiv(
+pub fn check_equiv(a: &Netlist, b: &Netlist, node_limit: usize) -> Result<bool, CircuitBddError> {
+    check_equiv_stats(a, b, node_limit).map(|(eq, _)| eq)
+}
+
+/// Size statistics of one [`check_equiv_stats`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BddCheckStats {
+    /// Live BDD nodes after building both circuits.
+    pub nodes: usize,
+    /// Entries in the manager's ITE computed table.
+    pub ite_cache_entries: usize,
+}
+
+/// [`check_equiv`] that also reports the manager's node and ITE-cache
+/// counts, for pipeline accounting.
+///
+/// # Errors
+///
+/// Same as [`check_equiv`].
+pub fn check_equiv_stats(
     a: &Netlist,
     b: &Netlist,
     node_limit: usize,
-) -> Result<bool, CircuitBddError> {
+) -> Result<(bool, BddCheckStats), CircuitBddError> {
     if a.inputs().len() != b.inputs().len() || a.outputs().len() != b.outputs().len() {
         return Err(CircuitBddError::InterfaceMismatch);
     }
     let mut mgr = BddManager::with_node_limit(node_limit);
     let oa = build_outputs(&mut mgr, a)?;
     let ob = build_outputs(&mut mgr, b)?;
-    Ok(oa == ob)
+    let stats = BddCheckStats {
+        nodes: mgr.num_nodes(),
+        ite_cache_entries: mgr.ite_cache_entries(),
+    };
+    Ok((oa == ob, stats))
 }
 
 #[cfg(test)]

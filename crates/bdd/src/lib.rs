@@ -32,5 +32,5 @@
 mod circuit;
 mod manager;
 
-pub use circuit::{build_outputs, check_equiv, CircuitBddError};
+pub use circuit::{build_outputs, check_equiv, check_equiv_stats, BddCheckStats, CircuitBddError};
 pub use manager::{BddError, BddManager, BddRef};

@@ -117,6 +117,13 @@ impl BddManager {
         self.nodes.len()
     }
 
+    /// Entries in the ITE computed table (memoized triples) — a cache
+    /// pressure metric for pipeline accounting.
+    #[must_use]
+    pub fn ite_cache_entries(&self) -> usize {
+        self.computed.len()
+    }
+
     /// The projection function of variable `index` (smaller indices are
     /// closer to the root).
     ///
@@ -180,10 +187,7 @@ impl BddManager {
         if let Some(&r) = self.computed.get(&(f, g, h)) {
             return Ok(r);
         }
-        let top = self
-            .var_of(f)
-            .min(self.var_of(g))
-            .min(self.var_of(h));
+        let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
         let (f0, f1) = self.cofactors(f, top);
         let (g0, g1) = self.cofactors(g, top);
         let (h0, h1) = self.cofactors(h, top);
@@ -238,7 +242,11 @@ impl BddManager {
         let mut cur = f;
         while !cur.is_terminal() {
             let n = self.nodes[cur.0 as usize];
-            cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+            cur = if assignment[n.var as usize] {
+                n.hi
+            } else {
+                n.lo
+            };
         }
         cur == BddRef::TRUE
     }
@@ -452,7 +460,7 @@ mod tests {
         let c = mgr.var(2).unwrap();
         let ab = mgr.and(a, b).unwrap();
         let f = mgr.or(ab, c).unwrap(); // f = ab + c
-        // f|a=1 = b + c; f|a=0 = c.
+                                        // f|a=1 = b + c; f|a=0 = c.
         let f_a1 = mgr.restrict(f, 0, true).unwrap();
         let bc = mgr.or(b, c).unwrap();
         assert_eq!(f_a1, bc);
@@ -483,7 +491,6 @@ mod tests {
         let a_or_b = mgr.or(a, b).unwrap();
         assert_eq!(g, a_or_b);
     }
-
 
     #[test]
     fn types_are_send_and_sync() {

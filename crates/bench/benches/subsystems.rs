@@ -178,7 +178,9 @@ fn bench_bpfs_threads(c: &mut Criterion) {
     });
     for &threads in &[1usize, 2, 4, 8] {
         group.bench_function(format!("cone_local_{threads}t"), |b| {
-            b.iter(|| gdo::run_c2_threaded(&nl, &sim, site_cands.clone(), threads).expect("acyclic"))
+            b.iter(|| {
+                gdo::run_c2_threaded(&nl, &sim, site_cands.clone(), threads).expect("acyclic")
+            })
         });
     }
     group.finish();

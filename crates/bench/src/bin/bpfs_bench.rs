@@ -49,23 +49,38 @@ fn main() {
             ),
         }
     }
+    let guard_overhead = matches!(cfg.circuit, BenchCircuit::Datapath(n) if n >= 96);
     let report = run_bpfs_bench(&cfg);
     assert!(
         report.bit_identical,
         "parallel BPFS diverged from serial masks — refusing to publish timings"
     );
+    if guard_overhead {
+        // The telemetry subsystem promises that disabled probes are
+        // effectively free; hold it to that on the headline workload.
+        assert!(
+            report.telemetry_within_budget,
+            "disabled-telemetry probes cost {:.3}% of the 1-thread end-to-end run \
+             ({} probes at {:.2}ns) — over the 2% budget",
+            report.telemetry_overhead_pct, report.telemetry_probe_calls, report.telemetry_probe_ns
+        );
+    }
     let json = report.to_json();
     std::fs::write(&out_path, format!("{json}\n")).expect("write report");
     println!("{json}");
     println!(
         "\nwrote {out_path}: full-walk {:.3}s vs best cone-local {:.3}s ({:.1}x); \
-         end-to-end seed {:.2}s / 1t {:.2}s / 4t {:.2}s ({:.1}x vs seed)",
+         end-to-end seed {:.2}s / 1t {:.2}s / 4t {:.2}s ({:.1}x vs seed); \
+         disabled-telemetry overhead {:.4}% ({} probes at {:.2}ns each)",
         report.full_walk_serial_s,
         report.full_walk_serial_s / report.best_speedup_vs_full_walk,
         report.best_speedup_vs_full_walk,
         report.end_to_end_seed_s,
         report.end_to_end_1t_s,
         report.end_to_end_4t_s,
-        report.speedup_4t_vs_seed
+        report.speedup_4t_vs_seed,
+        report.telemetry_overhead_pct,
+        report.telemetry_probe_calls,
+        report.telemetry_probe_ns
     );
 }

@@ -15,7 +15,7 @@
 //! cargo run -p bench --bin filter_ablation --release
 //! ```
 
-use bench::{bench_library, prepare, run_gdo, Flow};
+use bench::{bench_library, funnel_count, prepare, run_gdo_reported, Flow, FUNNEL_CLASSES};
 use gdo::{CandidateConfig, GdoConfig, ProverKind, Site};
 use library::Library;
 use netlist::Netlist;
@@ -93,8 +93,7 @@ fn count_candidates(nl: &Netlist, lib: &Library) -> (usize, f64, f64, f64, f64) 
     let rounds = gdo::run_c2(nl, &simulation, site_cands).expect("acyclic");
     for (site, round) in sites.iter().zip(&rounds) {
         let max_arrival = sta.arrival(site.source(nl)) - sta.eps();
-        let none =
-            gdo::pair_candidates(nl, &sta, &ctx, *site, &unfiltered, f64::INFINITY).len();
+        let none = gdo::pair_candidates(nl, &sta, &ctx, *site, &unfiltered, f64::INFINITY).len();
         let all = gdo::pair_candidates(nl, &sta, &ctx, *site, &filtered, max_arrival).len();
         sum_none += none;
         sum_all += all;
@@ -155,7 +154,9 @@ fn run_config_ablation(lib: &Library) {
         (
             "bdd-prover",
             GdoConfig {
-                prover: ProverKind::BddEquiv { node_limit: 1 << 20 },
+                prover: ProverKind::BddEquiv {
+                    node_limit: 1 << 20,
+                },
                 ..GdoConfig::default()
             },
         ),
@@ -168,23 +169,36 @@ fn run_config_ablation(lib: &Library) {
         ),
     ];
     println!(
-        "{:<18} {:<8} {:>8} {:>8} {:>7} {:>7} {:>8}",
-        "config", "circuit", "delay%", "lit%", "mods", "proofs", "CPU[s]"
+        "{:<18} {:<8} {:>8} {:>8} {:>7} {:>7} {:>9} {:>10} {:>8}",
+        "config", "circuit", "delay%", "lit%", "mods", "proofs", "conflicts", "bpfs-surv", "CPU[s]"
     );
     for (label, cfg) in configs {
         for name in RUN_CIRCUITS {
             let entry = circuit_by_name(name).expect("run circuit exists");
             let mut mapped = prepare(&entry, lib, Flow::Area);
-            let row = run_gdo(name, &mut mapped, lib, &cfg);
+            // All tallies below come from the telemetry RunReport (the
+            // summary carries the optimizer statistics; the counters
+            // carry the funnel and prover effort).
+            let run = run_gdo_reported(name, &mut mapped, lib, &cfg, false);
+            let r = &run.report;
+            let summary = |key: &str| r.summary.get(key).copied().unwrap_or(0.0);
+            let stage_sum = |stage: &str| -> u64 {
+                FUNNEL_CLASSES
+                    .iter()
+                    .map(|c| funnel_count(r, c, stage))
+                    .sum()
+            };
             println!(
-                "{:<18} {:<8} {:>7.1}% {:>7.1}% {:>7} {:>7} {:>8.2}",
+                "{:<18} {:<8} {:>7.1}% {:>7.1}% {:>7} {:>7} {:>9} {:>10} {:>8.2}",
                 label,
                 name,
-                100.0 * row.stats.delay_reduction(),
-                100.0 * row.stats.literal_reduction(),
-                row.stats.total_mods(),
-                row.stats.proofs,
-                row.stats.cpu_seconds
+                100.0 * summary("delay_reduction"),
+                100.0 * summary("literal_reduction"),
+                summary("total_mods") as u64,
+                stage_sum("proofs"),
+                r.counters.get("sat.conflicts").copied().unwrap_or(0),
+                stage_sum("bpfs_survived"),
+                summary("cpu_seconds")
             );
         }
     }

@@ -8,13 +8,16 @@
 //! cargo run -p bench --bin table1 --release -- --no-os3      # OS2/IS2 ablation
 //! ```
 
-use bench::{bench_library, prepare, print_table, run_gdo_verified, Flow, HarnessArgs};
+use bench::{
+    bench_library, prepare, print_funnel, print_table, run_gdo_reported, Flow, HarnessArgs,
+};
 use workloads::suite_table1;
 
 fn main() {
     let args = HarnessArgs::parse(std::env::args().skip(1));
     let lib = bench_library();
     let mut rows = Vec::new();
+    let mut reports = Vec::new();
     for entry in suite_table1() {
         if let Some(only) = &args.only {
             if entry.name != only {
@@ -25,12 +28,19 @@ fn main() {
             continue;
         }
         let mut mapped = prepare(&entry, &lib, Flow::Area);
-        let row = run_gdo_verified(entry.name, &mut mapped, &lib, &args.cfg, args.verify);
-        eprintln!("{}", row); // progress on stderr as rows finish
-        rows.push(row);
+        // Instrumented run: the row is cross-checked against the
+        // telemetry funnel before it is reported.
+        let run = run_gdo_reported(entry.name, &mut mapped, &lib, &args.cfg, args.verify);
+        eprintln!("{}", run.row); // progress on stderr as rows finish
+        rows.push(run.row);
+        reports.push(run.report);
     }
     print_table(
         "Table 1: GDO on area-flow netlists (paper: -8.3% gates, -5.7% literals, -22.9% delay)",
         &rows,
+    );
+    print_funnel(
+        "Candidate funnel (telemetry, summed over circuits)",
+        &reports,
     );
 }

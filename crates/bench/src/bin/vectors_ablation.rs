@@ -7,18 +7,20 @@
 //! cargo run -p bench --bin vectors_ablation --release
 //! ```
 
-use bench::{bench_library, prepare, run_gdo, Flow};
+use bench::{bench_library, funnel_count, prepare, run_gdo_reported, Flow, FUNNEL_CLASSES};
 use gdo::GdoConfig;
 use workloads::circuit_by_name;
 
 fn main() {
     let lib = bench_library();
     println!(
-        "{:<8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8}",
-        "circuit", "vectors", "delay%", "lit%", "mods", "proofs", "CPU[s]"
+        "{:<8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>9} {:>8}",
+        "circuit", "vectors", "delay%", "lit%", "mods", "bpfs-surv", "proofs", "CPU[s]"
     );
     // A narrow-input circuit (where few vectors suffice) and a wide-input
-    // one (where they do not).
+    // one (where they do not). The survived/proof columns come from the
+    // telemetry funnel: more vectors should kill more invalid clauses
+    // before they reach the prover.
     for name in ["C880", "C5315"] {
         for vectors in [64usize, 256, 1024, 4096] {
             let entry = circuit_by_name(name).expect("suite circuit");
@@ -27,16 +29,25 @@ fn main() {
                 vectors,
                 ..GdoConfig::default()
             };
-            let row = run_gdo(name, &mut mapped, &lib, &cfg);
+            let run = run_gdo_reported(name, &mut mapped, &lib, &cfg, false);
+            let r = &run.report;
+            let summary = |key: &str| r.summary.get(key).copied().unwrap_or(0.0);
+            let stage_sum = |stage: &str| -> u64 {
+                FUNNEL_CLASSES
+                    .iter()
+                    .map(|c| funnel_count(r, c, stage))
+                    .sum()
+            };
             println!(
-                "{:<8} {:>8} {:>7.1}% {:>7.1}% {:>8} {:>9} {:>8.1}",
+                "{:<8} {:>8} {:>7.1}% {:>7.1}% {:>8} {:>10} {:>9} {:>8.1}",
                 name,
                 vectors,
-                100.0 * row.stats.delay_reduction(),
-                100.0 * row.stats.literal_reduction(),
-                row.stats.total_mods(),
-                row.stats.proofs,
-                row.stats.cpu_seconds
+                100.0 * summary("delay_reduction"),
+                100.0 * summary("literal_reduction"),
+                summary("total_mods") as u64,
+                stage_sum("bpfs_survived"),
+                stage_sum("proofs"),
+                summary("cpu_seconds")
             );
         }
     }

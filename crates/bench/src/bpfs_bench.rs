@@ -4,7 +4,9 @@
 //! optimizer timings. All variants are checked bit-identical before any
 //! number is reported.
 
-use gdo::{pair_candidates, CandidateConfig, CandidateContext, GdoConfig, Optimizer, Site, SiteRound};
+use gdo::{
+    pair_candidates, CandidateConfig, CandidateContext, GdoConfig, Optimizer, Site, SiteRound,
+};
 use library::{standard_library, MapGoal, Mapper};
 use netlist::{Netlist, SignalId};
 use sim::{simulate, SimResult, VectorSet};
@@ -116,7 +118,23 @@ pub struct BpfsReport {
     /// End-to-end speedup of the 4-thread incremental path over the seed
     /// path — the headline number.
     pub speedup_4t_vs_seed: f64,
+    /// Measured cost of one telemetry probe with the collector disabled
+    /// (the one-relaxed-atomic-load fast path), in nanoseconds.
+    pub telemetry_probe_ns: f64,
+    /// Probes fired by one instrumented 1-thread end-to-end run. The
+    /// pipeline is seeded and deterministic, so the disabled run fires
+    /// the same probes.
+    pub telemetry_probe_calls: u64,
+    /// Disabled-telemetry overhead bound: `probe_ns * probe_calls` as a
+    /// percentage of the 1-thread end-to-end wall clock.
+    pub telemetry_overhead_pct: f64,
+    /// `true` when [`telemetry_overhead_pct`](Self::telemetry_overhead_pct)
+    /// is within the 2% budget the telemetry subsystem promises.
+    pub telemetry_within_budget: bool,
 }
+
+/// The disabled-probe overhead budget, in percent of end-to-end time.
+pub const TELEMETRY_OVERHEAD_BUDGET_PCT: f64 = 2.0;
 
 fn best_of<T>(samples: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     let mut best = f64::INFINITY;
@@ -141,11 +159,7 @@ fn rounds_equal(a: &[SiteRound], b: &[SiteRound]) -> bool {
         })
 }
 
-fn critical_site_cands(
-    nl: &Netlist,
-    sta: &Sta,
-    max_sites: usize,
-) -> Vec<(Site, Vec<SignalId>)> {
+fn critical_site_cands(nl: &Netlist, sta: &Sta, max_sites: usize) -> Vec<(Site, Vec<SignalId>)> {
     let ctx = CandidateContext::build(nl).expect("acyclic");
     let cfg = CandidateConfig::default();
     sta.critical_gates(nl)
@@ -154,7 +168,10 @@ fn critical_site_cands(
         .map(Site::Stem)
         .map(|site| {
             let max_arrival = sta.arrival(site.source(nl)) - sta.eps();
-            (site, pair_candidates(nl, sta, &ctx, site, &cfg, max_arrival))
+            (
+                site,
+                pair_candidates(nl, sta, &ctx, site, &cfg, max_arrival),
+            )
         })
         .collect()
 }
@@ -170,7 +187,10 @@ fn area_site_cands(nl: &Netlist, sta: &Sta, max_sites: usize) -> Vec<(Site, Vec<
         .map(Site::Stem)
         .map(|site| {
             let max_arrival = sta.arrival(site.source(nl)) - sta.eps();
-            (site, pair_candidates(nl, sta, &ctx, site, &cfg, max_arrival))
+            (
+                site,
+                pair_candidates(nl, sta, &ctx, site, &cfg, max_arrival),
+            )
         })
         .collect()
 }
@@ -254,6 +274,33 @@ pub fn run_bpfs_bench(cfg: &BpfsBenchConfig) -> BpfsReport {
         ..GdoConfig::default()
     });
 
+    // Telemetry overhead guard. Disabled probes cost one relaxed atomic
+    // load; measure that cost in a tight loop, count how many probes an
+    // instrumented run actually fires (the pipeline is seeded, so the
+    // disabled runs above fired the same probes), and bound the
+    // disabled-path tax as a share of the 1-thread end-to-end time.
+    telemetry::reset();
+    let probe_iters: u64 = 4_000_000;
+    let t = Instant::now();
+    for _ in 0..probe_iters {
+        telemetry::counter_add(std::hint::black_box("bench.overhead_probe"), 1);
+    }
+    let telemetry_probe_ns = t.elapsed().as_secs_f64() * 1e9 / probe_iters as f64;
+    telemetry::reset();
+    telemetry::enable();
+    let _ = optimize_with(GdoConfig {
+        threads: 1,
+        ..GdoConfig::default()
+    });
+    telemetry::disable();
+    let telemetry_probe_calls = telemetry::probe_calls();
+    telemetry::reset();
+    let telemetry_overhead_pct = if end_to_end_1t_s > 0.0 {
+        100.0 * telemetry_probe_ns * 1e-9 * telemetry_probe_calls as f64 / end_to_end_1t_s
+    } else {
+        0.0
+    };
+
     let best_cone = cone_local
         .iter()
         .map(|t| t.seconds)
@@ -282,6 +329,10 @@ pub fn run_bpfs_bench(cfg: &BpfsBenchConfig) -> BpfsReport {
         } else {
             f64::INFINITY
         },
+        telemetry_probe_ns,
+        telemetry_probe_calls,
+        telemetry_overhead_pct,
+        telemetry_within_budget: telemetry_overhead_pct <= TELEMETRY_OVERHEAD_BUDGET_PCT,
     }
 }
 
@@ -301,7 +352,11 @@ impl BpfsReport {
         ));
         s.push_str("  \"cone_local\": {\n");
         for (i, t) in self.cone_local.iter().enumerate() {
-            let comma = if i + 1 < self.cone_local.len() { "," } else { "" };
+            let comma = if i + 1 < self.cone_local.len() {
+                ","
+            } else {
+                ""
+            };
             s.push_str(&format!("    \"{}\": {:.6}{comma}\n", t.label, t.seconds));
         }
         s.push_str("  },\n");
@@ -331,8 +386,24 @@ impl BpfsReport {
             self.best_speedup_vs_full_walk
         ));
         s.push_str(&format!(
-            "  \"speedup_4t_vs_seed\": {:.3}\n",
+            "  \"speedup_4t_vs_seed\": {:.3},\n",
             self.speedup_4t_vs_seed
+        ));
+        s.push_str(&format!(
+            "  \"telemetry_probe_ns\": {:.3},\n",
+            self.telemetry_probe_ns
+        ));
+        s.push_str(&format!(
+            "  \"telemetry_probe_calls\": {},\n",
+            self.telemetry_probe_calls
+        ));
+        s.push_str(&format!(
+            "  \"telemetry_overhead_pct\": {:.4},\n",
+            self.telemetry_overhead_pct
+        ));
+        s.push_str(&format!(
+            "  \"telemetry_within_budget\": {}\n",
+            self.telemetry_within_budget
         ));
         s.push('}');
         s
@@ -345,8 +416,10 @@ mod tests {
 
     #[test]
     fn report_is_consistent_and_exact() {
+        let _guard = crate::TELEMETRY_TEST_LOCK.lock().unwrap();
         // A deliberately tiny configuration: this is a smoke test of the
-        // report plumbing, not a measurement.
+        // report plumbing, not a measurement (so the 2% overhead budget
+        // is not asserted here — timing noise dominates at this size).
         let cfg = BpfsBenchConfig {
             circuit: BenchCircuit::Mul(4),
             vectors: 128,
@@ -359,9 +432,15 @@ mod tests {
         assert_eq!(report.cone_local.len(), 2);
         assert!(report.full_walk_serial_s > 0.0);
         assert!(report.end_to_end_seed_s > 0.0);
+        assert!(report.telemetry_probe_ns > 0.0);
+        assert!(
+            report.telemetry_probe_calls > 0,
+            "instrumented run fired no probes"
+        );
         let json = report.to_json();
         assert!(json.contains("\"bit_identical\": true"));
         assert!(json.contains("cone_local_2t"));
         assert!(json.contains("speedup_4t_vs_seed"));
+        assert!(json.contains("telemetry_overhead_pct"));
     }
 }

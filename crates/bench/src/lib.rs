@@ -5,7 +5,7 @@ pub mod bpfs_bench;
 
 pub use bpfs_bench::{run_bpfs_bench, BenchCircuit, BpfsBenchConfig, BpfsReport};
 
-use gdo::{GdoConfig, GdoStats, Optimizer, OptimizeReport};
+use gdo::{GdoConfig, GdoStats, OptimizeReport, Optimizer};
 use library::{standard_library, Library, MapGoal, Mapper};
 use netlist::Netlist;
 use workloads::{script_delay, script_rugged, SuiteEntry};
@@ -43,7 +43,10 @@ pub fn prepare(entry: &SuiteEntry, lib: &Library, flow: Flow) -> Netlist {
             MapGoal::Delay,
         ),
     };
-    Mapper::new(lib).goal(goal).map(&prepared).expect("mapping succeeds on valid circuits")
+    Mapper::new(lib)
+        .goal(goal)
+        .map(&prepared)
+        .expect("mapping succeeds on valid circuits")
 }
 
 /// Runs GDO on one prepared circuit and returns the report row. With
@@ -83,6 +86,168 @@ pub fn run_gdo_verified(
         );
     }
     OptimizeReport::new(name, stats)
+}
+
+/// One instrumented GDO run: the table row plus the telemetry
+/// [`RunReport`](telemetry::RunReport) it was tallied from.
+#[derive(Debug, Clone)]
+pub struct GdoRun {
+    /// The Table-1/2-style row.
+    pub row: OptimizeReport,
+    /// The aggregated telemetry snapshot (counters, spans, summary).
+    pub report: telemetry::RunReport,
+}
+
+/// [`run_gdo_verified`] with telemetry capture: enables the collector
+/// around the run, snapshots the aggregated [`telemetry::RunReport`],
+/// merges the optimizer summary into it, and cross-checks the candidate
+/// funnel against the optimizer's own tallies before returning.
+///
+/// The telemetry collector is process-global, so concurrent instrumented
+/// runs in one process would tally into each other's reports; the bench
+/// binaries run one circuit at a time.
+///
+/// # Panics
+///
+/// Panics as [`run_gdo`] does, and additionally when the telemetry
+/// funnel disagrees with the optimizer's returned statistics — a probe
+/// placement bug worth failing loudly on.
+#[must_use]
+pub fn run_gdo_reported(
+    name: &str,
+    mapped: &mut Netlist,
+    lib: &Library,
+    cfg: &GdoConfig,
+    verify: bool,
+) -> GdoRun {
+    telemetry::reset();
+    telemetry::enable();
+    let row = run_gdo_verified(name, mapped, lib, cfg, verify);
+    telemetry::disable();
+    let mut report = telemetry::snapshot();
+    telemetry::reset();
+    report.meta.insert("circuit".into(), name.into());
+    row.stats.merge_into_report(&mut report);
+    let errors = funnel_consistency_errors(&report);
+    assert!(
+        errors.is_empty(),
+        "telemetry funnel inconsistent for {name}: {}",
+        errors.join("; ")
+    );
+    GdoRun { row, report }
+}
+
+/// The clause classes tracked by the `gdo.funnel.*` counters.
+pub const FUNNEL_CLASSES: [&str; 3] = ["c2", "c3", "const"];
+
+/// The funnel stages tracked per class, in pipeline order.
+pub const FUNNEL_STAGES: [&str; 6] = [
+    "enumerated",
+    "filtered",
+    "bpfs_survived",
+    "proofs",
+    "proved",
+    "applied",
+];
+
+/// Reads one `gdo.funnel.{class}.{stage}` counter (0 when absent).
+#[must_use]
+pub fn funnel_count(report: &telemetry::RunReport, class: &str, stage: &str) -> u64 {
+    report
+        .counters
+        .get(&format!("gdo.funnel.{class}.{stage}"))
+        .copied()
+        .unwrap_or(0)
+}
+
+/// Checks the invariants the funnel counters guarantee by construction:
+/// per class `filtered <= enumerated`, `proved <= proofs` and
+/// `applied <= proved`, and — against the merged optimizer summary —
+/// `Σ proofs == proofs`, `Σ proved == proofs_valid`, and per-class
+/// `applied` equal to the corresponding `*_mods` count. Returns the
+/// violations (empty means consistent).
+#[must_use]
+pub fn funnel_consistency_errors(report: &telemetry::RunReport) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut check = |cond: bool, msg: String| {
+        if !cond {
+            errors.push(msg);
+        }
+    };
+    for class in FUNNEL_CLASSES {
+        let enumerated = funnel_count(report, class, "enumerated");
+        let filtered = funnel_count(report, class, "filtered");
+        let proofs = funnel_count(report, class, "proofs");
+        let proved = funnel_count(report, class, "proved");
+        let applied = funnel_count(report, class, "applied");
+        check(
+            filtered <= enumerated,
+            format!("{class}: filtered {filtered} > enumerated {enumerated}"),
+        );
+        check(
+            proved <= proofs,
+            format!("{class}: proved {proved} > proofs {proofs}"),
+        );
+        check(
+            applied <= proved,
+            format!("{class}: applied {applied} > proved {proved}"),
+        );
+    }
+    let class_sum = |stage: &str| -> u64 {
+        FUNNEL_CLASSES
+            .iter()
+            .map(|c| funnel_count(report, c, stage))
+            .sum()
+    };
+    let summary = |key: &str| -> Option<u64> {
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        report.summary.get(key).map(|v| *v as u64)
+    };
+    for (stage, key) in [("proofs", "proofs"), ("proved", "proofs_valid")] {
+        if let Some(expect) = summary(key) {
+            let got = class_sum(stage);
+            check(
+                got == expect,
+                format!("sum of class {stage} is {got}, summary {key} is {expect}"),
+            );
+        }
+    }
+    for (class, key) in [
+        ("c2", "sub2_mods"),
+        ("c3", "sub3_mods"),
+        ("const", "const_mods"),
+    ] {
+        if let Some(expect) = summary(key) {
+            let got = funnel_count(report, class, "applied");
+            check(
+                got == expect,
+                format!("{class}.applied is {got}, summary {key} is {expect}"),
+            );
+        }
+    }
+    errors
+}
+
+/// Prints the candidate funnel aggregated over a set of instrumented
+/// runs: one row per clause class, one column per stage. This is the
+/// enumerate → filter → BPFS → prove → apply attrition the paper's
+/// Section 4 argues for, tallied from the telemetry counters.
+pub fn print_funnel(title: &str, reports: &[telemetry::RunReport]) {
+    println!("\n{title}");
+    println!(
+        "{:<7} {:>12} {:>12} {:>14} {:>10} {:>10} {:>10}",
+        "class", "enumerated", "filtered", "bpfs-survived", "proofs", "proved", "applied"
+    );
+    for class in FUNNEL_CLASSES {
+        let sums: Vec<u64> = FUNNEL_STAGES
+            .iter()
+            .map(|stage| reports.iter().map(|r| funnel_count(r, class, stage)).sum())
+            .collect();
+        println!(
+            "{:<7} {:>12} {:>12} {:>14} {:>10} {:>10} {:>10}",
+            class, sums[0], sums[1], sums[2], sums[3], sums[4], sums[5]
+        );
+    }
 }
 
 /// Prints a full table in the paper's format, with the Σ and reduction
@@ -196,6 +361,11 @@ impl HarnessArgs {
     }
 }
 
+/// Serializes tests that touch the process-global telemetry collector
+/// (or run optimizers while another test may have it enabled).
+#[cfg(test)]
+pub(crate) static TELEMETRY_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +373,7 @@ mod tests {
 
     #[test]
     fn prepare_and_optimize_smallest_circuit() {
+        let _guard = TELEMETRY_TEST_LOCK.lock().unwrap();
         let lib = bench_library();
         let entry = circuit_by_name("Z5xp1").unwrap();
         let mut mapped = prepare(&entry, &lib, Flow::Area);
@@ -213,11 +384,44 @@ mod tests {
     }
 
     #[test]
+    fn reported_run_funnel_matches_summary() {
+        let _guard = TELEMETRY_TEST_LOCK.lock().unwrap();
+        let lib = bench_library();
+        let entry = circuit_by_name("Z5xp1").unwrap();
+        let mut mapped = prepare(&entry, &lib, Flow::Area);
+        let run = run_gdo_reported("Z5xp1", &mut mapped, &lib, &GdoConfig::default(), false);
+        // run_gdo_reported already asserts funnel consistency; spot-check
+        // the report contents beyond the funnel.
+        assert_eq!(
+            run.report.meta.get("circuit").map(String::as_str),
+            Some("Z5xp1")
+        );
+        assert!(run.report.counters.contains_key("sta.recomputes"));
+        assert!(run.report.spans.contains_key("gdo.optimize"));
+        assert_eq!(
+            funnel_count(&run.report, "c2", "applied"),
+            run.row.stats.sub2_mods as u64
+        );
+        assert_eq!(
+            run.report.summary.get("proofs").copied(),
+            Some(run.row.stats.proofs as f64)
+        );
+        telemetry::validate_json(&run.report.to_json()).expect("report serializes validly");
+    }
+
+    #[test]
     fn args_parse() {
         let args = HarnessArgs::parse(
-            ["--circuit", "C432", "--no-os3", "--vectors", "128", "--quick"]
-                .iter()
-                .map(|s| (*s).to_string()),
+            [
+                "--circuit",
+                "C432",
+                "--no-os3",
+                "--vectors",
+                "128",
+                "--quick",
+            ]
+            .iter()
+            .map(|s| (*s).to_string()),
         );
         assert_eq!(args.only.as_deref(), Some("C432"));
         assert!(!args.cfg.enable_sub3);

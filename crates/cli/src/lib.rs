@@ -24,6 +24,9 @@ pub enum CliError {
     },
     /// Input netlist or library failed to parse.
     Parse(String),
+    /// The optimized netlist cannot be expressed in the requested
+    /// output format.
+    Write(String),
     /// The optimizer failed (internal invariant — should not happen on
     /// valid inputs).
     Optimize(gdo::GdoError),
@@ -38,6 +41,7 @@ impl fmt::Display for CliError {
             CliError::Usage(m) => write!(f, "{m}"),
             CliError::Io { path, source } => write!(f, "{}: {source}", path.display()),
             CliError::Parse(m) => write!(f, "{m}"),
+            CliError::Write(m) => write!(f, "{m}"),
             CliError::Optimize(e) => write!(f, "optimization failed: {e}"),
             CliError::VerificationFailed => {
                 write!(f, "verification failed: output is not equivalent to input")
@@ -104,6 +108,12 @@ pub struct Options {
     pub stats: bool,
     /// Suppress the normal summary.
     pub quiet: bool,
+    /// Stream telemetry events as NDJSON to this file.
+    pub trace_out: Option<PathBuf>,
+    /// Write the aggregated telemetry [`telemetry::RunReport`] as JSON.
+    pub report_json: Option<PathBuf>,
+    /// Pretty-print telemetry events to stderr as they happen.
+    pub verbose: bool,
 }
 
 impl Options {
@@ -126,6 +136,9 @@ impl Options {
             require: None,
             stats: false,
             quiet: false,
+            trace_out: None,
+            report_json: None,
+            verbose: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -174,7 +187,9 @@ impl Options {
                 "--prover" => {
                     out.cfg.prover = match need("--prover")?.as_str() {
                         "sat" => ProverKind::SatClause,
-                        "bdd" => ProverKind::BddEquiv { node_limit: 1 << 22 },
+                        "bdd" => ProverKind::BddEquiv {
+                            node_limit: 1 << 22,
+                        },
                         "miter" => ProverKind::SatEquiv,
                         other => {
                             return Err(CliError::Usage(format!(
@@ -185,12 +200,17 @@ impl Options {
                 }
                 "--mapped-output" => out.mapped_output = true,
                 "--require" => {
-                    out.require = Some(need("--require")?.parse().map_err(|_| {
-                        CliError::Usage("--require needs a number".into())
-                    })?);
+                    out.require = Some(
+                        need("--require")?
+                            .parse()
+                            .map_err(|_| CliError::Usage("--require needs a number".into()))?,
+                    );
                 }
                 "--verify" => out.verify = true,
                 "--stats" => out.stats = true,
+                "--trace-out" => out.trace_out = Some(PathBuf::from(need("--trace-out")?)),
+                "--report-json" => out.report_json = Some(PathBuf::from(need("--report-json")?)),
+                "-v" | "--verbose" => out.verbose = true,
                 "-q" | "--quiet" => out.quiet = true,
                 flag if flag.starts_with('-') => {
                     return Err(CliError::Usage(format!("unknown flag {flag:?}")))
@@ -234,6 +254,9 @@ pub fn usage() -> &'static str {
      --require T              report MET/VIOLATED for output required time T\n\
      --verify                 SAT-verify end-to-end equivalence afterwards\n\
      --stats                  print detailed statistics\n\
+     --trace-out FILE         stream telemetry events as NDJSON to FILE\n\
+     --report-json FILE       write the aggregated telemetry report as JSON\n\
+     -v, --verbose            pretty-print telemetry events to stderr\n\
      -q, --quiet              only errors"
 }
 
@@ -261,12 +284,13 @@ pub fn read_netlist(path: &Path) -> Result<Netlist, CliError> {
 ///
 /// # Errors
 ///
-/// [`CliError::Io`] / [`CliError::Usage`].
+/// [`CliError::Io`] / [`CliError::Usage`] / [`CliError::Write`].
 pub fn write_netlist(path: &Path, nl: &Netlist) -> Result<(), CliError> {
     let format = Format::from_path(path)?;
+    let to_write = |e: formats::FormatError| CliError::Write(e.to_string());
     let text = match format {
-        Format::Bench => formats::write_bench(nl),
-        Format::Blif => formats::write_blif(nl),
+        Format::Bench => formats::write_bench(nl).map_err(to_write)?,
+        Format::Blif => formats::write_blif(nl).map_err(to_write)?,
         Format::Verilog => formats::write_verilog(nl),
     };
     std::fs::write(path, text).map_err(|source| CliError::Io {
@@ -313,8 +337,7 @@ pub fn run(options: &Options) -> Result<(), CliError> {
             path: options.input.clone(),
             source,
         })?;
-        text.lines()
-            .any(|l| l.trim_start().starts_with(".gate"))
+        text.lines().any(|l| l.trim_start().starts_with(".gate"))
     };
     let source = if mapped_input {
         let text = std::fs::read_to_string(&options.input).map_err(|source| CliError::Io {
@@ -335,8 +358,8 @@ pub fn run(options: &Options) -> Result<(), CliError> {
     };
 
     let model = LibDelay::new(&lib);
-    let before = Sta::analyze(&nl, &model)
-        .map_err(|e| CliError::Parse(format!("timing failed: {e}")))?;
+    let before =
+        Sta::analyze(&nl, &model).map_err(|e| CliError::Parse(format!("timing failed: {e}")))?;
     if !options.quiet {
         println!(
             "in : {} — {} gates, {} literals, delay {:.2}",
@@ -347,9 +370,49 @@ pub fn run(options: &Options) -> Result<(), CliError> {
         );
     }
 
+    let telemetry_on =
+        options.verbose || options.trace_out.is_some() || options.report_json.is_some();
+    if telemetry_on {
+        telemetry::reset();
+        if let Some(path) = &options.trace_out {
+            let file = std::fs::File::create(path).map_err(|source| CliError::Io {
+                path: path.clone(),
+                source,
+            })?;
+            telemetry::install_sink(Box::new(telemetry::NdjsonSink::new(
+                std::io::BufWriter::new(file),
+            )));
+        }
+        if options.verbose {
+            telemetry::install_sink(Box::new(telemetry::StderrSink));
+        }
+        telemetry::enable();
+    }
+
     let stats = Optimizer::new(&lib, options.cfg.clone())
         .optimize(&mut nl)
         .map_err(CliError::Optimize)?;
+
+    if telemetry_on {
+        // Flushes the NDJSON sink and stops probes; the collected
+        // aggregates stay available for the report below.
+        telemetry::disable();
+    }
+    if let Some(path) = &options.report_json {
+        let mut report = telemetry::snapshot();
+        report.meta.insert("circuit".into(), nl.name().to_string());
+        report
+            .meta
+            .insert("input".into(), options.input.display().to_string());
+        stats.merge_into_report(&mut report);
+        std::fs::write(path, report.to_json()).map_err(|source| CliError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        if !options.quiet {
+            println!("wrote {}", path.display());
+        }
+    }
 
     if !options.quiet {
         println!(
@@ -384,7 +447,11 @@ pub fn run(options: &Options) -> Result<(), CliError> {
             let cell = nl
                 .cell(s)
                 .lib()
-                .map(|tag| lib.cell(library::LibCellId::from_tag(tag)).name().to_string())
+                .map(|tag| {
+                    lib.cell(library::LibCellId::from_tag(tag))
+                        .name()
+                        .to_string()
+                })
                 .unwrap_or_else(|| nl.kind(s).to_string());
             println!(
                 "       {:>8.2}  {}  ({})",
@@ -402,7 +469,11 @@ pub fn run(options: &Options) -> Result<(), CliError> {
         if !options.quiet {
             println!(
                 "constraint {required}: {} (worst slack {slack:+.2})",
-                if slack >= -sta.eps() { "MET" } else { "VIOLATED" }
+                if slack >= -sta.eps() {
+                    "MET"
+                } else {
+                    "VIOLATED"
+                }
             );
         }
     }
@@ -493,9 +564,18 @@ mod tests {
 
     #[test]
     fn format_detection() {
-        assert_eq!(Format::from_path(Path::new("x.bench")).unwrap(), Format::Bench);
-        assert_eq!(Format::from_path(Path::new("x.blif")).unwrap(), Format::Blif);
-        assert_eq!(Format::from_path(Path::new("x.v")).unwrap(), Format::Verilog);
+        assert_eq!(
+            Format::from_path(Path::new("x.bench")).unwrap(),
+            Format::Bench
+        );
+        assert_eq!(
+            Format::from_path(Path::new("x.blif")).unwrap(),
+            Format::Blif
+        );
+        assert_eq!(
+            Format::from_path(Path::new("x.v")).unwrap(),
+            Format::Verilog
+        );
         assert!(Format::from_path(Path::new("x.vhdl")).is_err());
     }
 
@@ -507,7 +587,7 @@ mod tests {
         let output = dir.join("out.blif");
         let nl = workloads::sym_detector(5, 1, 3);
         let subject = library::to_subject_graph(&nl).unwrap();
-        std::fs::write(&input, formats::write_bench(&subject)).unwrap();
+        std::fs::write(&input, formats::write_bench(&subject).unwrap()).unwrap();
 
         let o = Options {
             input: input.clone(),
@@ -521,6 +601,9 @@ mod tests {
             require: None,
             stats: false,
             quiet: true,
+            trace_out: None,
+            report_json: None,
+            verbose: false,
         };
         run(&o).unwrap();
         let written = read_netlist(&output).unwrap();
@@ -552,6 +635,9 @@ mod tests {
             require: None,
             stats: false,
             quiet: true,
+            trace_out: None,
+            report_json: None,
+            verbose: false,
         };
         run(&o).unwrap();
         let text = std::fs::read_to_string(&output).unwrap();
@@ -575,6 +661,9 @@ mod tests {
             require: None,
             stats: false,
             quiet: true,
+            trace_out: None,
+            report_json: None,
+            verbose: false,
         };
         assert!(matches!(run(&o), Err(CliError::Io { .. })));
     }

@@ -15,6 +15,9 @@
 //!       --prover sat|bdd|miter   validity prover (default sat)
 //!       --verify             SAT-verify in/out equivalence at the end
 //!       --stats              print the full statistics block
+//!       --trace-out FILE     stream telemetry events as NDJSON to FILE
+//!       --report-json FILE   write the aggregated telemetry report as JSON
+//!   -v, --verbose            pretty-print telemetry events to stderr
 //!   -q, --quiet              only errors
 //! ```
 

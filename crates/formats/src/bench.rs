@@ -60,7 +60,10 @@ pub fn parse_bench(text: &str) -> Result<Netlist, FormatError> {
                 "BUF" | "BUFF" => GateKind::Buf,
                 "DFF" => GateKind::Input, // marker; handled below
                 other => {
-                    return Err(FormatError::at(line, format!("unknown gate kind {other:?}")))
+                    return Err(FormatError::at(
+                        line,
+                        format!("unknown gate kind {other:?}"),
+                    ))
                 }
             };
             let args: Vec<String> = args_text
@@ -78,11 +81,20 @@ pub fn parse_bench(text: &str) -> Result<Netlist, FormatError> {
                 output_names.push((args[0].clone(), line));
                 continue;
             }
-            if defs.insert(lhs.clone(), GateDef { kind, args, line }).is_some() {
-                return Err(FormatError::at(line, format!("signal {lhs:?} defined twice")));
+            if defs
+                .insert(lhs.clone(), GateDef { kind, args, line })
+                .is_some()
+            {
+                return Err(FormatError::at(
+                    line,
+                    format!("signal {lhs:?} defined twice"),
+                ));
             }
         } else {
-            return Err(FormatError::at(line, format!("unrecognized statement {stmt:?}")));
+            return Err(FormatError::at(
+                line,
+                format!("unrecognized statement {stmt:?}"),
+            ));
         }
     }
 
@@ -153,13 +165,13 @@ fn parse_call<'a>(stmt: &'a str, keyword: &str) -> Option<&'a str> {
 /// contradiction idiom over the first input
 /// (`__gdo_const0 = AND(x, NOT(x))`, `__gdo_const1 = NAND(x, NOT(x))`).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the netlist contains complex (`AOI`/`OAI`) gates — which
-/// have no `.bench` representation; decompose first — or if it uses
-/// constants but has no primary input to emulate them from.
-#[must_use]
-pub fn write_bench(nl: &Netlist) -> String {
+/// [`FormatError::Unwritable`] if the netlist contains complex
+/// (`AOI`/`OAI`) gates — which have no `.bench` representation;
+/// decompose first — or if it uses constants but has no primary input
+/// to emulate them from. [`FormatError::Netlist`] if it is cyclic.
+pub fn write_bench(nl: &Netlist) -> Result<String, FormatError> {
     let mut out = String::new();
     let _ = writeln!(out, "# {}", nl.name());
     let uses_consts = nl
@@ -180,16 +192,15 @@ pub fn write_bench(nl: &Netlist) -> String {
         let _ = writeln!(out, "OUTPUT({})", name_of(po.driver()));
     }
     if uses_consts {
-        let pi = nl
-            .inputs()
-            .first()
-            .expect("constant emulation needs at least one input");
+        let pi = nl.inputs().first().ok_or_else(|| {
+            FormatError::unwritable("constant emulation in .bench needs at least one primary input")
+        })?;
         let pin = name_of(*pi);
         let _ = writeln!(out, "__gdo_nx = NOT({pin})");
         let _ = writeln!(out, "__gdo_const0 = AND({pin}, __gdo_nx)");
         let _ = writeln!(out, "__gdo_const1 = NAND({pin}, __gdo_nx)");
     }
-    let order = nl.topo_order().expect("netlist must be acyclic");
+    let order = nl.topo_order().map_err(FormatError::from)?;
     for s in order {
         let kind = nl.kind(s);
         if kind.is_source() {
@@ -204,12 +215,16 @@ pub fn write_bench(nl: &Netlist) -> String {
             GateKind::Xnor => "XNOR",
             GateKind::Not => "NOT",
             GateKind::Buf => "BUFF",
-            other => panic!("{other} gates cannot be written to .bench"),
+            other => {
+                return Err(FormatError::unwritable(format!(
+                    "{other} gates have no .bench representation; decompose first"
+                )))
+            }
         };
         let args: Vec<String> = nl.fanins(s).iter().map(|&f| name_of(f)).collect();
         let _ = writeln!(out, "{} = {}({})", name_of(s), mnemonic, args.join(", "));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -272,10 +287,23 @@ y = NOT(q)
     #[test]
     fn round_trip_preserves_function() {
         let nl = parse_bench(C17_LIKE).unwrap();
-        let text = write_bench(&nl);
+        let text = write_bench(&nl).unwrap();
         let again = parse_bench(&text).unwrap();
         assert!(nl.equiv_exhaustive(&again).unwrap());
         assert_eq!(nl.stats(), again.stats());
+    }
+
+    #[test]
+    fn complex_gates_are_unwritable() {
+        let mut nl = Netlist::new("aoi");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let g = nl.add_gate(GateKind::Aoi21, &[a, b, c]).unwrap();
+        nl.add_output("y", g);
+        let err = write_bench(&nl).unwrap_err();
+        assert!(matches!(err, FormatError::Unwritable { .. }), "{err:?}");
+        assert!(err.to_string().contains("decompose"));
     }
 
     #[test]

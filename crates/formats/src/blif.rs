@@ -101,6 +101,12 @@ pub fn parse_blif(text: &str) -> Result<Netlist, FormatError> {
                             ),
                         ));
                     }
+                    if let Some(bad) = pattern.chars().find(|c| !matches!(c, '0' | '1' | '-')) {
+                        return Err(FormatError::at(
+                            row_line,
+                            format!("cover characters must be 0, 1 or -, got {bad:?}"),
+                        ));
+                    }
                     let value = match value {
                         "1" => true,
                         "0" => false,
@@ -129,10 +135,16 @@ pub fn parse_blif(text: &str) -> Result<Netlist, FormatError> {
                 break;
             }
             other if other.starts_with('.') => {
-                return Err(FormatError::at(line_no, format!("unsupported construct {other:?}")));
+                return Err(FormatError::at(
+                    line_no,
+                    format!("unsupported construct {other:?}"),
+                ));
             }
             _ => {
-                return Err(FormatError::at(line_no, format!("unexpected line {content:?}")));
+                return Err(FormatError::at(
+                    line_no,
+                    format!("unexpected line {content:?}"),
+                ));
             }
         }
     }
@@ -194,19 +206,29 @@ fn resolve_names(
     }
     let mut fanins = Vec::with_capacity(def.inputs.len());
     for arg in &def.inputs {
-        fanins.push(resolve_names(arg, nl, defs, by_output, resolved, depth + 1)?);
+        fanins.push(resolve_names(
+            arg,
+            nl,
+            defs,
+            by_output,
+            resolved,
+            depth + 1,
+        )?);
     }
-    let s = build_cover(nl, &fanins, &def.rows).map_err(|e| FormatError::at(def.line, e.to_string()))?;
+    let s = build_cover(nl, &fanins, &def.rows, def.line)?;
     resolved.insert(name.to_string(), s);
     Ok(s)
 }
 
-/// Builds the two-level logic of one `.names` cover.
+/// Builds the two-level logic of one `.names` cover. `line` is the
+/// `.names` header line, used to locate errors.
 fn build_cover(
     nl: &mut Netlist,
     fanins: &[SignalId],
     rows: &[(String, bool)],
-) -> Result<SignalId, netlist::NetlistError> {
+    line: usize,
+) -> Result<SignalId, FormatError> {
+    let err = |e: netlist::NetlistError| FormatError::at(line, e.to_string());
     if rows.is_empty() {
         // Empty cover is constant 0.
         return Ok(nl.const0());
@@ -218,27 +240,34 @@ fn build_cover(
         for (i, c) in pattern.chars().enumerate() {
             match c {
                 '1' => literals.push(fanins[i]),
-                '0' => literals.push(nl.add_gate(GateKind::Not, &[fanins[i]])?),
+                '0' => literals.push(nl.add_gate(GateKind::Not, &[fanins[i]]).map_err(err)?),
                 '-' => {}
-                other => panic!("cover characters are validated earlier, got {other:?}"),
+                // Row reading validates cover characters, but guard here
+                // too so this helper is safe on any input.
+                other => {
+                    return Err(FormatError::at(
+                        line,
+                        format!("cover characters must be 0, 1 or -, got {other:?}"),
+                    ))
+                }
             }
         }
         let term = match literals.len() {
             0 => nl.const1(),
             1 => literals[0],
-            _ => nl.add_gate(GateKind::And, &literals)?,
+            _ => nl.add_gate(GateKind::And, &literals).map_err(err)?,
         };
         terms.push(term);
     }
     let sum = match terms.len() {
         1 => terms[0],
-        _ => nl.add_gate(GateKind::Or, &terms)?,
+        _ => nl.add_gate(GateKind::Or, &terms).map_err(err)?,
     };
     if on_set {
         Ok(sum)
     } else {
         // Off-set cover: the function is the complement of the sum.
-        nl.add_gate(GateKind::Not, &[sum])
+        nl.add_gate(GateKind::Not, &[sum]).map_err(err)
     }
 }
 
@@ -270,11 +299,12 @@ fn logical_lines(text: &str) -> Vec<(usize, String)> {
 
 /// Serializes a netlist to BLIF. Every gate becomes a `.names` block.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the netlist is cyclic.
-#[must_use]
-pub fn write_blif(nl: &Netlist) -> String {
+/// [`FormatError::Netlist`] if the netlist is cyclic;
+/// [`FormatError::Unwritable`] if an XOR/XNOR gate is too wide for its
+/// minterm cover to be enumerated.
+pub fn write_blif(nl: &Netlist) -> Result<String, FormatError> {
     let mut out = String::new();
     let names = nl.unique_names("n");
     let name_of = |s: SignalId| -> String { names[s.index()].clone() };
@@ -283,7 +313,7 @@ pub fn write_blif(nl: &Netlist) -> String {
     let _ = writeln!(out, ".inputs {}", ins.join(" "));
     let outs: Vec<String> = nl.outputs().iter().map(|po| name_of(po.driver())).collect();
     let _ = writeln!(out, ".outputs {}", outs.join(" "));
-    let order = nl.topo_order().expect("netlist must be acyclic");
+    let order = nl.topo_order().map_err(FormatError::from)?;
     for s in order {
         let kind = nl.kind(s);
         if kind == GateKind::Input {
@@ -291,6 +321,12 @@ pub fn write_blif(nl: &Netlist) -> String {
         }
         let args: Vec<String> = nl.fanins(s).iter().map(|&f| name_of(f)).collect();
         let n = args.len();
+        if matches!(kind, GateKind::Xor | GateKind::Xnor) && n >= 24 {
+            return Err(FormatError::unwritable(format!(
+                "{n}-input {kind} needs 2^{} cover rows; decompose first",
+                n.saturating_sub(1)
+            )));
+        }
         let _ = writeln!(out, ".names {} {}", args.join(" "), name_of(s));
         match kind {
             GateKind::Const0 => {}
@@ -350,7 +386,7 @@ pub fn write_blif(nl: &Netlist) -> String {
         }
     }
     let _ = writeln!(out, ".end");
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -453,9 +489,17 @@ mod tests {
         for (i, g) in gates.iter().enumerate() {
             nl.add_output(format!("o{i}"), *g);
         }
-        let text = write_blif(&nl);
+        let text = write_blif(&nl).unwrap();
         let again = parse_blif(&text).unwrap();
         assert!(nl.equiv_exhaustive(&again).unwrap());
+    }
+
+    #[test]
+    fn bad_cover_character_is_a_parse_error() {
+        let src = ".model m\n.inputs a b\n.outputs y\n.names a b y\n1x 1\n.end\n";
+        let err = parse_blif(src).unwrap_err();
+        assert!(err.to_string().contains("'x'"), "{err}");
+        assert!(err.to_string().contains("line 5"), "{err}");
     }
 
     #[test]

@@ -13,12 +13,25 @@ pub enum FormatError {
     },
     /// A structural error surfaced while building the netlist.
     Netlist(netlist::NetlistError),
+    /// The netlist cannot be expressed in the requested output format
+    /// (e.g. complex gates in `.bench`, constants with no input to
+    /// emulate them from).
+    Unwritable {
+        /// Human-readable description of the offending construct.
+        message: String,
+    },
 }
 
 impl FormatError {
     pub(crate) fn at(line: usize, message: impl Into<String>) -> Self {
         FormatError::Parse {
             line,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn unwritable(message: impl Into<String>) -> Self {
+        FormatError::Unwritable {
             message: message.into(),
         }
     }
@@ -31,6 +44,9 @@ impl fmt::Display for FormatError {
                 write!(f, "parse error at line {line}: {message}")
             }
             FormatError::Netlist(e) => write!(f, "netlist error: {e}"),
+            FormatError::Unwritable { message } => {
+                write!(f, "cannot serialize netlist: {message}")
+            }
         }
     }
 }
@@ -39,7 +55,7 @@ impl std::error::Error for FormatError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FormatError::Netlist(e) => Some(e),
-            FormatError::Parse { .. } => None,
+            FormatError::Parse { .. } | FormatError::Unwritable { .. } => None,
         }
     }
 }
@@ -56,7 +72,9 @@ mod tests {
 
     #[test]
     fn display_includes_line() {
-        assert!(FormatError::at(3, "bad token").to_string().contains("line 3"));
+        assert!(FormatError::at(3, "bad token")
+            .to_string()
+            .contains("line 3"));
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! ";
 //! let nl = formats::parse_bench(src)?;
 //! assert_eq!(nl.stats().gates, 2);
-//! let round_trip = formats::parse_bench(&formats::write_bench(&nl))?;
+//! let round_trip = formats::parse_bench(&formats::write_bench(&nl)?)?;
 //! assert!(nl.equiv_exhaustive(&round_trip)?);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```

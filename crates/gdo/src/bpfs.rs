@@ -15,7 +15,7 @@
 
 use crate::{Gate3, Site};
 use netlist::{Netlist, NetlistError, SignalId};
-use sim::{ObsPlan, ObservabilityEngine, SimResult};
+use sim::{ObsPlan, ObsStats, ObservabilityEngine, SimResult};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -76,6 +76,13 @@ pub fn resolve_threads(threads: usize) -> usize {
     } else {
         threads
     }
+}
+
+/// Records an engine's (or a merged fan-out's) observability tallies on
+/// the telemetry counters — once per round, outside the query hot path.
+fn record_obs_stats(stats: ObsStats) {
+    telemetry::counter_add("sim.obs_queries", stats.queries);
+    telemetry::counter_add("sim.obs_cone_gates", stats.cone_gates);
 }
 
 /// The per-site C1/C2 worker: computes one [`SiteRound`] from the site's
@@ -191,17 +198,18 @@ pub fn run_c2_threaded(
     let threads = resolve_threads(threads).min(sites.len().max(1));
     if threads <= 1 {
         let mut engine = ObservabilityEngine::new(nl, sim)?;
-        return Ok(sites
+        let rounds: Vec<SiteRound> = sites
             .into_iter()
             .map(|(site, bs)| compute_site_round(nl, sim, &mut engine, site, &bs))
-            .collect());
+            .collect();
+        record_obs_stats(engine.stats());
+        return Ok(rounds);
     }
     let plan = Arc::new(ObsPlan::new(nl)?);
     let next = AtomicUsize::new(0);
     let sites = &sites;
-    let mut merged: Vec<Option<SiteRound>> = std::iter::repeat_with(|| None)
-        .take(sites.len())
-        .collect();
+    let mut merged: Vec<Option<SiteRound>> =
+        std::iter::repeat_with(|| None).take(sites.len()).collect();
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
@@ -217,15 +225,19 @@ pub fn run_c2_threaded(
                         };
                         local.push((i, compute_site_round(nl, sim, &mut engine, *site, bs)));
                     }
-                    local
+                    (local, engine.stats())
                 })
             })
             .collect();
+        let mut obs_stats = ObsStats::default();
         for worker in workers {
-            for (i, round) in worker.join().expect("BPFS worker panicked") {
+            let (local, worker_stats) = worker.join().expect("BPFS worker panicked");
+            obs_stats = obs_stats.merged(&worker_stats);
+            for (i, round) in local {
                 merged[i] = Some(round);
             }
         }
+        record_obs_stats(obs_stats);
     });
     Ok(merged
         .into_iter()
@@ -248,10 +260,12 @@ pub fn run_c2_full_walk(
     sites: Vec<(Site, Vec<SignalId>)>,
 ) -> Result<Vec<SiteRound>, NetlistError> {
     let mut engine = ObservabilityEngine::new_full_walk(nl, sim)?;
-    Ok(sites
+    let rounds: Vec<SiteRound> = sites
         .into_iter()
         .map(|(site, bs)| compute_site_round(nl, sim, &mut engine, site, &bs))
-        .collect())
+        .collect();
+    record_obs_stats(engine.stats());
+    Ok(rounds)
 }
 
 /// The per-site C3 worker: kills clause bits of `triples` against the
@@ -379,11 +393,7 @@ mod tests {
     use sim::{simulate, VectorSet};
 
     /// Exhaustive simulation makes BPFS survival equal to exact validity.
-    fn exhaustive_round(
-        nl: &Netlist,
-        site: Site,
-        bs: Vec<SignalId>,
-    ) -> (SiteRound, SimResult) {
+    fn exhaustive_round(nl: &Netlist, site: Site, bs: Vec<SignalId>) -> (SiteRound, SimResult) {
         let vectors = VectorSet::exhaustive(nl.inputs().len());
         let sim = simulate(nl, &vectors).unwrap();
         let mut rounds = run_c2(nl, &sim, vec![(site, bs)]).unwrap();
@@ -402,8 +412,10 @@ mod tests {
         let y = nl.add_gate(GateKind::Or, &[d, c]).unwrap();
         nl.add_output("y", y);
         for site_sig in [a, b, d] {
-            let cands: Vec<SignalId> =
-                [a, b, c, d].into_iter().filter(|&s| s != site_sig).collect();
+            let cands: Vec<SignalId> = [a, b, c, d]
+                .into_iter()
+                .filter(|&s| s != site_sig)
+                .collect();
             let (round, _) = exhaustive_round(&nl, Site::Stem(site_sig), cands.clone());
             let mut prover = sat::ClauseProver::new(&nl, site_sig.into()).unwrap();
             for &cand in &cands {
@@ -484,20 +496,30 @@ mod tests {
         // truly valid clauses — never a subset.
         let mut nl = Netlist::new("t");
         let ins: Vec<SignalId> = (0..8).map(|i| nl.add_input(format!("x{i}"))).collect();
-        let g1 = nl.add_gate(GateKind::And, &[ins[0], ins[1], ins[2]]).unwrap();
+        let g1 = nl
+            .add_gate(GateKind::And, &[ins[0], ins[1], ins[2]])
+            .unwrap();
         let g2 = nl.add_gate(GateKind::Or, &[g1, ins[3]]).unwrap();
         let g3 = nl.add_gate(GateKind::Xor, &[g2, ins[4]]).unwrap();
         nl.add_output("y", g3);
 
         let sparse = VectorSet::random(8, 64, 3);
         let sim_sparse = simulate(&nl, &sparse).unwrap();
-        let rounds_sparse =
-            run_c2(&nl, &sim_sparse, vec![(Site::Stem(g2), vec![g1, ins[3], ins[4]])]).unwrap();
+        let rounds_sparse = run_c2(
+            &nl,
+            &sim_sparse,
+            vec![(Site::Stem(g2), vec![g1, ins[3], ins[4]])],
+        )
+        .unwrap();
 
         let full = VectorSet::exhaustive(8);
         let sim_full = simulate(&nl, &full).unwrap();
-        let rounds_full =
-            run_c2(&nl, &sim_full, vec![(Site::Stem(g2), vec![g1, ins[3], ins[4]])]).unwrap();
+        let rounds_full = run_c2(
+            &nl,
+            &sim_full,
+            vec![(Site::Stem(g2), vec![g1, ins[3], ins[4]])],
+        )
+        .unwrap();
 
         for full_pair in &rounds_full[0].pairs {
             let sparse_pair = rounds_sparse[0]

@@ -127,6 +127,28 @@ impl CandidateContext {
     }
 }
 
+/// Per-call tally of what each Section 4 reduction filter rejected.
+///
+/// Returned by [`pair_candidates_counted`] so callers (and the telemetry
+/// funnel) can attribute candidate attrition to individual filters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CandidateCounts {
+    /// Signals examined (everything in the netlist except the site itself).
+    pub considered: u64,
+    /// Rejected because they lie in the site's transitive fanout.
+    pub rejected_tfo: u64,
+    /// Rejected constants (handled by C1 clauses instead).
+    pub rejected_const: u64,
+    /// Rejected by the no-loss arrival filter.
+    pub rejected_arrival: u64,
+    /// Rejected by the structural filter (level window / support overlap).
+    pub rejected_structural: u64,
+    /// Dropped by the per-site cap after sorting by arrival.
+    pub truncated: u64,
+    /// Candidates surviving all filters and the cap.
+    pub kept: u64,
+}
+
 /// Generates the `b`-candidate list for one site.
 ///
 /// `max_arrival` bounds the candidate's arrival time when the arrival
@@ -141,27 +163,51 @@ pub fn pair_candidates(
     cfg: &CandidateConfig,
     max_arrival: f64,
 ) -> Vec<SignalId> {
+    pair_candidates_counted(nl, sta, ctx, site, cfg, max_arrival).0
+}
+
+/// Like [`pair_candidates`], but also reports per-filter rejection counts
+/// and records them on the telemetry funnel
+/// (`gdo.candidates.*` counters) when telemetry is enabled.
+#[must_use]
+pub fn pair_candidates_counted(
+    nl: &Netlist,
+    sta: &Sta,
+    ctx: &CandidateContext,
+    site: Site,
+    cfg: &CandidateConfig,
+    max_arrival: f64,
+) -> (Vec<SignalId>, CandidateCounts) {
     let source = site.source(nl);
     let root = site.cone_root();
     let forbidden = nl.transitive_fanout(root);
     let site_level = ctx.level(source);
     let site_support = ctx.support(source);
+    let mut counts = CandidateCounts::default();
     let mut out: Vec<SignalId> = Vec::new();
     for s in nl.signals() {
-        if s == source || s == root || forbidden.contains(s) {
+        if s == source || s == root {
+            continue;
+        }
+        counts.considered += 1;
+        if forbidden.contains(s) {
+            counts.rejected_tfo += 1;
             continue;
         }
         let kind = nl.kind(s);
         if kind == GateKind::Const0 || kind == GateKind::Const1 {
+            counts.rejected_const += 1;
             continue; // constants are the business of C1 clauses
         }
         if cfg.arrival_filter && sta.arrival(s) > max_arrival {
+            counts.rejected_arrival += 1;
             continue;
         }
         if cfg.structural_filter {
             let level_ok = ctx.level(s).abs_diff(site_level) <= cfg.level_window;
             let support_ok = ctx.support(s) & site_support != 0;
             if !level_ok || !support_ok {
+                counts.rejected_structural += 1;
                 continue;
             }
         }
@@ -171,9 +217,23 @@ pub fn pair_candidates(
         // Keep the earliest-arriving candidates: they promise the largest
         // delay saves and the cheapest inserted gates.
         out.sort_by(|&x, &y| sta.arrival(x).total_cmp(&sta.arrival(y)));
+        counts.truncated = (out.len() - cfg.max_pairs_per_site) as u64;
         out.truncate(cfg.max_pairs_per_site);
     }
-    out
+    counts.kept = out.len() as u64;
+    if telemetry::enabled() {
+        telemetry::counter_add("gdo.candidates.considered", counts.considered);
+        telemetry::counter_add("gdo.candidates.rejected_tfo", counts.rejected_tfo);
+        telemetry::counter_add("gdo.candidates.rejected_const", counts.rejected_const);
+        telemetry::counter_add("gdo.candidates.rejected_arrival", counts.rejected_arrival);
+        telemetry::counter_add(
+            "gdo.candidates.rejected_structural",
+            counts.rejected_structural,
+        );
+        telemetry::counter_add("gdo.candidates.truncated", counts.truncated);
+        telemetry::counter_add("gdo.candidates.kept", counts.kept);
+    }
+    (out, counts)
 }
 
 #[cfg(test)]
@@ -284,11 +344,26 @@ mod tests {
         };
         let cands = pair_candidates(&nl, &sta, &ctx, Site::Stem(last), &cfg, f64::INFINITY);
         assert_eq!(cands.len(), 5);
-        let worst = cands
-            .iter()
-            .map(|&s| sta.arrival(s))
-            .fold(0.0f64, f64::max);
+        let worst = cands.iter().map(|&s| sta.arrival(s)).fold(0.0f64, f64::max);
         assert!(worst <= 4.0, "cap kept a late signal (arrival {worst})");
+    }
+
+    #[test]
+    fn counted_variant_is_internally_consistent() {
+        let (nl, sigs) = sample();
+        let (sta, ctx) = ctx_for(&nl);
+        let cfg = CandidateConfig::default();
+        let (cands, counts) =
+            pair_candidates_counted(&nl, &sta, &ctx, Site::Stem(sigs[2]), &cfg, f64::INFINITY);
+        assert_eq!(counts.kept, cands.len() as u64);
+        let rejected = counts.rejected_tfo
+            + counts.rejected_const
+            + counts.rejected_arrival
+            + counts.rejected_structural;
+        assert_eq!(counts.considered, rejected + counts.truncated + counts.kept);
+        // The counted variant must agree with the plain one.
+        let plain = pair_candidates(&nl, &sta, &ctx, Site::Stem(sigs[2]), &cfg, f64::INFINITY);
+        assert_eq!(cands, plain);
     }
 
     #[test]

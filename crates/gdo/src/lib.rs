@@ -77,7 +77,9 @@ pub use bpfs::{
     resolve_threads, run_c2, run_c2_full_walk, run_c2_threaded, run_c3, run_c3_threaded, PairEntry,
     SiteRound, TripleEntry,
 };
-pub use candidates::{pair_candidates, CandidateConfig, CandidateContext};
+pub use candidates::{
+    pair_candidates, pair_candidates_counted, CandidateConfig, CandidateContext, CandidateCounts,
+};
 pub use error::GdoError;
 pub use optimizer::{GdoConfig, GdoStats, Optimizer};
 pub use prove::{prove_rewrite, prove_rewrite_budgeted, ProverKind};

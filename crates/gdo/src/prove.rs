@@ -66,6 +66,7 @@ pub fn prove_rewrite_budgeted(
     prover: ProverKind,
     conflict_budget: u64,
 ) -> Result<bool, GdoError> {
+    let _span = telemetry::span("gdo.prove");
     match prover {
         ProverKind::SatClause => {
             // Restrict the encoding to the support of the fault cone and
@@ -77,17 +78,26 @@ pub fn prove_rewrite_budgeted(
                 .collect();
             let mut p = ClauseProver::with_support(nl, rw.site.fault(), &support)?;
             p.set_conflict_budget(conflict_budget);
-            Ok(clauses.iter().all(|clause| p.is_valid(clause)))
+            let valid = clauses.iter().all(|clause| p.is_valid(clause));
+            record_sat_stats(p.stats());
+            Ok(valid)
         }
         ProverKind::BddEquiv { node_limit } => {
             let mut modified = nl.clone();
             transform::apply_rewrite(&mut modified, lib, rw, true)?;
-            match bdd::check_equiv(nl, &modified, node_limit) {
-                Ok(eq) => Ok(eq),
+            match bdd::check_equiv_stats(nl, &modified, node_limit) {
+                Ok((eq, bdd_stats)) => {
+                    record_bdd_stats(bdd_stats);
+                    Ok(eq)
+                }
                 Err(bdd::CircuitBddError::Bdd(_)) => {
                     // Node budget exhausted: fall back to SAT, as the
                     // paper prescribes for large circuits.
-                    Ok(sat::check_equiv(nl, &modified).map_err(equiv_to_gdo)?)
+                    telemetry::counter_add("bdd.fallbacks", 1);
+                    let (eq, sat_stats) =
+                        sat::check_equiv_stats(nl, &modified).map_err(equiv_to_gdo)?;
+                    record_sat_stats(sat_stats);
+                    Ok(eq)
                 }
                 Err(bdd::CircuitBddError::Netlist(e)) => Err(GdoError::Netlist(e)),
                 Err(_) => unreachable!("modified copy keeps the interface"),
@@ -96,9 +106,37 @@ pub fn prove_rewrite_budgeted(
         ProverKind::SatEquiv => {
             let mut modified = nl.clone();
             transform::apply_rewrite(&mut modified, lib, rw, true)?;
-            Ok(sat::check_equiv(nl, &modified).map_err(equiv_to_gdo)?)
+            let (eq, sat_stats) = sat::check_equiv_stats(nl, &modified).map_err(equiv_to_gdo)?;
+            record_sat_stats(sat_stats);
+            Ok(eq)
         }
     }
+}
+
+/// Accumulates one prove call's SAT search effort on the `sat.*`
+/// counters. The solver keeps plain-integer tallies internally; this is
+/// the only point where they cross into telemetry.
+fn record_sat_stats(s: sat::SolverStats) {
+    if !telemetry::enabled() {
+        return;
+    }
+    telemetry::counter_add("sat.prove_calls", 1);
+    telemetry::counter_add("sat.decisions", s.decisions);
+    telemetry::counter_add("sat.conflicts", s.conflicts);
+    telemetry::counter_add("sat.propagations", s.propagations);
+    telemetry::counter_add("sat.learned", s.learned);
+    telemetry::counter_add("sat.restarts", s.restarts);
+}
+
+/// Accumulates one BDD equivalence check's manager footprint on the
+/// `bdd.*` counters.
+fn record_bdd_stats(s: bdd::BddCheckStats) {
+    if !telemetry::enabled() {
+        return;
+    }
+    telemetry::counter_add("bdd.checks", 1);
+    telemetry::counter_add("bdd.nodes", s.nodes as u64);
+    telemetry::counter_add("bdd.ite_cache_entries", s.ite_cache_entries as u64);
 }
 
 fn equiv_to_gdo(e: sat::EquivError) -> GdoError {
@@ -124,7 +162,8 @@ mod tests {
         let b = nl.add_input("b");
         let t = nl.add_gate(GateKind::And, &[a, b]).unwrap();
         let y = nl.add_gate(GateKind::Or, &[a, t]).unwrap();
-        nl.set_lib(t, Some(lib.find("and2").unwrap().tag())).unwrap();
+        nl.set_lib(t, Some(lib.find("and2").unwrap().tag()))
+            .unwrap();
         nl.set_lib(y, Some(lib.find("or2").unwrap().tag())).unwrap();
         nl.add_output("y", y);
         (nl, lib, [a, b, t, y])
@@ -133,7 +172,9 @@ mod tests {
     fn all_provers() -> [ProverKind; 3] {
         [
             ProverKind::SatClause,
-            ProverKind::BddEquiv { node_limit: 1 << 16 },
+            ProverKind::BddEquiv {
+                node_limit: 1 << 16,
+            },
             ProverKind::SatEquiv,
         ]
     }

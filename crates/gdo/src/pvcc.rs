@@ -209,12 +209,7 @@ pub fn site_arrival(nl: &Netlist, site: Site, sta: &Sta) -> f64 {
 /// The site's required time — the budget an area-phase rewrite must stay
 /// within to avoid creating a new critical path.
 #[must_use]
-pub fn site_required<M: timing::DelayModel>(
-    nl: &Netlist,
-    site: Site,
-    sta: &Sta,
-    model: &M,
-) -> f64 {
+pub fn site_required<M: timing::DelayModel>(nl: &Netlist, site: Site, sta: &Sta, model: &M) -> f64 {
     match site {
         Site::Stem(s) => sta.required(s),
         Site::Branch(br) => {
@@ -248,10 +243,7 @@ mod tests {
         let r = round_with(vec![PairEntry { b, alive: 0b0110 }], 0);
         let subs = sub2_candidates(&r);
         assert_eq!(subs.len(), 1);
-        assert_eq!(
-            subs[0].kind,
-            RewriteKind::Sub2 { b: SigLit::pos(b) }
-        );
+        assert_eq!(subs[0].kind, RewriteKind::Sub2 { b: SigLit::pos(b) });
         let r = round_with(vec![PairEntry { b, alive: 0b1001 }], 0);
         assert_eq!(
             sub2_candidates(&r)[0].kind,
@@ -290,7 +282,10 @@ mod tests {
         let r = round_with(
             vec![
                 PairEntry { b, alive: 1 << 2 },
-                PairEntry { b: c, alive: 1 << 2 },
+                PairEntry {
+                    b: c,
+                    alive: 1 << 2,
+                },
             ],
             0,
         );
@@ -310,7 +305,10 @@ mod tests {
         let r = round_with(
             vec![
                 PairEntry { b, alive: 1 << 1 },
-                PairEntry { b: c, alive: 1 << 1 },
+                PairEntry {
+                    b: c,
+                    alive: 1 << 1,
+                },
             ],
             0,
         );
@@ -328,7 +326,10 @@ mod tests {
         let r = round_with(
             vec![
                 PairEntry { b, alive: 0b1111 },
-                PairEntry { b: c, alive: 0b1111 },
+                PairEntry {
+                    b: c,
+                    alive: 0b1111,
+                },
             ],
             0,
         );
@@ -341,8 +342,14 @@ mod tests {
 
     #[test]
     fn rank_ordering() {
-        let hi = RankKey { ncp: 10.0, lds: 1.0 };
-        let mid = RankKey { ncp: 10.0, lds: 0.5 };
+        let hi = RankKey {
+            ncp: 10.0,
+            lds: 1.0,
+        };
+        let mid = RankKey {
+            ncp: 10.0,
+            lds: 0.5,
+        };
         let lo = RankKey { ncp: 2.0, lds: 9.0 };
         let mut keys = [lo, hi, mid];
         keys.sort_by(RankKey::cmp_desc);

@@ -129,8 +129,7 @@ mod tests {
         nl.add_output("y", y);
         let reference = nl.clone();
         let lib = standard_library();
-        let removed =
-            remove_redundancies(&mut nl, &lib, 256, 3, ProverKind::SatClause).unwrap();
+        let removed = remove_redundancies(&mut nl, &lib, 256, 3, ProverKind::SatClause).unwrap();
         assert!(removed >= 1);
         nl.validate().unwrap();
         assert!(reference.equiv_exhaustive(&nl).unwrap());
@@ -145,8 +144,7 @@ mod tests {
         let y = nl.add_gate(GateKind::Xor, &[a, b]).unwrap();
         nl.add_output("y", y);
         let lib = standard_library();
-        let removed =
-            remove_redundancies(&mut nl, &lib, 256, 3, ProverKind::SatClause).unwrap();
+        let removed = remove_redundancies(&mut nl, &lib, 256, 3, ProverKind::SatClause).unwrap();
         assert_eq!(removed, 0);
         assert_eq!(nl.stats().gates, 1);
     }
@@ -168,8 +166,7 @@ mod tests {
         nl.add_output("z", extra);
         let reference = nl.clone();
         let lib = standard_library();
-        let removed =
-            remove_redundancies(&mut nl, &lib, 256, 11, ProverKind::SatClause).unwrap();
+        let removed = remove_redundancies(&mut nl, &lib, 256, 11, ProverKind::SatClause).unwrap();
         nl.validate().unwrap();
         assert!(reference.equiv_exhaustive(&nl).unwrap());
         // The branch (y, pin1 = OR) is substitutable: when y observes o,
@@ -186,7 +183,9 @@ mod tests {
         for prover in [
             ProverKind::SatClause,
             ProverKind::SatEquiv,
-            ProverKind::BddEquiv { node_limit: 1 << 16 },
+            ProverKind::BddEquiv {
+                node_limit: 1 << 16,
+            },
         ] {
             let mut nl = Netlist::new("t");
             let a = nl.add_input("a");

@@ -21,8 +21,8 @@ use std::fmt;
 /// let row = OptimizeReport::new("Z5xp1", stats);
 /// let text = row.to_string();
 /// assert!(text.contains("Z5xp1") && text.contains("32.7"));
-/// println!("{}", OptimizeReport::header());
-/// println!("{row}");
+/// let table = format!("{}\n{row}", OptimizeReport::header());
+/// assert_eq!(table.lines().count(), 2);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct OptimizeReport {

@@ -150,10 +150,7 @@ pub fn apply_rewrite(
 /// effort; gates with no matching cell stay unbound and are covered by
 /// the delay model's fallback).
 pub fn rebind_unbound(nl: &mut Netlist, lib: &Library, fast: bool) {
-    let unbound: Vec<SignalId> = nl
-        .gates()
-        .filter(|&g| nl.cell(g).lib().is_none())
-        .collect();
+    let unbound: Vec<SignalId> = nl.gates().filter(|&g| nl.cell(g).lib().is_none()).collect();
     for g in unbound {
         if let Some(cell) = pick(lib, nl.kind(g), nl.fanins(g).len(), fast) {
             nl.set_lib(g, Some(cell.tag())).expect("live gate");
@@ -165,13 +162,7 @@ pub fn rebind_unbound(nl: &mut Netlist, lib: &Library, fast: bool) {
 /// produce (the new arrival at the site), for LDS ranking. Matches the
 /// realization of [`apply_rewrite`], including inverter reuse.
 #[must_use]
-pub fn estimate_arrival(
-    nl: &Netlist,
-    lib: &Library,
-    sta: &Sta,
-    rw: &Rewrite,
-    fast: bool,
-) -> f64 {
+pub fn estimate_arrival(nl: &Netlist, lib: &Library, sta: &Sta, rw: &Rewrite, fast: bool) -> f64 {
     let root = rw.site.cone_root();
     let forbidden = nl.transitive_fanout(root);
     let lit_arrival = |s: SignalId, positive: bool| -> f64 {
@@ -196,8 +187,7 @@ pub fn estimate_arrival(
 }
 
 fn cell_delay(lib: &Library, kind: GateKind, arity: usize, fast: bool, pin: usize) -> f64 {
-    pick(lib, kind, arity, fast)
-        .map_or(1.0, |id| lib.cell(id).pin_delays()[pin])
+    pick(lib, kind, arity, fast).map_or(1.0, |id| lib.cell(id).pin_delays()[pin])
 }
 
 /// Area of the cone that would die if `stem` lost all of its fanout:
@@ -288,7 +278,8 @@ mod tests {
             let cell = lib.find("nand2").unwrap();
             nl.set_lib(g, Some(cell.tag())).unwrap();
         }
-        nl.set_lib(g2, Some(lib.find("inv1").unwrap().tag())).unwrap();
+        nl.set_lib(g2, Some(lib.find("inv1").unwrap().tag()))
+            .unwrap();
         nl.add_output("y", g3);
         (nl, lib, [a, b, g1, g2, g3])
     }
@@ -375,7 +366,8 @@ mod tests {
         let (mut nl, lib, [_a, b, _g1, g2, _g3]) = mapped_sample();
         // Pre-existing inverter on b.
         let inv = nl.add_gate(GateKind::Not, &[b]).unwrap();
-        nl.set_lib(inv, Some(lib.find("inv1").unwrap().tag())).unwrap();
+        nl.set_lib(inv, Some(lib.find("inv1").unwrap().tag()))
+            .unwrap();
         nl.add_output("z", inv);
         let before = nl.stats().gates;
         let rw = Rewrite {

@@ -5,9 +5,7 @@
 //! index-ordered merge, so this holds by construction — this test keeps
 //! it that way.
 
-use gdo::{
-    run_c2, run_c2_threaded, run_c3, run_c3_threaded, Gate3, Site, SiteRound, TripleEntry,
-};
+use gdo::{run_c2, run_c2_threaded, run_c3, run_c3_threaded, Gate3, Site, SiteRound, TripleEntry};
 use netlist::{Branch, GateKind, Netlist, SignalId};
 use proptest::prelude::*;
 use sim::{simulate, VectorSet};

@@ -240,11 +240,7 @@ impl Library {
     }
 
     /// All cells implementing `kind` with exactly `arity` pins.
-    pub fn cells_for(
-        &self,
-        kind: GateKind,
-        arity: usize,
-    ) -> impl Iterator<Item = LibCellId> + '_ {
+    pub fn cells_for(&self, kind: GateKind, arity: usize) -> impl Iterator<Item = LibCellId> + '_ {
         self.cells
             .iter()
             .enumerate()
@@ -262,8 +258,11 @@ impl Library {
     /// The minimum-worst-case-delay cell implementing `kind`/`arity`.
     #[must_use]
     pub fn fastest(&self, kind: GateKind, arity: usize) -> Option<LibCellId> {
-        self.cells_for(kind, arity)
-            .min_by(|&a, &b| self.cell(a).max_delay().total_cmp(&self.cell(b).max_delay()))
+        self.cells_for(kind, arity).min_by(|&a, &b| {
+            self.cell(a)
+                .max_delay()
+                .total_cmp(&self.cell(b).max_delay())
+        })
     }
 
     /// Looks up the library cell bound to a mapped netlist gate.
@@ -321,7 +320,8 @@ mod tests {
         let a = nl.add_input("a");
         let b = nl.add_input("b");
         let g = nl.add_gate(GateKind::Nand, &[a, b]).unwrap();
-        nl.set_lib(g, Some(lib.find("nand2").unwrap().tag())).unwrap();
+        nl.set_lib(g, Some(lib.find("nand2").unwrap().tag()))
+            .unwrap();
         nl.add_output("o", g);
         assert_eq!(lib.binding(&nl, g).unwrap().name(), "nand2");
         assert!((lib.total_area(&nl) - 2.0).abs() < 1e-12);
@@ -332,7 +332,6 @@ mod tests {
     fn libcell_checks_arity() {
         let _ = LibCell::new("bad", GateKind::Not, 1.0, vec![1.0, 1.0]);
     }
-
 
     #[test]
     fn types_are_send_and_sync() {

@@ -16,6 +16,10 @@ pub enum LibraryError {
     UnsupportedFunction {
         /// The cell's name.
         cell: String,
+        /// 1-based line number of the cell's `GATE` statement.
+        line: usize,
+        /// The offending expression text, as written in the genlib file.
+        expr: String,
     },
     /// The library lacks a cell required for mapping (an inverter or a
     /// 2-input NAND).
@@ -32,8 +36,12 @@ impl fmt::Display for LibraryError {
             LibraryError::Parse { line, message } => {
                 write!(f, "genlib parse error at line {line}: {message}")
             }
-            LibraryError::UnsupportedFunction { cell } => {
-                write!(f, "cell {cell:?} computes a function outside the supported gate kinds")
+            LibraryError::UnsupportedFunction { cell, line, expr } => {
+                write!(
+                    f,
+                    "cell {cell:?} at line {line} computes a function outside the \
+                     supported gate kinds: {expr}"
+                )
             }
             LibraryError::IncompleteLibrary(what) => {
                 write!(f, "library is missing a {what}, required for mapping")

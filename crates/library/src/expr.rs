@@ -39,7 +39,10 @@ impl Expr {
         let mut p = Parser { tokens, pos: 0 };
         let e = p.parse_or()?;
         if p.pos != p.tokens.len() {
-            return Err(err(format!("trailing input after expression: {:?}", p.tokens[p.pos])));
+            return Err(err(format!(
+                "trailing input after expression: {:?}",
+                p.tokens[p.pos]
+            )));
         }
         Ok(e)
     }
@@ -411,7 +414,10 @@ mod tests {
     fn juxtaposition_means_and() {
         let e1 = Expr::parse("a b c").unwrap();
         let e2 = Expr::parse("a*b*c").unwrap();
-        assert_eq!(e1.truth_table().unwrap().bits, e2.truth_table().unwrap().bits);
+        assert_eq!(
+            e1.truth_table().unwrap().bits,
+            e2.truth_table().unwrap().bits
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ pub fn parse_genlib(name: &str, text: &str) -> Result<Library, LibraryError> {
             assignment.push(' ');
         }
         if !terminated {
-            return Err(parse_err(line, "cell function not terminated by ';'".into()));
+            return Err(parse_err(
+                line,
+                "cell function not terminated by ';'".into(),
+            ));
         }
         let expr_text = assignment
             .split_once('=')
@@ -79,9 +82,13 @@ pub fn parse_genlib(name: &str, text: &str) -> Result<Library, LibraryError> {
             .ok_or_else(|| parse_err(line, format!("expected out=expr, found {assignment:?}")))?;
         let expr = Expr::parse(expr_text).map_err(|e| at_line(e, line))?;
         let tt = expr.truth_table().map_err(|e| at_line(e, line))?;
-        let (kind, perm) = tt.recognize().ok_or_else(|| LibraryError::UnsupportedFunction {
-            cell: cell_name.clone(),
-        })?;
+        let (kind, perm) = tt
+            .recognize()
+            .ok_or_else(|| LibraryError::UnsupportedFunction {
+                cell: cell_name.clone(),
+                line,
+                expr: expr_text.trim().to_string(),
+            })?;
 
         // Gather PIN statements until the next GATE.
         let mut pins: Vec<(String, f64)> = Vec::new();
@@ -136,7 +143,12 @@ pub fn parse_genlib(name: &str, text: &str) -> Result<Library, LibraryError> {
 pub fn write_genlib(lib: &Library) -> String {
     use netlist::GateKind::*;
     let mut out = String::new();
-    let _ = writeln!(out, "# library {} ({} cells)", lib.name(), lib.cells().len());
+    let _ = writeln!(
+        out,
+        "# library {} ({} cells)",
+        lib.name(),
+        lib.cells().len()
+    );
     for cell in lib.cells() {
         let names: Vec<&str> = cell.pin_names().iter().map(String::as_str).collect();
         let expr = match (cell.kind(), cell.arity()) {
@@ -264,9 +276,17 @@ GATE aoi 3.0 O=!(C + A*B);
 
     #[test]
     fn unsupported_function_is_reported() {
-        let text = "GATE maj 4.0 O=a*b+b*c+a*c; PIN * INV 1 999 1 0 1 0";
+        let text = "# header\nGATE maj 4.0 O=a*b+b*c+a*c; PIN * INV 1 999 1 0 1 0";
         let err = parse_genlib("t", text).unwrap_err();
-        assert!(matches!(err, LibraryError::UnsupportedFunction { .. }));
+        let LibraryError::UnsupportedFunction { cell, line, expr } = &err else {
+            panic!("expected UnsupportedFunction, got {err:?}");
+        };
+        assert_eq!(cell, "maj");
+        assert_eq!(*line, 2);
+        assert_eq!(expr, "a*b+b*c+a*c");
+        // The human-readable message points at the offending text.
+        assert!(err.to_string().contains("a*b+b*c+a*c"), "{err}");
+        assert!(err.to_string().contains("line 2"), "{err}");
     }
 
     #[test]

@@ -126,9 +126,9 @@ pub fn parse_mapped_blif(lib: &Library, text: &str) -> Result<Netlist, LibraryEr
                 let cell_name = words
                     .next()
                     .ok_or_else(|| perr(*line, ".gate needs a cell name".into()))?;
-                let cell_id = lib.find(cell_name).ok_or_else(|| {
-                    perr(*line, format!("unknown library cell {cell_name:?}"))
-                })?;
+                let cell_id = lib
+                    .find(cell_name)
+                    .ok_or_else(|| perr(*line, format!("unknown library cell {cell_name:?}")))?;
                 let cell = lib.cell(cell_id);
                 let mut bindings: HashMap<&str, &str> = HashMap::new();
                 for w in words {
@@ -145,9 +145,9 @@ pub fn parse_mapped_blif(lib: &Library, text: &str) -> Result<Netlist, LibraryEr
                 })?;
                 let mut fanins = Vec::with_capacity(cell.arity());
                 for pin in cell.pin_names() {
-                    let net = bindings.remove(pin.as_str()).ok_or_else(|| {
-                        perr(*line, format!("missing pin {pin} of {cell_name}"))
-                    })?;
+                    let net = bindings
+                        .remove(pin.as_str())
+                        .ok_or_else(|| perr(*line, format!("missing pin {pin} of {cell_name}")))?;
                     fanins.push(net.to_string());
                 }
                 if let Some((extra, _)) = bindings.into_iter().next() {
@@ -170,8 +170,7 @@ pub fn parse_mapped_blif(lib: &Library, text: &str) -> Result<Netlist, LibraryEr
             ".names" => {
                 return Err(perr(
                     *line,
-                    "mapped blif must not mix .names with .gate (use formats::parse_blif)"
-                        .into(),
+                    "mapped blif must not mix .names with .gate (use formats::parse_blif)".into(),
                 ))
             }
             other => return Err(perr(*line, format!("unsupported construct {other:?}"))),
@@ -304,7 +303,8 @@ mod tests {
         let a = nl.add_input("a");
         let one = nl.const1();
         let g = nl.add_gate(GateKind::Nand, &[a, one]).unwrap();
-        nl.set_lib(g, Some(lib.find("nand2").unwrap().tag())).unwrap();
+        nl.set_lib(g, Some(lib.find("nand2").unwrap().tag()))
+            .unwrap();
         nl.add_output("y", g);
         let text = write_mapped_blif(&lib, &nl).unwrap();
         let back = parse_mapped_blif(&lib, &text).unwrap();

@@ -60,12 +60,8 @@ struct Cost {
 impl Cost {
     fn better_than(self, other: Cost, goal: MapGoal) -> bool {
         match goal {
-            MapGoal::Area => {
-                (self.area, self.delay) < (other.area, other.delay)
-            }
-            MapGoal::Delay => {
-                (self.delay, self.area) < (other.delay, other.area)
-            }
+            MapGoal::Area => (self.area, self.delay) < (other.area, other.delay),
+            MapGoal::Delay => (self.delay, self.area) < (other.delay, other.area),
         }
     }
 }
@@ -335,7 +331,9 @@ mod tests {
         // One xor2 cell (area 5) beats the 4-NAND + 2-INV cover (area > 8).
         assert_eq!(mapped.stats().gates, 1);
         assert_eq!(
-            lib.binding(&mapped, mapped.outputs()[0].driver()).unwrap().name(),
+            lib.binding(&mapped, mapped.outputs()[0].driver())
+                .unwrap()
+                .name(),
             "xor2"
         );
     }
@@ -424,7 +422,9 @@ mod tests {
         let mapped = Mapper::new(&lib).goal(MapGoal::Area).map(&nl).unwrap();
         assert_eq!(mapped.stats().gates, 1, "{}", mapped);
         assert_eq!(
-            lib.binding(&mapped, mapped.outputs()[0].driver()).unwrap().name(),
+            lib.binding(&mapped, mapped.outputs()[0].driver())
+                .unwrap()
+                .name(),
             "aoi21"
         );
     }
@@ -444,7 +444,11 @@ mod tests {
                 let g1 = n.add_gate(GateKind::Xor, &[a, b]).unwrap();
                 let g2 = n
                     .add_gate(
-                        if seed % 2 == 0 { GateKind::Aoi21 } else { GateKind::Oai21 },
+                        if seed % 2 == 0 {
+                            GateKind::Aoi21
+                        } else {
+                            GateKind::Oai21
+                        },
                         &[g1, c, a],
                     )
                     .unwrap();

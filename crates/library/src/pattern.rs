@@ -151,10 +151,7 @@ fn and_leg(shape: &Shape) -> Pattern {
 fn or_pattern(shape: &Shape) -> Pattern {
     match shape {
         Shape::Leaf(i) => Pattern::Leaf(*i),
-        Shape::Node(l, r) => Pattern::Nand(
-            Box::new(inv_of_or(l)),
-            Box::new(inv_of_or(r)),
-        ),
+        Shape::Node(l, r) => Pattern::Nand(Box::new(inv_of_or(l)), Box::new(inv_of_or(r))),
     }
 }
 
@@ -173,9 +170,7 @@ fn inv_of_or(shape: &Shape) -> Pattern {
 #[must_use]
 pub fn patterns_for(kind: GateKind, arity: usize) -> Vec<Pattern> {
     use GateKind::*;
-    let shapes = |n: usize| {
-        tree_shapes(0, n as u8, &|l, r| Shape::Node(Box::new(l), Box::new(r)))
-    };
+    let shapes = |n: usize| tree_shapes(0, n as u8, &|l, r| Shape::Node(Box::new(l), Box::new(r)));
     match (kind, arity) {
         (Not, 1) => vec![Pattern::Inv(Box::new(Pattern::Leaf(0)))],
         (Nand, n) if n >= 2 => shapes(n).iter().map(nand_pattern).collect(),
@@ -254,9 +249,7 @@ mod tests {
     /// to the corresponding primary input.
     fn check_self_match(kind: GateKind, arity: usize) {
         let mut nl = Netlist::new("t");
-        let ins: Vec<SignalId> = (0..arity)
-            .map(|i| nl.add_input(format!("x{i}")))
-            .collect();
+        let ins: Vec<SignalId> = (0..arity).map(|i| nl.add_input(format!("x{i}"))).collect();
         let g = nl.add_gate(kind, &ins).unwrap();
         nl.add_output("y", g);
         let subject = to_subject_graph(&nl).unwrap();
@@ -266,12 +259,14 @@ mod tests {
         let matched = pats.iter().any(|p| {
             p.match_at(&subject, root).is_some_and(|bind| {
                 bind.len() == arity
-                    && (0..arity).all(|i| {
-                        bind[i] == subject.find(&format!("x{i}")).expect("pi exists")
-                    })
+                    && (0..arity)
+                        .all(|i| bind[i] == subject.find(&format!("x{i}")).expect("pi exists"))
             })
         });
-        assert!(matched, "{kind}/{arity} pattern does not match its own decomposition");
+        assert!(
+            matched,
+            "{kind}/{arity} pattern does not match its own decomposition"
+        );
     }
 
     #[test]

@@ -90,8 +90,10 @@ impl Netlist {
         for user in &uses {
             match *user {
                 Fanout::Gate { cell, pin } => {
-                    self.cells[cell.index()].as_mut().expect("live consumer").fanins
-                        [pin as usize] = new;
+                    self.cells[cell.index()]
+                        .as_mut()
+                        .expect("live consumer")
+                        .fanins[pin as usize] = new;
                 }
                 Fanout::Po(index) => {
                     self.pos[index as usize].driver = new;
@@ -319,10 +321,7 @@ mod tests {
     #[test]
     fn delete_gate_rejects_inputs_and_live_fanout() {
         let (mut nl, [a, ..]) = sample();
-        assert!(matches!(
-            nl.delete_gate(a),
-            Err(NetlistError::NotAGate(_))
-        ));
+        assert!(matches!(nl.delete_gate(a), Err(NetlistError::NotAGate(_))));
     }
 
     #[test]

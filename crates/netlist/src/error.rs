@@ -73,7 +73,10 @@ mod tests {
     fn display_messages_are_lowercase_and_specific() {
         let e = NetlistError::DeadSignal(SignalId::from_index(3));
         assert_eq!(e.to_string(), "signal n3 does not exist or was deleted");
-        let e = NetlistError::ArityMismatch { kind: "NOT", got: 2 };
+        let e = NetlistError::ArityMismatch {
+            kind: "NOT",
+            got: 2,
+        };
         assert!(e.to_string().contains("NOT"));
     }
 

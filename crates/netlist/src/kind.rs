@@ -260,10 +260,7 @@ mod tests {
         // 5-input XOR is parity.
         for assignment in 0u32..32 {
             let bools: Vec<bool> = (0..5).map(|i| assignment >> i & 1 == 1).collect();
-            assert_eq!(
-                GateKind::Xor.eval(&bools),
-                assignment.count_ones() % 2 == 1
-            );
+            assert_eq!(GateKind::Xor.eval(&bools), assignment.count_ones() % 2 == 1);
             assert_eq!(
                 GateKind::Xnor.eval(&bools),
                 assignment.count_ones() % 2 == 0

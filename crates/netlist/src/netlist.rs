@@ -54,8 +54,7 @@ impl std::fmt::Display for Netlist {
                     if cell.kind().is_source() && cell.kind() == GateKind::Input {
                         continue;
                     }
-                    let fanins: Vec<String> =
-                        cell.fanins().iter().map(|x| x.to_string()).collect();
+                    let fanins: Vec<String> = cell.fanins().iter().map(|x| x.to_string()).collect();
                     write!(f, "  {s} = {}({})", cell.kind(), fanins.join(", "))?;
                     if let Some(name) = cell.name() {
                         write!(f, "  # {name}")?;
@@ -438,10 +437,7 @@ mod tests {
         assert_eq!(nl.fanins(f), &[d, e]);
         assert_eq!(nl.fanout_count(a), 1);
         assert_eq!(nl.fanout_count(d), 1);
-        assert_eq!(
-            nl.fanouts(d),
-            &[Fanout::Gate { cell: f, pin: 0 }]
-        );
+        assert_eq!(nl.fanouts(d), &[Fanout::Gate { cell: f, pin: 0 }]);
         assert_eq!(nl.find("a").unwrap(), a);
         assert!(nl.find("zzz").is_err());
     }
@@ -521,7 +517,6 @@ mod tests {
         assert!(text.contains("# gate1"));
         assert!(text.contains("output y"));
     }
-
 
     #[test]
     fn types_are_send_and_sync() {

@@ -32,11 +32,7 @@ impl Netlist {
             if kind == GateKind::Input {
                 continue;
             }
-            let mut fanins: Vec<SignalId> = self
-                .fanins(s)
-                .iter()
-                .map(|f| rep[f.index()])
-                .collect();
+            let mut fanins: Vec<SignalId> = self.fanins(s).iter().map(|f| rep[f.index()]).collect();
             if kind.is_commutative() {
                 fanins.sort_unstable();
             }

@@ -35,9 +35,13 @@ enum Edit {
 
 fn edit_strategy() -> impl Strategy<Value = Edit> {
     prop_oneof![
-        (0u8..6, proptest::collection::vec(0usize..64, 1..4)).prop_map(|(k, f)| Edit::AddGate(k, f)),
-        (0usize..64, 0usize..4, 0usize..64)
-            .prop_map(|(cell, pin, to)| Edit::RewireBranch { cell, pin, to }),
+        (0u8..6, proptest::collection::vec(0usize..64, 1..4))
+            .prop_map(|(k, f)| Edit::AddGate(k, f)),
+        (0usize..64, 0usize..4, 0usize..64).prop_map(|(cell, pin, to)| Edit::RewireBranch {
+            cell,
+            pin,
+            to
+        }),
         (0usize..64, 0usize..64).prop_map(|(from, to)| Edit::SubstituteStem { from, to }),
         Just(Edit::Prune),
         Just(Edit::Sweep),

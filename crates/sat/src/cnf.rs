@@ -154,10 +154,9 @@ impl Cnf {
     /// is the value of variable `v`). Useful for cross-checking models.
     #[must_use]
     pub fn eval(&self, assignment: &[bool]) -> bool {
-        self.clauses.iter().all(|c| {
-            c.iter()
-                .any(|l| assignment[l.var().index()] == l.is_pos())
-        })
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| assignment[l.var().index()] == l.is_pos()))
     }
 }
 

@@ -67,13 +67,13 @@ pub fn parse_dimacs(text: &str) -> Result<Cnf, DimacsError> {
                     message: "expected 'p cnf <vars> <clauses>'".into(),
                 });
             }
-            let vars: usize = w
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| DimacsError::Parse {
-                    line,
-                    message: "bad variable count".into(),
-                })?;
+            let vars: usize =
+                w.next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| DimacsError::Parse {
+                        line,
+                        message: "bad variable count".into(),
+                    })?;
             declared_vars = Some(vars);
             for _ in 0..vars {
                 cnf.new_var();

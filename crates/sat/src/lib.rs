@@ -45,6 +45,6 @@ mod solver;
 pub use cnf::{Cnf, Lit, Var};
 pub use dimacs::{parse_dimacs, solver_from_cnf, write_dimacs, DimacsError};
 pub use encode::CircuitCnf;
-pub use miter::{build_miter, check_equiv, EquivError};
+pub use miter::{build_miter, check_equiv, check_equiv_stats, EquivError};
 pub use prove::{ClauseProver, FaultSite};
-pub use solver::{Model, SatResult, Solver};
+pub use solver::{Model, SatResult, Solver, SolverStats};

@@ -116,13 +116,12 @@ impl ClauseProver {
                 };
                 let mut region = netlist::SignalSet::with_capacity(nl.capacity());
                 let mut stack: Vec<SignalId> = Vec::new();
-                let push = |s: SignalId,
-                                region: &mut netlist::SignalSet,
-                                stack: &mut Vec<SignalId>| {
-                    if region.insert(s) {
-                        stack.push(s);
-                    }
-                };
+                let push =
+                    |s: SignalId, region: &mut netlist::SignalSet, stack: &mut Vec<SignalId>| {
+                        if region.insert(s) {
+                            stack.push(s);
+                        }
+                    };
                 push(root, &mut region, &mut stack);
                 for s in nl.transitive_fanout(root).iter() {
                     push(s, &mut region, &mut stack);
@@ -190,10 +189,7 @@ impl ClauseProver {
             if faulty.contains_key(&s) {
                 continue;
             }
-            let touched = nl
-                .fanins(s)
-                .iter()
-                .any(|f| faulty.contains_key(f));
+            let touched = nl.fanins(s).iter().any(|f| faulty.contains_key(f));
             if !touched || nl.kind(s) == GateKind::Input {
                 continue;
             }
@@ -270,11 +266,7 @@ impl ClauseProver {
     /// Like [`is_valid`](Self::is_valid) but returns the counterexample
     /// input assignment when the clause is invalid (useful for debugging
     /// and for cross-checking the simulator).
-    pub fn counterexample(
-        &mut self,
-        nl: &Netlist,
-        lits: &[(SignalId, bool)],
-    ) -> Option<Vec<bool>> {
+    pub fn counterexample(&mut self, nl: &Netlist, lits: &[(SignalId, bool)]) -> Option<Vec<bool>> {
         let mut assumptions = vec![self.obs];
         for &(s, positive) in lits {
             assumptions.push(self.enc.lit(s, !positive));
@@ -301,6 +293,13 @@ impl ClauseProver {
     fn enc_conflicts(&self) -> u64 {
         // CircuitCnf exposes its solver mutably only; a read path:
         self.enc.solver_ref().conflicts()
+    }
+
+    /// Cumulative statistics of the underlying solver. Callers record
+    /// per-query deltas with [`crate::SolverStats::since`].
+    #[must_use]
+    pub fn stats(&self) -> crate::SolverStats {
+        self.enc.solver_ref().stats()
     }
 }
 
@@ -363,8 +362,7 @@ mod tests {
         // Stem unobservable => every clause over it is valid, even the
         // empty-literal one (!O_a).
         assert!(stem.is_valid(&[]));
-        let mut branch =
-            ClauseProver::new(&nl, Branch { cell: g, pin: 0 }.into()).unwrap();
+        let mut branch = ClauseProver::new(&nl, Branch { cell: g, pin: 0 }.into()).unwrap();
         assert!(!branch.is_valid(&[]));
     }
 

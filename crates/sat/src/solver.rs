@@ -49,6 +49,40 @@ struct Watcher {
     blocker: Lit,
 }
 
+/// Cumulative search statistics of a [`Solver`].
+///
+/// Kept as plain integers bumped inside the search loop — the solver
+/// deliberately carries no telemetry probes in its hot paths; callers
+/// (e.g. `gdo`'s prove step) read these via [`Solver::stats`] and record
+/// deltas at prove-call boundaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Literals enqueued by unit propagation.
+    pub propagations: u64,
+    /// Clauses learned from conflict analysis.
+    pub learned: u64,
+    /// Restarts performed (Luby schedule).
+    pub restarts: u64,
+}
+
+impl SolverStats {
+    /// Component-wise difference `self - earlier` (for per-call deltas).
+    #[must_use]
+    pub fn since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions - earlier.decisions,
+            conflicts: self.conflicts - earlier.conflicts,
+            propagations: self.propagations - earlier.propagations,
+            learned: self.learned - earlier.learned,
+            restarts: self.restarts - earlier.restarts,
+        }
+    }
+}
+
 /// A conflict-driven clause-learning SAT solver.
 ///
 /// See the [crate documentation](crate) for an example. The solver is
@@ -72,7 +106,7 @@ pub struct Solver {
     phase: Vec<bool>,
     seen: Vec<bool>,
     ok: bool,
-    conflicts: u64,
+    stats: SolverStats,
 }
 
 impl Solver {
@@ -111,7 +145,14 @@ impl Solver {
     /// Total conflicts encountered so far (a cost metric for reporting).
     #[must_use]
     pub fn conflicts(&self) -> u64 {
-        self.conflicts
+        self.stats.conflicts
+    }
+
+    /// Cumulative search statistics (decisions, conflicts, propagations,
+    /// learned clauses, restarts).
+    #[must_use]
+    pub fn stats(&self) -> SolverStats {
+        self.stats
     }
 
     /// Adds a clause. Returns `false` if the solver is already in an
@@ -179,11 +220,7 @@ impl Solver {
     /// conflicts, returning `None`. Callers treating hard instances
     /// conservatively (e.g. "unknown means not proven valid") use this to
     /// bound worst-case time and memory.
-    pub fn solve_limited(
-        &mut self,
-        assumptions: &[Lit],
-        max_conflicts: u64,
-    ) -> Option<SatResult> {
+    pub fn solve_limited(&mut self, assumptions: &[Lit], max_conflicts: u64) -> Option<SatResult> {
         if !self.ok {
             return Some(SatResult::Unsat);
         }
@@ -198,7 +235,7 @@ impl Solver {
                 return None;
             }
             if let Some(confl) = self.propagate() {
-                self.conflicts += 1;
+                self.stats.conflicts += 1;
                 conflicts_here += 1;
                 conflicts_total += 1;
                 if self.decision_level() == 0 {
@@ -213,6 +250,7 @@ impl Solver {
                 }
                 let (learnt, blevel) = self.analyze(confl);
                 self.backtrack(blevel);
+                self.stats.learned += 1;
                 match learnt.len() {
                     1 => self.unchecked_enqueue(learnt[0], NO_REASON),
                     _ => {
@@ -233,6 +271,7 @@ impl Solver {
                 }
                 if conflicts_here >= budget {
                     restart_count += 1;
+                    self.stats.restarts += 1;
                     budget = 64 * luby(restart_count);
                     conflicts_here = 0;
                     self.backtrack(0);
@@ -251,6 +290,7 @@ impl Solver {
                     }
                 }
             } else if let Some(v) = self.pick_branch_var() {
+                self.stats.decisions += 1;
                 self.trail_lim.push(self.trail.len());
                 let lit = Lit::with_sign(Var(v), self.phase[v as usize]);
                 self.unchecked_enqueue(lit, NO_REASON);
@@ -346,6 +386,7 @@ impl Solver {
                     self.watches[p.code()] = ws;
                     return Some(clause);
                 }
+                self.stats.propagations += 1;
                 self.unchecked_enqueue(first, clause);
                 i += 1;
             }
@@ -767,6 +808,26 @@ mod tests {
         assert!(matches!(s.solve_limited(&[], 1), Some(SatResult::Sat(_))));
     }
 
+    #[test]
+    fn stats_track_search_effort() {
+        // PHP(5,4) forces real search: decisions, conflicts, learning and
+        // (with the low Luby base) at least the counters moving together.
+        let mut s = pigeonhole(5, 4);
+        assert_eq!(s.stats(), SolverStats::default());
+        let before = s.stats();
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+        let d = s.stats().since(&before);
+        assert!(d.conflicts > 0, "{d:?}");
+        assert!(d.decisions > 0, "{d:?}");
+        assert!(d.propagations > 0, "{d:?}");
+        // Every conflict learns a clause, except a level-0 conflict which
+        // ends the search (at most one per solve call).
+        assert!(
+            d.learned + 1 >= d.conflicts && d.learned <= d.conflicts,
+            "{d:?}"
+        );
+        assert_eq!(s.stats().conflicts, s.conflicts());
+    }
 
     #[test]
     fn types_are_send_and_sync() {

@@ -44,6 +44,8 @@ pub fn simulate(nl: &Netlist, vectors: &VectorSet) -> Result<SimResult, NetlistE
         nl.inputs().len(),
         "vector set built for a different input count"
     );
+    telemetry::counter_add("sim.simulations", 1);
+    telemetry::counter_add("sim.vectors", vectors.n_vectors() as u64);
     let n_words = vectors.n_words();
     let order = nl.topo_order()?;
     let mut values = vec![0u64; nl.capacity() * n_words];
@@ -114,6 +116,30 @@ impl ObsPlan {
     }
 }
 
+/// Query statistics of one [`ObservabilityEngine`].
+///
+/// Plain integers bumped inside the query path — the engine carries no
+/// telemetry probes in its hot loops; callers (the BPFS fan-out) read
+/// these per worker and record aggregates at round boundaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObsStats {
+    /// Observability queries answered (stem + branch).
+    pub queries: u64,
+    /// Cone gates re-simulated across all queries.
+    pub cone_gates: u64,
+}
+
+impl ObsStats {
+    /// Component-wise sum, for merging per-worker tallies.
+    #[must_use]
+    pub fn merged(&self, other: &ObsStats) -> ObsStats {
+        ObsStats {
+            queries: self.queries + other.queries,
+            cone_gates: self.cone_gates + other.cone_gates,
+        }
+    }
+}
+
 /// Per-vector observability computation by single-fault cone resimulation.
 ///
 /// For a signal `a`, bit `v` of the observability row is 1 iff flipping
@@ -142,6 +168,7 @@ pub struct ObservabilityEngine<'a> {
     obs: Vec<u64>,
     /// Cone scratch, reused across queries.
     cone: Vec<SignalId>,
+    stats: ObsStats,
 }
 
 impl<'a> ObservabilityEngine<'a> {
@@ -173,7 +200,14 @@ impl<'a> ObservabilityEngine<'a> {
             current: 0,
             obs: vec![0; sim.n_words()],
             cone: Vec::new(),
+            stats: ObsStats::default(),
         }
+    }
+
+    /// Cumulative query statistics of this engine.
+    #[must_use]
+    pub fn stats(&self) -> ObsStats {
+        self.stats
     }
 
     /// Prepares an engine that resimulates the whole netlist per query
@@ -250,6 +284,7 @@ impl<'a> ObservabilityEngine<'a> {
     /// ORs the primary-output differences into `obs`.
     fn propagate_and_compare(&mut self, seed: SignalId, stamp: u32) -> &[u64] {
         let nw = self.sim.n_words();
+        self.stats.queries += 1;
         // Mark the transitive fanout cone.
         let mut in_cone = std::mem::take(&mut self.cone);
         in_cone.clear();
@@ -287,6 +322,7 @@ impl<'a> ObservabilityEngine<'a> {
                 }
             }
         }
+        self.stats.cone_gates += (in_cone.len() - 1) as u64;
         self.cone = in_cone;
         // Compare primary outputs.
         for po in self.nl.outputs() {

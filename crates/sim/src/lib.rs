@@ -34,5 +34,5 @@
 mod engine;
 mod vectors;
 
-pub use engine::{simulate, ObsPlan, ObservabilityEngine, SimResult};
+pub use engine::{simulate, ObsPlan, ObsStats, ObservabilityEngine, SimResult};
 pub use vectors::VectorSet;

@@ -147,7 +147,8 @@ mod tests {
         let mut nl = Netlist::new("t");
         let a = nl.add_input("a");
         let g = nl.add_gate(GateKind::Not, &[a]).unwrap();
-        nl.set_lib(g, Some(lib.find("inv4").unwrap().tag())).unwrap();
+        nl.set_lib(g, Some(lib.find("inv4").unwrap().tag()))
+            .unwrap();
         nl.add_output("y", g);
         let model = LibDelay::new(&lib);
         assert!((model.pin_delay(&nl, g, 0) - 0.4).abs() < 1e-12);
@@ -160,7 +161,8 @@ mod tests {
         let mut nl = Netlist::new("t");
         let a = nl.add_input("a");
         let g = nl.add_gate(GateKind::Not, &[a]).unwrap();
-        nl.set_lib(g, Some(lib.find("inv1").unwrap().tag())).unwrap();
+        nl.set_lib(g, Some(lib.find("inv1").unwrap().tag()))
+            .unwrap();
         let c1 = nl.add_gate(GateKind::Buf, &[g]).unwrap();
         let c2 = nl.add_gate(GateKind::Buf, &[g]).unwrap();
         let c3 = nl.add_gate(GateKind::Buf, &[g]).unwrap();

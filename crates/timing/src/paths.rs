@@ -49,12 +49,7 @@ pub struct TimingPath {
 /// # }
 /// ```
 #[must_use]
-pub fn worst_paths<M: DelayModel>(
-    nl: &Netlist,
-    model: &M,
-    sta: &Sta,
-    k: usize,
-) -> Vec<TimingPath> {
+pub fn worst_paths<M: DelayModel>(nl: &Netlist, model: &M, sta: &Sta, k: usize) -> Vec<TimingPath> {
     use std::cmp::Ordering;
     use std::collections::BinaryHeap;
 
@@ -180,7 +175,10 @@ mod tests {
         let cp = CriticalPaths::count(&nl, &UnitDelay, &sta).unwrap();
         let paths = worst_paths(&nl, &UnitDelay, &sta, 100);
         let worst = sta.circuit_delay();
-        let n_critical = paths.iter().filter(|p| (p.delay - worst).abs() < 1e-9).count();
+        let n_critical = paths
+            .iter()
+            .filter(|p| (p.delay - worst).abs() < 1e-9)
+            .count();
         assert_eq!(n_critical as f64, cp.total(&nl));
     }
 

@@ -62,6 +62,7 @@ impl Sta {
                 "one arrival time per primary input"
             );
         }
+        telemetry::counter_add("sta.recomputes", 1);
         let order = nl.topo_order()?;
         let mut arrival = vec![0.0_f64; nl.capacity()];
         if let Some(ia) = input_arrivals {
@@ -94,9 +95,8 @@ impl Sta {
                 match *fo {
                     Fanout::Po(_) => req = req.min(po_req),
                     Fanout::Gate { cell, pin } => {
-                        req = req.min(
-                            required[cell.index()] - model.pin_delay(nl, cell, pin as usize),
-                        );
+                        req = req
+                            .min(required[cell.index()] - model.pin_delay(nl, cell, pin as usize));
                     }
                 }
             }
@@ -317,8 +317,7 @@ mod tests {
         assert!(sta.worst_slack(&nl) > 0.0);
         assert!(!sta.is_critical(g2));
         // Input arrival shifts downstream arrivals.
-        let sta =
-            Sta::analyze_constrained(&nl, &UnitDelay, Some(&[5.0, 0.0]), None).unwrap();
+        let sta = Sta::analyze_constrained(&nl, &UnitDelay, Some(&[5.0, 0.0]), None).unwrap();
         assert_eq!(sta.arrival(a), 5.0);
         assert_eq!(sta.arrival(g1), 6.0);
         assert_eq!(sta.circuit_delay(), 7.0);

@@ -45,7 +45,9 @@ pub fn alu(n: usize) -> Netlist {
         let and_i = nl.add_gate(GateKind::And, &[a[i], b[i]]).expect("live");
         let or_i = nl.add_gate(GateKind::Or, &[a[i], b[i]]).expect("live");
         let xor_i = nl.add_gate(GateKind::Xor, &[a[i], b[i]]).expect("live");
-        let m0 = nl.add_gate(GateKind::And, &[sel_add, sum[i]]).expect("live");
+        let m0 = nl
+            .add_gate(GateKind::And, &[sel_add, sum[i]])
+            .expect("live");
         let m1 = nl.add_gate(GateKind::And, &[sel_and, and_i]).expect("live");
         let m2 = nl.add_gate(GateKind::And, &[sel_or, or_i]).expect("live");
         let m3 = nl.add_gate(GateKind::And, &[sel_xor, xor_i]).expect("live");

@@ -89,7 +89,13 @@ pub fn sec_corrector(data_bits: usize, style: EccStyle) -> Netlist {
         .collect();
     for (k, &p) in positions.iter().enumerate() {
         let taps: Vec<SignalId> = (0..check_bits)
-            .map(|j| if p >> j & 1 == 1 { syndrome[j] } else { inverted[j] })
+            .map(|j| {
+                if p >> j & 1 == 1 {
+                    syndrome[j]
+                } else {
+                    inverted[j]
+                }
+            })
             .collect();
         let hit = nl.add_gate(GateKind::And, &taps).expect("live");
         let corrected = nl.add_gate(GateKind::Xor, &[data[k], hit]).expect("live");
@@ -142,7 +148,10 @@ fn expand_xors(src: &Netlist) -> Netlist {
         map[s.index()] = Some(mapped);
     }
     for po in src.outputs() {
-        out.add_output(po.name().to_string(), map[po.driver().index()].expect("mapped"));
+        out.add_output(
+            po.name().to_string(),
+            map[po.driver().index()].expect("mapped"),
+        );
     }
     out
 }

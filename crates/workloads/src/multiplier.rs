@@ -158,7 +158,9 @@ mod tests {
         let max = 1u64 << n;
         // Exhaustive for small n, corners + samples otherwise.
         let cases: Vec<(u64, u64)> = if n <= 4 {
-            (0..max).flat_map(|x| (0..max).map(move |y| (x, y))).collect()
+            (0..max)
+                .flat_map(|x| (0..max).map(move |y| (x, y)))
+                .collect()
         } else {
             vec![
                 (0, 0),

@@ -133,9 +133,7 @@ fn threshold_ge(nl: &mut Netlist, value: &[SignalId], k: u64) -> SignalId {
         };
         eq = match (eq, eq_here) {
             (None, e) => e,
-            (Some(pe), Some(eh)) => {
-                Some(nl.add_gate(GateKind::And, &[pe, eh]).expect("live"))
-            }
+            (Some(pe), Some(eh)) => Some(nl.add_gate(GateKind::And, &[pe, eh]).expect("live")),
             (Some(_), None) => None,
         };
     }

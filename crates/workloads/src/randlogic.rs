@@ -32,9 +32,7 @@ pub fn random_logic(seed: u64, inputs: usize, outputs: usize, gates: usize) -> N
     assert!(inputs > 0 && outputs > 0, "interface must be non-empty");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x6d2b_79f5_ca1b_77e5);
     let mut nl = Netlist::new(format!("rand_s{seed}_{inputs}x{outputs}"));
-    let mut pool: Vec<SignalId> = (0..inputs)
-        .map(|i| nl.add_input(format!("x{i}")))
-        .collect();
+    let mut pool: Vec<SignalId> = (0..inputs).map(|i| nl.add_input(format!("x{i}"))).collect();
 
     for _ in 0..gates {
         // Inverting and parity gates dominate: chains of plain AND/OR
@@ -120,12 +118,13 @@ pub fn random_sop(
         inputs > 0 && outputs > 0 && terms > 0 && term_literals > 0,
         "interface must be non-empty"
     );
-    assert!(term_literals <= inputs, "terms cannot exceed the input count");
+    assert!(
+        term_literals <= inputs,
+        "terms cannot exceed the input count"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x517c_c1b7_2722_0a95);
     let mut nl = Netlist::new(format!("sop_s{seed}_{inputs}x{outputs}"));
-    let ins: Vec<SignalId> = (0..inputs)
-        .map(|i| nl.add_input(format!("x{i}")))
-        .collect();
+    let ins: Vec<SignalId> = (0..inputs).map(|i| nl.add_input(format!("x{i}"))).collect();
     // Shared inverters, created on demand.
     let mut inverted: Vec<Option<SignalId>> = vec![None; inputs];
     for k in 0..outputs {

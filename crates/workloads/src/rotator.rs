@@ -20,7 +20,10 @@ use netlist::{GateKind, Netlist, SignalId};
 /// ```
 #[must_use]
 pub fn barrel_rotator(n: usize) -> Netlist {
-    assert!(n >= 2 && n.is_power_of_two(), "width must be a power of two");
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "width must be a power of two"
+    );
     let stages = n.trailing_zeros() as usize;
     let mut nl = Netlist::new(format!("rot{n}"));
     let x: Vec<SignalId> = (0..n).map(|i| nl.add_input(format!("x{i}"))).collect();

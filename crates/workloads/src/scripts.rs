@@ -103,8 +103,7 @@ fn balance(nl: &mut Netlist) -> Result<(), NetlistError> {
             continue;
         }
         let kind = nl.kind(s);
-        if !matches!(kind, GateKind::And | GateKind::Or | GateKind::Xor)
-            || nl.fanins(s).len() <= 2
+        if !matches!(kind, GateKind::And | GateKind::Or | GateKind::Xor) || nl.fanins(s).len() <= 2
         {
             continue;
         }

@@ -39,24 +39,75 @@ impl std::fmt::Debug for SuiteEntry {
 const ENTRIES: &[SuiteEntry] = &[
     // Z5xp1, term1 and vda are PLA-derived in MCNC: random two-level
     // covers restructured by the scripts match their character.
-    SuiteEntry { name: "Z5xp1", gen: || random_sop(0x5e01, 7, 10, 10, 4) },
-    SuiteEntry { name: "term1", gen: || random_sop(0x7e21, 34, 10, 14, 6) },
-    SuiteEntry { name: "9sym", gen: || sym_detector(9, 3, 6) },
-    SuiteEntry { name: "C432", gen: || priority_controller(18) },
-    SuiteEntry { name: "C499", gen: || sec_corrector(32, EccStyle::Xor) },
-    SuiteEntry { name: "C1355", gen: || sec_corrector(32, EccStyle::NandExpanded) },
-    SuiteEntry { name: "C880", gen: || datapath(8) },
-    SuiteEntry { name: "C1908", gen: || sec_corrector(24, EccStyle::ExtraParity) },
-    SuiteEntry { name: "vda", gen: || random_sop(0xda0a, 17, 39, 16, 5) },
-    SuiteEntry { name: "rot", gen: || barrel_rotator(32) },
-    SuiteEntry { name: "alu4", gen: || alu(12) },
-    SuiteEntry { name: "x3", gen: || random_logic(0x0333, 135, 99, 400) },
-    SuiteEntry { name: "apex6", gen: || random_logic(0xa9e6, 135, 99, 430) },
-    SuiteEntry { name: "frg2", gen: || random_logic(0xf462, 143, 139, 480) },
-    SuiteEntry { name: "pair", gen: || random_logic(0x9a12, 173, 137, 850) },
-    SuiteEntry { name: "C5315", gen: || random_logic(0x5315, 178, 123, 950) },
+    SuiteEntry {
+        name: "Z5xp1",
+        gen: || random_sop(0x5e01, 7, 10, 10, 4),
+    },
+    SuiteEntry {
+        name: "term1",
+        gen: || random_sop(0x7e21, 34, 10, 14, 6),
+    },
+    SuiteEntry {
+        name: "9sym",
+        gen: || sym_detector(9, 3, 6),
+    },
+    SuiteEntry {
+        name: "C432",
+        gen: || priority_controller(18),
+    },
+    SuiteEntry {
+        name: "C499",
+        gen: || sec_corrector(32, EccStyle::Xor),
+    },
+    SuiteEntry {
+        name: "C1355",
+        gen: || sec_corrector(32, EccStyle::NandExpanded),
+    },
+    SuiteEntry {
+        name: "C880",
+        gen: || datapath(8),
+    },
+    SuiteEntry {
+        name: "C1908",
+        gen: || sec_corrector(24, EccStyle::ExtraParity),
+    },
+    SuiteEntry {
+        name: "vda",
+        gen: || random_sop(0xda0a, 17, 39, 16, 5),
+    },
+    SuiteEntry {
+        name: "rot",
+        gen: || barrel_rotator(32),
+    },
+    SuiteEntry {
+        name: "alu4",
+        gen: || alu(12),
+    },
+    SuiteEntry {
+        name: "x3",
+        gen: || random_logic(0x0333, 135, 99, 400),
+    },
+    SuiteEntry {
+        name: "apex6",
+        gen: || random_logic(0xa9e6, 135, 99, 430),
+    },
+    SuiteEntry {
+        name: "frg2",
+        gen: || random_logic(0xf462, 143, 139, 480),
+    },
+    SuiteEntry {
+        name: "pair",
+        gen: || random_logic(0x9a12, 173, 137, 850),
+    },
+    SuiteEntry {
+        name: "C5315",
+        gen: || random_logic(0x5315, 178, 123, 950),
+    },
     // The true C6288 is NOR-structured (and famously redundant).
-    SuiteEntry { name: "C6288", gen: || array_multiplier_nor(16) },
+    SuiteEntry {
+        name: "C6288",
+        gen: || array_multiplier_nor(16),
+    },
 ];
 
 /// The 17 circuits of the paper's Table 1, in table order.
@@ -69,8 +120,7 @@ pub fn suite_table1() -> Vec<SuiteEntry> {
 #[must_use]
 pub fn suite_table2() -> Vec<SuiteEntry> {
     const TABLE2: [&str; 11] = [
-        "Z5xp1", "term1", "9sym", "C432", "C499", "C1355", "C880", "C1908", "apex6", "rot",
-        "frg2",
+        "Z5xp1", "term1", "9sym", "C432", "C499", "C1355", "C880", "C1908", "apex6", "rot", "frg2",
     ];
     TABLE2
         .iter()
@@ -95,7 +145,11 @@ mod tests {
             nl.validate()
                 .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
             let s = nl.stats();
-            assert!(s.inputs > 0 && s.outputs > 0 && s.gates > 0, "{}", entry.name);
+            assert!(
+                s.inputs > 0 && s.outputs > 0 && s.gates > 0,
+                "{}",
+                entry.name
+            );
             assert_eq!(nl.name(), entry.name);
         }
     }

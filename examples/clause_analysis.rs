@@ -43,7 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // redundant, which it is not in this circuit.
     let mut prover = ClauseProver::new(&nl, a.into())?;
     assert!(!prover.is_valid(&[(a, true)]));
-    let witness = prover.counterexample(&nl, &[(a, true)]).expect("invalid clause");
+    let witness = prover
+        .counterexample(&nl, &[(a, true)])
+        .expect("invalid clause");
     println!(
         "clause (!O_a + a) is invalid; witness input vector (a,b,c) = {:?}",
         witness

@@ -39,7 +39,7 @@ p = AND(t2, en)
     let out_dir = std::env::temp_dir().join("gdo_file_flow");
     std::fs::create_dir_all(&out_dir)?;
     let blif_path = out_dir.join("parity.blif");
-    std::fs::write(&blif_path, formats::write_blif(&mapped))?;
+    std::fs::write(&blif_path, formats::write_blif(&mapped)?)?;
     let mblif_path = out_dir.join("parity.mapped.blif");
     std::fs::write(&mblif_path, library::write_mapped_blif(&lib, &mapped)?)?;
     let verilog_path = out_dir.join("parity.v");

@@ -67,7 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ins.push(y >> i & 1 == 1);
         }
         let out = mapped.eval_outputs(&ins)?;
-        let got: u64 = out.iter().enumerate().map(|(i, &b)| u64::from(b) << i).sum();
+        let got: u64 = out
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| u64::from(b) << i)
+            .sum();
         assert_eq!(got, x * y);
     }
     println!("product spot-checks pass");

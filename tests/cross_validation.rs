@@ -42,7 +42,9 @@ fn bpfs_exhaustive_equals_sat_prover() {
             .collect();
         let rounds = gdo::run_c2(&nl, &sim, site_cands).expect("acyclic");
         for round in &rounds {
-            let Site::Stem(a) = round.site else { unreachable!() };
+            let Site::Stem(a) = round.site else {
+                unreachable!()
+            };
             let mut prover = sat::ClauseProver::new(&nl, a.into()).expect("acyclic");
             // C1 bits.
             for pa in [false, true] {
@@ -125,7 +127,7 @@ fn mapping_is_equivalence_preserving_on_random_circuits() {
 fn format_round_trips_preserve_function() {
     for nl in small_circuits() {
         // BLIF handles every gate kind.
-        let blif = formats::write_blif(&nl);
+        let blif = formats::write_blif(&nl).expect("serializes");
         let back = formats::parse_blif(&blif).expect("own output parses");
         assert!(
             sat::check_equiv(&nl, &back).expect("same interface"),
@@ -134,7 +136,7 @@ fn format_round_trips_preserve_function() {
         );
         // .bench needs the basic-gate subset: decompose first.
         let subject = library::to_subject_graph(&nl).expect("acyclic");
-        let bench_text = formats::write_bench(&subject);
+        let bench_text = formats::write_bench(&subject).expect("serializes");
         let back = formats::parse_bench(&bench_text).expect("own output parses");
         assert!(
             sat::check_equiv(&subject, &back).expect("same interface"),

@@ -90,7 +90,11 @@ fn multiplier_headline_delay_reduction() {
             ins.push(y >> i & 1 == 1);
         }
         let out = mapped.eval_outputs(&ins).expect("acyclic");
-        let got: u64 = out.iter().enumerate().map(|(i, &b)| u64::from(b) << i).sum();
+        let got: u64 = out
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| u64::from(b) << i)
+            .sum();
         assert_eq!(got, x * y);
     }
 }

@@ -1,8 +1,6 @@
 //! The paper's worked examples (Figures 1–4) as executable checks.
 
-use gdo::{
-    apply_rewrite, prove_rewrite, Gate3, ProverKind, Rewrite, RewriteKind, SigLit, Site,
-};
+use gdo::{apply_rewrite, prove_rewrite, Gate3, ProverKind, Rewrite, RewriteKind, SigLit, Site};
 use library::standard_library;
 use netlist::{Branch, GateKind, Netlist, SignalId};
 use sat::{CircuitCnf, ClauseProver, SatResult};
@@ -86,7 +84,10 @@ fn fig2_and_insertion() {
     let reference = nl.clone();
 
     let mut p = ClauseProver::new(&nl, Branch { cell: y, pin: 0 }.into()).expect("acyclic");
-    assert!(p.is_valid(&[(t, false), (u, true)]), "C2 clause must be valid");
+    assert!(
+        p.is_valid(&[(t, false), (u, true)]),
+        "C2 clause must be valid"
+    );
 
     // The associated transformation: cut y's input and insert AND(t, u).
     let lib = standard_library();

@@ -115,9 +115,20 @@ proptest! {
     #[test]
     fn blif_round_trip(recipe in recipe_strategy()) {
         let nl = build(&recipe);
-        let text = formats::write_blif(&nl);
+        let text = formats::write_blif(&nl).expect("generated circuits serialize");
         let back = formats::parse_blif(&text).expect("own output parses");
         prop_assert!(nl.equiv_exhaustive(&back).expect("small"));
+    }
+
+    /// `.bench` round trips reproduce the function exactly (after
+    /// decomposing to the basic-gate subset the format supports).
+    #[test]
+    fn bench_round_trip(recipe in recipe_strategy()) {
+        let nl = build(&recipe);
+        let subject = library::to_subject_graph(&nl).expect("acyclic");
+        let text = formats::write_bench(&subject).expect("basic gates serialize");
+        let back = formats::parse_bench(&text).expect("own output parses");
+        prop_assert!(subject.equiv_exhaustive(&back).expect("small"));
     }
 
     /// The SAT solver agrees with brute force on random CNF.
