@@ -12,7 +12,7 @@ use gdo::Site;
 use library::{standard_library, MapGoal, Mapper};
 use netlist::Netlist;
 use sim::{simulate, ObservabilityEngine, VectorSet};
-use timing::{CriticalPaths, LibDelay, Sta};
+use timing::{CriticalPaths, LibDelay, TimingGraph};
 use workloads::{array_multiplier, sec_corrector, EccStyle};
 
 fn mapped_multiplier(n: usize) -> Netlist {
@@ -54,11 +54,11 @@ fn bench_sta(c: &mut Criterion) {
     let nl = mapped_multiplier(8);
     let model = LibDelay::new(&lib);
     c.bench_function("timing/sta_mul8", |b| {
-        b.iter(|| Sta::analyze(&nl, &model).expect("acyclic"))
+        b.iter(|| TimingGraph::from_scratch(&nl, &model).expect("acyclic"))
     });
-    let sta = Sta::analyze(&nl, &model).expect("acyclic");
+    let tg = TimingGraph::from_scratch(&nl, &model).expect("acyclic");
     c.bench_function("timing/ncp_mul8", |b| {
-        b.iter(|| CriticalPaths::count(&nl, &model, &sta).expect("acyclic"))
+        b.iter(|| CriticalPaths::count(&nl, &tg).expect("acyclic"))
     });
 }
 
@@ -97,8 +97,8 @@ fn bench_clause_prover(c: &mut Criterion) {
     let nl = mapped_multiplier(6);
     let lib = standard_library();
     let model = LibDelay::new(&lib);
-    let sta = Sta::analyze(&nl, &model).expect("acyclic");
-    let site = sta.critical_gates(&nl)[0];
+    let tg = TimingGraph::from_scratch(&nl, &model).expect("acyclic");
+    let site = tg.critical_gates(&nl)[0];
     let fanin = nl.fanins(site)[0];
     c.bench_function("sat/clause_prover_build_and_query", |b| {
         b.iter(|| {
@@ -114,10 +114,10 @@ fn bench_bpfs_vectors(c: &mut Criterion) {
     let nl = mapped_multiplier(8);
     let lib = standard_library();
     let model = LibDelay::new(&lib);
-    let sta = Sta::analyze(&nl, &model).expect("acyclic");
+    let tg = TimingGraph::from_scratch(&nl, &model).expect("acyclic");
     let ctx = gdo::CandidateContext::build(&nl).expect("acyclic");
     let cfg = gdo::CandidateConfig::default();
-    let sites: Vec<Site> = sta
+    let sites: Vec<Site> = tg
         .critical_gates(&nl)
         .into_iter()
         .take(16)
@@ -130,10 +130,10 @@ fn bench_bpfs_vectors(c: &mut Criterion) {
                 let site_cands: Vec<_> = sites
                     .iter()
                     .map(|&site| {
-                        let max_arrival = sta.arrival(site.source(&nl)) - sta.eps();
+                        let max_arrival = tg.arrival(site.source(&nl)) - tg.eps();
                         (
                             site,
-                            gdo::pair_candidates(&nl, &sta, &ctx, site, &cfg, max_arrival),
+                            gdo::pair_candidates(&nl, &tg, &ctx, site, &cfg, max_arrival),
                         )
                     })
                     .collect();
@@ -154,19 +154,19 @@ fn bench_bpfs_threads(c: &mut Criterion) {
     let nl = mapped_multiplier(8);
     let lib = standard_library();
     let model = LibDelay::new(&lib);
-    let sta = Sta::analyze(&nl, &model).expect("acyclic");
+    let tg = TimingGraph::from_scratch(&nl, &model).expect("acyclic");
     let ctx = gdo::CandidateContext::build(&nl).expect("acyclic");
     let cfg = gdo::CandidateConfig::default();
-    let site_cands: Vec<_> = sta
+    let site_cands: Vec<_> = tg
         .critical_gates(&nl)
         .into_iter()
         .take(48)
         .map(Site::Stem)
         .map(|site| {
-            let max_arrival = sta.arrival(site.source(&nl)) - sta.eps();
+            let max_arrival = tg.arrival(site.source(&nl)) - tg.eps();
             (
                 site,
-                gdo::pair_candidates(&nl, &sta, &ctx, site, &cfg, max_arrival),
+                gdo::pair_candidates(&nl, &tg, &ctx, site, &cfg, max_arrival),
             )
         })
         .collect();

@@ -19,7 +19,7 @@ use bench::{bench_library, funnel_count, prepare, run_gdo_reported, Flow, FUNNEL
 use gdo::{CandidateConfig, GdoConfig, ProverKind, Site};
 use library::Library;
 use netlist::Netlist;
-use timing::{CriticalPaths, LibDelay, Sta};
+use timing::{CriticalPaths, LibDelay, TimingGraph};
 use workloads::circuit_by_name;
 
 const PROBE_CIRCUITS: [&str; 4] = ["9sym", "C432", "C880", "C499"];
@@ -51,8 +51,8 @@ fn probe_candidate_counts(lib: &Library) {
 
 fn count_candidates(nl: &Netlist, lib: &Library) -> (usize, f64, f64, f64, f64) {
     let model = LibDelay::new(lib);
-    let sta = Sta::analyze(nl, &model).expect("acyclic");
-    let _cp = CriticalPaths::count(nl, &model, &sta).expect("acyclic");
+    let tg = TimingGraph::from_scratch(nl, &model).expect("acyclic");
+    let _cp = CriticalPaths::count(nl, &tg).expect("acyclic");
     let ctx = gdo::CandidateContext::build(nl).expect("acyclic");
     let unfiltered = CandidateConfig {
         arrival_filter: false,
@@ -66,7 +66,7 @@ fn count_candidates(nl: &Netlist, lib: &Library) -> (usize, f64, f64, f64, f64) 
         max_triples_per_site: usize::MAX,
         ..CandidateConfig::default()
     };
-    let sites: Vec<Site> = sta
+    let sites: Vec<Site> = tg
         .critical_gates(nl)
         .into_iter()
         .filter(|&g| nl.fanout_count(g) > 0)
@@ -81,10 +81,10 @@ fn count_candidates(nl: &Netlist, lib: &Library) -> (usize, f64, f64, f64, f64) 
     let site_cands: Vec<(Site, Vec<netlist::SignalId>)> = sites
         .iter()
         .map(|&site| {
-            let max_arrival = sta.arrival(site.source(nl)) - sta.eps();
+            let max_arrival = tg.arrival(site.source(nl)) - tg.eps();
             (
                 site,
-                gdo::pair_candidates(nl, &sta, &ctx, site, &filtered, max_arrival),
+                gdo::pair_candidates(nl, &tg, &ctx, site, &filtered, max_arrival),
             )
         })
         .collect();
@@ -92,9 +92,9 @@ fn count_candidates(nl: &Netlist, lib: &Library) -> (usize, f64, f64, f64, f64) 
     let simulation = sim::simulate(nl, &vectors).expect("acyclic");
     let rounds = gdo::run_c2(nl, &simulation, site_cands).expect("acyclic");
     for (site, round) in sites.iter().zip(&rounds) {
-        let max_arrival = sta.arrival(site.source(nl)) - sta.eps();
-        let none = gdo::pair_candidates(nl, &sta, &ctx, *site, &unfiltered, f64::INFINITY).len();
-        let all = gdo::pair_candidates(nl, &sta, &ctx, *site, &filtered, max_arrival).len();
+        let max_arrival = tg.arrival(site.source(nl)) - tg.eps();
+        let none = gdo::pair_candidates(nl, &tg, &ctx, *site, &unfiltered, f64::INFINITY).len();
+        let all = gdo::pair_candidates(nl, &tg, &ctx, *site, &filtered, max_arrival).len();
         sum_none += none;
         sum_all += all;
         // Naive triple bound: (pairs choose 2) * 8 phase combos.
@@ -115,57 +115,37 @@ fn count_candidates(nl: &Netlist, lib: &Library) -> (usize, f64, f64, f64, f64) 
 /// Full GDO runs under ablated configurations.
 fn run_config_ablation(lib: &Library) {
     println!("\n== configuration ablation (full GDO runs) ==");
+    let built = |b: gdo::GdoConfigBuilder| b.build().expect("valid ablation config");
     let configs: Vec<(&str, GdoConfig)> = vec![
-        ("baseline", GdoConfig::default()),
-        (
-            "no-os3",
-            GdoConfig {
-                enable_sub3: false,
-                ..GdoConfig::default()
-            },
-        ),
+        ("baseline", built(GdoConfig::builder())),
+        ("no-os3", built(GdoConfig::builder().enable_sub3(false))),
         (
             "no-structural",
-            GdoConfig {
-                candidates: CandidateConfig {
-                    structural_filter: false,
-                    ..CandidateConfig::default()
-                },
-                ..GdoConfig::default()
-            },
+            built(GdoConfig::builder().candidates(CandidateConfig {
+                structural_filter: false,
+                ..CandidateConfig::default()
+            })),
         ),
         (
             "no-arrival",
-            GdoConfig {
-                candidates: CandidateConfig {
-                    arrival_filter: false,
-                    ..CandidateConfig::default()
-                },
-                ..GdoConfig::default()
-            },
+            built(GdoConfig::builder().candidates(CandidateConfig {
+                arrival_filter: false,
+                ..CandidateConfig::default()
+            })),
         ),
         (
             "no-area-phase",
-            GdoConfig {
-                area_phase: false,
-                ..GdoConfig::default()
-            },
+            built(GdoConfig::builder().area_phase(false)),
         ),
         (
             "bdd-prover",
-            GdoConfig {
-                prover: ProverKind::BddEquiv {
-                    node_limit: 1 << 20,
-                },
-                ..GdoConfig::default()
-            },
+            built(GdoConfig::builder().prover(ProverKind::BddEquiv {
+                node_limit: 1 << 20,
+            })),
         ),
         (
             "sat-miter-prover",
-            GdoConfig {
-                prover: ProverKind::SatEquiv,
-                ..GdoConfig::default()
-            },
+            built(GdoConfig::builder().prover(ProverKind::SatEquiv)),
         ),
     ];
     println!(

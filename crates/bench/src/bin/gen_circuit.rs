@@ -1,0 +1,38 @@
+//! Writes a workload circuit as a `.bench` file so script-driven
+//! consumers — the CI incremental-timing smoke step in particular — can
+//! feed benchmark workloads through `gdo-opt`.
+//!
+//! ```text
+//! cargo run -p bench --bin gen_circuit --release -- dp96 /tmp/dp96.bench
+//! ```
+//!
+//! Supported names: `dpN` ([`workloads::datapath`]) and `mulN`
+//! ([`workloads::array_multiplier`]).
+
+use std::process::exit;
+use workloads::{array_multiplier, datapath};
+
+fn usage() -> ! {
+    eprintln!("usage: gen_circuit <dpN|mulN> <out.bench>");
+    exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(name), Some(out)) = (args.next(), args.next()) else {
+        usage();
+    };
+    let nl = if let Some(n) = name.strip_prefix("dp") {
+        datapath(n.parse().unwrap_or_else(|_| usage()))
+    } else if let Some(n) = name.strip_prefix("mul") {
+        array_multiplier(n.parse().unwrap_or_else(|_| usage()))
+    } else {
+        usage();
+    };
+    let text = formats::write_bench(&nl).expect("workload circuits serialize");
+    std::fs::write(&out, text).unwrap_or_else(|e| {
+        eprintln!("gen_circuit: cannot write {out}: {e}");
+        exit(1);
+    });
+    println!("wrote {} ({})", out, nl.stats());
+}

@@ -25,10 +25,10 @@ fn main() {
         for vectors in [64usize, 256, 1024, 4096] {
             let entry = circuit_by_name(name).expect("suite circuit");
             let mut mapped = prepare(&entry, &lib, Flow::Area);
-            let cfg = GdoConfig {
-                vectors,
-                ..GdoConfig::default()
-            };
+            let cfg = GdoConfig::builder()
+                .vectors(vectors)
+                .build()
+                .expect("valid vector budget");
             let run = run_gdo_reported(name, &mut mapped, &lib, &cfg, false);
             let r = &run.report;
             let summary = |key: &str| r.summary.get(key).copied().unwrap_or(0.0);

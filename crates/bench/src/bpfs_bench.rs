@@ -11,7 +11,7 @@ use library::{standard_library, MapGoal, Mapper};
 use netlist::{Netlist, SignalId};
 use sim::{simulate, SimResult, VectorSet};
 use std::time::Instant;
-use timing::{LibDelay, Sta};
+use timing::{LibDelay, TimingGraph};
 use workloads::{array_multiplier, datapath};
 
 /// Benchmark workload. The two choices sit at opposite ends of the cost
@@ -131,6 +131,18 @@ pub struct BpfsReport {
     /// `true` when [`telemetry_overhead_pct`](Self::telemetry_overhead_pct)
     /// is within the 2% budget the telemetry subsystem promises.
     pub telemetry_within_budget: bool,
+    /// `sta.full_recomputes` tallied by the instrumented 1-thread run:
+    /// full timing analyses over the whole end-to-end optimize. The
+    /// incremental engine keeps this at the initial build (1) regardless
+    /// of how many substitutions are applied.
+    pub sta_full_recomputes: u64,
+    /// `sta.incremental_updates` tallied by the instrumented run: one
+    /// levelized worklist update per applied rewrite (plus trial
+    /// evaluations in the area phase).
+    pub sta_incremental_updates: u64,
+    /// `sta.dirty_signals` tallied by the instrumented run: total
+    /// signals re-propagated across all incremental updates.
+    pub sta_dirty_signals: u64,
 }
 
 /// The disabled-probe overhead budget, in percent of end-to-end time.
@@ -159,38 +171,36 @@ fn rounds_equal(a: &[SiteRound], b: &[SiteRound]) -> bool {
         })
 }
 
-fn critical_site_cands(nl: &Netlist, sta: &Sta, max_sites: usize) -> Vec<(Site, Vec<SignalId>)> {
+fn critical_site_cands(
+    nl: &Netlist,
+    tg: &TimingGraph,
+    max_sites: usize,
+) -> Vec<(Site, Vec<SignalId>)> {
     let ctx = CandidateContext::build(nl).expect("acyclic");
     let cfg = CandidateConfig::default();
-    sta.critical_gates(nl)
+    tg.critical_gates(nl)
         .into_iter()
         .take(max_sites)
         .map(Site::Stem)
         .map(|site| {
-            let max_arrival = sta.arrival(site.source(nl)) - sta.eps();
-            (
-                site,
-                pair_candidates(nl, sta, &ctx, site, &cfg, max_arrival),
-            )
+            let max_arrival = tg.arrival(site.source(nl)) - tg.eps();
+            (site, pair_candidates(nl, tg, &ctx, site, &cfg, max_arrival))
         })
         .collect()
 }
 
 /// Area-round-style sites: non-critical stems with fanout, as the area
 /// phase enumerates them.
-fn area_site_cands(nl: &Netlist, sta: &Sta, max_sites: usize) -> Vec<(Site, Vec<SignalId>)> {
+fn area_site_cands(nl: &Netlist, tg: &TimingGraph, max_sites: usize) -> Vec<(Site, Vec<SignalId>)> {
     let ctx = CandidateContext::build(nl).expect("acyclic");
     let cfg = CandidateConfig::default();
     nl.gates()
-        .filter(|&g| nl.fanout_count(g) > 0 && !sta.is_critical(g))
+        .filter(|&g| nl.fanout_count(g) > 0 && !tg.is_critical(g))
         .take(max_sites)
         .map(Site::Stem)
         .map(|site| {
-            let max_arrival = sta.arrival(site.source(nl)) - sta.eps();
-            (
-                site,
-                pair_candidates(nl, sta, &ctx, site, &cfg, max_arrival),
-            )
+            let max_arrival = tg.arrival(site.source(nl)) - tg.eps();
+            (site, pair_candidates(nl, tg, &ctx, site, &cfg, max_arrival))
         })
         .collect()
 }
@@ -233,8 +243,8 @@ pub fn run_bpfs_bench(cfg: &BpfsBenchConfig) -> BpfsReport {
         .map(&cfg.circuit.build())
         .expect("mapping succeeds");
     let model = LibDelay::new(&lib);
-    let sta = Sta::analyze(&nl, &model).expect("acyclic");
-    let sites = critical_site_cands(&nl, &sta, cfg.max_sites);
+    let tg = TimingGraph::from_scratch(&nl, &model).expect("acyclic");
+    let sites = critical_site_cands(&nl, &tg, cfg.max_sites);
     let candidates = sites.iter().map(|(_, bs)| bs.len()).sum();
     let vectors = VectorSet::random(nl.inputs().len(), cfg.vectors, 7);
     let sim = simulate(&nl, &vectors).expect("acyclic");
@@ -243,7 +253,7 @@ pub fn run_bpfs_bench(cfg: &BpfsBenchConfig) -> BpfsReport {
 
     // Area-phase regime: many sites, small cones. Use 4x the critical
     // site budget to mirror the area round's breadth.
-    let area_sites = area_site_cands(&nl, &sta, cfg.max_sites * 4);
+    let area_sites = area_site_cands(&nl, &tg, cfg.max_sites * 4);
     let (area_full_walk_s, area_ref) = best_of(cfg.samples, || {
         gdo::run_c2_full_walk(&nl, &sim, area_sites.to_vec()).expect("acyclic")
     });
@@ -260,19 +270,16 @@ pub fn run_bpfs_bench(cfg: &BpfsBenchConfig) -> BpfsReport {
             .expect("optimizer succeeds");
         t.elapsed().as_secs_f64()
     };
-    let end_to_end_seed_s = optimize_with(GdoConfig {
-        legacy_eval: true,
-        threads: 1,
-        ..GdoConfig::default()
-    });
-    let end_to_end_1t_s = optimize_with(GdoConfig {
-        threads: 1,
-        ..GdoConfig::default()
-    });
-    let end_to_end_4t_s = optimize_with(GdoConfig {
-        threads: 4,
-        ..GdoConfig::default()
-    });
+    let cfg_with = |threads: usize, legacy_eval: bool| -> GdoConfig {
+        GdoConfig::builder()
+            .threads(threads)
+            .legacy_eval(legacy_eval)
+            .build()
+            .expect("valid bench config")
+    };
+    let end_to_end_seed_s = optimize_with(cfg_with(1, true));
+    let end_to_end_1t_s = optimize_with(cfg_with(1, false));
+    let end_to_end_4t_s = optimize_with(cfg_with(4, false));
 
     // Telemetry overhead guard. Disabled probes cost one relaxed atomic
     // load; measure that cost in a tight loop, count how many probes an
@@ -288,13 +295,15 @@ pub fn run_bpfs_bench(cfg: &BpfsBenchConfig) -> BpfsReport {
     let telemetry_probe_ns = t.elapsed().as_secs_f64() * 1e9 / probe_iters as f64;
     telemetry::reset();
     telemetry::enable();
-    let _ = optimize_with(GdoConfig {
-        threads: 1,
-        ..GdoConfig::default()
-    });
+    let _ = optimize_with(cfg_with(1, false));
     telemetry::disable();
     let telemetry_probe_calls = telemetry::probe_calls();
+    let snapshot = telemetry::snapshot();
     telemetry::reset();
+    let sta_counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+    let sta_full_recomputes = sta_counter("sta.full_recomputes");
+    let sta_incremental_updates = sta_counter("sta.incremental_updates");
+    let sta_dirty_signals = sta_counter("sta.dirty_signals");
     let telemetry_overhead_pct = if end_to_end_1t_s > 0.0 {
         100.0 * telemetry_probe_ns * 1e-9 * telemetry_probe_calls as f64 / end_to_end_1t_s
     } else {
@@ -333,6 +342,9 @@ pub fn run_bpfs_bench(cfg: &BpfsBenchConfig) -> BpfsReport {
         telemetry_probe_calls,
         telemetry_overhead_pct,
         telemetry_within_budget: telemetry_overhead_pct <= TELEMETRY_OVERHEAD_BUDGET_PCT,
+        sta_full_recomputes,
+        sta_incremental_updates,
+        sta_dirty_signals,
     }
 }
 
@@ -402,8 +414,20 @@ impl BpfsReport {
             self.telemetry_overhead_pct
         ));
         s.push_str(&format!(
-            "  \"telemetry_within_budget\": {}\n",
+            "  \"telemetry_within_budget\": {},\n",
             self.telemetry_within_budget
+        ));
+        s.push_str(&format!(
+            "  \"sta_full_recomputes\": {},\n",
+            self.sta_full_recomputes
+        ));
+        s.push_str(&format!(
+            "  \"sta_incremental_updates\": {},\n",
+            self.sta_incremental_updates
+        ));
+        s.push_str(&format!(
+            "  \"sta_dirty_signals\": {}\n",
+            self.sta_dirty_signals
         ));
         s.push('}');
         s
@@ -437,10 +461,17 @@ mod tests {
             report.telemetry_probe_calls > 0,
             "instrumented run fired no probes"
         );
+        // The incremental engine does exactly one full analysis per
+        // optimize() call — that's the point of the redesign.
+        assert_eq!(
+            report.sta_full_recomputes, 1,
+            "incremental run should build the timing graph exactly once"
+        );
         let json = report.to_json();
         assert!(json.contains("\"bit_identical\": true"));
         assert!(json.contains("cone_local_2t"));
         assert!(json.contains("speedup_4t_vs_seed"));
         assert!(json.contains("telemetry_overhead_pct"));
+        assert!(json.contains("sta_full_recomputes"));
     }
 }

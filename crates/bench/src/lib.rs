@@ -5,7 +5,7 @@ pub mod bpfs_bench;
 
 pub use bpfs_bench::{run_bpfs_bench, BenchCircuit, BpfsBenchConfig, BpfsReport};
 
-use gdo::{GdoConfig, GdoStats, OptimizeReport, Optimizer};
+use gdo::{optimize, GdoConfig, GdoStats, OptimizeReport};
 use library::{standard_library, Library, MapGoal, Mapper};
 use netlist::Netlist;
 use workloads::{script_delay, script_rugged, SuiteEntry};
@@ -76,9 +76,7 @@ pub fn run_gdo_verified(
     verify: bool,
 ) -> OptimizeReport {
     let reference = if verify { Some(mapped.clone()) } else { None };
-    let stats = Optimizer::new(lib, cfg.clone())
-        .optimize(mapped)
-        .expect("optimizer succeeds on mapped netlists");
+    let stats = optimize(lib, cfg.clone(), mapped).expect("optimizer succeeds on mapped netlists");
     if let Some(reference) = reference {
         assert!(
             sat::check_equiv(&reference, mapped).expect("same interface"),
@@ -311,45 +309,46 @@ impl HarnessArgs {
     /// Panics with a usage message on malformed flags.
     #[must_use]
     pub fn parse(args: impl Iterator<Item = String>) -> HarnessArgs {
-        let mut out = HarnessArgs {
-            only: None,
-            cfg: GdoConfig::default(),
-            quick: false,
-            verify: false,
-        };
+        let mut only = None;
+        let mut cfg = GdoConfig::builder();
+        let mut quick = false;
+        let mut verify = false;
         let mut args = args.peekable();
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--circuit" => {
-                    out.only = Some(args.next().expect("--circuit needs a name"));
+                    only = Some(args.next().expect("--circuit needs a name"));
                 }
-                "--no-os3" => out.cfg.enable_sub3 = false,
-                "--no-area-phase" => out.cfg.area_phase = false,
-                "--xor-direct" => out.cfg.xor_direct = true,
-                "--no-xor-direct" => out.cfg.xor_direct = false,
+                "--no-os3" => cfg = cfg.enable_sub3(false),
+                "--no-area-phase" => cfg = cfg.area_phase(false),
+                "--xor-direct" => cfg = cfg.xor_direct(true),
+                "--no-xor-direct" => cfg = cfg.xor_direct(false),
                 "--budget" => {
-                    out.cfg.conflict_budget = args
-                        .next()
-                        .expect("--budget needs a count")
-                        .parse()
-                        .expect("--budget needs an integer");
+                    cfg = cfg.conflict_budget(
+                        args.next()
+                            .expect("--budget needs a count")
+                            .parse()
+                            .expect("--budget needs an integer"),
+                    );
                 }
                 "--vectors" => {
-                    out.cfg.vectors = args
-                        .next()
-                        .expect("--vectors needs a count")
-                        .parse()
-                        .expect("--vectors needs an integer");
+                    cfg = cfg.vectors(
+                        args.next()
+                            .expect("--vectors needs a count")
+                            .parse()
+                            .expect("--vectors needs an integer"),
+                    );
                 }
                 "--threads" => {
-                    out.cfg.threads = args
-                        .next()
-                        .expect("--threads needs a count")
-                        .parse()
-                        .expect("--threads needs an integer");
+                    cfg = cfg.threads(
+                        args.next()
+                            .expect("--threads needs a count")
+                            .parse()
+                            .expect("--threads needs an integer"),
+                    );
                 }
-                "--quick" => out.quick = true,
-                "--verify" => out.verify = true,
+                "--quick" => quick = true,
+                "--verify" => verify = true,
                 other => panic!(
                     "unknown flag {other:?}; known: --circuit NAME --no-os3 \
                      --no-area-phase --xor-direct --vectors N --budget N --threads N \
@@ -357,7 +356,12 @@ impl HarnessArgs {
                 ),
             }
         }
-        out
+        HarnessArgs {
+            only,
+            cfg: cfg.build().unwrap_or_else(|e| panic!("{e}")),
+            quick,
+            verify,
+        }
     }
 }
 
@@ -396,7 +400,13 @@ mod tests {
             run.report.meta.get("circuit").map(String::as_str),
             Some("Z5xp1")
         );
-        assert!(run.report.counters.contains_key("sta.recomputes"));
+        assert!(run.report.counters.contains_key("sta.full_recomputes"));
+        // One full build per optimize() call — everything after is
+        // incremental.
+        assert_eq!(
+            run.report.counters.get("sta.full_recomputes").copied(),
+            Some(1)
+        );
         assert!(run.report.spans.contains_key("gdo.optimize"));
         assert_eq!(
             funnel_count(&run.report, "c2", "applied"),

@@ -2,12 +2,12 @@
 //! the read → map → optimize → write pipeline, and reporting. Split into
 //! a library so the pipeline is unit-testable without spawning processes.
 
-use gdo::{GdoConfig, Optimizer, ProverKind};
+use gdo::{optimize, GdoConfig, ProverKind};
 use library::{parse_genlib, standard_library, Library, MapGoal, Mapper};
 use netlist::Netlist;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use timing::{LibDelay, Sta};
+use timing::{LibDelay, TimingGraph};
 
 /// Errors surfaced to the command line.
 #[derive(Debug)]
@@ -124,6 +124,7 @@ impl Options {
     /// [`CliError::Usage`] on malformed flags.
     pub fn parse(args: &[String]) -> Result<Option<Options>, CliError> {
         let mut input: Option<PathBuf> = None;
+        let mut cfg = GdoConfig::builder();
         let mut out = Options {
             input: PathBuf::new(),
             output: None,
@@ -166,26 +167,32 @@ impl Options {
                     }
                 }
                 "--no-map" => out.no_map = true,
-                "--no-os3" => out.cfg.enable_sub3 = false,
-                "--no-xor-direct" => out.cfg.xor_direct = false,
-                "--no-area-phase" => out.cfg.area_phase = false,
+                "--no-os3" => cfg = cfg.enable_sub3(false),
+                "--no-xor-direct" => cfg = cfg.xor_direct(false),
+                "--no-area-phase" => cfg = cfg.area_phase(false),
                 "--vectors" => {
-                    out.cfg.vectors = need("--vectors")?
-                        .parse()
-                        .map_err(|_| CliError::Usage("--vectors needs an integer".into()))?;
+                    cfg = cfg.vectors(
+                        need("--vectors")?
+                            .parse()
+                            .map_err(|_| CliError::Usage("--vectors needs an integer".into()))?,
+                    );
                 }
                 "--seed" => {
-                    out.cfg.seed = need("--seed")?
-                        .parse()
-                        .map_err(|_| CliError::Usage("--seed needs an integer".into()))?;
+                    cfg = cfg.seed(
+                        need("--seed")?
+                            .parse()
+                            .map_err(|_| CliError::Usage("--seed needs an integer".into()))?,
+                    );
                 }
                 "--threads" => {
-                    out.cfg.threads = need("--threads")?
-                        .parse()
-                        .map_err(|_| CliError::Usage("--threads needs an integer".into()))?;
+                    cfg = cfg.threads(
+                        need("--threads")?
+                            .parse()
+                            .map_err(|_| CliError::Usage("--threads needs an integer".into()))?,
+                    );
                 }
                 "--prover" => {
-                    out.cfg.prover = match need("--prover")?.as_str() {
+                    cfg = cfg.prover(match need("--prover")?.as_str() {
                         "sat" => ProverKind::SatClause,
                         "bdd" => ProverKind::BddEquiv {
                             node_limit: 1 << 22,
@@ -196,7 +203,7 @@ impl Options {
                                 "--prover must be sat, bdd or miter, got {other:?}"
                             )))
                         }
-                    }
+                    });
                 }
                 "--mapped-output" => out.mapped_output = true,
                 "--require" => {
@@ -222,6 +229,7 @@ impl Options {
                 }
             }
         }
+        out.cfg = cfg.build().map_err(|e| CliError::Usage(e.to_string()))?;
         match input {
             Some(i) => {
                 out.input = i;
@@ -358,8 +366,8 @@ pub fn run(options: &Options) -> Result<(), CliError> {
     };
 
     let model = LibDelay::new(&lib);
-    let before =
-        Sta::analyze(&nl, &model).map_err(|e| CliError::Parse(format!("timing failed: {e}")))?;
+    let before = TimingGraph::from_scratch(&nl, &model)
+        .map_err(|e| CliError::Parse(format!("timing failed: {e}")))?;
     if !options.quiet {
         println!(
             "in : {} — {} gates, {} literals, delay {:.2}",
@@ -389,9 +397,7 @@ pub fn run(options: &Options) -> Result<(), CliError> {
         telemetry::enable();
     }
 
-    let stats = Optimizer::new(&lib, options.cfg.clone())
-        .optimize(&mut nl)
-        .map_err(CliError::Optimize)?;
+    let stats = optimize(&lib, options.cfg.clone(), &mut nl).map_err(CliError::Optimize)?;
 
     if telemetry_on {
         // Flushes the NDJSON sink and stops probes; the collected
@@ -438,9 +444,9 @@ pub fn run(options: &Options) -> Result<(), CliError> {
             stats.cpu_seconds
         );
         // The remaining critical path, signal by signal.
-        let after = Sta::analyze(&nl, &model)
+        let after = TimingGraph::from_scratch(&nl, &model)
             .map_err(|e| CliError::Parse(format!("timing failed: {e}")))?;
-        let path = after.worst_path(&nl, &model);
+        let path = after.worst_path(&nl);
         let names = nl.unique_names("n");
         println!("     critical path ({} stages):", path.len());
         for s in path {
@@ -463,13 +469,13 @@ pub fn run(options: &Options) -> Result<(), CliError> {
     }
 
     if let Some(required) = options.require {
-        let sta = timing::Sta::analyze_constrained(&nl, &model, None, Some(required))
+        let tg = TimingGraph::from_scratch_constrained(&nl, &model, None, Some(required))
             .map_err(|e| CliError::Parse(format!("timing failed: {e}")))?;
-        let slack = sta.worst_slack(&nl);
+        let slack = tg.worst_slack();
         if !options.quiet {
             println!(
                 "constraint {required}: {} (worst slack {slack:+.2})",
-                if slack >= -sta.eps() {
+                if slack >= -tg.eps() {
                     "MET"
                 } else {
                     "VIOLATED"
@@ -555,6 +561,16 @@ mod tests {
             opts(&["a.bench", "--map-goal", "fast"]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn invalid_config_is_a_usage_error() {
+        // The validating builder runs at parse time: impossible budgets
+        // are reported as usage errors, not as late optimizer failures.
+        match opts(&["a.bench", "--vectors", "0"]) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("vectors"), "{msg}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use crate::Site;
 use netlist::{GateKind, Netlist, NetlistError, SignalId};
-use timing::Sta;
+use timing::TimingGraph;
 
 /// Tuning knobs for candidate generation. The defaults reproduce the
 /// paper's setup; the ablation benchmark toggles individual filters.
@@ -56,7 +56,7 @@ impl Default for CandidateConfig {
 /// ```
 /// use gdo::{pair_candidates, run_c2, CandidateConfig, CandidateContext, Site};
 /// use netlist::{GateKind, Netlist};
-/// use timing::{Sta, UnitDelay};
+/// use timing::{TimingGraph, UnitDelay};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut nl = Netlist::new("t");
@@ -66,11 +66,11 @@ impl Default for CandidateConfig {
 /// let y = nl.add_gate(GateKind::Or, &[a, t])?;
 /// nl.add_output("y", y);
 ///
-/// let sta = Sta::analyze(&nl, &UnitDelay)?;
+/// let tg = TimingGraph::from_scratch(&nl, &UnitDelay)?;
 /// let ctx = CandidateContext::build(&nl)?;
 /// let cfg = CandidateConfig::default();
 /// let site = Site::Stem(t);
-/// let cands = pair_candidates(&nl, &sta, &ctx, site, &cfg, f64::INFINITY);
+/// let cands = pair_candidates(&nl, &tg, &ctx, site, &cfg, f64::INFINITY);
 ///
 /// let vectors = sim::VectorSet::exhaustive(2);
 /// let sim = sim::simulate(&nl, &vectors)?;
@@ -157,13 +157,13 @@ pub struct CandidateCounts {
 #[must_use]
 pub fn pair_candidates(
     nl: &Netlist,
-    sta: &Sta,
+    tg: &TimingGraph,
     ctx: &CandidateContext,
     site: Site,
     cfg: &CandidateConfig,
     max_arrival: f64,
 ) -> Vec<SignalId> {
-    pair_candidates_counted(nl, sta, ctx, site, cfg, max_arrival).0
+    pair_candidates_counted(nl, tg, ctx, site, cfg, max_arrival).0
 }
 
 /// Like [`pair_candidates`], but also reports per-filter rejection counts
@@ -172,7 +172,7 @@ pub fn pair_candidates(
 #[must_use]
 pub fn pair_candidates_counted(
     nl: &Netlist,
-    sta: &Sta,
+    tg: &TimingGraph,
     ctx: &CandidateContext,
     site: Site,
     cfg: &CandidateConfig,
@@ -199,7 +199,7 @@ pub fn pair_candidates_counted(
             counts.rejected_const += 1;
             continue; // constants are the business of C1 clauses
         }
-        if cfg.arrival_filter && sta.arrival(s) > max_arrival {
+        if cfg.arrival_filter && tg.arrival(s) > max_arrival {
             counts.rejected_arrival += 1;
             continue;
         }
@@ -216,7 +216,7 @@ pub fn pair_candidates_counted(
     if out.len() > cfg.max_pairs_per_site {
         // Keep the earliest-arriving candidates: they promise the largest
         // delay saves and the cheapest inserted gates.
-        out.sort_by(|&x, &y| sta.arrival(x).total_cmp(&sta.arrival(y)));
+        out.sort_by(|&x, &y| tg.arrival(x).total_cmp(&tg.arrival(y)));
         counts.truncated = (out.len() - cfg.max_pairs_per_site) as u64;
         out.truncate(cfg.max_pairs_per_site);
     }
@@ -241,9 +241,9 @@ mod tests {
     use super::*;
     use timing::UnitDelay;
 
-    fn ctx_for(nl: &Netlist) -> (Sta, CandidateContext) {
+    fn ctx_for(nl: &Netlist) -> (TimingGraph, CandidateContext) {
         (
-            Sta::analyze(nl, &UnitDelay).unwrap(),
+            TimingGraph::from_scratch(nl, &UnitDelay).unwrap(),
             CandidateContext::build(nl).unwrap(),
         )
     }

@@ -9,6 +9,9 @@ pub enum GdoError {
     Netlist(netlist::NetlistError),
     /// A library lookup failed while realizing an inserted gate.
     Library(library::LibraryError),
+    /// A [`GdoConfig`](crate::GdoConfig) builder produced an invalid
+    /// configuration (zero budgets, empty vector sets, and the like).
+    Config(String),
 }
 
 impl fmt::Display for GdoError {
@@ -16,6 +19,7 @@ impl fmt::Display for GdoError {
         match self {
             GdoError::Netlist(e) => write!(f, "netlist error: {e}"),
             GdoError::Library(e) => write!(f, "library error: {e}"),
+            GdoError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -25,6 +29,7 @@ impl std::error::Error for GdoError {
         match self {
             GdoError::Netlist(e) => Some(e),
             GdoError::Library(e) => Some(e),
+            GdoError::Config(_) => None,
         }
     }
 }

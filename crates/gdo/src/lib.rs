@@ -34,8 +34,8 @@
 //! ```
 //! use library::{standard_library, MapGoal, Mapper};
 //! use netlist::{GateKind, Netlist};
-//! use gdo::{GdoConfig, Optimizer};
-//! use timing::{LibDelay, Sta};
+//! use gdo::prelude::*;
+//! use timing::{LibDelay, TimingGraph};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // A small circuit with an obviously redundant long path:
@@ -51,10 +51,11 @@
 //!
 //! let lib = standard_library();
 //! let mut mapped = Mapper::new(&lib).goal(MapGoal::Area).map(&nl)?;
-//! let before = Sta::analyze(&mapped, &LibDelay::new(&lib))?.circuit_delay();
+//! let before = TimingGraph::from_scratch(&mapped, &LibDelay::new(&lib))?.circuit_delay();
 //!
-//! let stats = Optimizer::new(&lib, GdoConfig::default()).optimize(&mut mapped)?;
-//! let after = Sta::analyze(&mapped, &LibDelay::new(&lib))?.circuit_delay();
+//! let cfg = GdoConfig::builder().build()?;
+//! let stats = optimize(&lib, cfg, &mut mapped)?;
+//! let after = TimingGraph::from_scratch(&mapped, &LibDelay::new(&lib))?.circuit_delay();
 //! assert!(after <= before);
 //! assert!(nl.equiv_exhaustive(&mapped)?, "optimization is permissible");
 //! # Ok(())
@@ -81,7 +82,7 @@ pub use candidates::{
     pair_candidates, pair_candidates_counted, CandidateConfig, CandidateContext, CandidateCounts,
 };
 pub use error::GdoError;
-pub use optimizer::{GdoConfig, GdoStats, Optimizer};
+pub use optimizer::{optimize, GdoConfig, GdoConfigBuilder, GdoStats, Optimizer};
 pub use prove::{prove_rewrite, prove_rewrite_budgeted, ProverKind};
 pub use pvcc::{
     and_or_triple_requests, const_candidates, site_arrival, site_ncp, site_required,
@@ -92,3 +93,9 @@ pub use report::OptimizeReport;
 pub use rewrite::{Gate3, Rewrite, RewriteKind};
 pub use site::{SigLit, Site};
 pub use transform::{apply_rewrite, estimate_area_delta, estimate_arrival};
+
+/// The one-import surface for typical users: build a config, run
+/// [`optimize`], inspect [`GdoStats`], handle [`GdoError`].
+pub mod prelude {
+    pub use crate::{optimize, GdoConfig, GdoError, GdoStats};
+}

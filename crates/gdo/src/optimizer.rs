@@ -17,7 +17,7 @@ use library::Library;
 use netlist::{Branch, GateKind, Netlist, SignalId};
 use sim::{simulate, VectorSet};
 use std::collections::HashSet;
-use timing::{CriticalPaths, DelayModel, LibDelay, Sta};
+use timing::{CriticalPaths, DelayModel, LibDelay, TimingGraph};
 
 /// Configuration of the optimizer. [`GdoConfig::default`] reproduces the
 /// paper's setup; the ablation benchmarks toggle individual features.
@@ -92,6 +92,121 @@ impl Default for GdoConfig {
             threads: 0,
             legacy_eval: false,
         }
+    }
+}
+
+impl GdoConfig {
+    /// Starts a validating builder seeded with the default configuration.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gdo::GdoConfig;
+    ///
+    /// let cfg = GdoConfig::builder()
+    ///     .vectors(512)
+    ///     .area_phase(false)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.vectors, 512);
+    /// assert!(GdoConfig::builder().vectors(0).build().is_err());
+    /// ```
+    #[must_use]
+    pub fn builder() -> GdoConfigBuilder {
+        GdoConfigBuilder {
+            cfg: GdoConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`GdoConfig`] that validates budgets before handing out a
+/// configuration. Every setter overrides one field of
+/// [`GdoConfig::default`]; [`build`](Self::build) rejects configurations
+/// the optimizer cannot run (zero simulation vectors, zero round or proof
+/// budgets).
+#[derive(Debug, Clone)]
+pub struct GdoConfigBuilder {
+    cfg: GdoConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            #[must_use]
+            pub fn $name(mut self, $name: $ty) -> Self {
+                self.cfg.$name = $name;
+                self
+            }
+        )*
+    };
+}
+
+impl GdoConfigBuilder {
+    builder_setters! {
+        /// Random vectors per BPFS round (must be positive).
+        vectors: usize,
+        /// Seed of the reproducible vector stream.
+        seed: u64,
+        /// Enable `OS3`/`IS3` substitutions.
+        enable_sub3: bool,
+        /// Allow XOR/XNOR inserted gates.
+        enable_xor: bool,
+        /// Enumerate XOR triples structurally.
+        xor_direct: bool,
+        /// Candidate generation filters.
+        candidates: CandidateConfig,
+        /// Validity prover.
+        prover: ProverKind,
+        /// SAT conflict budget per clause query (must be positive).
+        conflict_budget: u64,
+        /// Run the area optimization phase.
+        area_phase: bool,
+        /// Area substitutions per batch (must be positive).
+        area_batch: usize,
+        /// Cap on `a`-signal sites per round (must be positive).
+        max_sites_per_round: usize,
+        /// Cap on validity proofs per round (must be positive).
+        max_proofs_per_round: usize,
+        /// Bound on delay-phase iterations per visit (must be positive).
+        max_delay_rounds: usize,
+        /// Bound on outer delay/area alternations (must be positive).
+        max_outer_rounds: usize,
+        /// Worker threads for the BPFS fan-out (`0` = one per core).
+        threads: usize,
+        /// Re-enable the original full-recompute evaluation paths.
+        legacy_eval: bool,
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`GdoError::Config`] naming the offending field when a budget is
+    /// zero where the optimizer needs at least one unit of work.
+    pub fn build(self) -> Result<GdoConfig, GdoError> {
+        let cfg = self.cfg;
+        for (name, value) in [
+            ("vectors", cfg.vectors),
+            ("area_batch", cfg.area_batch),
+            ("max_sites_per_round", cfg.max_sites_per_round),
+            ("max_proofs_per_round", cfg.max_proofs_per_round),
+            ("max_delay_rounds", cfg.max_delay_rounds),
+            ("max_outer_rounds", cfg.max_outer_rounds),
+        ] {
+            if value == 0 {
+                return Err(GdoError::Config(format!("{name} must be positive")));
+            }
+        }
+        if cfg.conflict_budget == 0 {
+            return Err(GdoError::Config("conflict_budget must be positive".into()));
+        }
+        if cfg.candidates.max_pairs_per_site == 0 {
+            return Err(GdoError::Config(
+                "candidates.max_pairs_per_site must be positive".into(),
+            ));
+        }
+        Ok(cfg)
     }
 }
 
@@ -236,12 +351,17 @@ impl<'a> Optimizer<'a> {
         let start = std::time::Instant::now();
         let model = LibDelay::new(self.lib);
         let mut stats = GdoStats::default();
+        // One full timing analysis for the whole run: every rewrite is
+        // journaled by the netlist and folded into the persistent graph
+        // incrementally, so `sta.full_recomputes` stays O(1) regardless
+        // of how many substitutions are applied.
+        nl.record_edits();
+        let mut tg = TimingGraph::from_scratch(nl, &model)?;
         {
             let s = nl.stats();
             stats.gates_before = s.gates;
             stats.literals_before = s.literals;
-            let sta = Sta::analyze(nl, &model)?;
-            stats.delay_before = sta.circuit_delay();
+            stats.delay_before = tg.circuit_delay();
             stats.area_before = total_area(nl, &model);
         }
         let xor_available = self.lib.cheapest(GateKind::Xor, 2).is_some()
@@ -261,6 +381,7 @@ impl<'a> Optimizer<'a> {
                 let _phase = telemetry::span("gdo.delay_phase");
                 self.delay_phase(
                     nl,
+                    &mut tg,
                     &model,
                     enable_xor,
                     &mut stats,
@@ -274,6 +395,7 @@ impl<'a> Optimizer<'a> {
                 let _phase = telemetry::span("gdo.area_phase");
                 self.area_round(
                     nl,
+                    &mut tg,
                     &model,
                     enable_xor,
                     &mut stats,
@@ -304,12 +426,12 @@ impl<'a> Optimizer<'a> {
             }
         }
 
+        nl.stop_recording();
         {
             let s = nl.stats();
             stats.gates_after = s.gates;
             stats.literals_after = s.literals;
-            let sta = Sta::analyze(nl, &model)?;
-            stats.delay_after = sta.circuit_delay();
+            stats.delay_after = tg.circuit_delay();
             stats.area_after = total_area(nl, &model);
         }
         stats.cpu_seconds = start.elapsed().as_secs_f64();
@@ -318,9 +440,11 @@ impl<'a> Optimizer<'a> {
 
     /// Delay reduction phase: C2 rounds until dry, then C3 rounds, until
     /// neither improves anything.
+    #[allow(clippy::too_many_arguments)]
     fn delay_phase(
         &self,
         nl: &mut Netlist,
+        tg: &mut TimingGraph,
         model: &LibDelay<'_>,
         enable_xor: bool,
         stats: &mut GdoStats,
@@ -329,13 +453,13 @@ impl<'a> Optimizer<'a> {
     ) -> Result<usize, GdoError> {
         let mut total = 0;
         for _ in 0..self.cfg.max_delay_rounds {
-            let n2 = self.delay_round(nl, model, false, enable_xor, stats, seed, refuted)?;
+            let n2 = self.delay_round(nl, tg, model, false, enable_xor, stats, seed, refuted)?;
             total += n2;
             if n2 > 0 {
                 continue;
             }
             if self.cfg.enable_sub3 {
-                let n3 = self.delay_round(nl, model, true, enable_xor, stats, seed, refuted)?;
+                let n3 = self.delay_round(nl, tg, model, true, enable_xor, stats, seed, refuted)?;
                 total += n3;
                 if n3 > 0 {
                     continue;
@@ -353,6 +477,7 @@ impl<'a> Optimizer<'a> {
     fn delay_round(
         &self,
         nl: &mut Netlist,
+        tg: &mut TimingGraph,
         model: &LibDelay<'_>,
         use_c3: bool,
         enable_xor: bool,
@@ -363,21 +488,20 @@ impl<'a> Optimizer<'a> {
         if nl.outputs().is_empty() || nl.inputs().is_empty() {
             return Ok(0);
         }
-        let sta = Sta::analyze(nl, model)?;
-        if sta.circuit_delay() <= 0.0 {
+        if tg.circuit_delay() <= 0.0 {
             return Ok(0);
         }
-        let cp = CriticalPaths::count(nl, model, &sta)?;
+        let cp = CriticalPaths::count(nl, tg)?;
         let ctx = CandidateContext::build(nl)?;
 
         // a-signal sites: critical gate stems and critical in-edges.
         let mut sites: Vec<Site> = Vec::new();
-        for g in sta.critical_gates(nl) {
+        for g in tg.critical_gates(nl) {
             if nl.fanout_count(g) > 0 {
                 sites.push(Site::Stem(g));
             }
             for pin in 0..nl.fanins(g).len() {
-                if sta.is_critical_edge(nl, model, g, pin)
+                if tg.is_critical_edge(nl, g, pin)
                     && !nl.kind(nl.fanins(g)[pin]).is_source()
                     && nl.fanout_count(nl.fanins(g)[pin]) > 1
                 {
@@ -399,10 +523,10 @@ impl<'a> Optimizer<'a> {
             let sc: Vec<(Site, Vec<SignalId>)> = sites
                 .into_iter()
                 .map(|site| {
-                    let max_arrival = site_arrival(nl, site, &sta) - sta.eps();
+                    let max_arrival = site_arrival(nl, site, tg) - tg.eps();
                     let (bs, counts) = pair_candidates_counted(
                         nl,
-                        &sta,
+                        tg,
                         &ctx,
                         site,
                         &self.cfg.candidates,
@@ -473,9 +597,9 @@ impl<'a> Optimizer<'a> {
             survived += rewrites.len() as u64;
             let ncp = site_ncp(nl, round.site, &cp);
             for rw in rewrites {
-                let lds = site_arrival(nl, rw.site, &sta)
-                    - estimate_arrival(nl, self.lib, &sta, &rw, true);
-                if lds > sta.eps() {
+                let lds =
+                    site_arrival(nl, rw.site, tg) - estimate_arrival(nl, self.lib, tg, &rw, true);
+                if lds > tg.eps() {
                     pvccs.push(Pvcc {
                         rewrite: rw,
                         rank: RankKey { ncp, lds },
@@ -507,10 +631,12 @@ impl<'a> Optimizer<'a> {
         }
 
         // Prove and apply, best first; several modifications per
-        // simulation, revalidating against the evolving netlist.
+        // simulation, revalidating against the evolving netlist. The
+        // persistent graph follows each applied rewrite incrementally,
+        // so the revalidation is against fresh timing without any full
+        // recompute.
         let t0 = std::time::Instant::now();
         let apply_span = telemetry::span("gdo.round.apply");
-        let mut cur_sta = sta;
         let mut applied = 0;
         let mut proofs_here = 0usize;
         for pvcc in pvccs {
@@ -522,11 +648,11 @@ impl<'a> Optimizer<'a> {
                 continue;
             }
             let src = rw.site.source(nl);
-            if !cur_sta.is_critical(src) {
+            if !tg.is_critical(src) {
                 continue;
             }
-            let new_arrival = estimate_arrival(nl, self.lib, &cur_sta, &rw, true);
-            if new_arrival + cur_sta.eps() >= cur_sta.arrival(src) {
+            let new_arrival = estimate_arrival(nl, self.lib, tg, &rw, true);
+            if new_arrival + tg.eps() >= tg.arrival(src) {
                 continue;
             }
             if !self.cfg.legacy_eval && refuted.contains(&rw) {
@@ -565,7 +691,8 @@ impl<'a> Optimizer<'a> {
             }
             count_mod(stats, &rw);
             applied += 1;
-            cur_sta = Sta::analyze(nl, model)?;
+            let delta = nl.take_delta();
+            tg.update(nl, model, &delta);
         }
         drop(apply_span);
         if telemetry::enabled() {
@@ -586,9 +713,11 @@ impl<'a> Optimizer<'a> {
     /// One area-phase batch: redundancy removal plus area-saving
     /// substitutions of non-critical gates, each verified not to degrade
     /// the circuit delay.
+    #[allow(clippy::too_many_arguments)]
     fn area_round(
         &self,
         nl: &mut Netlist,
+        tg: &mut TimingGraph,
         model: &LibDelay<'_>,
         enable_xor: bool,
         stats: &mut GdoStats,
@@ -598,9 +727,8 @@ impl<'a> Optimizer<'a> {
         if nl.outputs().is_empty() || nl.inputs().is_empty() {
             return Ok(0);
         }
-        let sta = Sta::analyze(nl, model)?;
         let ctx = CandidateContext::build(nl)?;
-        let baseline_delay = sta.circuit_delay();
+        let baseline_delay = tg.circuit_delay();
 
         let mut site_cands: Vec<(Site, Vec<SignalId>)> = Vec::new();
         let mut c2_enumerated = 0u64;
@@ -612,12 +740,12 @@ impl<'a> Optimizer<'a> {
             let site = Site::Stem(g);
             // Non-critical gates only (the delay phase owns critical ones),
             // but every gate is a redundancy-removal candidate.
-            let bs = if sta.is_critical(g) {
+            let bs = if tg.is_critical(g) {
                 Vec::new()
             } else {
-                let budget = site_required(nl, site, &sta, model) - sta.eps();
+                let budget = site_required(site, tg) - tg.eps();
                 let (bs, counts) =
-                    pair_candidates_counted(nl, &sta, &ctx, site, &self.cfg.candidates, budget);
+                    pair_candidates_counted(nl, tg, &ctx, site, &self.cfg.candidates, budget);
                 c2_enumerated += counts.considered;
                 c2_kept += counts.kept;
                 bs
@@ -693,7 +821,6 @@ impl<'a> Optimizer<'a> {
 
         let mut applied = 0;
         let mut proofs_here = 0usize;
-        let mut cur_sta = sta;
         for (_, rw) in pvccs {
             if applied >= self.cfg.area_batch || proofs_here >= self.cfg.max_proofs_per_round {
                 break;
@@ -709,8 +836,8 @@ impl<'a> Optimizer<'a> {
                 // benchmarked against.
                 let mut trial = nl.clone();
                 apply_rewrite(&mut trial, self.lib, &rw, false)?;
-                let trial_sta = Sta::analyze(&trial, model)?;
-                if trial_sta.circuit_delay() > baseline_delay + trial_sta.eps()
+                let trial_tg = TimingGraph::from_scratch(&trial, model)?;
+                if trial_tg.circuit_delay() > baseline_delay + trial_tg.eps()
                     || total_area(&trial, model) >= total_area(nl, model)
                 {
                     continue;
@@ -730,20 +857,23 @@ impl<'a> Optimizer<'a> {
                 stats.proofs_valid += 1;
                 telemetry::counter_add(funnel_counter(&rw, FunnelStage::Proved), 1);
                 *nl = trial;
-                cur_sta = trial_sta;
+                // The trial graph is already a fresh full analysis; just
+                // discard the journal entries the trial apply recorded.
+                let _ = nl.take_delta();
+                *tg = trial_tg;
             } else {
-                // Trial-evaluate against the cached STA FIRST (cheap): the
-                // substitution must not lengthen the critical path and must
-                // actually save area. Only then pay for the validity proof.
-                // The replacement's arrival is exact (it mirrors
-                // `apply_rewrite`'s realization, inverter reuse included) and
-                // the site's downstream cone is untouched by a substitution,
-                // so comparing arrival against the site's required time
-                // decides the delay question without cloning the netlist or
-                // re-running timing analysis per candidate.
-                let budget = site_required(nl, rw.site, &cur_sta, model);
-                let new_arrival = estimate_arrival(nl, self.lib, &cur_sta, &rw, false);
-                if new_arrival > budget + cur_sta.eps() {
+                // Trial-evaluate against the persistent graph FIRST
+                // (cheap): the substitution must not lengthen the critical
+                // path and must actually save area. Only then pay for the
+                // validity proof. The replacement's arrival is exact (it
+                // mirrors `apply_rewrite`'s realization, inverter reuse
+                // included) and the site's downstream cone is untouched by
+                // a substitution, so comparing arrival against the site's
+                // required time decides the delay question without cloning
+                // the netlist or re-running timing analysis per candidate.
+                let budget = site_required(rw.site, tg);
+                let new_arrival = estimate_arrival(nl, self.lib, tg, &rw, false);
+                if new_arrival > budget + tg.eps() {
                     continue;
                 }
                 // Re-estimate the gain on the evolved netlist: earlier
@@ -772,17 +902,21 @@ impl<'a> Optimizer<'a> {
                 // One backup per *accepted* candidate (bounded by the batch
                 // size) guards the estimates end to end: constant
                 // substitutions sweep and rebind downstream logic, which the
-                // estimators do not model. Rejected candidates never clone.
+                // estimators do not model. Rejected candidates never clone,
+                // and reverting restores the cloned graph instead of paying
+                // for a recompute.
                 let backup = nl.clone();
+                let backup_tg = tg.clone();
                 apply_rewrite(nl, self.lib, &rw, false)?;
-                let new_sta = Sta::analyze(nl, model)?;
-                if new_sta.circuit_delay() > baseline_delay + new_sta.eps()
+                let delta = nl.take_delta();
+                tg.update(nl, model, &delta);
+                if tg.circuit_delay() > baseline_delay + tg.eps()
                     || total_area(nl, model) >= total_area(&backup, model)
                 {
                     *nl = backup;
+                    *tg = backup_tg;
                     continue;
                 }
-                cur_sta = new_sta;
             }
             refuted.clear();
             telemetry::counter_add(funnel_counter(&rw, FunnelStage::Applied), 1);
@@ -837,6 +971,17 @@ fn funnel_counter(rw: &Rewrite, stage: FunnelStage) -> &'static str {
 
 fn total_area<M: DelayModel>(nl: &Netlist, model: &M) -> f64 {
     nl.gates().map(|g| model.area(nl, g)).sum()
+}
+
+/// Optimizes `nl` in place under `lib` — the one-call entry point of the
+/// crate ([`gdo::prelude`](crate::prelude) re-exports it together with
+/// everything it needs).
+///
+/// # Errors
+///
+/// Propagates [`Optimizer::optimize`]'s errors.
+pub fn optimize(lib: &Library, cfg: GdoConfig, nl: &mut Netlist) -> Result<GdoStats, GdoError> {
+    Optimizer::new(lib, cfg).optimize(nl)
 }
 
 #[cfg(test)]
@@ -1036,6 +1181,75 @@ mod tests {
         assert!(stats.proofs_valid >= stats.total_mods());
         assert!(stats.cpu_seconds >= 0.0);
         assert!(stats.rounds >= 1);
+    }
+
+    #[test]
+    fn builder_validates_budgets() {
+        let cfg = GdoConfig::builder()
+            .vectors(256)
+            .seed(7)
+            .enable_sub3(false)
+            .threads(2)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.vectors, 256);
+        assert_eq!(cfg.seed, 7);
+        assert!(!cfg.enable_sub3);
+        assert_eq!(cfg.threads, 2);
+        // Untouched fields keep their defaults.
+        assert_eq!(cfg.area_batch, GdoConfig::default().area_batch);
+
+        for bad in [
+            GdoConfig::builder().vectors(0).build(),
+            GdoConfig::builder().area_batch(0).build(),
+            GdoConfig::builder().max_sites_per_round(0).build(),
+            GdoConfig::builder().max_proofs_per_round(0).build(),
+            GdoConfig::builder().max_delay_rounds(0).build(),
+            GdoConfig::builder().max_outer_rounds(0).build(),
+            GdoConfig::builder().conflict_budget(0).build(),
+        ] {
+            match bad {
+                Err(GdoError::Config(msg)) => assert!(msg.contains("positive"), "{msg}"),
+                other => panic!("expected Config error, got {other:?}"),
+            }
+        }
+        // threads = 0 is legal (auto-detect), unlike the budgets.
+        assert!(GdoConfig::builder().threads(0).build().is_ok());
+    }
+
+    #[test]
+    fn free_optimize_matches_the_struct_api() {
+        let mut nl = Netlist::new("free");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let t = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let y = nl.add_gate(GateKind::Or, &[a, t]).unwrap();
+        nl.add_output("y", y);
+        let lib = standard_library();
+        let mut mapped = Mapper::new(&lib).goal(MapGoal::Area).map(&nl).unwrap();
+        let cfg = GdoConfig::builder().build().unwrap();
+        let stats = crate::optimize(&lib, cfg, &mut mapped).unwrap();
+        assert!(stats.total_mods() > 0);
+        assert!(nl.equiv_exhaustive(&mapped).unwrap());
+    }
+
+    #[test]
+    fn optimize_leaves_no_journal_behind() {
+        let mut nl = Netlist::new("clean");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let t = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        nl.add_output("y", t);
+        let lib = standard_library();
+        let mut mapped = Mapper::new(&lib).goal(MapGoal::Area).map(&nl).unwrap();
+        assert!(!mapped.is_recording());
+        Optimizer::new(&lib, GdoConfig::default())
+            .optimize(&mut mapped)
+            .unwrap();
+        assert!(
+            !mapped.is_recording(),
+            "optimize must stop the edit journal it started"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::bpfs::{SiteRound, TripleEntry};
 use crate::{Gate3, Rewrite, RewriteKind, SigLit, Site};
 use netlist::Netlist;
-use timing::{CriticalPaths, Sta};
+use timing::{CriticalPaths, TimingGraph};
 
 /// The paper's ranking key: candidates are sorted by the number of
 /// critical paths through the `a`-signal first, then by local delay save.
@@ -202,20 +202,21 @@ pub fn site_ncp(nl: &Netlist, site: Site, cp: &CriticalPaths) -> f64 {
 /// The site's current arrival time — the baseline the LDS is measured
 /// against.
 #[must_use]
-pub fn site_arrival(nl: &Netlist, site: Site, sta: &Sta) -> f64 {
-    sta.arrival(site.source(nl))
+pub fn site_arrival(nl: &Netlist, site: Site, tg: &TimingGraph) -> f64 {
+    tg.arrival(site.source(nl))
 }
 
 /// The site's required time — the budget an area-phase rewrite must stay
-/// within to avoid creating a new critical path.
+/// within to avoid creating a new critical path. Pin delays come from the
+/// graph's cache, so no delay model is needed at query time.
 #[must_use]
-pub fn site_required<M: timing::DelayModel>(nl: &Netlist, site: Site, sta: &Sta, model: &M) -> f64 {
+pub fn site_required(site: Site, tg: &TimingGraph) -> f64 {
     match site {
-        Site::Stem(s) => sta.required(s),
+        Site::Stem(s) => tg.required(s),
         Site::Branch(br) => {
             // The connection must deliver its value early enough for the
             // consuming cell to meet its own required time.
-            sta.required(br.cell) - model.pin_delay(nl, br.cell, br.pin as usize)
+            tg.required(br.cell) - tg.pin_delay(br.cell, br.pin as usize)
         }
     }
 }

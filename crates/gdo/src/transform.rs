@@ -6,7 +6,7 @@
 use crate::{Gate3, GdoError, Rewrite, RewriteKind, Site};
 use library::{LibCellId, Library, LibraryError};
 use netlist::{Fanout, GateKind, Netlist, SignalId};
-use timing::Sta;
+use timing::TimingGraph;
 
 /// Picks the library cell for an inserted gate: fastest in the delay
 /// phase, smallest in the area phase.
@@ -162,16 +162,22 @@ pub fn rebind_unbound(nl: &mut Netlist, lib: &Library, fast: bool) {
 /// produce (the new arrival at the site), for LDS ranking. Matches the
 /// realization of [`apply_rewrite`], including inverter reuse.
 #[must_use]
-pub fn estimate_arrival(nl: &Netlist, lib: &Library, sta: &Sta, rw: &Rewrite, fast: bool) -> f64 {
+pub fn estimate_arrival(
+    nl: &Netlist,
+    lib: &Library,
+    tg: &TimingGraph,
+    rw: &Rewrite,
+    fast: bool,
+) -> f64 {
     let root = rw.site.cone_root();
     let forbidden = nl.transitive_fanout(root);
     let lit_arrival = |s: SignalId, positive: bool| -> f64 {
         if positive {
-            sta.arrival(s)
+            tg.arrival(s)
         } else if let Some(inv) = existing_inverter(nl, s, &forbidden, root) {
-            sta.arrival(inv)
+            tg.arrival(inv)
         } else {
-            sta.arrival(s) + cell_delay(lib, GateKind::Not, 1, fast, 0)
+            tg.arrival(s) + cell_delay(lib, GateKind::Not, 1, fast, 0)
         }
     };
     match rw.kind {
@@ -264,7 +270,7 @@ mod tests {
     use super::*;
     use crate::SigLit;
     use library::standard_library;
-    use timing::{LibDelay, Sta};
+    use timing::LibDelay;
 
     fn mapped_sample() -> (Netlist, Library, [SignalId; 5]) {
         let lib = standard_library();
@@ -384,7 +390,7 @@ mod tests {
     fn arrival_estimate_matches_applied_sta() {
         let (nl, lib, [a, b, _g1, g2, _g3]) = mapped_sample();
         let model = LibDelay::new(&lib);
-        let sta = Sta::analyze(&nl, &model).unwrap();
+        let tg = TimingGraph::from_scratch(&nl, &model).unwrap();
         let rw = Rewrite {
             site: Site::Stem(g2),
             kind: RewriteKind::Sub3 {
@@ -393,13 +399,13 @@ mod tests {
                 c: b,
             },
         };
-        let est = estimate_arrival(&nl, &lib, &sta, &rw, true);
+        let est = estimate_arrival(&nl, &lib, &tg, &rw, true);
         let mut applied = nl.clone();
         apply_rewrite(&mut applied, &lib, &rw, true).unwrap();
-        let sta2 = Sta::analyze(&applied, &model).unwrap();
+        let tg2 = TimingGraph::from_scratch(&applied, &model).unwrap();
         let g3 = applied.outputs()[0].driver();
         let new_src = applied.fanins(g3)[0];
-        assert!((sta2.arrival(new_src) - est).abs() < 1e-9);
+        assert!((tg2.arrival(new_src) - est).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Edit journaling: the change feed that drives incremental timing.
+//!
+//! Every structural mutation of a [`Netlist`](crate::Netlist) — allocating
+//! a signal, rewiring a branch, substituting a stem, rebinding a cell,
+//! deleting a gate — marks the affected signals in an [`EditDelta`] when
+//! recording is on. A consumer (the `timing` crate's persistent graph)
+//! drains the journal with [`Netlist::take_delta`](crate::Netlist) and
+//! re-propagates timing only through the cones reachable from the touched
+//! signals, instead of re-analyzing the whole netlist.
+//!
+//! A signal is *touched* when anything that could move its timing changed:
+//! its fanin list, its fanout set (load-dependent delay models care), its
+//! library binding, or its liveness (fresh allocation — including recycled
+//! slots — and deletion).
+
+use crate::{SignalId, SignalSet};
+
+/// The deduplicated set of signals touched by a batch of netlist edits.
+///
+/// Produced by [`Netlist::take_delta`](crate::Netlist) after a
+/// [`Netlist::record_edits`](crate::Netlist) window; consumed by
+/// `timing::TimingGraph::update`.
+///
+/// # Example
+///
+/// ```
+/// use netlist::{GateKind, Netlist};
+///
+/// # fn main() -> Result<(), netlist::NetlistError> {
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// nl.record_edits();
+/// let g = nl.add_gate(GateKind::Not, &[a])?;
+/// let delta = nl.take_delta();
+/// // Both the new gate and its fanin (whose fanout set grew) are touched.
+/// assert!(delta.signals().contains(&g));
+/// assert!(delta.signals().contains(&a));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EditDelta {
+    touched: Vec<SignalId>,
+    seen: SignalSet,
+}
+
+impl EditDelta {
+    /// Creates an empty delta.
+    #[must_use]
+    pub fn new() -> Self {
+        EditDelta::default()
+    }
+
+    /// The touched signals, in first-touch order, without duplicates.
+    ///
+    /// Ids may refer to signals that have since been deleted (or deleted
+    /// and recycled); consumers must re-check liveness against the
+    /// netlist.
+    #[must_use]
+    pub fn signals(&self) -> &[SignalId] {
+        &self.touched
+    }
+
+    /// Number of distinct touched signals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Returns `true` if no edit was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, s: SignalId) -> bool {
+        self.seen.contains(s)
+    }
+
+    /// Marks `s` as touched (idempotent).
+    pub(crate) fn record(&mut self, s: SignalId) {
+        if self.seen.insert(s) {
+            self.touched.push(s);
+        }
+    }
+
+    /// Folds another delta into this one.
+    pub fn merge(&mut self, other: &EditDelta) {
+        for &s in &other.touched {
+            self.record(s);
+        }
+    }
+
+    /// Empties the delta while keeping allocations.
+    pub fn clear(&mut self) {
+        self.touched.clear();
+        self.seen.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Branch, GateKind, Netlist};
+
+    #[test]
+    fn records_are_deduplicated() {
+        let mut d = EditDelta::new();
+        let s = SignalId::from_index(3);
+        d.record(s);
+        d.record(s);
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(s));
+        d.clear();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn merge_unions_touched_sets() {
+        let mut a = EditDelta::new();
+        a.record(SignalId::from_index(0));
+        let mut b = EditDelta::new();
+        b.record(SignalId::from_index(0));
+        b.record(SignalId::from_index(5));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn journal_is_off_by_default() {
+        let mut nl = Netlist::new("t");
+        assert!(!nl.is_recording());
+        let a = nl.add_input("a");
+        let _g = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        assert!(nl.take_delta().is_empty());
+    }
+
+    #[test]
+    fn take_delta_drains_and_keeps_recording() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        nl.record_edits();
+        let g = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        let first = nl.take_delta();
+        assert!(first.contains(g) && first.contains(a));
+        assert!(nl.is_recording());
+        let h = nl.add_gate(GateKind::Not, &[g]).unwrap();
+        let second = nl.take_delta();
+        assert!(second.contains(h) && second.contains(g));
+        assert!(!second.contains(a));
+    }
+
+    #[test]
+    fn rewire_touches_both_sources_and_consumer() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let g = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        nl.add_output("y", g);
+        nl.record_edits();
+        nl.rewire_branch(Branch { cell: g, pin: 1 }, c).unwrap();
+        let d = nl.take_delta();
+        assert!(d.contains(b), "old source lost a fanout");
+        assert!(d.contains(c), "new source gained a fanout");
+        assert!(d.contains(g), "consumer's fanin changed");
+        assert!(!d.contains(a));
+    }
+
+    #[test]
+    fn substitute_touches_stems_and_consumers() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        let h = nl.add_gate(GateKind::And, &[g, b]).unwrap();
+        nl.add_output("y", h);
+        nl.record_edits();
+        nl.substitute_stem(g, b).unwrap();
+        let d = nl.take_delta();
+        for s in [g, b, h] {
+            assert!(d.contains(s), "{s} should be touched");
+        }
+    }
+
+    #[test]
+    fn delete_touches_gate_and_fanins() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        nl.record_edits();
+        nl.delete_gate(g).unwrap();
+        let d = nl.take_delta();
+        assert!(d.contains(g) && d.contains(a));
+    }
+
+    #[test]
+    fn recycled_slots_are_touched_on_realloc() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        nl.delete_gate(g).unwrap();
+        nl.record_edits();
+        let h = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        assert_eq!(h, g, "slot should be recycled");
+        assert!(nl.take_delta().contains(h));
+    }
+
+    #[test]
+    fn set_lib_and_add_output_are_edits() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        nl.record_edits();
+        nl.set_lib(g, Some(7)).unwrap();
+        nl.add_output("y", g);
+        let d = nl.take_delta();
+        assert!(d.contains(g));
+    }
+
+    #[test]
+    fn sweep_records_through_primitives() {
+        // `sweep` rewrites via substitute_stem/delete_gate internally, so
+        // a recording window around it captures every affected signal.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::And, &[a, a]).unwrap(); // AND(a,a) = a
+        let h = nl.add_gate(GateKind::Not, &[g]).unwrap();
+        nl.add_output("y", h);
+        nl.record_edits();
+        let changed = nl.sweep().unwrap();
+        assert!(changed > 0);
+        let d = nl.take_delta();
+        assert!(d.contains(g), "simplified-away gate is touched");
+        assert!(d.contains(h), "consumer of the rewrite is touched");
+    }
+
+    #[test]
+    fn stop_recording_discards_the_journal() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        nl.record_edits();
+        let _ = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        nl.stop_recording();
+        assert!(!nl.is_recording());
+        assert!(nl.take_delta().is_empty());
+    }
+}

@@ -54,6 +54,9 @@ impl Netlist {
             cell: branch.cell,
             pin: branch.pin,
         });
+        self.touch(old);
+        self.touch(new_source);
+        self.touch(branch.cell);
         Ok(old)
     }
 
@@ -94,6 +97,7 @@ impl Netlist {
                         .as_mut()
                         .expect("live consumer")
                         .fanins[pin as usize] = new;
+                    self.touch(cell);
                 }
                 Fanout::Po(index) => {
                     self.pos[index as usize].driver = new;
@@ -101,6 +105,8 @@ impl Netlist {
             }
         }
         self.fanouts[new.index()].extend(uses);
+        self.touch(old);
+        self.touch(new);
         Ok(())
     }
 
@@ -138,8 +144,10 @@ impl Netlist {
                     pin: pin as u32,
                 },
             );
+            self.touch(f);
         }
         self.free.push(s.index() as u32);
+        self.touch(s);
         Ok(())
     }
 

@@ -41,6 +41,7 @@
 
 mod bitset;
 mod cell;
+mod delta;
 mod edit;
 mod error;
 mod eval;
@@ -55,6 +56,7 @@ mod validate;
 
 pub use bitset::SignalSet;
 pub use cell::{Branch, Cell, Fanout};
+pub use delta::EditDelta;
 pub use error::NetlistError;
 pub use id::SignalId;
 pub use kind::{Arity, GateKind};

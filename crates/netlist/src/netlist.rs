@@ -1,4 +1,4 @@
-use crate::{Branch, Cell, Fanout, GateKind, NetlistError, SignalId};
+use crate::{Branch, Cell, EditDelta, Fanout, GateKind, NetlistError, SignalId};
 use std::collections::HashMap;
 
 /// A primary output: a named binding to a driving signal.
@@ -37,6 +37,7 @@ pub struct Netlist {
     pub(crate) pos: Vec<PrimaryOutput>,
     pub(crate) by_name: HashMap<String, SignalId>,
     pub(crate) free: Vec<u32>,
+    pub(crate) journal: Option<EditDelta>,
 }
 
 impl std::fmt::Display for Netlist {
@@ -93,7 +94,7 @@ impl Netlist {
     }
 
     fn alloc(&mut self, cell: Cell) -> SignalId {
-        if let Some(slot) = self.free.pop() {
+        let id = if let Some(slot) = self.free.pop() {
             let id = SignalId::from_index(slot as usize);
             self.cells[slot as usize] = Some(cell);
             self.fanouts[slot as usize].clear();
@@ -103,6 +104,52 @@ impl Netlist {
             self.cells.push(Some(cell));
             self.fanouts.push(Vec::new());
             id
+        };
+        self.touch(id);
+        id
+    }
+
+    /// Starts (or restarts, clearing any pending delta) edit journaling:
+    /// subsequent structural mutations mark the signals they affect, to be
+    /// drained with [`take_delta`](Self::take_delta).
+    ///
+    /// Journaling is off by default; a netlist without an active journal
+    /// pays one branch per edit.
+    pub fn record_edits(&mut self) {
+        match &mut self.journal {
+            Some(delta) => delta.clear(),
+            None => self.journal = Some(EditDelta::new()),
+        }
+    }
+
+    /// Returns the delta recorded since [`record_edits`](Self::record_edits)
+    /// (or the last `take_delta`) and keeps recording into a fresh one.
+    ///
+    /// Returns an empty delta when journaling is off.
+    pub fn take_delta(&mut self) -> EditDelta {
+        match &mut self.journal {
+            Some(delta) => std::mem::take(delta),
+            None => EditDelta::new(),
+        }
+    }
+
+    /// Returns `true` while edit journaling is active.
+    #[must_use]
+    pub fn is_recording(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Stops journaling and discards any pending delta.
+    pub fn stop_recording(&mut self) {
+        self.journal = None;
+    }
+
+    /// Marks `s` as touched in the active journal, if any. Every mutation
+    /// primitive calls this so composite edits (`sweep`, rewrites) are
+    /// journaled for free.
+    pub(crate) fn touch(&mut self, s: SignalId) {
+        if let Some(delta) = &mut self.journal {
+            delta.record(s);
         }
     }
 
@@ -172,6 +219,7 @@ impl Netlist {
                 cell: id,
                 pin: pin as u32,
             });
+            self.touch(f);
         }
         Ok(id)
     }
@@ -208,6 +256,7 @@ impl Netlist {
             driver,
         });
         self.fanouts[driver.index()].push(Fanout::Po(index as u32));
+        self.touch(driver);
         index
     }
 
@@ -340,6 +389,7 @@ impl Netlist {
         match self.cells.get_mut(s.index()).and_then(Option::as_mut) {
             Some(cell) => {
                 cell.lib = lib;
+                self.touch(s);
                 Ok(())
             }
             None => Err(NetlistError::DeadSignal(s)),

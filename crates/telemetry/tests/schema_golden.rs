@@ -27,7 +27,8 @@ fn fixed_report() -> RunReport {
     report.counters.insert("gdo.funnel.c2.proved".into(), 7);
     report.counters.insert("gdo.funnel.c2.applied".into(), 5);
     report.counters.insert("sat.conflicts".into(), 42);
-    report.counters.insert("sta.recomputes".into(), 6);
+    report.counters.insert("sta.full_recomputes".into(), 1);
+    report.counters.insert("sta.incremental_updates".into(), 5);
     report.gauges.insert("gdo.round".into(), 3.0);
     report.spans.insert(
         "gdo.optimize".into(),

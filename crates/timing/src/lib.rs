@@ -4,7 +4,9 @@
 //! mapped netlist, using the per-pin block delays of the bound library
 //! cells. This crate computes:
 //!
-//! * arrival times, required times and slack per signal ([`Sta`]);
+//! * arrival times, required times and slack per signal, held in a
+//!   persistent [`TimingGraph`] that follows netlist edits incrementally
+//!   via the `netlist` crate's [`EditDelta`](netlist::EditDelta) journal;
 //! * the circuit delay (the "delay" column of Tables 1 and 2);
 //! * the set of *critical gates* (slack ≈ 0), which is where the paper
 //!   restricts its `a`-signals;
@@ -16,7 +18,7 @@
 //!
 //! ```
 //! use netlist::{Netlist, GateKind};
-//! use timing::{Sta, UnitDelay};
+//! use timing::{TimingGraph, UnitDelay};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut nl = Netlist::new("t");
@@ -25,19 +27,28 @@
 //! let g1 = nl.add_gate(GateKind::And, &[a, b])?;
 //! let g2 = nl.add_gate(GateKind::Not, &[g1])?;
 //! nl.add_output("y", g2);
-//! let sta = Sta::analyze(&nl, &UnitDelay)?;
-//! assert_eq!(sta.circuit_delay(), 2.0);
-//! assert!(sta.is_critical(g1));
+//! let mut tg = TimingGraph::from_scratch(&nl, &UnitDelay)?;
+//! assert_eq!(tg.circuit_delay(), 2.0);
+//! assert!(tg.is_critical(g1));
+//!
+//! // Edits recorded in the netlist journal update the graph in place,
+//! // re-propagating only through the affected cones.
+//! nl.record_edits();
+//! let g3 = nl.add_gate(GateKind::Buf, &[g2])?;
+//! nl.add_output("z", g3);
+//! let delta = nl.take_delta();
+//! tg.update(&nl, &UnitDelay, &delta);
+//! assert_eq!(tg.circuit_delay(), 3.0);
 //! # Ok(())
 //! # }
 //! ```
 
+mod graph;
 mod model;
 mod ncp;
 mod paths;
-mod sta;
 
+pub use graph::TimingGraph;
 pub use model::{DelayModel, LibDelay, LoadDelay, UnitDelay};
 pub use ncp::CriticalPaths;
 pub use paths::{worst_paths, TimingPath};
-pub use sta::Sta;

@@ -5,9 +5,11 @@
 //! run through gives the best chance of reducing the overall delay.
 //! Counts are computed as products of forward and backward critical-path
 //! counts along critical edges; `f64` accumulation saturates gracefully
-//! for circuits with exponentially many critical paths.
+//! (to `+inf`) for circuits with exponentially many critical paths, and
+//! the `inf × 0` products that saturation can produce are clamped to 0 so
+//! a NaN can never poison downstream `total_cmp` ranking.
 
-use crate::{DelayModel, Sta};
+use crate::TimingGraph;
 use netlist::{Fanout, Netlist, NetlistError, SignalId};
 
 /// Per-signal critical-path counts for one timing snapshot.
@@ -16,7 +18,7 @@ use netlist::{Fanout, Netlist, NetlistError, SignalId};
 ///
 /// ```
 /// use netlist::{Netlist, GateKind};
-/// use timing::{CriticalPaths, Sta, UnitDelay};
+/// use timing::{CriticalPaths, TimingGraph, UnitDelay};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// // Two equal-length paths from `a` converge on the output.
@@ -26,8 +28,8 @@ use netlist::{Fanout, Netlist, NetlistError, SignalId};
 /// let g2 = nl.add_gate(GateKind::Buf, &[a])?;
 /// let g3 = nl.add_gate(GateKind::And, &[g1, g2])?;
 /// nl.add_output("y", g3);
-/// let sta = Sta::analyze(&nl, &UnitDelay)?;
-/// let cp = CriticalPaths::count(&nl, &UnitDelay, &sta)?;
+/// let tg = TimingGraph::from_scratch(&nl, &UnitDelay)?;
+/// let cp = CriticalPaths::count(&nl, &tg)?;
 /// assert_eq!(cp.ncp(a), 2.0);
 /// assert_eq!(cp.ncp(g1), 1.0);
 /// # Ok(())
@@ -39,6 +41,18 @@ pub struct CriticalPaths {
     backward: Vec<f64>,
 }
 
+/// Clamps the `inf × 0` NaN that saturated path counts can produce: an
+/// infinite count on one side of a signal with no critical continuation
+/// on the other side means no complete critical path runs through it.
+fn saturating_product(a: f64, b: f64) -> f64 {
+    let p = a * b;
+    if p.is_nan() {
+        0.0
+    } else {
+        p
+    }
+}
+
 impl CriticalPaths {
     /// Counts critical paths through every signal under the given timing
     /// snapshot.
@@ -46,15 +60,11 @@ impl CriticalPaths {
     /// # Errors
     ///
     /// [`NetlistError::CycleDetected`] if `nl` is not a DAG.
-    pub fn count<M: DelayModel>(
-        nl: &Netlist,
-        model: &M,
-        sta: &Sta,
-    ) -> Result<CriticalPaths, NetlistError> {
+    pub fn count(nl: &Netlist, tg: &TimingGraph) -> Result<CriticalPaths, NetlistError> {
         let order = nl.topo_order()?;
         let mut forward = vec![0.0_f64; nl.capacity()];
         for &s in &order {
-            if !sta.is_critical(s) {
+            if !tg.is_critical(s) {
                 continue;
             }
             if nl.kind(s).is_source() {
@@ -63,7 +73,7 @@ impl CriticalPaths {
             }
             let mut count = 0.0;
             for (pin, &f) in nl.fanins(s).iter().enumerate() {
-                if sta.is_critical_edge(nl, model, s, pin) {
+                if tg.is_critical_edge(nl, s, pin) {
                     count += forward[f.index()];
                 }
             }
@@ -71,19 +81,19 @@ impl CriticalPaths {
         }
         let mut backward = vec![0.0_f64; nl.capacity()];
         for &s in order.iter().rev() {
-            if !sta.is_critical(s) {
+            if !tg.is_critical(s) {
                 continue;
             }
             let mut count = 0.0;
             for fo in nl.fanouts(s) {
                 match *fo {
                     Fanout::Po(_) => {
-                        if (sta.arrival(s) - sta.circuit_delay()).abs() <= sta.eps() {
+                        if (tg.arrival(s) - tg.circuit_delay()).abs() <= tg.eps() {
                             count += 1.0;
                         }
                     }
                     Fanout::Gate { cell, pin } => {
-                        if sta.is_critical_edge(nl, model, cell, pin as usize) {
+                        if tg.is_critical_edge(nl, cell, pin as usize) {
                             count += backward[cell.index()];
                         }
                     }
@@ -95,10 +105,10 @@ impl CriticalPaths {
     }
 
     /// The number of complete critical paths running through `s` (0 for
-    /// non-critical signals).
+    /// non-critical signals). Saturates to `+inf`, never NaN.
     #[must_use]
     pub fn ncp(&self, s: SignalId) -> f64 {
-        self.forward[s.index()] * self.backward[s.index()]
+        saturating_product(self.forward[s.index()], self.backward[s.index()])
     }
 
     /// Number of critical partial paths from primary inputs to `s`.
@@ -115,11 +125,12 @@ impl CriticalPaths {
 
     /// Total number of critical paths in the circuit (the sum of NCP over
     /// critical primary-output drivers' backward counts from sources).
+    /// Saturates to `+inf`, never NaN.
     #[must_use]
     pub fn total(&self, nl: &Netlist) -> f64 {
         nl.inputs()
             .iter()
-            .map(|&pi| self.forward[pi.index()] * self.backward[pi.index()])
+            .map(|&pi| saturating_product(self.forward[pi.index()], self.backward[pi.index()]))
             .sum()
     }
 }
@@ -127,7 +138,7 @@ impl CriticalPaths {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Sta, UnitDelay};
+    use crate::{TimingGraph, UnitDelay};
     use netlist::GateKind;
 
     #[test]
@@ -139,8 +150,8 @@ mod tests {
         let g2 = nl.add_gate(GateKind::Buf, &[a]).unwrap();
         let g3 = nl.add_gate(GateKind::And, &[g1, g2]).unwrap();
         nl.add_output("y", g3);
-        let sta = Sta::analyze(&nl, &UnitDelay).unwrap();
-        let cp = CriticalPaths::count(&nl, &UnitDelay, &sta).unwrap();
+        let tg = TimingGraph::from_scratch(&nl, &UnitDelay).unwrap();
+        let cp = CriticalPaths::count(&nl, &tg).unwrap();
         assert_eq!(cp.ncp(g3), 2.0);
         assert_eq!(cp.ncp(a), 2.0);
         assert_eq!(cp.ncp(g1), 1.0);
@@ -156,8 +167,8 @@ mod tests {
         let g1 = nl.add_gate(GateKind::Not, &[a]).unwrap();
         let g2 = nl.add_gate(GateKind::And, &[g1, b]).unwrap();
         nl.add_output("y", g2);
-        let sta = Sta::analyze(&nl, &UnitDelay).unwrap();
-        let cp = CriticalPaths::count(&nl, &UnitDelay, &sta).unwrap();
+        let tg = TimingGraph::from_scratch(&nl, &UnitDelay).unwrap();
+        let cp = CriticalPaths::count(&nl, &tg).unwrap();
         assert_eq!(cp.ncp(b), 0.0);
         assert_eq!(cp.ncp(g1), 1.0);
     }
@@ -175,8 +186,8 @@ mod tests {
         let g4 = nl.add_gate(GateKind::Not, &[g2]).unwrap();
         nl.add_output("y", g3);
         nl.add_output("z", g4);
-        let sta = Sta::analyze(&nl, &UnitDelay).unwrap();
-        let cp = CriticalPaths::count(&nl, &UnitDelay, &sta).unwrap();
+        let tg = TimingGraph::from_scratch(&nl, &UnitDelay).unwrap();
+        let cp = CriticalPaths::count(&nl, &tg).unwrap();
         assert_eq!(cp.ncp(a), 2.0);
         assert_eq!(cp.ncp(g1), 1.0);
         assert_eq!(cp.total(&nl), 2.0);
@@ -198,8 +209,56 @@ mod tests {
         }
         let g = nl.add_gate(GateKind::And, &[cur, side]).unwrap();
         nl.add_output("y", g);
-        let sta = Sta::analyze(&nl, &UnitDelay).unwrap();
-        let cp = CriticalPaths::count(&nl, &UnitDelay, &sta).unwrap();
+        let tg = TimingGraph::from_scratch(&nl, &UnitDelay).unwrap();
+        let cp = CriticalPaths::count(&nl, &tg).unwrap();
         assert!(cp.ncp(g) >= 1024.0);
+    }
+
+    #[test]
+    fn deep_ladder_saturates_without_nan() {
+        // ~1100 doubling stages overflow f64 (2^1100 >> f64::MAX). The
+        // counts must saturate to +inf — and every ranking-facing query
+        // must stay NaN-free so `total_cmp` ordering remains sound.
+        let mut nl = Netlist::new("t");
+        let mut cur = nl.add_input("x0");
+        let mut side = nl.add_input("x1");
+        for _ in 0..1100 {
+            let next = nl.add_gate(GateKind::Xor, &[cur, side]).unwrap();
+            let next_side = nl.add_gate(GateKind::Xnor, &[cur, side]).unwrap();
+            cur = next;
+            side = next_side;
+        }
+        let g = nl.add_gate(GateKind::And, &[cur, side]).unwrap();
+        nl.add_output("y", g);
+        let tg = TimingGraph::from_scratch(&nl, &UnitDelay).unwrap();
+        let cp = CriticalPaths::count(&nl, &tg).unwrap();
+        assert!(
+            cp.forward(g).is_infinite(),
+            "deep path count must saturate, got {}",
+            cp.forward(g)
+        );
+        for s in nl.signals() {
+            assert!(!cp.ncp(s).is_nan(), "NaN ncp at {s}");
+            assert!(!cp.forward(s).is_nan() && !cp.backward(s).is_nan());
+        }
+        assert!(!cp.total(&nl).is_nan(), "NaN total");
+        assert!(cp.total(&nl).is_infinite());
+        // Saturated counts still rank above finite ones under total_cmp.
+        let finite = cp.ncp(nl.inputs()[0]); // forward 1 at the sources
+        let _ = finite;
+        let mut ranked: Vec<SignalId> = nl.signals().collect();
+        ranked.sort_by(|&x, &y| cp.ncp(y).total_cmp(&cp.ncp(x)));
+        assert!(
+            cp.ncp(ranked[0]) >= cp.ncp(*ranked.last().unwrap()),
+            "ranking order broken by saturation"
+        );
+    }
+
+    #[test]
+    fn saturating_product_clamps_nan() {
+        assert_eq!(saturating_product(f64::INFINITY, 0.0), 0.0);
+        assert_eq!(saturating_product(0.0, f64::INFINITY), 0.0);
+        assert_eq!(saturating_product(f64::INFINITY, 2.0), f64::INFINITY);
+        assert_eq!(saturating_product(3.0, 4.0), 12.0);
     }
 }

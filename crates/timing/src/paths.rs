@@ -1,7 +1,7 @@
 //! Enumeration of the k topologically-worst paths — the reporting
 //! counterpart to [`crate::CriticalPaths`]' counting.
 
-use crate::{DelayModel, Sta};
+use crate::TimingGraph;
 use netlist::{Netlist, SignalId};
 
 /// One enumerated path: signals from a primary input (or constant) to a
@@ -30,7 +30,7 @@ pub struct TimingPath {
 ///
 /// ```
 /// use netlist::{Netlist, GateKind};
-/// use timing::{worst_paths, Sta, UnitDelay};
+/// use timing::{worst_paths, TimingGraph, UnitDelay};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut nl = Netlist::new("t");
@@ -39,8 +39,8 @@ pub struct TimingPath {
 /// let g1 = nl.add_gate(GateKind::Not, &[a])?;
 /// let g2 = nl.add_gate(GateKind::And, &[g1, b])?;
 /// nl.add_output("y", g2);
-/// let sta = Sta::analyze(&nl, &UnitDelay)?;
-/// let paths = worst_paths(&nl, &UnitDelay, &sta, 2);
+/// let tg = TimingGraph::from_scratch(&nl, &UnitDelay)?;
+/// let paths = worst_paths(&nl, &tg, 2);
 /// assert_eq!(paths.len(), 2);
 /// assert_eq!(paths[0].delay, 2.0); // a -> g1 -> g2
 /// assert_eq!(paths[1].delay, 1.0); // b -> g2
@@ -49,7 +49,7 @@ pub struct TimingPath {
 /// # }
 /// ```
 #[must_use]
-pub fn worst_paths<M: DelayModel>(nl: &Netlist, model: &M, sta: &Sta, k: usize) -> Vec<TimingPath> {
+pub fn worst_paths(nl: &Netlist, tg: &TimingGraph, k: usize) -> Vec<TimingPath> {
     use std::cmp::Ordering;
     use std::collections::BinaryHeap;
 
@@ -85,7 +85,7 @@ pub fn worst_paths<M: DelayModel>(nl: &Netlist, model: &M, sta: &Sta, k: usize) 
         let d = po.driver();
         if seen_endpoints.insert(d) {
             heap.push(Partial {
-                bound: sta.arrival(d),
+                bound: tg.arrival(d),
                 suffix_delay: 0.0,
                 suffix: vec![d],
             });
@@ -107,12 +107,12 @@ pub fn worst_paths<M: DelayModel>(nl: &Netlist, model: &M, sta: &Sta, k: usize) 
             continue;
         }
         for (pin, &f) in nl.fanins(head).iter().enumerate() {
-            let edge = model.pin_delay(nl, head, pin);
+            let edge = tg.pin_delay(head, pin);
             let mut suffix = Vec::with_capacity(p.suffix.len() + 1);
             suffix.push(f);
             suffix.extend_from_slice(&p.suffix);
             heap.push(Partial {
-                bound: sta.arrival(f) + edge + p.suffix_delay,
+                bound: tg.arrival(f) + edge + p.suffix_delay,
                 suffix_delay: edge + p.suffix_delay,
                 suffix,
             });
@@ -138,8 +138,8 @@ mod tests {
         let g2 = nl.add_gate(GateKind::And, &[g1, b]).unwrap();
         let g3 = nl.add_gate(GateKind::Or, &[g2, c]).unwrap();
         nl.add_output("y", g3);
-        let sta = Sta::analyze(&nl, &UnitDelay).unwrap();
-        let paths = worst_paths(&nl, &UnitDelay, &sta, 10);
+        let tg = TimingGraph::from_scratch(&nl, &UnitDelay).unwrap();
+        let paths = worst_paths(&nl, &tg, 10);
         assert_eq!(paths.len(), 3);
         assert_eq!(paths[0].delay, 3.0);
         assert_eq!(paths[0].signals, vec![a, g1, g2, g3]);
@@ -155,8 +155,8 @@ mod tests {
         let ins: Vec<SignalId> = (0..6).map(|i| nl.add_input(format!("x{i}"))).collect();
         let g = nl.add_gate(GateKind::And, &ins).unwrap();
         nl.add_output("y", g);
-        let sta = Sta::analyze(&nl, &UnitDelay).unwrap();
-        let paths = worst_paths(&nl, &UnitDelay, &sta, 3);
+        let tg = TimingGraph::from_scratch(&nl, &UnitDelay).unwrap();
+        let paths = worst_paths(&nl, &tg, 3);
         assert_eq!(paths.len(), 3);
         assert!(paths.iter().all(|p| p.delay == 1.0));
     }
@@ -171,10 +171,10 @@ mod tests {
         let g2 = nl.add_gate(GateKind::Buf, &[a]).unwrap();
         let g3 = nl.add_gate(GateKind::And, &[g1, g2]).unwrap();
         nl.add_output("y", g3);
-        let sta = Sta::analyze(&nl, &UnitDelay).unwrap();
-        let cp = CriticalPaths::count(&nl, &UnitDelay, &sta).unwrap();
-        let paths = worst_paths(&nl, &UnitDelay, &sta, 100);
-        let worst = sta.circuit_delay();
+        let tg = TimingGraph::from_scratch(&nl, &UnitDelay).unwrap();
+        let cp = CriticalPaths::count(&nl, &tg).unwrap();
+        let paths = worst_paths(&nl, &tg, 100);
+        let worst = tg.circuit_delay();
         let n_critical = paths
             .iter()
             .filter(|p| (p.delay - worst).abs() < 1e-9)
@@ -185,7 +185,7 @@ mod tests {
     #[test]
     fn empty_netlist_has_no_paths() {
         let nl = Netlist::new("t");
-        let sta = Sta::analyze(&nl, &UnitDelay).unwrap();
-        assert!(worst_paths(&nl, &UnitDelay, &sta, 5).is_empty());
+        let tg = TimingGraph::from_scratch(&nl, &UnitDelay).unwrap();
+        assert!(worst_paths(&nl, &tg, 5).is_empty());
     }
 }

@@ -10,10 +10,10 @@
 //! cargo run -p gdo --example fanout_sensitivity --release
 //! ```
 
-use gdo::{GdoConfig, Optimizer};
+use gdo::prelude::*;
 use library::{standard_library, MapGoal, Mapper};
 use netlist::Netlist;
-use timing::{LibDelay, LoadDelay, Sta};
+use timing::{LibDelay, LoadDelay, TimingGraph};
 use workloads::{datapath, sec_corrector, sym_detector, EccStyle};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,14 +31,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut nl = Mapper::new(&lib).goal(MapGoal::Area).map(&raw)?;
         let flat = LibDelay::new(&lib);
         let loaded = LoadDelay::new(&lib, 0.25);
-        let flat_before = Sta::analyze(&nl, &flat)?.circuit_delay();
-        let loaded_before = Sta::analyze(&nl, &loaded)?.circuit_delay();
+        let flat_before = TimingGraph::from_scratch(&nl, &flat)?.circuit_delay();
+        let loaded_before = TimingGraph::from_scratch(&nl, &loaded)?.circuit_delay();
 
         // GDO optimizes under the flat model, exactly as the paper does.
-        Optimizer::new(&lib, GdoConfig::default()).optimize(&mut nl)?;
+        optimize(&lib, GdoConfig::builder().build()?, &mut nl)?;
 
-        let flat_after = Sta::analyze(&nl, &flat)?.circuit_delay();
-        let loaded_after = Sta::analyze(&nl, &loaded)?.circuit_delay();
+        let flat_after = TimingGraph::from_scratch(&nl, &flat)?.circuit_delay();
+        let loaded_after = TimingGraph::from_scratch(&nl, &loaded)?.circuit_delay();
         println!(
             "{:<12} {:>10.2} {:>10.2} {:>12.2} {:>12.2} {:>9.1}%",
             name,

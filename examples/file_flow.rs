@@ -6,7 +6,7 @@
 //! cargo run -p gdo --example file_flow
 //! ```
 
-use gdo::{GdoConfig, Optimizer};
+use gdo::prelude::*;
 use library::{standard_library, MapGoal, Mapper};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,7 +29,7 @@ p = AND(t2, en)
 
     let lib = standard_library();
     let mut mapped = Mapper::new(&lib).goal(MapGoal::Delay).map(&nl)?;
-    let stats = Optimizer::new(&lib, GdoConfig::default()).optimize(&mut mapped)?;
+    let stats = optimize(&lib, GdoConfig::builder().build()?, &mut mapped)?;
     println!(
         "optimized: {} gates, delay {:.2} -> {:.2}",
         stats.gates_after, stats.delay_before, stats.delay_after

@@ -9,9 +9,9 @@
 //! cargo run -p gdo --example optimize_multiplier --release -- 12
 //! ```
 
-use gdo::{GdoConfig, Optimizer};
+use gdo::prelude::*;
 use library::{standard_library, MapGoal, Mapper};
-use timing::{LibDelay, Sta};
+use timing::{LibDelay, TimingGraph};
 use workloads::array_multiplier;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lib = standard_library();
     let mut mapped = Mapper::new(&lib).goal(MapGoal::Area).map(&raw)?;
     let model = LibDelay::new(&lib);
-    let before = Sta::analyze(&mapped, &model)?;
+    let before = TimingGraph::from_scratch(&mapped, &model)?;
     println!(
         "mapped: {} gates, {} literals, delay {:.1} ns, area {:.0}",
         mapped.stats().gates,
@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("running GDO ...");
-    let stats = Optimizer::new(&lib, GdoConfig::default()).optimize(&mut mapped)?;
+    let stats = optimize(&lib, GdoConfig::builder().build()?, &mut mapped)?;
     println!(
         "after GDO: {} gates, {} literals, delay {:.1} ns ({:.1}% faster), area {:.0}",
         stats.gates_after,

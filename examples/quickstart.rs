@@ -4,10 +4,10 @@
 //! cargo run -p gdo --example quickstart
 //! ```
 
-use gdo::{GdoConfig, Optimizer};
+use gdo::prelude::*;
 use library::{standard_library, MapGoal, Mapper};
 use netlist::{GateKind, Netlist};
-use timing::{LibDelay, Sta};
+use timing::{LibDelay, TimingGraph};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe a combinational circuit. This one computes an XOR the
@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lib = standard_library();
     let mut mapped = Mapper::new(&lib).goal(MapGoal::Area).map(&nl)?;
     let model = LibDelay::new(&lib);
-    let before = Sta::analyze(&mapped, &model)?;
+    let before = TimingGraph::from_scratch(&mapped, &model)?;
     println!(
         "before GDO: {} gates, delay {:.2} ns",
         mapped.stats().gates,
@@ -39,8 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Run Global Delay Optimization.
-    let stats = Optimizer::new(&lib, GdoConfig::default()).optimize(&mut mapped)?;
-    let after = Sta::analyze(&mapped, &model)?;
+    let stats = optimize(&lib, GdoConfig::builder().build()?, &mut mapped)?;
+    let after = TimingGraph::from_scratch(&mapped, &model)?;
     println!(
         "after GDO:  {} gates, delay {:.2} ns  ({} OS/IS2 + {} OS/IS3 mods)",
         mapped.stats().gates,
