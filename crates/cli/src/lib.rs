@@ -2,7 +2,7 @@
 //! the read → map → optimize → write pipeline, and reporting. Split into
 //! a library so the pipeline is unit-testable without spawning processes.
 
-use gdo::{optimize, GdoConfig, ProverKind};
+use gdo::{optimize, GdoConfig, GdoStats, ProverKind, VerifyPolicy};
 use library::{parse_genlib, standard_library, Library, MapGoal, Mapper};
 use netlist::Netlist;
 use std::fmt;
@@ -51,6 +51,42 @@ impl fmt::Display for CliError {
 }
 
 impl std::error::Error for CliError {}
+
+/// Maps a pipeline error to the documented process exit code:
+/// `2` usage/config, `3` parse or invalid netlist, `5` file IO,
+/// `6` unwritable output, `1` internal optimizer/verification failures.
+/// (Exit `0` covers success *and* budget exhaustion with a valid output;
+/// exit `4` — degraded result after a verification rollback — is decided
+/// by the caller from [`RunOutcome`], not from an error.)
+#[must_use]
+pub fn exit_code(e: &CliError) -> i32 {
+    match e {
+        CliError::Usage(_) => 2,
+        CliError::Parse(_) => 3,
+        CliError::Io { .. } => 5,
+        CliError::Write(_) => 6,
+        _ => 1,
+    }
+}
+
+/// What a successful [`run`] produced, for exit-code and scripting
+/// decisions.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOutcome {
+    /// The optimizer's statistics (budget and verification outcomes
+    /// included).
+    pub stats: GdoStats,
+}
+
+impl RunOutcome {
+    /// True when a checkpoint verification failed and the run fell back
+    /// to an earlier netlist — the output is correct but possibly less
+    /// optimized than requested (exit code 4 unless `--allow-degraded`).
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.stats.verify_rollbacks > 0
+    }
+}
 
 /// The netlist file formats the driver reads and writes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +150,9 @@ pub struct Options {
     pub report_json: Option<PathBuf>,
     /// Pretty-print telemetry events to stderr as they happen.
     pub verbose: bool,
+    /// Treat a verification rollback as an acceptable (exit 0) outcome
+    /// instead of the degraded-result exit code 4.
+    pub allow_degraded: bool,
 }
 
 impl Options {
@@ -140,6 +179,7 @@ impl Options {
             trace_out: None,
             report_json: None,
             verbose: false,
+            allow_degraded: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -213,7 +253,31 @@ impl Options {
                             .map_err(|_| CliError::Usage("--require needs a number".into()))?,
                     );
                 }
-                "--verify" => out.verify = true,
+                "--time-budget-ms" => {
+                    let ms: u64 = need("--time-budget-ms")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--time-budget-ms needs an integer".into()))?;
+                    cfg = cfg.deadline(std::time::Duration::from_millis(ms));
+                }
+                "--work-limit" => {
+                    cfg =
+                        cfg.work_limit(need("--work-limit")?.parse().map_err(|_| {
+                            CliError::Usage("--work-limit needs an integer".into())
+                        })?);
+                }
+                "--verify" => {
+                    out.verify = true;
+                    cfg = cfg.verify_policy(VerifyPolicy::Final);
+                }
+                "--verify-each" => cfg = cfg.verify_policy(VerifyPolicy::EachSubstitution),
+                "--verify-every" => {
+                    cfg = cfg.verify_policy(VerifyPolicy::EveryN(
+                        need("--verify-every")?.parse().map_err(|_| {
+                            CliError::Usage("--verify-every needs an integer".into())
+                        })?,
+                    ));
+                }
+                "--allow-degraded" => out.allow_degraded = true,
                 "--stats" => out.stats = true,
                 "--trace-out" => out.trace_out = Some(PathBuf::from(need("--trace-out")?)),
                 "--report-json" => out.report_json = Some(PathBuf::from(need("--report-json")?)),
@@ -260,7 +324,15 @@ pub fn usage() -> &'static str {
      --prover sat|bdd|miter   validity prover (default sat)\n\
      --mapped-output          write .gate (mapped) BLIF\n\
      --require T              report MET/VIOLATED for output required time T\n\
+     --time-budget-ms N       wall-clock budget; past it the run unwinds and\n\
+                              keeps the best netlist found so far (exit 0)\n\
+     --work-limit N           deterministic work-unit ceiling (same unwinding)\n\
      --verify                 SAT-verify end-to-end equivalence afterwards\n\
+                              (also re-proves the final checkpoint in-run)\n\
+     --verify-each            re-prove equivalence after every substitution,\n\
+                              rolling back and quarantining on failure\n\
+     --verify-every N         like --verify-each, every N substitutions\n\
+     --allow-degraded         exit 0 even when a verification rollback fired\n\
      --stats                  print detailed statistics\n\
      --trace-out FILE         stream telemetry events as NDJSON to FILE\n\
      --report-json FILE       write the aggregated telemetry report as JSON\n\
@@ -337,7 +409,7 @@ pub fn load_library(path: Option<&Path>) -> Result<Library, CliError> {
 /// # Errors
 ///
 /// Any [`CliError`]; see the variants.
-pub fn run(options: &Options) -> Result<(), CliError> {
+pub fn run(options: &Options) -> Result<RunOutcome, CliError> {
     let lib = load_library(options.library.as_deref())?;
     // Sniff mapped BLIF: .gate lines bind cells from the library.
     let mapped_input = Format::from_path(&options.input)? == Format::Blif && {
@@ -356,6 +428,11 @@ pub fn run(options: &Options) -> Result<(), CliError> {
     } else {
         read_netlist(&options.input)?
     };
+    // Reject structurally broken inputs (cycles, dangling drivers, …)
+    // with their offending signal names before any optimization runs.
+    source
+        .validate()
+        .map_err(|e| CliError::Parse(format!("invalid input netlist: {e}")))?;
     let mut nl = if options.no_map || mapped_input {
         source.clone()
     } else {
@@ -420,6 +497,15 @@ pub fn run(options: &Options) -> Result<(), CliError> {
         }
     }
 
+    if !options.quiet && stats.budget_exhausted {
+        println!("note: budget exhausted — kept the best netlist found so far");
+    }
+    if !options.quiet && stats.verify_rollbacks > 0 {
+        println!(
+            "note: {} verification rollback(s) — output is correct but degraded",
+            stats.verify_rollbacks
+        );
+    }
     if !options.quiet {
         println!(
             "out: {} — {} gates, {} literals, delay {:.2} ({:+.1}% delay, {:+.1}% literals)",
@@ -443,6 +529,16 @@ pub fn run(options: &Options) -> Result<(), CliError> {
             stats.rounds,
             stats.cpu_seconds
         );
+        if stats.verify_checks > 0 {
+            println!(
+                "     {} checkpoint verifications ({} failed, {} rollbacks, \
+                 {} kinds quarantined)",
+                stats.verify_checks,
+                stats.verify_failures,
+                stats.verify_rollbacks,
+                stats.quarantined_kinds
+            );
+        }
         // The remaining critical path, signal by signal.
         let after = TimingGraph::from_scratch(&nl, &model)
             .map_err(|e| CliError::Parse(format!("timing failed: {e}")))?;
@@ -517,7 +613,7 @@ pub fn run(options: &Options) -> Result<(), CliError> {
             println!("wrote {}", out.display());
         }
     }
-    Ok(())
+    Ok(RunOutcome { stats })
 }
 
 #[cfg(test)]
@@ -579,6 +675,71 @@ mod tests {
     }
 
     #[test]
+    fn parses_budget_and_verify_flags() {
+        let o = opts(&[
+            "in.bench",
+            "--time-budget-ms",
+            "250",
+            "--work-limit",
+            "1000",
+            "--verify-every",
+            "8",
+            "--allow-degraded",
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(o.cfg.deadline, Some(std::time::Duration::from_millis(250)));
+        assert_eq!(o.cfg.work_limit, Some(1000));
+        assert_eq!(o.cfg.verify_policy, VerifyPolicy::EveryN(8));
+        assert!(o.allow_degraded);
+
+        let o = opts(&["in.bench", "--verify-each"]).unwrap().unwrap();
+        assert_eq!(o.cfg.verify_policy, VerifyPolicy::EachSubstitution);
+        assert!(
+            !o.verify,
+            "--verify-each alone must not imply the end check"
+        );
+
+        // --verify both requests the end-to-end miter and a final
+        // checkpoint verification.
+        let o = opts(&["in.bench", "--verify"]).unwrap().unwrap();
+        assert!(o.verify);
+        assert_eq!(o.cfg.verify_policy, VerifyPolicy::Final);
+    }
+
+    #[test]
+    fn budget_flags_reject_garbage() {
+        assert!(matches!(
+            opts(&["a.bench", "--time-budget-ms", "soon"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            opts(&["a.bench", "--work-limit", "-3"]),
+            Err(CliError::Usage(_))
+        ));
+        // EveryN(0) is rejected by the validating config builder.
+        assert!(matches!(
+            opts(&["a.bench", "--verify-every", "0"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn exit_codes_match_the_documented_table() {
+        assert_eq!(exit_code(&CliError::Usage(String::new())), 2);
+        assert_eq!(exit_code(&CliError::Parse(String::new())), 3);
+        assert_eq!(
+            exit_code(&CliError::Io {
+                path: PathBuf::from("x"),
+                source: std::io::Error::other("x"),
+            }),
+            5
+        );
+        assert_eq!(exit_code(&CliError::Write(String::new())), 6);
+        assert_eq!(exit_code(&CliError::VerificationFailed), 1);
+    }
+
+    #[test]
     fn format_detection() {
         assert_eq!(
             Format::from_path(Path::new("x.bench")).unwrap(),
@@ -620,6 +781,7 @@ mod tests {
             trace_out: None,
             report_json: None,
             verbose: false,
+            allow_degraded: false,
         };
         run(&o).unwrap();
         let written = read_netlist(&output).unwrap();
@@ -654,6 +816,7 @@ mod tests {
             trace_out: None,
             report_json: None,
             verbose: false,
+            allow_degraded: false,
         };
         run(&o).unwrap();
         let text = std::fs::read_to_string(&output).unwrap();
@@ -680,6 +843,7 @@ mod tests {
             trace_out: None,
             report_json: None,
             verbose: false,
+            allow_degraded: false,
         };
         assert!(matches!(run(&o), Err(CliError::Io { .. })));
     }

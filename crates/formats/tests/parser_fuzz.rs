@@ -1,0 +1,125 @@
+//! No-panic fuzzing for the text-format parsers.
+//!
+//! Three input classes per format — raw byte soup, token soup built from
+//! the format's own keywords, and single-byte mutations / truncations of
+//! a valid file — must all come back as `Ok` with a structurally valid
+//! netlist or as a clean `Err`. A panic is the only failure. (The
+//! Verilog backend is write-only, so there is no Verilog parser to fuzz.)
+
+use formats::{parse_bench, parse_blif};
+use proptest::prelude::*;
+
+const VALID_BENCH: &str = "\
+# c17-style sample
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+const VALID_BLIF: &str = "\
+.model sample
+.inputs a b c
+.outputs y z
+.names a b t1
+11 1
+.names t1 c y
+1- 1
+-1 1
+.names a c z
+10 1
+.end
+";
+
+const BENCH_TOKENS: &[&str] = &[
+    "INPUT(", "OUTPUT(", ")", "=", "AND(", "NAND(", "OR(", "NOR(", "XOR(", "NOT(", "BUFF(", ",",
+    "G1", "G2", "sig", "#comment", "\n", " ", "(", "0", "1",
+];
+
+const BLIF_TOKENS: &[&str] = &[
+    ".model", ".inputs", ".outputs", ".names", ".end", ".exdc", "m", "a", "b", "y", "0", "1", "-",
+    "11 1", "1- 1", "\\", "\n", " ", "#c",
+];
+
+/// Concatenates random tokens from `vocab` into one candidate file.
+fn token_soup(vocab: &'static [&'static str]) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..vocab.len(), 0..64)
+        .prop_map(move |picks| picks.into_iter().map(|i| vocab[i]).collect())
+}
+
+/// Flips one byte of `base` and truncates at a random point, modeling a
+/// corrupted or half-written file.
+fn mutate(base: &str, at: usize, with: u8, cut: usize) -> String {
+    let mut bytes = base.as_bytes().to_vec();
+    let at = at % bytes.len();
+    bytes[at] = with;
+    bytes.truncate(cut % (bytes.len() + 1));
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn bench_survives_byte_soup(bytes in proptest::collection::vec(0u8..=255u8, 0..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        if let Ok(nl) = parse_bench(&text) {
+            nl.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn bench_survives_token_soup(text in token_soup(BENCH_TOKENS)) {
+        if let Ok(nl) = parse_bench(&text) {
+            nl.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn bench_survives_mutation(at in 0usize..10_000, with in 0u8..=255u8, cut in 0usize..10_000) {
+        let text = mutate(VALID_BENCH, at, with, cut);
+        if let Ok(nl) = parse_bench(&text) {
+            nl.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn blif_survives_byte_soup(bytes in proptest::collection::vec(0u8..=255u8, 0..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        if let Ok(nl) = parse_blif(&text) {
+            nl.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn blif_survives_token_soup(text in token_soup(BLIF_TOKENS)) {
+        if let Ok(nl) = parse_blif(&text) {
+            nl.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn blif_survives_mutation(at in 0usize..10_000, with in 0u8..=255u8, cut in 0usize..10_000) {
+        let text = mutate(VALID_BLIF, at, with, cut);
+        if let Ok(nl) = parse_blif(&text) {
+            nl.validate().unwrap();
+        }
+    }
+}
+
+/// The unmutated baselines must of course parse — guards against the
+/// fuzz corpus silently rotting into always-`Err` inputs.
+#[test]
+fn baselines_parse() {
+    parse_bench(VALID_BENCH).unwrap().validate().unwrap();
+    parse_blif(VALID_BLIF).unwrap().validate().unwrap();
+}

@@ -13,7 +13,7 @@
 //! with bit index `pa | pb<<1 | pc<<2` and phase `1` meaning the positive
 //! literal.
 
-use crate::{Gate3, Site};
+use crate::{Budget, Gate3, Site};
 use netlist::{Netlist, NetlistError, SignalId};
 use sim::{ObsPlan, ObsStats, ObservabilityEngine, SimResult};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -195,13 +195,40 @@ pub fn run_c2_threaded(
     sites: Vec<(Site, Vec<SignalId>)>,
     threads: usize,
 ) -> Result<Vec<SiteRound>, NetlistError> {
+    run_c2_budgeted(nl, sim, sites, threads, None)
+}
+
+/// [`run_c2_threaded`] under an optional run [`Budget`]: workers check
+/// the budget before claiming each site and stop claiming once it is
+/// exhausted, so the fan-out unwinds within one site's work. Sites left
+/// unclaimed are dropped from the result — sound, because a
+/// [`SiteRound`] only *proposes* candidates that the prove stage would
+/// have to validate anyway. With `budget: None` (or a budget that never
+/// trips) the result is bit-identical to [`run_c2_threaded`].
+///
+/// # Errors
+///
+/// [`NetlistError::CycleDetected`] if `nl` is cyclic.
+pub fn run_c2_budgeted(
+    nl: &Netlist,
+    sim: &SimResult,
+    sites: Vec<(Site, Vec<SignalId>)>,
+    threads: usize,
+    budget: Option<&Budget>,
+) -> Result<Vec<SiteRound>, NetlistError> {
     let threads = resolve_threads(threads).min(sites.len().max(1));
     if threads <= 1 {
         let mut engine = ObservabilityEngine::new(nl, sim)?;
-        let rounds: Vec<SiteRound> = sites
-            .into_iter()
-            .map(|(site, bs)| compute_site_round(nl, sim, &mut engine, site, &bs))
-            .collect();
+        let mut rounds: Vec<SiteRound> = Vec::with_capacity(sites.len());
+        for (site, bs) in sites {
+            if budget.is_some_and(Budget::is_exhausted) {
+                break;
+            }
+            if let Some(b) = budget {
+                b.charge(1);
+            }
+            rounds.push(compute_site_round(nl, sim, &mut engine, site, &bs));
+        }
         record_obs_stats(engine.stats());
         return Ok(rounds);
     }
@@ -219,10 +246,16 @@ pub fn run_c2_threaded(
                     let mut engine = ObservabilityEngine::with_plan(nl, sim, plan);
                     let mut local: Vec<(usize, SiteRound)> = Vec::new();
                     loop {
+                        if budget.is_some_and(Budget::is_exhausted) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some((site, bs)) = sites.get(i) else {
                             break;
                         };
+                        if let Some(b) = budget {
+                            b.charge(1);
+                        }
                         local.push((i, compute_site_round(nl, sim, &mut engine, *site, bs)));
                     }
                     (local, engine.stats())
@@ -239,10 +272,9 @@ pub fn run_c2_threaded(
         }
         record_obs_stats(obs_stats);
     });
-    Ok(merged
-        .into_iter()
-        .map(|r| r.expect("every claimed site produces a round"))
-        .collect())
+    // Unclaimed slots (budget exhaustion only) drop out; claimed sites
+    // keep their original relative order.
+    Ok(merged.into_iter().flatten().collect())
 }
 
 /// [`run_c2`] on a full-topological-walk observability engine: every
@@ -331,10 +363,36 @@ pub fn run_c3_threaded(
     requests: Vec<Vec<TripleEntry>>,
     threads: usize,
 ) {
+    run_c3_budgeted(nl, sim, rounds, requests, threads, None);
+}
+
+/// [`run_c3_threaded`] under an optional run [`Budget`]: workers stop
+/// claiming work once the budget is exhausted; rounds whose requests
+/// were never processed keep an empty `triples` list (they simply
+/// propose no `OS3`/`IS3` candidates). With `budget: None` the result
+/// is bit-identical to [`run_c3_threaded`].
+///
+/// # Panics
+///
+/// Panics if `requests.len() != rounds.len()`.
+pub fn run_c3_budgeted(
+    nl: &Netlist,
+    sim: &SimResult,
+    rounds: &mut [SiteRound],
+    requests: Vec<Vec<TripleEntry>>,
+    threads: usize,
+    budget: Option<&Budget>,
+) {
     assert_eq!(requests.len(), rounds.len(), "one request set per round");
     let threads = resolve_threads(threads).min(rounds.len().max(1));
     if threads <= 1 {
         for (round, triples) in rounds.iter_mut().zip(requests) {
+            if budget.is_some_and(Budget::is_exhausted) {
+                break;
+            }
+            if let Some(b) = budget {
+                b.charge(1);
+            }
             round.triples = invalidate_triples(nl, sim, round, triples);
         }
         return;
@@ -362,9 +420,15 @@ pub fn run_c3_threaded(
                 scope.spawn(move || {
                     let mut local: Vec<(usize, Vec<TripleEntry>)> = Vec::new();
                     loop {
+                        if budget.is_some_and(Budget::is_exhausted) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
+                        }
+                        if let Some(b) = budget {
+                            b.charge(1);
                         }
                         let (idx, round, triples) = work.lock().expect("poisoned")[i]
                             .take()
@@ -382,7 +446,11 @@ pub fn run_c3_threaded(
         }
     });
     for (round, t) in rounds.iter_mut().zip(survivors) {
-        round.triples = t.expect("every round processed");
+        if let Some(t) = t {
+            round.triples = t;
+        }
+        // An unclaimed round (budget exhaustion only) keeps its empty
+        // triples list and proposes no OS3/IS3 candidates.
     }
 }
 

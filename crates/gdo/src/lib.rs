@@ -63,6 +63,7 @@
 //! ```
 
 mod bpfs;
+mod budget;
 mod candidates;
 mod error;
 mod optimizer;
@@ -75,15 +76,16 @@ mod site;
 mod transform;
 
 pub use bpfs::{
-    resolve_threads, run_c2, run_c2_full_walk, run_c2_threaded, run_c3, run_c3_threaded, PairEntry,
-    SiteRound, TripleEntry,
+    resolve_threads, run_c2, run_c2_budgeted, run_c2_full_walk, run_c2_threaded, run_c3,
+    run_c3_budgeted, run_c3_threaded, PairEntry, SiteRound, TripleEntry,
 };
+pub use budget::{Budget, CancelHandle, Phase, VerifyPolicy};
 pub use candidates::{
     pair_candidates, pair_candidates_counted, CandidateConfig, CandidateContext, CandidateCounts,
 };
 pub use error::GdoError;
 pub use optimizer::{optimize, GdoConfig, GdoConfigBuilder, GdoStats, Optimizer};
-pub use prove::{prove_rewrite, prove_rewrite_budgeted, ProverKind};
+pub use prove::{prove_rewrite, prove_rewrite_budgeted, prove_rewrite_with_budget, ProverKind};
 pub use pvcc::{
     and_or_triple_requests, const_candidates, site_arrival, site_ncp, site_required,
     sub2_candidates, sub3_candidates, xor_triple_requests, Pvcc, RankKey,
@@ -92,10 +94,12 @@ pub use redundancy::remove_redundancies;
 pub use report::OptimizeReport;
 pub use rewrite::{Gate3, Rewrite, RewriteKind};
 pub use site::{SigLit, Site};
+#[cfg(feature = "fault-inject")]
+pub use transform::fault;
 pub use transform::{apply_rewrite, estimate_area_delta, estimate_arrival};
 
 /// The one-import surface for typical users: build a config, run
 /// [`optimize`], inspect [`GdoStats`], handle [`GdoError`].
 pub mod prelude {
-    pub use crate::{optimize, GdoConfig, GdoError, GdoStats};
+    pub use crate::{optimize, Budget, CancelHandle, GdoConfig, GdoError, GdoStats, VerifyPolicy};
 }

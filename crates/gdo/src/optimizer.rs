@@ -4,9 +4,10 @@
 //! non-critical logic without creating new critical paths, returning to
 //! the delay phase after every batch of area substitutions.
 
-use crate::bpfs::{run_c2_full_walk, run_c2_threaded, run_c3_threaded, SiteRound, TripleEntry};
+use crate::bpfs::{run_c2_budgeted, run_c2_full_walk, run_c3_budgeted, SiteRound, TripleEntry};
+use crate::budget::{Budget, Phase, VerifyPolicy};
 use crate::candidates::{pair_candidates_counted, CandidateConfig, CandidateContext};
-use crate::prove::prove_rewrite_budgeted;
+use crate::prove::prove_rewrite_with_budget;
 use crate::pvcc::{
     and_or_triple_requests, const_candidates, site_arrival, site_ncp, site_required,
     sub2_candidates, sub3_candidates, xor_triple_requests, Pvcc, RankKey,
@@ -17,6 +18,7 @@ use library::Library;
 use netlist::{Branch, GateKind, Netlist, SignalId};
 use sim::{simulate, VectorSet};
 use std::collections::HashSet;
+use std::time::Duration;
 use timing::{CriticalPaths, DelayModel, LibDelay, TimingGraph};
 
 /// Configuration of the optimizer. [`GdoConfig::default`] reproduces the
@@ -70,6 +72,21 @@ pub struct GdoConfig {
     /// clone-plus-full-STA trial evaluation per area candidate — as a
     /// benchmark baseline. Produces the same results, never faster.
     pub legacy_eval: bool,
+    /// Wall-clock budget for the whole run: past the deadline every
+    /// pipeline stage unwinds at its next cooperative check and the
+    /// optimizer returns the best netlist accepted so far (`None` =
+    /// no deadline).
+    pub deadline: Option<Duration>,
+    /// Ceiling on abstract work units (BPFS sites surveyed plus validity
+    /// proofs issued) before the run unwinds like a passed deadline
+    /// (`None` = unlimited). A deterministic alternative to [`deadline`]
+    /// (Self::deadline) for tests and reproducible runs.
+    pub work_limit: Option<u64>,
+    /// Checkpointed verify-with-rollback safety net (default
+    /// [`VerifyPolicy::Off`]): re-proves equivalence against the last
+    /// verified checkpoint, rolls back the netlist and timing graph on a
+    /// failed check, and quarantines the offending rewrite kind.
+    pub verify_policy: VerifyPolicy,
 }
 
 impl Default for GdoConfig {
@@ -91,6 +108,9 @@ impl Default for GdoConfig {
             max_outer_rounds: 25,
             threads: 0,
             legacy_eval: false,
+            deadline: None,
+            work_limit: None,
+            verify_policy: VerifyPolicy::Off,
         }
     }
 }
@@ -176,6 +196,25 @@ impl GdoConfigBuilder {
         threads: usize,
         /// Re-enable the original full-recompute evaluation paths.
         legacy_eval: bool,
+        /// Checkpointed verify-with-rollback policy.
+        verify_policy: VerifyPolicy,
+    }
+
+    /// Gives the whole run a wall-clock budget; on exhaustion the
+    /// pipeline unwinds gracefully and returns the best netlist
+    /// accepted so far.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.cfg.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps the run's abstract work units (sites surveyed + proofs
+    /// issued) — a deterministic stand-in for a deadline.
+    #[must_use]
+    pub fn work_limit(mut self, work_limit: u64) -> Self {
+        self.cfg.work_limit = Some(work_limit);
+        self
     }
 
     /// Validates and returns the configuration.
@@ -204,6 +243,11 @@ impl GdoConfigBuilder {
         if cfg.candidates.max_pairs_per_site == 0 {
             return Err(GdoError::Config(
                 "candidates.max_pairs_per_site must be positive".into(),
+            ));
+        }
+        if cfg.verify_policy == VerifyPolicy::EveryN(0) {
+            return Err(GdoError::Config(
+                "verify_policy EveryN interval must be positive".into(),
             ));
         }
         Ok(cfg)
@@ -244,6 +288,18 @@ pub struct GdoStats {
     pub rounds: usize,
     /// Wall-clock seconds (the paper's CPU-seconds column).
     pub cpu_seconds: f64,
+    /// True when the run stopped early because the [`Budget`] (deadline,
+    /// work ceiling, or external cancel) ran out. The returned netlist is
+    /// still valid — it is the best one accepted before exhaustion.
+    pub budget_exhausted: bool,
+    /// Checkpoint verifications performed under the [`VerifyPolicy`].
+    pub verify_checks: usize,
+    /// Checkpoint verifications that found a non-equivalent netlist.
+    pub verify_failures: usize,
+    /// Rollbacks to the last verified checkpoint.
+    pub verify_rollbacks: usize,
+    /// Rewrite classes quarantined after failed verifications.
+    pub quarantined_kinds: usize,
 }
 
 impl GdoStats {
@@ -296,6 +352,14 @@ impl GdoStats {
         s.insert("delay_reduction".into(), self.delay_reduction());
         s.insert("literal_reduction".into(), self.literal_reduction());
         s.insert("total_mods".into(), self.total_mods() as f64);
+        // Fail-safe outcomes go into the counter section so report
+        // consumers always see them, even as explicit zeros.
+        let c = &mut report.counters;
+        c.insert("budget.exhausted".into(), u64::from(self.budget_exhausted));
+        c.insert("verify.checks".into(), self.verify_checks as u64);
+        c.insert("verify.failures".into(), self.verify_failures as u64);
+        c.insert("verify.rollbacks".into(), self.verify_rollbacks as u64);
+        c.insert("quarantine.kinds".into(), self.quarantined_kinds as u64);
     }
 }
 
@@ -332,11 +396,12 @@ impl<'a> Optimizer<'a> {
         nl: &Netlist,
         sim: &sim::SimResult,
         sites: Vec<(Site, Vec<SignalId>)>,
+        budget: &Budget,
     ) -> Result<Vec<SiteRound>, netlist::NetlistError> {
         if self.cfg.legacy_eval {
             run_c2_full_walk(nl, sim, sites)
         } else {
-            run_c2_threaded(nl, sim, sites, self.cfg.threads)
+            run_c2_budgeted(nl, sim, sites, self.cfg.threads, Some(budget))
         }
     }
 
@@ -347,8 +412,29 @@ impl<'a> Optimizer<'a> {
     /// [`GdoError`] on structural failures (cyclic input netlist, or a
     /// library with no cells for inserted gates).
     pub fn optimize(&self, nl: &mut Netlist) -> Result<GdoStats, GdoError> {
+        let budget = Budget::new(self.cfg.deadline, self.cfg.work_limit);
+        self.optimize_with_budget(nl, &budget)
+    }
+
+    /// Like [`optimize`](Self::optimize), but under a caller-supplied
+    /// [`Budget`] (the config's own `deadline`/`work_limit` are ignored
+    /// in favor of `budget`). Grab [`Budget::cancel_handle`] before the
+    /// call to cancel the run from another thread; on exhaustion every
+    /// stage unwinds at its next cooperative check and the best netlist
+    /// accepted so far is kept, with [`GdoStats::budget_exhausted`] set.
+    ///
+    /// # Errors
+    ///
+    /// [`GdoError`] on structural failures (cyclic input netlist, or a
+    /// library with no cells for inserted gates).
+    pub fn optimize_with_budget(
+        &self,
+        nl: &mut Netlist,
+        budget: &Budget,
+    ) -> Result<GdoStats, GdoError> {
         let _span = telemetry::span("gdo.optimize");
         let start = std::time::Instant::now();
+        budget.enter_phase(Phase::Setup);
         let model = LibDelay::new(self.lib);
         let mut stats = GdoStats::default();
         // One full timing analysis for the whole run: every rewrite is
@@ -367,6 +453,10 @@ impl<'a> Optimizer<'a> {
         let xor_available = self.lib.cheapest(GateKind::Xor, 2).is_some()
             && self.lib.cheapest(GateKind::Xnor, 2).is_some();
         let enable_xor = self.cfg.enable_xor && xor_available;
+        // The safety net clones its checkpoints here and right after
+        // `TimingGraph::update` — the only places the edit journal is
+        // guaranteed drained, so a restore never resurrects stale edits.
+        let mut net = SafetyNet::new(self.cfg.verify_policy, nl, &tg);
 
         let mut seed_counter = self.cfg.seed;
         // SAT refutations stay valid as long as the netlist is unchanged:
@@ -375,10 +465,14 @@ impl<'a> Optimizer<'a> {
         // and clear the cache on every applied rewrite.
         let mut refuted: HashSet<Rewrite> = HashSet::new();
         for outer in 0..self.cfg.max_outer_rounds {
+            if budget.is_exhausted() {
+                break;
+            }
             stats.rounds += 1;
             let t = std::time::Instant::now();
             let delay_applied = {
                 let _phase = telemetry::span("gdo.delay_phase");
+                budget.enter_phase(Phase::Delay);
                 self.delay_phase(
                     nl,
                     &mut tg,
@@ -387,12 +481,15 @@ impl<'a> Optimizer<'a> {
                     &mut stats,
                     &mut seed_counter,
                     &mut refuted,
+                    budget,
+                    &mut net,
                 )?
             };
             let t_delay = t.elapsed();
             let t = std::time::Instant::now();
-            let area_applied = if self.cfg.area_phase {
+            let area_applied = if self.cfg.area_phase && !budget.is_exhausted() {
                 let _phase = telemetry::span("gdo.area_phase");
+                budget.enter_phase(Phase::Area);
                 self.area_round(
                     nl,
                     &mut tg,
@@ -401,6 +498,8 @@ impl<'a> Optimizer<'a> {
                     &mut stats,
                     &mut seed_counter,
                     &mut refuted,
+                    budget,
+                    &mut net,
                 )?
             } else {
                 0
@@ -426,6 +525,12 @@ impl<'a> Optimizer<'a> {
             }
         }
 
+        // Verify any unverified tail of applied rewrites (the only check
+        // `VerifyPolicy::Final` performs). Runs even after budget
+        // exhaustion: a deadline must never skip a requested proof.
+        budget.enter_phase(Phase::Verify);
+        net.finalize(nl, &mut tg)?;
+
         nl.stop_recording();
         {
             let s = nl.stats();
@@ -435,6 +540,18 @@ impl<'a> Optimizer<'a> {
             stats.area_after = total_area(nl, &model);
         }
         stats.cpu_seconds = start.elapsed().as_secs_f64();
+        stats.budget_exhausted = budget.tripped_phase().is_some();
+        stats.verify_checks = net.checks;
+        stats.verify_failures = net.failures;
+        stats.verify_rollbacks = net.rollbacks;
+        stats.quarantined_kinds = net.quarantined.len();
+        if let Some(phase) = budget.tripped_phase() {
+            telemetry::counter_add("budget.exhausted", 1);
+            telemetry::counter_add(cancelled_counter(phase), 1);
+        }
+        if net.skipped > 0 {
+            telemetry::counter_add("quarantine.skipped", net.skipped);
+        }
         Ok(stats)
     }
 
@@ -450,16 +567,25 @@ impl<'a> Optimizer<'a> {
         stats: &mut GdoStats,
         seed: &mut u64,
         refuted: &mut HashSet<Rewrite>,
+        budget: &Budget,
+        net: &mut SafetyNet,
     ) -> Result<usize, GdoError> {
         let mut total = 0;
         for _ in 0..self.cfg.max_delay_rounds {
-            let n2 = self.delay_round(nl, tg, model, false, enable_xor, stats, seed, refuted)?;
+            if budget.is_exhausted() {
+                break;
+            }
+            let n2 = self.delay_round(
+                nl, tg, model, false, enable_xor, stats, seed, refuted, budget, net,
+            )?;
             total += n2;
             if n2 > 0 {
                 continue;
             }
-            if self.cfg.enable_sub3 {
-                let n3 = self.delay_round(nl, tg, model, true, enable_xor, stats, seed, refuted)?;
+            if self.cfg.enable_sub3 && !budget.is_exhausted() {
+                let n3 = self.delay_round(
+                    nl, tg, model, true, enable_xor, stats, seed, refuted, budget, net,
+                )?;
                 total += n3;
                 if n3 > 0 {
                     continue;
@@ -484,6 +610,8 @@ impl<'a> Optimizer<'a> {
         stats: &mut GdoStats,
         seed: &mut u64,
         refuted: &mut HashSet<Rewrite>,
+        budget: &Budget,
+        net: &mut SafetyNet,
     ) -> Result<usize, GdoError> {
         if nl.outputs().is_empty() || nl.inputs().is_empty() {
             return Ok(0);
@@ -548,7 +676,7 @@ impl<'a> Optimizer<'a> {
         let bpfs_span = telemetry::span("gdo.round.bpfs");
         let vectors = VectorSet::random(nl.inputs().len(), self.cfg.vectors, *seed);
         let sim = simulate(nl, &vectors)?;
-        let mut rounds = self.run_c2(nl, &sim, site_cands)?;
+        let mut rounds = self.run_c2(nl, &sim, site_cands, budget)?;
         if use_c3 {
             // Enumerate every site's triple requests first so the C3
             // invalidation fans out across all sites at once.
@@ -569,7 +697,14 @@ impl<'a> Optimizer<'a> {
             let n_triples: u64 = requests.iter().map(|r| r.len() as u64).sum();
             telemetry::counter_add("gdo.funnel.c3.enumerated", n_triples);
             telemetry::counter_add("gdo.funnel.c3.filtered", n_triples);
-            run_c3_threaded(nl, &sim, &mut rounds, requests, self.cfg.threads);
+            run_c3_budgeted(
+                nl,
+                &sim,
+                &mut rounds,
+                requests,
+                self.cfg.threads,
+                Some(budget),
+            );
         }
         drop(bpfs_span);
         let t_bpfs = t0.elapsed();
@@ -643,7 +778,13 @@ impl<'a> Optimizer<'a> {
             if proofs_here >= self.cfg.max_proofs_per_round {
                 break;
             }
+            if budget.is_exhausted() {
+                break;
+            }
             let rw = pvcc.rewrite;
+            if net.is_quarantined(&rw) {
+                continue;
+            }
             if !rw.is_applicable(nl) {
                 continue;
             }
@@ -660,14 +801,21 @@ impl<'a> Optimizer<'a> {
             }
             stats.proofs += 1;
             proofs_here += 1;
+            budget.charge(1);
             telemetry::counter_add(funnel_counter(&rw, FunnelStage::Proofs), 1);
-            if !prove_rewrite_budgeted(
+            if !prove_rewrite_with_budget(
                 nl,
                 self.lib,
                 &rw,
                 self.cfg.prover,
                 self.cfg.conflict_budget,
+                Some(budget),
             )? {
+                if budget.is_exhausted() {
+                    // An interrupted proof is not a genuine refutation:
+                    // do not poison the cache with it.
+                    break;
+                }
                 if !self.cfg.legacy_eval {
                     refuted.insert(rw);
                 }
@@ -676,7 +824,14 @@ impl<'a> Optimizer<'a> {
             stats.proofs_valid += 1;
             telemetry::counter_add(funnel_counter(&rw, FunnelStage::Proved), 1);
             apply_rewrite(nl, self.lib, &rw, true)?;
+            let delta = nl.take_delta();
+            tg.update(nl, model, &delta);
             refuted.clear();
+            if net.check_after_apply(nl, tg, &rw)? {
+                // Verification failed: everything since the last good
+                // checkpoint was rolled back and the class quarantined.
+                continue;
+            }
             telemetry::counter_add(funnel_counter(&rw, FunnelStage::Applied), 1);
             if telemetry::enabled() {
                 telemetry::event(
@@ -691,8 +846,6 @@ impl<'a> Optimizer<'a> {
             }
             count_mod(stats, &rw);
             applied += 1;
-            let delta = nl.take_delta();
-            tg.update(nl, model, &delta);
         }
         drop(apply_span);
         if telemetry::enabled() {
@@ -723,6 +876,8 @@ impl<'a> Optimizer<'a> {
         stats: &mut GdoStats,
         seed: &mut u64,
         refuted: &mut HashSet<Rewrite>,
+        budget: &Budget,
+        net: &mut SafetyNet,
     ) -> Result<usize, GdoError> {
         if nl.outputs().is_empty() || nl.inputs().is_empty() {
             return Ok(0);
@@ -770,7 +925,7 @@ impl<'a> Optimizer<'a> {
         *seed += 1;
         let vectors = VectorSet::random(nl.inputs().len(), self.cfg.vectors, *seed);
         let sim = simulate(nl, &vectors)?;
-        let mut rounds = self.run_c2(nl, &sim, site_cands)?;
+        let mut rounds = self.run_c2(nl, &sim, site_cands, budget)?;
         if self.cfg.enable_sub3 {
             let requests: Vec<Vec<TripleEntry>> = rounds
                 .iter()
@@ -789,7 +944,14 @@ impl<'a> Optimizer<'a> {
             let n_triples: u64 = requests.iter().map(|r| r.len() as u64).sum();
             telemetry::counter_add("gdo.funnel.c3.enumerated", n_triples);
             telemetry::counter_add("gdo.funnel.c3.filtered", n_triples);
-            run_c3_threaded(nl, &sim, &mut rounds, requests, self.cfg.threads);
+            run_c3_budgeted(
+                nl,
+                &sim,
+                &mut rounds,
+                requests,
+                self.cfg.threads,
+                Some(budget),
+            );
         }
 
         let mut pvccs: Vec<(f64, Rewrite)> = Vec::new();
@@ -825,6 +987,12 @@ impl<'a> Optimizer<'a> {
             if applied >= self.cfg.area_batch || proofs_here >= self.cfg.max_proofs_per_round {
                 break;
             }
+            if budget.is_exhausted() {
+                break;
+            }
+            if net.is_quarantined(&rw) {
+                continue;
+            }
             if !rw.is_applicable(nl) {
                 continue;
             }
@@ -844,13 +1012,15 @@ impl<'a> Optimizer<'a> {
                 }
                 stats.proofs += 1;
                 proofs_here += 1;
+                budget.charge(1);
                 telemetry::counter_add(funnel_counter(&rw, FunnelStage::Proofs), 1);
-                if !prove_rewrite_budgeted(
+                if !prove_rewrite_with_budget(
                     nl,
                     self.lib,
                     &rw,
                     self.cfg.prover,
                     self.cfg.conflict_budget,
+                    Some(budget),
                 )? {
                     continue;
                 }
@@ -871,9 +1041,9 @@ impl<'a> Optimizer<'a> {
                 // a substitution, so comparing arrival against the site's
                 // required time decides the delay question without cloning
                 // the netlist or re-running timing analysis per candidate.
-                let budget = site_required(rw.site, tg);
+                let required = site_required(rw.site, tg);
                 let new_arrival = estimate_arrival(nl, self.lib, tg, &rw, false);
-                if new_arrival > budget + tg.eps() {
+                if new_arrival > required + tg.eps() {
                     continue;
                 }
                 // Re-estimate the gain on the evolved netlist: earlier
@@ -886,14 +1056,19 @@ impl<'a> Optimizer<'a> {
                 }
                 stats.proofs += 1;
                 proofs_here += 1;
+                budget.charge(1);
                 telemetry::counter_add(funnel_counter(&rw, FunnelStage::Proofs), 1);
-                if !prove_rewrite_budgeted(
+                if !prove_rewrite_with_budget(
                     nl,
                     self.lib,
                     &rw,
                     self.cfg.prover,
                     self.cfg.conflict_budget,
+                    Some(budget),
                 )? {
+                    if budget.is_exhausted() {
+                        break;
+                    }
                     refuted.insert(rw);
                     continue;
                 }
@@ -919,6 +1094,9 @@ impl<'a> Optimizer<'a> {
                 }
             }
             refuted.clear();
+            if net.check_after_apply(nl, tg, &rw)? {
+                continue;
+            }
             telemetry::counter_add(funnel_counter(&rw, FunnelStage::Applied), 1);
             if telemetry::enabled() {
                 telemetry::event(
@@ -933,6 +1111,167 @@ impl<'a> Optimizer<'a> {
             applied += 1;
         }
         Ok(applied)
+    }
+}
+
+/// Rewrite classes for quarantine bookkeeping: when a checkpoint
+/// verification fails, every class applied since the last good checkpoint
+/// is disabled for the rest of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RewriteClass {
+    Sub2,
+    Sub3,
+    SubConst,
+}
+
+fn rewrite_class(rw: &Rewrite) -> RewriteClass {
+    match rw.kind {
+        RewriteKind::Sub2 { .. } => RewriteClass::Sub2,
+        RewriteKind::Sub3 { .. } => RewriteClass::Sub3,
+        RewriteKind::SubConst { .. } => RewriteClass::SubConst,
+    }
+}
+
+/// Checkpointed verify-with-rollback state for one optimization run.
+///
+/// Inactive policies cost nothing: no checkpoint is ever cloned and every
+/// hook returns immediately. Checkpoints are cloned only at points where
+/// the netlist's edit journal is drained (right after
+/// `TimingGraph::update`), so restoring one never resurrects stale edits.
+struct SafetyNet {
+    policy: VerifyPolicy,
+    checkpoint: Option<(Netlist, TimingGraph)>,
+    /// Rewrites applied since the last verified checkpoint.
+    applied_since: usize,
+    /// Classes of those rewrites — the quarantine set on failure.
+    classes_since: HashSet<RewriteClass>,
+    quarantined: HashSet<RewriteClass>,
+    checks: usize,
+    failures: usize,
+    rollbacks: usize,
+    skipped: u64,
+}
+
+impl SafetyNet {
+    fn new(policy: VerifyPolicy, nl: &Netlist, tg: &TimingGraph) -> SafetyNet {
+        let checkpoint = policy.is_active().then(|| (nl.clone(), tg.clone()));
+        SafetyNet {
+            policy,
+            checkpoint,
+            applied_since: 0,
+            classes_since: HashSet::new(),
+            quarantined: HashSet::new(),
+            checks: 0,
+            failures: 0,
+            rollbacks: 0,
+            skipped: 0,
+        }
+    }
+
+    /// True when the rewrite's class was quarantined by an earlier failed
+    /// verification; counts the skip.
+    fn is_quarantined(&mut self, rw: &Rewrite) -> bool {
+        if self.quarantined.is_empty() {
+            return false;
+        }
+        if self.quarantined.contains(&rewrite_class(rw)) {
+            self.skipped += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records an applied rewrite and, when the policy makes a checkpoint
+    /// due, re-proves equivalence against the last verified netlist.
+    /// Returns `true` when the check failed and `nl`/`tg` were rolled
+    /// back — the caller must not count the rewrite as applied.
+    ///
+    /// Must be called with the edit journal drained (right after
+    /// `TimingGraph::update`).
+    fn check_after_apply(
+        &mut self,
+        nl: &mut Netlist,
+        tg: &mut TimingGraph,
+        rw: &Rewrite,
+    ) -> Result<bool, GdoError> {
+        if self.checkpoint.is_none() {
+            return Ok(false);
+        }
+        self.applied_since += 1;
+        self.classes_since.insert(rewrite_class(rw));
+        let due = match self.policy {
+            VerifyPolicy::Off | VerifyPolicy::Final => false,
+            VerifyPolicy::EveryN(k) => self.applied_since >= k,
+            VerifyPolicy::EachSubstitution => true,
+        };
+        if !due {
+            return Ok(false);
+        }
+        self.verify(nl, tg)
+    }
+
+    /// Verifies any unverified tail of applied rewrites at the end of the
+    /// run (the only check [`VerifyPolicy::Final`] performs).
+    fn finalize(&mut self, nl: &mut Netlist, tg: &mut TimingGraph) -> Result<bool, GdoError> {
+        if self.checkpoint.is_none() || self.applied_since == 0 {
+            return Ok(false);
+        }
+        self.verify(nl, tg)
+    }
+
+    fn verify(&mut self, nl: &mut Netlist, tg: &mut TimingGraph) -> Result<bool, GdoError> {
+        let _span = telemetry::span("gdo.verify");
+        self.checks += 1;
+        let ok = match &self.checkpoint {
+            Some((cp_nl, _)) => netlists_equivalent(cp_nl, nl)?,
+            None => return Ok(false),
+        };
+        if ok {
+            self.checkpoint = Some((nl.clone(), tg.clone()));
+            self.applied_since = 0;
+            self.classes_since.clear();
+            return Ok(false);
+        }
+        self.failures += 1;
+        self.rollbacks += 1;
+        if let Some((cp_nl, cp_tg)) = &self.checkpoint {
+            *nl = cp_nl.clone();
+            *tg = cp_tg.clone();
+        }
+        self.quarantined.extend(self.classes_since.drain());
+        self.applied_since = 0;
+        if telemetry::enabled() {
+            telemetry::event(
+                "gdo.verify.rollback",
+                &[("quarantined", format!("{:?}", self.quarantined).into())],
+            );
+        }
+        Ok(true)
+    }
+}
+
+/// Equivalence oracle for checkpoint verification: exhaustive simulation
+/// for tiny interfaces, a SAT miter otherwise.
+fn netlists_equivalent(reference: &Netlist, candidate: &Netlist) -> Result<bool, GdoError> {
+    if reference.inputs().len() <= 12 {
+        return Ok(reference.equiv_exhaustive(candidate)?);
+    }
+    match sat::check_equiv(reference, candidate) {
+        Ok(eq) => Ok(eq),
+        Err(sat::EquivError::Netlist(e)) => Err(e.into()),
+        // A changed PI/PO interface is by definition not equivalent.
+        Err(_) => Ok(false),
+    }
+}
+
+/// Static counter name for the phase where the budget first tripped.
+fn cancelled_counter(phase: Phase) -> &'static str {
+    match phase {
+        Phase::Setup => "budget.cancelled_at_phase.setup",
+        Phase::Delay => "budget.cancelled_at_phase.delay",
+        Phase::Area => "budget.cancelled_at_phase.area",
+        Phase::Verify => "budget.cancelled_at_phase.verify",
     }
 }
 
@@ -1270,5 +1609,116 @@ mod tests {
             .optimize(&mut nl)
             .unwrap();
         assert_eq!(stats.total_mods(), 0);
+    }
+
+    /// A circuit GDO normally improves — shared by the fail-safe tests.
+    fn improvable_netlist() -> Netlist {
+        let mut nl = Netlist::new("dup");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_input("d");
+        let short = nl.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        let t1 = nl.add_gate(GateKind::Xor, &[a, c]).unwrap();
+        let t2 = nl.add_gate(GateKind::Xor, &[b, c]).unwrap();
+        let deep = nl.add_gate(GateKind::Xor, &[t1, t2]).unwrap();
+        let y = nl.add_gate(GateKind::And, &[deep, d]).unwrap();
+        nl.add_output("s", short);
+        nl.add_output("y", y);
+        nl
+    }
+
+    #[test]
+    fn builder_rejects_every_n_zero() {
+        match GdoConfig::builder()
+            .verify_policy(VerifyPolicy::EveryN(0))
+            .build()
+        {
+            Err(GdoError::Config(msg)) => assert!(msg.contains("positive"), "{msg}"),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+        assert!(GdoConfig::builder()
+            .verify_policy(VerifyPolicy::EveryN(3))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn zero_deadline_returns_valid_untouched_netlist() {
+        let nl = improvable_netlist();
+        let lib = standard_library();
+        let mut mapped = Mapper::new(&lib).goal(MapGoal::Area).map(&nl).unwrap();
+        let cfg = GdoConfig::builder()
+            .deadline(std::time::Duration::ZERO)
+            .build()
+            .unwrap();
+        let stats = Optimizer::new(&lib, cfg).optimize(&mut mapped).unwrap();
+        assert!(stats.budget_exhausted, "zero deadline must trip the budget");
+        assert_eq!(stats.total_mods(), 0);
+        assert!(!mapped.is_recording());
+        mapped.validate().unwrap();
+        assert!(nl.equiv_exhaustive(&mapped).unwrap());
+    }
+
+    #[test]
+    fn work_limit_exhausts_gracefully() {
+        let nl = improvable_netlist();
+        let lib = standard_library();
+        let mut mapped = Mapper::new(&lib).goal(MapGoal::Area).map(&nl).unwrap();
+        // One work unit: the first BPFS site survey spends it.
+        let cfg = GdoConfig::builder().work_limit(1).build().unwrap();
+        let stats = Optimizer::new(&lib, cfg).optimize(&mut mapped).unwrap();
+        assert!(stats.budget_exhausted);
+        mapped.validate().unwrap();
+        assert!(
+            nl.equiv_exhaustive(&mapped).unwrap(),
+            "partial run must still be equivalent"
+        );
+    }
+
+    #[test]
+    fn cancel_handle_stops_the_run_up_front() {
+        let nl = improvable_netlist();
+        let lib = standard_library();
+        let mut mapped = Mapper::new(&lib).goal(MapGoal::Area).map(&nl).unwrap();
+        let budget = Budget::unlimited();
+        budget.cancel_handle().cancel();
+        let stats = Optimizer::new(&lib, GdoConfig::default())
+            .optimize_with_budget(&mut mapped, &budget)
+            .unwrap();
+        assert!(stats.budget_exhausted);
+        assert_eq!(stats.total_mods(), 0);
+        assert!(budget.was_cancelled_externally());
+        assert!(nl.equiv_exhaustive(&mapped).unwrap());
+    }
+
+    #[test]
+    fn verified_run_matches_unverified_result() {
+        let nl = improvable_netlist();
+        let (_, plain) = optimize_and_check(&nl, GdoConfig::default());
+        let cfg = GdoConfig::builder()
+            .verify_policy(VerifyPolicy::EachSubstitution)
+            .build()
+            .unwrap();
+        let (_, verified) = optimize_and_check(&nl, cfg);
+        assert!(verified.verify_checks > 0, "policy must actually check");
+        assert_eq!(verified.verify_failures, 0);
+        assert_eq!(verified.verify_rollbacks, 0);
+        assert_eq!(verified.quarantined_kinds, 0);
+        assert_eq!(verified.delay_after, plain.delay_after);
+        assert_eq!(verified.total_mods(), plain.total_mods());
+    }
+
+    #[test]
+    fn final_policy_verifies_once_at_the_end() {
+        let nl = improvable_netlist();
+        let cfg = GdoConfig::builder()
+            .verify_policy(VerifyPolicy::Final)
+            .build()
+            .unwrap();
+        let (_, stats) = optimize_and_check(&nl, cfg);
+        assert!(stats.total_mods() > 0);
+        assert_eq!(stats.verify_checks, 1);
+        assert_eq!(stats.verify_failures, 0);
     }
 }

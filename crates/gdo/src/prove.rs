@@ -15,7 +15,7 @@
 //!   "ATPG ... enables the optimization of circuits for which BDD
 //!   representations become too large".
 
-use crate::{transform, GdoError, Rewrite};
+use crate::{transform, Budget, GdoError, Rewrite};
 use library::Library;
 use netlist::Netlist;
 use sat::ClauseProver;
@@ -66,7 +66,36 @@ pub fn prove_rewrite_budgeted(
     prover: ProverKind,
     conflict_budget: u64,
 ) -> Result<bool, GdoError> {
+    prove_rewrite_with_budget(nl, lib, rw, prover, conflict_budget, None)
+}
+
+/// Like [`prove_rewrite_budgeted`] under a run [`Budget`]: the proof is
+/// skipped outright when the budget is already exhausted, and the
+/// budget's interrupt flag and deadline reach into the SAT search so an
+/// in-flight query gives up at its next conflict. A proof abandoned for
+/// budget reasons counts as *not proven* (never cached as refuted by the
+/// optimizer) and bumps the `prove.budget_refuted` counter.
+///
+/// The BDD path is bounded by its own node limit; the budget is checked
+/// before the (bounded) BDD build, and its SAT fallback honours the
+/// interrupt like every other SAT query.
+///
+/// # Errors
+///
+/// Same as [`prove_rewrite`].
+pub fn prove_rewrite_with_budget(
+    nl: &Netlist,
+    lib: &Library,
+    rw: &Rewrite,
+    prover: ProverKind,
+    conflict_budget: u64,
+    budget: Option<&Budget>,
+) -> Result<bool, GdoError> {
     let _span = telemetry::span("gdo.prove");
+    if budget.is_some_and(Budget::is_exhausted) {
+        telemetry::counter_add("prove.budget_refuted", 1);
+        return Ok(false);
+    }
     match prover {
         ProverKind::SatClause => {
             // Restrict the encoding to the support of the fault cone and
@@ -78,8 +107,16 @@ pub fn prove_rewrite_budgeted(
                 .collect();
             let mut p = ClauseProver::with_support(nl, rw.site.fault(), &support)?;
             p.set_conflict_budget(conflict_budget);
+            if let Some(b) = budget {
+                p.set_interrupt(b.interrupt_flag(), b.deadline());
+            }
             let valid = clauses.iter().all(|clause| p.is_valid(clause));
             record_sat_stats(p.stats());
+            if !valid && budget.is_some_and(Budget::is_exhausted) {
+                // The failure is (at least partly) the budget's doing:
+                // report it as skipped work, not as a refutation.
+                telemetry::counter_add("prove.budget_refuted", 1);
+            }
             Ok(valid)
         }
         ProverKind::BddEquiv { node_limit } => {

@@ -128,6 +128,8 @@ pub fn apply_rewrite(
     fast: bool,
 ) -> Result<(), GdoError> {
     let replacement = realize_replacement(nl, lib, rw, fast)?;
+    #[cfg(feature = "fault-inject")]
+    let replacement = fault::maybe_corrupt(nl, lib, replacement, fast)?;
     match rw.site {
         Site::Stem(a) => {
             nl.substitute_stem(a, replacement)?;
@@ -263,6 +265,52 @@ pub fn estimate_area_delta(nl: &Netlist, lib: &Library, rw: &Rewrite, fast: bool
         }
     };
     saved - added
+}
+
+/// Test-only fault injection (cargo feature `fault-inject`): corrupts an
+/// applied rewrite by inverting its replacement signal, so tests can
+/// prove that the verify-with-rollback safety net catches a bad
+/// transform end to end. Not compiled into default builds.
+#[cfg(feature = "fault-inject")]
+pub mod fault {
+    use super::{pick_or_err, GateKind, GdoError, Library, Netlist, SignalId};
+    use std::sync::atomic::{AtomicI64, Ordering};
+
+    /// Rewrites left before one gets corrupted; negative = disarmed.
+    static COUNTDOWN: AtomicI64 = AtomicI64::new(-1);
+
+    /// Arms the hook: the `nth` rewrite applied from now on (`0` = the
+    /// very next one) has its replacement signal inverted, then the hook
+    /// disarms itself. Process-global — tests sharing a binary must
+    /// serialize around it.
+    pub fn arm(nth: u64) {
+        COUNTDOWN.store(nth as i64, Ordering::SeqCst);
+    }
+
+    /// Disarms the hook without firing.
+    pub fn disarm() {
+        COUNTDOWN.store(-1, Ordering::SeqCst);
+    }
+
+    pub(super) fn maybe_corrupt(
+        nl: &mut Netlist,
+        lib: &Library,
+        replacement: SignalId,
+        fast: bool,
+    ) -> Result<SignalId, GdoError> {
+        if COUNTDOWN.load(Ordering::SeqCst) < 0 {
+            return Ok(replacement);
+        }
+        if COUNTDOWN.fetch_sub(1, Ordering::SeqCst) != 0 {
+            return Ok(replacement);
+        }
+        // Invert the replacement: structurally valid, functionally wrong —
+        // exactly the class of bug checkpoint verification must catch.
+        let cell = pick_or_err(lib, GateKind::Not, 1, fast)?;
+        let g = nl.add_gate(GateKind::Not, &[replacement])?;
+        nl.set_lib(g, Some(cell.tag()))?;
+        Ok(g)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,107 @@
+//! No-panic fuzzing for the genlib and mapped-BLIF parsers: byte soup,
+//! token soup, and single-byte mutations / truncations of valid inputs
+//! must return `Err` or a well-formed result — never panic.
+
+use library::{parse_genlib, parse_mapped_blif, standard_library, STANDARD_GENLIB};
+use proptest::prelude::*;
+
+const VALID_MAPPED_BLIF: &str = "\
+.model sample
+.inputs a b
+.outputs y
+.gate nand2 a=a b=b O=t
+.gate inv1 a=t O=y
+.end
+";
+
+const GENLIB_TOKENS: &[&str] = &[
+    "GATE",
+    "PIN",
+    "*",
+    "INV",
+    "NONINV",
+    "UNKNOWN",
+    "O=",
+    "!",
+    "(",
+    ")",
+    "+",
+    "*",
+    ";",
+    "a",
+    "b",
+    "nand2",
+    "1.0",
+    "999",
+    "0.2",
+    "\n",
+    " ",
+    "O=!(a*b);",
+    "O=CONST0;",
+    "O=CONST1;",
+];
+
+const MAPPED_TOKENS: &[&str] = &[
+    ".model", ".inputs", ".outputs", ".gate", ".end", "nand2", "inv1", "and2", "a=", "b=", "O=",
+    "a", "b", "y", "t", "\n", " ", "#c", "=",
+];
+
+fn token_soup(vocab: &'static [&'static str]) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..vocab.len(), 0..64)
+        .prop_map(move |picks| picks.into_iter().map(|i| vocab[i]).collect())
+}
+
+fn mutate(base: &str, at: usize, with: u8, cut: usize) -> String {
+    let mut bytes = base.as_bytes().to_vec();
+    let at = at % bytes.len();
+    bytes[at] = with;
+    bytes.truncate(cut % (bytes.len() + 1));
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn genlib_survives_byte_soup(bytes in proptest::collection::vec(0u8..=255u8, 0..512)) {
+        let _ = parse_genlib("fuzz", &String::from_utf8_lossy(&bytes));
+    }
+
+    #[test]
+    fn genlib_survives_token_soup(text in token_soup(GENLIB_TOKENS)) {
+        let _ = parse_genlib("fuzz", &text);
+    }
+
+    #[test]
+    fn genlib_survives_mutation(at in 0usize..100_000, with in 0u8..=255u8, cut in 0usize..100_000) {
+        let _ = parse_genlib("fuzz", &mutate(STANDARD_GENLIB, at, with, cut));
+    }
+
+    #[test]
+    fn mapped_blif_survives_byte_soup(bytes in proptest::collection::vec(0u8..=255u8, 0..512)) {
+        let lib = standard_library();
+        if let Ok(nl) = parse_mapped_blif(&lib, &String::from_utf8_lossy(&bytes)) {
+            nl.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn mapped_blif_survives_token_soup(text in token_soup(MAPPED_TOKENS)) {
+        let lib = standard_library();
+        if let Ok(nl) = parse_mapped_blif(&lib, &text) {
+            nl.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn mapped_blif_survives_mutation(
+        at in 0usize..10_000,
+        with in 0u8..=255u8,
+        cut in 0usize..10_000,
+    ) {
+        let lib = standard_library();
+        if let Ok(nl) = parse_mapped_blif(&lib, &mutate(VALID_MAPPED_BLIF, at, with, cut)) {
+            nl.validate().unwrap();
+        }
+    }
+}

@@ -62,4 +62,4 @@ pub use id::SignalId;
 pub use kind::{Arity, GateKind};
 pub use netlist::{Netlist, PrimaryOutput};
 pub use stats::NetlistStats;
-pub use validate::ValidateError;
+pub use validate::{ValidateError, CYCLE_MEMBER_CAP};

@@ -243,6 +243,23 @@ impl ClauseProver {
         self.conflict_budget = conflicts;
     }
 
+    /// Wires a run-level interrupt into the underlying solver: when
+    /// `flag` is raised (or `deadline` passes mid-search), the active
+    /// query gives up and counts as *not proven valid* — the cooperative
+    /// cancellation point inside a SAT search. See
+    /// [`Solver::set_interrupt`](crate::Solver::set_interrupt).
+    pub fn set_interrupt(
+        &mut self,
+        flag: std::sync::Arc<std::sync::atomic::AtomicBool>,
+        deadline: Option<std::time::Instant>,
+    ) {
+        let solver = self.enc.solver_mut();
+        solver.set_interrupt(flag);
+        if let Some(d) = deadline {
+            solver.set_deadline(d);
+        }
+    }
+
     /// Decides whether the clause `(!O_a + lits...)` is valid, where each
     /// entry `(s, positive)` contributes the literal `s` or `!s`.
     ///

@@ -107,6 +107,8 @@ pub struct Solver {
     seen: Vec<bool>,
     ok: bool,
     stats: SolverStats,
+    interrupt: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    deadline: Option<std::time::Instant>,
 }
 
 impl Solver {
@@ -153,6 +155,24 @@ impl Solver {
     #[must_use]
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// Installs a shared interrupt flag: once it is raised, an in-flight
+    /// [`solve_limited`](Self::solve_limited) gives up and returns
+    /// `None` — this is how a run-level deadline or cancellation reaches
+    /// into a SAT search. Do not combine with [`solve`](Self::solve),
+    /// which has no way to report an interrupted search.
+    pub fn set_interrupt(&mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) {
+        self.interrupt = Some(flag);
+    }
+
+    /// Installs an absolute wall-clock deadline, polled every few
+    /// hundred search steps by [`solve_limited`](Self::solve_limited)
+    /// (which then returns `None`). Complements
+    /// [`set_interrupt`](Self::set_interrupt) for callers that cannot
+    /// poll the clock while a query runs.
+    pub fn set_deadline(&mut self, deadline: std::time::Instant) {
+        self.deadline = Some(deadline);
     }
 
     /// Adds a clause. Returns `false` if the solver is already in an
@@ -229,10 +249,26 @@ impl Solver {
         let mut budget = 64u64 * luby(restart_count);
         let mut conflicts_here = 0u64;
         let mut conflicts_total = 0u64;
+        let mut steps = 0u64;
         loop {
+            steps += 1;
             if conflicts_total >= max_conflicts {
                 self.backtrack(0);
                 return None;
+            }
+            if let Some(flag) = &self.interrupt {
+                if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    self.backtrack(0);
+                    return None;
+                }
+            }
+            if steps & 0x3FF == 0 {
+                if let Some(d) = self.deadline {
+                    if std::time::Instant::now() >= d {
+                        self.backtrack(0);
+                        return None;
+                    }
+                }
             }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;

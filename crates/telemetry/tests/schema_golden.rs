@@ -26,6 +26,11 @@ fn fixed_report() -> RunReport {
     report.counters.insert("gdo.funnel.c2.proofs".into(), 9);
     report.counters.insert("gdo.funnel.c2.proved".into(), 7);
     report.counters.insert("gdo.funnel.c2.applied".into(), 5);
+    report.counters.insert("budget.exhausted".into(), 0);
+    report.counters.insert("verify.checks".into(), 2);
+    report.counters.insert("verify.failures".into(), 0);
+    report.counters.insert("verify.rollbacks".into(), 0);
+    report.counters.insert("quarantine.kinds".into(), 0);
     report.counters.insert("sat.conflicts".into(), 42);
     report.counters.insert("sta.full_recomputes".into(), 1);
     report.counters.insert("sta.incremental_updates".into(), 5);
