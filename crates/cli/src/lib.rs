@@ -193,6 +193,12 @@ impl Options {
                     println!("{}", usage());
                     return Ok(None);
                 }
+                "--list-circuits" => {
+                    for name in workloads::circuit_names() {
+                        println!("{name}");
+                    }
+                    return Ok(None);
+                }
                 "-o" | "--output" => out.output = Some(PathBuf::from(need("--output")?)),
                 "-l" | "--library" => out.library = Some(PathBuf::from(need("--library")?)),
                 "--map-goal" => {
@@ -333,6 +339,7 @@ pub fn usage() -> &'static str {
                               rolling back and quarantining on failure\n\
      --verify-every N         like --verify-each, every N substitutions\n\
      --allow-degraded         exit 0 even when a verification rollback fired\n\
+     --list-circuits          print the workload suite circuit names and exit\n\
      --stats                  print detailed statistics\n\
      --trace-out FILE         stream telemetry events as NDJSON to FILE\n\
      --report-json FILE       write the aggregated telemetry report as JSON\n\
@@ -672,6 +679,13 @@ mod tests {
     #[test]
     fn help_short_circuits() {
         assert!(opts(&["--help"]).unwrap().is_none());
+    }
+
+    #[test]
+    fn list_circuits_short_circuits() {
+        // Like --help: prints (the suite names) and asks the caller to
+        // exit successfully without running the pipeline.
+        assert!(opts(&["--list-circuits"]).unwrap().is_none());
     }
 
     #[test]

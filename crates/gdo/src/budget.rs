@@ -149,11 +149,18 @@ impl Budget {
     }
 
     /// Charges `units` of abstract work (sites surveyed, proofs issued)
-    /// against the ceiling.
+    /// against the ceiling. Work is tallied even without a ceiling so
+    /// callers (the serving layer's aggregate work accounting) can read
+    /// back what a run consumed via [`work_done`](Self::work_done).
     pub fn charge(&self, units: u64) {
-        if self.work_limit.is_some() {
-            self.work_done.fetch_add(units, Ordering::Relaxed);
-        }
+        self.work_done.fetch_add(units, Ordering::Relaxed);
+    }
+
+    /// Abstract work units charged so far — what the run has consumed,
+    /// whether or not a ceiling is set.
+    #[must_use]
+    pub fn work_done(&self) -> u64 {
+        self.work_done.load(Ordering::Relaxed)
     }
 
     /// Records the phase the pipeline is entering, so a later trip can
@@ -269,6 +276,15 @@ mod tests {
         assert!(b.is_exhausted());
         assert_eq!(b.tripped_phase(), Some(Phase::Delay));
         assert!(!b.was_cancelled_externally());
+    }
+
+    #[test]
+    fn work_is_tallied_without_a_ceiling() {
+        let b = Budget::unlimited();
+        b.charge(7);
+        b.charge(3);
+        assert_eq!(b.work_done(), 10);
+        assert!(!b.is_exhausted());
     }
 
     #[test]

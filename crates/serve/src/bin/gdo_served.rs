@@ -1,0 +1,201 @@
+//! `gdo-served` — the batch-optimization server.
+//!
+//! ```text
+//! gdo-served [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!            [--admission block|reject] [--library FILE.genlib]
+//!            [--work-ceiling UNITS] [--verify POLICY] [--seed N]
+//!            [--batch]
+//! ```
+//!
+//! TCP mode (default) prints the bound address on stdout (`listening
+//! HOST:PORT`) and serves NDJSON connections until a client sends
+//! `{"op":"drain"}`. `--batch` instead reads request lines from stdin,
+//! writes events to stdout, and drains at EOF — no socket involved.
+
+use serve::{output_from, Admission, Server, ServerConfig};
+use std::io::Write;
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> String {
+    "usage: gdo-served [options]\n\
+     \n\
+     options:\n\
+       --addr HOST:PORT         listen address (default 127.0.0.1:0; port 0 = ephemeral)\n\
+       --workers N              worker threads (default 2)\n\
+       --queue-cap N            bounded queue capacity (default 16)\n\
+       --admission block|reject full-queue policy (default block)\n\
+       --library FILE           genlib cell library (default: built-in)\n\
+       --work-ceiling UNITS     server-wide aggregate optimizer work ceiling\n\
+       --verify POLICY          default verify policy: off|final|each|every:N (default final)\n\
+       --seed N                 default BPFS seed (default 1995)\n\
+       --batch                  serve stdin/stdout NDJSON instead of TCP; drain at EOF\n\
+       --help                   print this help\n"
+        .to_string()
+}
+
+struct Options {
+    addr: String,
+    batch: bool,
+    cfg: ServerConfig,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        addr: "127.0.0.1:0".to_string(),
+        batch: false,
+        cfg: ServerConfig::default(),
+    };
+    let mut it = args.iter();
+    let need = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return Ok(None);
+            }
+            "--addr" => opts.addr = need(&mut it, "--addr")?,
+            "--batch" => opts.batch = true,
+            "--workers" => {
+                opts.cfg.workers = need(&mut it, "--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs a positive integer".to_string())?;
+                if opts.cfg.workers == 0 {
+                    return Err("--workers must be positive".to_string());
+                }
+            }
+            "--queue-cap" => {
+                opts.cfg.queue_cap = need(&mut it, "--queue-cap")?
+                    .parse()
+                    .map_err(|_| "--queue-cap needs a positive integer".to_string())?;
+                if opts.cfg.queue_cap == 0 {
+                    return Err("--queue-cap must be positive".to_string());
+                }
+            }
+            "--admission" => {
+                let v = need(&mut it, "--admission")?;
+                opts.cfg.admission = Admission::from_name(&v)
+                    .ok_or_else(|| format!("--admission must be block or reject, got {v:?}"))?;
+            }
+            "--library" => {
+                let path = need(&mut it, "--library")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read library {path}: {e}"))?;
+                opts.cfg.library =
+                    library::parse_genlib(&path, &text).map_err(|e| e.to_string())?;
+            }
+            "--work-ceiling" => {
+                opts.cfg.work_ceiling = Some(
+                    need(&mut it, "--work-ceiling")?
+                        .parse()
+                        .map_err(|_| "--work-ceiling needs an integer".to_string())?,
+                );
+            }
+            "--verify" => {
+                opts.cfg.default_verify =
+                    serve::protocol::parse_verify(&need(&mut it, "--verify")?)?;
+            }
+            "--seed" => {
+                opts.cfg.default_seed = need(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_string())?;
+            }
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gdo-served: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.batch {
+        let server = Server::new(opts.cfg);
+        let out = output_from(std::io::stdout());
+        server.run_batch(std::io::stdin().lock(), &out);
+        return ExitCode::SUCCESS;
+    }
+    let listener = match TcpListener::bind(&opts.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("gdo-served: cannot bind {}: {e}", opts.addr);
+            return ExitCode::from(5);
+        }
+    };
+    match listener.local_addr() {
+        Ok(addr) => {
+            println!("listening {addr}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("gdo-served: {e}");
+            return ExitCode::from(5);
+        }
+    }
+    let server = Arc::new(Server::new(opts.cfg));
+    if let Err(e) = server.serve(&listener) {
+        eprintln!("gdo-served: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_the_full_flag_set() {
+        let opts = parse_args(&argv(&[
+            "--addr",
+            "127.0.0.1:7199",
+            "--workers",
+            "4",
+            "--queue-cap",
+            "8",
+            "--admission",
+            "reject",
+            "--work-ceiling",
+            "5000",
+            "--verify",
+            "every:8",
+            "--seed",
+            "7",
+            "--batch",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.addr, "127.0.0.1:7199");
+        assert_eq!(opts.cfg.workers, 4);
+        assert_eq!(opts.cfg.queue_cap, 8);
+        assert_eq!(opts.cfg.admission, Admission::Reject);
+        assert_eq!(opts.cfg.work_ceiling, Some(5000));
+        assert_eq!(opts.cfg.default_seed, 7);
+        assert!(opts.batch);
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(parse_args(&argv(&["--workers", "0"])).is_err());
+        assert!(parse_args(&argv(&["--queue-cap", "0"])).is_err());
+        assert!(parse_args(&argv(&["--admission", "maybe"])).is_err());
+        assert!(parse_args(&argv(&["--frobnicate"])).is_err());
+        assert!(parse_args(&argv(&["--workers"])).is_err());
+    }
+}

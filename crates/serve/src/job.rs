@@ -1,0 +1,280 @@
+//! Job specification and execution: what one queued optimization is,
+//! and how a worker runs it (load → map → optimize under a [`Budget`]
+//! → per-job [`RunReport`]).
+
+use gdo::{Budget, GdoConfig, GdoStats, Optimizer, VerifyPolicy};
+use library::{Library, MapGoal, Mapper};
+use netlist::Netlist;
+use std::path::PathBuf;
+use std::time::Duration;
+use telemetry::RunReport;
+
+use crate::protocol::verify_name;
+use crate::queue::Priority;
+
+/// Where a job's circuit comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobSource {
+    /// A named entry of the workload suite ([`workloads::lookup_circuit`]).
+    Suite(String),
+    /// A `.bench` / `.blif` netlist file readable by the server process.
+    File(PathBuf),
+}
+
+impl JobSource {
+    /// A short human-readable description for events and errors.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            JobSource::Suite(name) => name.clone(),
+            JobSource::File(path) => path.display().to_string(),
+        }
+    }
+}
+
+/// One fully-specified job, defaults applied — what sits in the queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Unique job id (client-chosen or server-assigned `job-N`).
+    pub id: String,
+    /// What to optimize.
+    pub source: JobSource,
+    /// Wall-clock budget for the optimization stage.
+    pub deadline: Option<Duration>,
+    /// Deterministic work-unit ceiling (before aggregate clamping).
+    pub work_limit: Option<u64>,
+    /// BPFS seed. Per-job: two jobs with the same spec produce the same
+    /// vector streams and therefore byte-identical report funnels, no
+    /// matter which worker runs them.
+    pub seed: u64,
+    /// BPFS vectors per round (`None` = optimizer default).
+    pub vectors: Option<usize>,
+    /// Checkpointed verify-with-rollback policy.
+    pub verify: VerifyPolicy,
+    /// Queue lane.
+    pub priority: Priority,
+}
+
+/// How a finished job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Full run, nothing cut short.
+    Done,
+    /// Valid result, but the budget expired or a verification rolled
+    /// back — the serving analogue of `gdo-opt` exit code 4.
+    Degraded,
+    /// Cancelled through the job's [`gdo::CancelHandle`].
+    Cancelled,
+}
+
+/// What a worker hands back for a job that ran.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Resolved circuit name.
+    pub circuit: String,
+    /// Optimizer statistics.
+    pub stats: GdoStats,
+    /// The per-job report (stats merged, job metadata filled).
+    pub report: RunReport,
+    /// How the run ended.
+    pub outcome: JobOutcome,
+}
+
+/// Loads a job's netlist: suite entries are generated, files parsed by
+/// extension (`.bench` / `.blif`; BLIF with `.gate` lines is read as a
+/// mapped netlist against `lib`). Returns the netlist and whether it is
+/// already mapped.
+///
+/// # Errors
+///
+/// A display string naming the source: unknown suite entries list the
+/// valid names, file problems carry the IO/parse error.
+pub fn load_job_netlist(lib: &Library, source: &JobSource) -> Result<(Netlist, bool), String> {
+    let (nl, mapped) = match source {
+        JobSource::Suite(name) => {
+            let entry = workloads::lookup_circuit(name).map_err(|e| e.to_string())?;
+            (entry.build(), false)
+        }
+        JobSource::File(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+            match path.extension().and_then(|e| e.to_str()) {
+                Some("bench") => (
+                    formats::parse_bench(&text).map_err(|e| format!("{}: {e}", path.display()))?,
+                    false,
+                ),
+                Some("blif") => {
+                    if text.lines().any(|l| l.trim_start().starts_with(".gate")) {
+                        (
+                            library::parse_mapped_blif(lib, &text)
+                                .map_err(|e| format!("{}: {e}", path.display()))?,
+                            true,
+                        )
+                    } else {
+                        (
+                            formats::parse_blif(&text)
+                                .map_err(|e| format!("{}: {e}", path.display()))?,
+                            false,
+                        )
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "{}: cannot infer format from extension {other:?} (use .bench or .blif)",
+                        path.display()
+                    ))
+                }
+            }
+        }
+    };
+    nl.validate()
+        .map_err(|e| format!("invalid input netlist {}: {e}", source.describe()))?;
+    Ok((nl, mapped))
+}
+
+/// Runs one job on a worker's library under `budget`: load, map (area
+/// goal, skipped for pre-mapped inputs), optimize, and assemble the
+/// per-job [`RunReport`].
+///
+/// The spec's own `deadline`/`work_limit` are *not* consulted here — the
+/// caller derives `budget` from them (plus the server-wide work
+/// ceiling), so cancellation and aggregate accounting stay in one place.
+///
+/// # Errors
+///
+/// A display string (load/parse/map/optimizer failure) for the job's
+/// `failed` event.
+pub fn run_job(lib: &Library, spec: &JobSpec, budget: &Budget) -> Result<JobResult, String> {
+    let (source_nl, mapped_input) = load_job_netlist(lib, &spec.source)?;
+    let mut nl = if mapped_input {
+        source_nl
+    } else {
+        Mapper::new(lib)
+            .goal(MapGoal::Area)
+            .map(&source_nl)
+            .map_err(|e| format!("mapping {} failed: {e}", source_nl.name()))?
+    };
+
+    let mut cfg = GdoConfig::builder()
+        .seed(spec.seed)
+        .verify_policy(spec.verify);
+    if let Some(vectors) = spec.vectors {
+        cfg = cfg.vectors(vectors);
+    }
+    // One BPFS thread per job: the worker pool is the parallelism axis
+    // of the server, and a single-threaded inner loop keeps a job's cost
+    // predictable no matter how many workers share the machine.
+    let cfg = cfg.threads(1).build().map_err(|e| e.to_string())?;
+
+    let circuit = nl.name().to_string();
+    let stats = Optimizer::new(lib, cfg)
+        .optimize_with_budget(&mut nl, budget)
+        .map_err(|e| format!("optimizing {circuit} failed: {e}"))?;
+
+    let mut report = RunReport::default();
+    report.meta.insert("job".into(), spec.id.clone());
+    report.meta.insert("circuit".into(), circuit.clone());
+    report.meta.insert("seed".into(), spec.seed.to_string());
+    report
+        .meta
+        .insert("verify".into(), verify_name(spec.verify));
+    stats.merge_into_report(&mut report);
+
+    let outcome = if budget.was_cancelled_externally() {
+        JobOutcome::Cancelled
+    } else if stats.budget_exhausted || stats.verify_rollbacks > 0 {
+        JobOutcome::Degraded
+    } else {
+        JobOutcome::Done
+    };
+    Ok(JobResult {
+        circuit,
+        stats,
+        report,
+        outcome,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(source: JobSource) -> JobSpec {
+        JobSpec {
+            id: "t1".to_string(),
+            source,
+            deadline: None,
+            work_limit: None,
+            seed: 1995,
+            vectors: Some(64),
+            verify: VerifyPolicy::Off,
+            priority: Priority::Normal,
+        }
+    }
+
+    #[test]
+    fn suite_job_runs_end_to_end() {
+        let lib = library::standard_library();
+        let s = spec(JobSource::Suite("Z5xp1".to_string()));
+        let budget = Budget::unlimited();
+        let result = run_job(&lib, &s, &budget).unwrap();
+        assert_eq!(result.circuit, "Z5xp1");
+        assert_eq!(result.outcome, JobOutcome::Done);
+        assert!(result.stats.gates_after > 0);
+        assert_eq!(result.report.meta["job"], "t1");
+        assert_eq!(result.report.meta["circuit"], "Z5xp1");
+        telemetry::validate_json(&result.report.to_json()).unwrap();
+    }
+
+    #[test]
+    fn unknown_suite_entry_lists_valid_names() {
+        let lib = library::standard_library();
+        let s = spec(JobSource::Suite("nope".to_string()));
+        let err = run_job(&lib, &s, &Budget::unlimited()).unwrap_err();
+        assert!(err.contains("valid names"), "{err}");
+        assert!(err.contains("Z5xp1"), "{err}");
+    }
+
+    #[test]
+    fn file_job_reads_bench() {
+        let dir = std::env::temp_dir().join(format!("gdo_serve_job_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sym.bench");
+        let nl = workloads::sym_detector(5, 1, 3);
+        let subject = library::to_subject_graph(&nl).unwrap();
+        std::fs::write(&path, formats::write_bench(&subject).unwrap()).unwrap();
+        let lib = library::standard_library();
+        let result = run_job(&lib, &spec(JobSource::File(path)), &Budget::unlimited()).unwrap();
+        assert_eq!(result.outcome, JobOutcome::Done);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn exhausted_work_limit_reports_degraded() {
+        let lib = library::standard_library();
+        let s = spec(JobSource::Suite("9sym".to_string()));
+        let budget = Budget::new(None, Some(1));
+        let result = run_job(&lib, &s, &budget).unwrap();
+        assert_eq!(result.outcome, JobOutcome::Degraded);
+        assert!(result.stats.budget_exhausted);
+        assert_eq!(result.report.counters["budget.exhausted"], 1);
+    }
+
+    #[test]
+    fn cancelled_budget_reports_cancelled() {
+        let lib = library::standard_library();
+        let s = spec(JobSource::Suite("9sym".to_string()));
+        let budget = Budget::unlimited();
+        budget.cancel_handle().cancel();
+        let result = run_job(&lib, &s, &budget).unwrap();
+        assert_eq!(result.outcome, JobOutcome::Cancelled);
+    }
+
+    #[test]
+    fn missing_file_fails_with_path() {
+        let lib = library::standard_library();
+        let s = spec(JobSource::File("/nonexistent/x.bench".into()));
+        let err = run_job(&lib, &s, &Budget::unlimited()).unwrap_err();
+        assert!(err.contains("/nonexistent/x.bench"), "{err}");
+    }
+}

@@ -1,0 +1,598 @@
+//! The optimization server: a bounded job queue feeding a fixed worker
+//! pool, with per-job budgets, cancel-by-id, and graceful drain.
+//!
+//! One [`Server`] owns N worker threads. Each worker holds its own clone
+//! of the cell [`Library`] (no shared mutable state on the hot path) and
+//! runs one job at a time under a per-job [`Budget`]. Submissions pass
+//! through the [`JobQueue`] — the single admission-control point — and
+//! every event a job produces is written to the NDJSON stream of the
+//! connection that submitted it.
+
+use crate::job::{self, JobOutcome, JobSource, JobSpec};
+use crate::protocol::{Event, Request, SubmitRequest};
+use crate::queue::{Admission, JobQueue, PushError};
+use gdo::{Budget, CancelHandle, VerifyPolicy};
+use library::Library;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Where a job's events go: the submitting connection's write half,
+/// shared between the admission thread and the worker that runs the job.
+pub type Output = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// Wraps a writer as an event [`Output`].
+pub fn output_from(w: impl Write + Send + 'static) -> Output {
+    Arc::new(Mutex::new(Box::new(w)))
+}
+
+/// Writes one event line to `out` (best effort: a disconnected client
+/// must not take the worker down with it).
+fn emit(out: &Output, event: &Event) {
+    let mut w = out
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = writeln!(w, "{}", event.to_json());
+    let _ = w.flush();
+}
+
+/// Static configuration of one [`Server`].
+pub struct ServerConfig {
+    /// Worker threads (each owns a library clone). Must be positive.
+    pub workers: usize,
+    /// Queue capacity across all lanes. Must be positive.
+    pub queue_cap: usize,
+    /// What a full queue does to submitters.
+    pub admission: Admission,
+    /// The cell library jobs are mapped against.
+    pub library: Library,
+    /// Server-wide ceiling on total optimizer work units; once spent,
+    /// later jobs run with a zero work budget (immediately degraded).
+    pub work_ceiling: Option<u64>,
+    /// Default verify policy for submits that name none.
+    pub default_verify: VerifyPolicy,
+    /// Default BPFS seed for submits that name none.
+    pub default_seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_cap: 16,
+            admission: Admission::Block,
+            library: library::standard_library(),
+            work_ceiling: None,
+            default_verify: VerifyPolicy::Final,
+            default_seed: 1995,
+        }
+    }
+}
+
+/// Per-job control block: lets `cancel` reach a job whether it is still
+/// queued (flag checked before start) or already running (live
+/// [`CancelHandle`] registered by the worker).
+struct JobControl {
+    cancelled: AtomicBool,
+    running: Mutex<Option<CancelHandle>>,
+}
+
+impl JobControl {
+    fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+        if let Some(handle) = self
+            .running
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_ref()
+        {
+            handle.cancel();
+        }
+    }
+}
+
+struct QueuedJob {
+    spec: JobSpec,
+    control: Arc<JobControl>,
+    out: Output,
+    /// Set once the submitter has written the `accepted` event; workers
+    /// wait on it so `started` can never precede `accepted`.
+    announced: Arc<AtomicBool>,
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    done: AtomicU64,
+    degraded: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+}
+
+struct Shared {
+    queue: JobQueue<QueuedJob>,
+    registry: Mutex<HashMap<String, Arc<JobControl>>>,
+    counters: Counters,
+    /// Jobs between admission and their terminal event. Unlike `running`
+    /// (started → finished) or the queue depth, this has no gap while a
+    /// worker holds a popped job it has not started yet, so drain waits
+    /// on it instead.
+    inflight: AtomicUsize,
+    running: AtomicUsize,
+    draining: AtomicBool,
+    drain_t0: Mutex<Option<Instant>>,
+    /// Work units left under the aggregate ceiling (`u64::MAX` when the
+    /// server runs unlimited).
+    ceiling_left: AtomicU64,
+    has_ceiling: bool,
+    next_id: AtomicU64,
+    admission: Admission,
+    /// Tells [`Server::serve`]'s accept loop to stop.
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn counter_pairs(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            (
+                "jobs_accepted",
+                self.counters.accepted.load(Ordering::Relaxed),
+            ),
+            (
+                "jobs_rejected",
+                self.counters.rejected.load(Ordering::Relaxed),
+            ),
+            ("jobs_done", self.counters.done.load(Ordering::Relaxed)),
+            (
+                "jobs_degraded",
+                self.counters.degraded.load(Ordering::Relaxed),
+            ),
+            ("jobs_failed", self.counters.failed.load(Ordering::Relaxed)),
+            (
+                "jobs_cancelled",
+                self.counters.cancelled.load(Ordering::Relaxed),
+            ),
+            ("queue_depth_max", self.queue.depth_max() as u64),
+            ("blocked_pushes", self.queue.blocked_pushes()),
+        ]
+    }
+
+    fn unregister(&self, id: &str) {
+        self.registry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(id);
+    }
+}
+
+/// The running service. Workers start in [`Server::new`] and exit once
+/// the queue is closed and drained.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    defaults: (u64, VerifyPolicy),
+}
+
+impl Server {
+    /// Starts the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.workers` is zero (a server that can run nothing)
+    /// or `cfg.queue_cap` is zero (via [`JobQueue::new`]).
+    #[must_use]
+    pub fn new(cfg: ServerConfig) -> Server {
+        assert!(cfg.workers > 0, "server needs at least one worker");
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(cfg.queue_cap),
+            registry: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+            inflight: AtomicUsize::new(0),
+            running: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            drain_t0: Mutex::new(None),
+            ceiling_left: AtomicU64::new(cfg.work_ceiling.unwrap_or(u64::MAX)),
+            has_ceiling: cfg.work_ceiling.is_some(),
+            next_id: AtomicU64::new(1),
+            admission: cfg.admission,
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..cfg.workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                let lib = cfg.library.clone();
+                std::thread::Builder::new()
+                    .name(format!("gdo-worker-{index}"))
+                    .spawn(move || worker_loop(index, &lib, &shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Server {
+            shared,
+            workers: Mutex::new(workers),
+            defaults: (cfg.default_seed, cfg.default_verify),
+        }
+    }
+
+    /// Parses and dispatches one request line, writing response events to
+    /// `out`. Returns `true` once the server has fully drained (the
+    /// caller's read loop should stop).
+    pub fn handle_line(&self, line: &str, out: &Output) -> bool {
+        let line = line.trim();
+        if line.is_empty() {
+            return false;
+        }
+        match crate::protocol::parse_request(line) {
+            Err(error) => emit(out, &Event::Error { error }),
+            Ok(Request::Status) => self.status(out),
+            Ok(Request::Cancel { id }) => self.cancel(&id, out),
+            Ok(Request::Submit(req)) => self.submit(req, out),
+            Ok(Request::Drain) => {
+                self.drain(out);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Admits one job (or rejects it) and reports the decision to `out`.
+    pub fn submit(&self, req: SubmitRequest, out: &Output) {
+        let shared = &self.shared;
+        let id = req
+            .id
+            .clone()
+            .unwrap_or_else(|| format!("job-{}", shared.next_id.fetch_add(1, Ordering::Relaxed)));
+        // In flight from here until the terminal event (`rejected` below,
+        // or done/degraded/failed/cancelled from whoever finishes it).
+        shared.inflight.fetch_add(1, Ordering::SeqCst);
+        let reject = |reason: String| {
+            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter_add("server.jobs_rejected", 1);
+            emit(
+                out,
+                &Event::Rejected {
+                    id: id.clone(),
+                    reason,
+                },
+            );
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        };
+
+        // Validate suite names at admission so typos fail fast with the
+        // full list of valid names, not after queueing.
+        if let JobSource::Suite(name) = &req.source {
+            if let Err(e) = workloads::lookup_circuit(name) {
+                reject(e.to_string());
+                return;
+            }
+        }
+
+        let control = Arc::new(JobControl {
+            cancelled: AtomicBool::new(false),
+            running: Mutex::new(None),
+        });
+        {
+            let mut registry = shared
+                .registry
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if registry.contains_key(&id) {
+                drop(registry);
+                reject(format!("duplicate job id {id:?}"));
+                return;
+            }
+            registry.insert(id.clone(), Arc::clone(&control));
+        }
+
+        let spec = JobSpec {
+            id: id.clone(),
+            source: req.source,
+            deadline: req.deadline_ms.map(Duration::from_millis),
+            work_limit: req.work_limit,
+            seed: req.seed.unwrap_or(self.default_seed()),
+            vectors: req.vectors,
+            verify: req.verify.unwrap_or(self.default_verify()),
+            priority: req.priority,
+        };
+        let priority = spec.priority;
+        let announced = Arc::new(AtomicBool::new(false));
+        let queued = QueuedJob {
+            spec,
+            control,
+            out: Arc::clone(out),
+            announced: Arc::clone(&announced),
+        };
+        // Under `Admission::Block` this is where backpressure lives: the
+        // submitting thread (and through it, the client connection)
+        // waits here until a worker frees a slot.
+        match shared.queue.push(queued, priority, shared.admission) {
+            Ok(()) => {
+                shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("server.jobs_accepted", 1);
+                emit(
+                    out,
+                    &Event::Accepted {
+                        id,
+                        priority,
+                        queue_depth: shared.queue.len(),
+                    },
+                );
+                announced.store(true, Ordering::Release);
+            }
+            Err(e @ (PushError::Full | PushError::Closed)) => {
+                shared.unregister(&id);
+                reject(e.to_string());
+            }
+        }
+    }
+
+    /// Cancels a job by id: removes it from the queue when still
+    /// waiting, or trips its running budget's cancel flag. Unknown ids
+    /// produce an `error` event on the canceller's stream.
+    pub fn cancel(&self, id: &str, out: &Output) {
+        let shared = &self.shared;
+        let control = shared
+            .registry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(id)
+            .cloned();
+        let Some(control) = control else {
+            emit(
+                out,
+                &Event::Error {
+                    error: format!("unknown job id {id:?}"),
+                },
+            );
+            return;
+        };
+        // Flag first: a worker that pops the job between our remove_if
+        // and its pre-start check still sees the cancellation.
+        control.cancel();
+        if let Some(job) = shared.queue.remove_if(|j| j.spec.id == id) {
+            // Never ran; this thread owns the terminal event.
+            while !job.announced.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            shared.unregister(id);
+            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            emit(&job.out, &Event::Cancelled { id: id.to_string() });
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+        // Otherwise a worker holds the job and will emit `cancelled`.
+    }
+
+    /// Answers a `status` request.
+    pub fn status(&self, out: &Output) {
+        let shared = &self.shared;
+        emit(
+            out,
+            &Event::Status {
+                queue_depth: shared.queue.len(),
+                running: shared.running.load(Ordering::SeqCst),
+                draining: shared.draining.load(Ordering::SeqCst),
+                counters: shared.counter_pairs(),
+            },
+        );
+    }
+
+    /// Graceful drain: stops admission immediately, waits for queued and
+    /// in-flight jobs to finish (their reports flush to their own
+    /// streams), then reports `drained` with the elapsed time and
+    /// publishes the `server.*` telemetry roll-up.
+    pub fn drain(&self, out: &Output) {
+        let shared = &self.shared;
+        let t0 = {
+            let mut slot = shared
+                .drain_t0
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            *slot.get_or_insert_with(Instant::now)
+        };
+        shared.draining.store(true, Ordering::SeqCst);
+        emit(out, &Event::Draining);
+        shared.queue.close();
+        // `inflight` covers queued jobs, jobs a worker has popped but not
+        // yet started, and running jobs — it only drops after the job's
+        // terminal event is written, so `drained` is always last.
+        while shared.inflight.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let drain_ms = t0.elapsed().as_millis() as u64;
+        telemetry::counter_add("server.queue_depth_max", shared.queue.depth_max() as u64);
+        telemetry::counter_add("server.drain_ms", drain_ms);
+        emit(out, &Event::Drained { drain_ms });
+        shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has completed (the accept loop should stop).
+    #[must_use]
+    pub fn is_shut_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Joins the worker pool. Only returns after the queue was closed
+    /// (drain); called by [`serve`](Self::serve) and the batch runner.
+    pub fn join_workers(&self) {
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Serves connections on `listener` until a client sends `drain`.
+    /// One thread per connection; each request line's events go back on
+    /// that connection.
+    ///
+    /// # Errors
+    ///
+    /// IO errors from the listener itself (per-connection errors only
+    /// end that connection).
+    pub fn serve(self: &Arc<Self>, listener: &TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let mut conns: Vec<JoinHandle<()>> = Vec::new();
+        loop {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    let server = Arc::clone(self);
+                    let reader = BufReader::new(stream.try_clone()?);
+                    let out = output_from(stream);
+                    conns.push(std::thread::spawn(move || {
+                        server.run_connection(reader, &out);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if self.is_shut_down() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for c in conns {
+            let _ = c.join();
+        }
+        self.join_workers();
+        Ok(())
+    }
+
+    /// Processes one connection's request lines until EOF or drain.
+    fn run_connection(&self, reader: impl BufRead, out: &Output) {
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if self.handle_line(&line, out) {
+                break;
+            }
+        }
+    }
+
+    /// Batch mode: processes request lines from `reader` (e.g. stdin),
+    /// then drains — EOF is an implicit `drain` — and joins the workers.
+    pub fn run_batch(&self, reader: impl BufRead, out: &Output) {
+        let mut drained = false;
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if self.handle_line(&line, out) {
+                drained = true;
+                break;
+            }
+        }
+        if !drained {
+            self.drain(out);
+        }
+        self.join_workers();
+    }
+
+    fn default_seed(&self) -> u64 {
+        self.defaults.0
+    }
+
+    fn default_verify(&self) -> VerifyPolicy {
+        self.defaults.1
+    }
+}
+
+fn worker_loop(index: usize, lib: &Library, shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        // `started` must not outrun the submitter's `accepted` line.
+        while !job.announced.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        let id = job.spec.id.clone();
+        if job.control.cancelled.load(Ordering::SeqCst) {
+            shared.unregister(&id);
+            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            emit(&job.out, &Event::Cancelled { id });
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        shared.running.fetch_add(1, Ordering::SeqCst);
+        emit(
+            &job.out,
+            &Event::Started {
+                id: id.clone(),
+                worker: index,
+                circuit: job.spec.source.describe(),
+            },
+        );
+
+        // Clamp the job's work budget by what is left of the server-wide
+        // ceiling; jobs after exhaustion run with zero budget and come
+        // back degraded rather than silently unbounded.
+        let remaining = shared.ceiling_left.load(Ordering::SeqCst);
+        let limit = if shared.has_ceiling {
+            Some(job.spec.work_limit.map_or(remaining, |w| w.min(remaining)))
+        } else {
+            job.spec.work_limit
+        };
+        let budget = Budget::new(job.spec.deadline, limit);
+        *job.control
+            .running
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(budget.cancel_handle());
+        // The cancel flag may have been set between the pre-start check
+        // and handle registration; re-check so the cancel is not lost.
+        if job.control.cancelled.load(Ordering::SeqCst) {
+            budget.cancel_handle().cancel();
+        }
+
+        let result = job::run_job(lib, &job.spec, &budget);
+
+        if shared.has_ceiling {
+            let used = budget.work_done();
+            let _ = shared
+                .ceiling_left
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |left| {
+                    Some(left.saturating_sub(used))
+                });
+        }
+        shared.unregister(&id);
+        match result {
+            Ok(r) => match r.outcome {
+                JobOutcome::Done => {
+                    shared.counters.done.fetch_add(1, Ordering::Relaxed);
+                    telemetry::counter_add("server.jobs_done", 1);
+                    emit(
+                        &job.out,
+                        &Event::Done {
+                            id,
+                            report: r.report,
+                        },
+                    );
+                }
+                JobOutcome::Degraded => {
+                    shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                    telemetry::counter_add("server.jobs_degraded", 1);
+                    emit(
+                        &job.out,
+                        &Event::Degraded {
+                            id,
+                            report: r.report,
+                        },
+                    );
+                }
+                JobOutcome::Cancelled => {
+                    shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                    emit(&job.out, &Event::Cancelled { id });
+                }
+            },
+            Err(error) => {
+                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                emit(&job.out, &Event::Failed { id, error });
+            }
+        }
+        shared.running.fetch_sub(1, Ordering::SeqCst);
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}

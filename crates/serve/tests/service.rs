@@ -1,0 +1,454 @@
+//! End-to-end tests of the serving stack over loopback TCP and in batch
+//! mode: admission/backpressure, the 50-job acceptance batch with
+//! mid-batch drain, reject policy, cancel-by-id, two-worker determinism,
+//! and the aggregate work ceiling.
+
+use serve::{output_from, Admission, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+
+/// Starts an in-process server on an ephemeral loopback port.
+fn start(cfg: ServerConfig) -> (Arc<Server>, std::net::SocketAddr) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = Arc::new(Server::new(cfg));
+    let serving = Arc::clone(&server);
+    std::thread::spawn(move || serving.serve(&listener).unwrap());
+    (server, addr)
+}
+
+/// One client connection with line-oriented send/receive helpers.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        assert!(
+            self.reader.read_line(&mut line).unwrap() > 0,
+            "connection closed early"
+        );
+        line.trim_end().to_string()
+    }
+
+    /// Reads events until `n` terminal events were seen; returns all
+    /// lines read (terminal = rejected/done/degraded/failed/cancelled).
+    fn recv_until_terminals(&mut self, n: usize) -> Vec<String> {
+        let mut lines = Vec::new();
+        let mut terminals = 0;
+        while terminals < n {
+            let line = self.recv();
+            if is_terminal(&line) {
+                terminals += 1;
+            }
+            lines.push(line);
+        }
+        lines
+    }
+}
+
+fn event_kind(line: &str) -> String {
+    serve::json::parse(line)
+        .unwrap_or_else(|e| panic!("bad event line {line:?}: {e}"))
+        .get("event")
+        .and_then(|v| v.as_str().map(str::to_string))
+        .unwrap_or_else(|| panic!("event line without kind: {line:?}"))
+}
+
+fn is_terminal(line: &str) -> bool {
+    matches!(
+        event_kind(line).as_str(),
+        "rejected" | "done" | "degraded" | "failed" | "cancelled"
+    )
+}
+
+fn count_kind(lines: &[String], kind: &str) -> usize {
+    lines.iter().filter(|l| event_kind(l) == kind).count()
+}
+
+/// The acceptance batch: 50 jobs against `--workers 4 --queue-cap 8`.
+/// 40 jobs go in under blocking admission (mixed circuits and budgets),
+/// a mid-batch drain follows, and 10 late jobs bounce off the closed
+/// queue — exactly 50 terminal events, with backpressure observed and
+/// every finished job carrying a valid inline report.
+#[test]
+fn fifty_job_batch_with_backpressure_and_mid_batch_drain() {
+    let (_server, addr) = start(ServerConfig {
+        workers: 4,
+        queue_cap: 8,
+        admission: Admission::Block,
+        ..ServerConfig::default()
+    });
+    let mut main = Client::connect(addr);
+    for i in 0..40 {
+        // Mixed circuits and budgets: most jobs run under a tiny work
+        // budget (degraded fast), every fourth runs Z5xp1 to completion.
+        if i % 4 == 0 {
+            main.send(r#"{"op":"submit","circuit":"Z5xp1","vectors":64,"verify":"off"}"#);
+        } else {
+            main.send(
+                r#"{"op":"submit","circuit":"9sym","vectors":64,"work_limit":3,"verify":"off"}"#,
+            );
+        }
+    }
+    // Backpressure must have engaged: 40 blocking submits through a
+    // queue of 8 while 4 workers chew on real jobs. Collect every line
+    // along the way — terminal events arrive interleaved from here on.
+    let mut main_lines: Vec<String> = Vec::new();
+    main.send(r#"{"op":"status"}"#);
+    let status = loop {
+        let line = main.recv();
+        let is_status = event_kind(&line) == "status";
+        main_lines.push(line.clone());
+        if is_status {
+            break serve::json::parse(&line).unwrap();
+        }
+    };
+    let blocked = status
+        .get("counters")
+        .and_then(|c| c.get("blocked_pushes"))
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    assert!(
+        blocked > 0,
+        "expected blocked admissions, status {status:?}"
+    );
+
+    // Connect the late client *before* draining so its handler thread is
+    // live regardless of how fast the drain completes.
+    let mut late = Client::connect(addr);
+    // Mid-batch drain: the server stops admitting but finishes all 40.
+    main.send(r#"{"op":"drain"}"#);
+    loop {
+        let line = main.recv();
+        let draining = event_kind(&line) == "draining";
+        main_lines.push(line);
+        if draining {
+            break;
+        }
+    }
+    // 10 late submissions all get rejected: the queue is closed.
+    for _ in 0..10 {
+        late.send(r#"{"op":"submit","circuit":"Z5xp1"}"#);
+    }
+    let late_lines = late.recv_until_terminals(10);
+    assert_eq!(count_kind(&late_lines, "rejected"), 10, "{late_lines:?}");
+    for line in &late_lines {
+        assert!(line.contains("draining"), "rejection must say why: {line}");
+    }
+
+    // The main connection sees its remaining terminals and the drained
+    // marker; across both connections that is exactly 50 terminal events.
+    let mut done = false;
+    while !done {
+        let line = main.recv();
+        done = event_kind(&line) == "drained";
+        main_lines.push(line);
+    }
+    let terminal_main: Vec<&String> = main_lines.iter().filter(|l| is_terminal(l)).collect();
+    assert_eq!(terminal_main.len(), 40, "all accepted jobs must finish");
+    assert_eq!(
+        terminal_main.len() + late_lines.iter().filter(|l| is_terminal(l)).count(),
+        50
+    );
+    assert_eq!(count_kind(&main_lines, "accepted"), 40);
+    assert!(count_kind(&main_lines, "done") >= 1, "full runs finish");
+    assert!(
+        count_kind(&main_lines, "degraded") >= 1,
+        "tiny budgets degrade"
+    );
+    assert_eq!(count_kind(&main_lines, "failed"), 0, "{main_lines:?}");
+
+    // Every finished job carries a valid, versioned inline report.
+    for line in main_lines
+        .iter()
+        .filter(|l| matches!(event_kind(l).as_str(), "done" | "degraded"))
+    {
+        telemetry::validate_json(line).unwrap();
+        assert!(line.contains("\"schema\":\"gdo-telemetry/1\""), "{line}");
+        assert!(line.contains("\"report\":"), "{line}");
+    }
+}
+
+/// Under `--admission reject`, a full queue answers `queue full`
+/// immediately instead of blocking the submitter.
+#[test]
+fn reject_admission_reports_queue_full() {
+    let (_server, addr) = start(ServerConfig {
+        workers: 1,
+        queue_cap: 1,
+        admission: Admission::Reject,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr);
+    // Job 1 occupies the single worker well past the next submits (the
+    // deadline caps it, so the test still ends promptly).
+    c.send(r#"{"op":"submit","circuit":"C880","deadline_ms":1500,"vectors":256,"verify":"off"}"#);
+    let first = c.recv();
+    assert_eq!(event_kind(&first), "accepted");
+    // Wait until the worker picked job 1 up, so the queue slot is free
+    // for job 2 and jobs 3..5 deterministically overflow.
+    let started = c.recv();
+    assert_eq!(event_kind(&started), "started");
+    for _ in 0..4 {
+        c.send(r#"{"op":"submit","circuit":"Z5xp1","work_limit":1,"verify":"off"}"#);
+    }
+    c.send(r#"{"op":"drain"}"#);
+    let mut lines = Vec::new();
+    loop {
+        let line = c.recv();
+        let kind = event_kind(&line);
+        lines.push(line);
+        if kind == "drained" {
+            break;
+        }
+    }
+    let rejected: Vec<&String> = lines
+        .iter()
+        .filter(|l| event_kind(l) == "rejected")
+        .collect();
+    assert!(
+        !rejected.is_empty(),
+        "expected QueueFull rejections: {lines:?}"
+    );
+    for line in &rejected {
+        assert!(line.contains("queue full"), "{line}");
+    }
+    // Everything submitted reached a terminal event.
+    assert_eq!(
+        lines.iter().filter(|l| is_terminal(l)).count(),
+        5,
+        "{lines:?}"
+    );
+}
+
+/// Cancel-by-id works both for queued jobs (removed before a worker sees
+/// them) and for running jobs (their budget's cancel flag trips).
+#[test]
+fn cancel_by_id_hits_queued_and_running_jobs() {
+    let (_server, addr) = start(ServerConfig {
+        workers: 1,
+        queue_cap: 4,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr);
+    // Long-running job on the only worker (the deadline is a test
+    // timeout backstop; the cancel should cut it far earlier).
+    c.send(
+        r#"{"op":"submit","id":"running","circuit":"C880","deadline_ms":30000,"vectors":256,"verify":"off"}"#,
+    );
+    c.send(r#"{"op":"submit","id":"waiting","circuit":"Z5xp1","verify":"off"}"#);
+    // Wait for the first job to actually start.
+    loop {
+        let line = c.recv();
+        if event_kind(&line) == "started" {
+            assert!(line.contains("\"id\":\"running\""), "{line}");
+            break;
+        }
+    }
+    c.send(r#"{"op":"cancel","id":"waiting"}"#);
+    c.send(r#"{"op":"cancel","id":"running"}"#);
+    c.send(r#"{"op":"cancel","id":"no-such-job"}"#);
+    let mut cancelled = Vec::new();
+    let mut errors = Vec::new();
+    while cancelled.len() < 2 || errors.is_empty() {
+        let line = c.recv();
+        match event_kind(&line).as_str() {
+            "cancelled" => cancelled.push(line),
+            "error" => errors.push(line),
+            "done" | "degraded" | "failed" => panic!("job escaped its cancel: {line}"),
+            _ => {}
+        }
+    }
+    assert!(errors[0].contains("no-such-job"), "{:?}", errors[0]);
+    c.send(r#"{"op":"drain"}"#);
+    loop {
+        if event_kind(&c.recv()) == "drained" {
+            break;
+        }
+    }
+}
+
+/// The same request, submitted twice to a two-worker server, produces
+/// byte-identical reports (up to the job id and CPU seconds): per-job
+/// seeds and work-unit budgets are deterministic no matter which worker
+/// runs the job or in which order.
+#[test]
+fn two_worker_determinism_yields_identical_reports() {
+    let (_server, addr) = start(ServerConfig {
+        workers: 2,
+        queue_cap: 4,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr);
+    let submit = |c: &mut Client, id: &str| {
+        c.send(&format!(
+            r#"{{"op":"submit","id":"{id}","circuit":"9sym","seed":7,"vectors":128,"work_limit":200,"verify":"final"}}"#
+        ));
+    };
+    submit(&mut c, "d1");
+    submit(&mut c, "d2");
+    c.send(r#"{"op":"drain"}"#);
+    let mut reports = Vec::new();
+    loop {
+        let line = c.recv();
+        match event_kind(&line).as_str() {
+            "done" | "degraded" => reports.push(extract_report(&line)),
+            "failed" | "rejected" | "cancelled" => panic!("unexpected terminal: {line}"),
+            "drained" => break,
+            _ => {}
+        }
+    }
+    assert_eq!(reports.len(), 2);
+    // Completion order is up to the scheduler — scrub by content.
+    let a = scrub_nondeterminism(&reports[0]);
+    let b = scrub_nondeterminism(&reports[1]);
+    assert_eq!(a, b, "reports must be byte-identical after scrubbing");
+    // The scrubbed report still carries the deterministic funnel.
+    assert!(a.contains("\"seed\":\"7\""), "{a}");
+}
+
+/// Pulls the inline `"report":{...}` object out of a done/degraded
+/// event line (the report is the last field of the event object).
+fn extract_report(line: &str) -> String {
+    let at = line.find("\"report\":").expect("event has a report");
+    line[at + "\"report\":".len()..line.len() - 1].to_string()
+}
+
+/// Removes the two legitimately run-specific fields: the job id in
+/// `meta` and the wall-clock `cpu_seconds` in `summary`.
+fn scrub_nondeterminism(report: &str) -> String {
+    let mut scrubbed = report.to_string();
+    for key in ["\"job\":\"", "\"cpu_seconds\":"] {
+        let at = scrubbed
+            .find(key)
+            .unwrap_or_else(|| panic!("report has {key}"));
+        let value_from = at + key.len();
+        let rest = &scrubbed[value_from..];
+        let mut end = rest.find([',', '}']).expect("field value ends");
+        if rest[end..].starts_with(',') {
+            end += 1;
+        }
+        scrubbed = format!("{}{}", &scrubbed[..at], &scrubbed[value_from + end..]);
+    }
+    scrubbed
+}
+
+/// A shared growable buffer usable as a batch-mode output sink.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Batch mode processes stdin-style request lines and drains at EOF.
+#[test]
+fn batch_mode_drains_at_eof() {
+    let server = Server::new(ServerConfig {
+        workers: 2,
+        queue_cap: 4,
+        ..ServerConfig::default()
+    });
+    let buf = SharedBuf::default();
+    let out = output_from(buf.clone());
+    let input = "\
+        {\"op\":\"submit\",\"circuit\":\"Z5xp1\",\"vectors\":64,\"verify\":\"off\"}\n\
+        {\"op\":\"submit\",\"circuit\":\"9sym\",\"work_limit\":2,\"verify\":\"off\"}\n\
+        not json\n";
+    server.run_batch(std::io::Cursor::new(input), &out);
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    let lines: Vec<String> = text.lines().map(str::to_string).collect();
+    assert_eq!(lines.iter().filter(|l| is_terminal(l)).count(), 2, "{text}");
+    assert_eq!(count_kind(&lines, "error"), 1, "bad line reported: {text}");
+    assert_eq!(
+        count_kind(&lines, "drained"),
+        1,
+        "EOF implies drain: {text}"
+    );
+    assert_eq!(
+        event_kind(lines.last().unwrap()),
+        "drained",
+        "drained is the final event: {text}"
+    );
+}
+
+/// Regression: a worker that has popped a job but not yet marked it
+/// running is invisible to both the queue depth and the running count,
+/// so a drain racing that window used to report `drained` before the
+/// job's terminal event. Drain now waits on admission-to-terminal
+/// in-flight accounting; hammer the window and check the event order.
+#[test]
+fn drained_event_never_precedes_a_terminal_event() {
+    for round in 0..25 {
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            queue_cap: 4,
+            ..ServerConfig::default()
+        });
+        let buf = SharedBuf::default();
+        let out = output_from(buf.clone());
+        let input =
+            "{\"op\":\"submit\",\"circuit\":\"9sym\",\"work_limit\":1,\"verify\":\"off\"}\n";
+        server.run_batch(std::io::Cursor::new(input), &out);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let terminal = lines.iter().position(|l| is_terminal(l));
+        let drained = lines.iter().position(|l| event_kind(l) == "drained");
+        assert!(
+            matches!((terminal, drained), (Some(t), Some(d)) if t < d),
+            "round {round}: terminal must precede drained:\n{text}"
+        );
+        assert_eq!(
+            event_kind(lines.last().unwrap()),
+            "drained",
+            "round {round}: drained is the final event:\n{text}"
+        );
+    }
+}
+
+/// The server-wide work ceiling clamps per-job budgets: once spent,
+/// later jobs run with a zero budget and come back degraded.
+#[test]
+fn aggregate_work_ceiling_degrades_jobs_once_spent() {
+    let server = Server::new(ServerConfig {
+        workers: 1,
+        queue_cap: 4,
+        work_ceiling: Some(5),
+        ..ServerConfig::default()
+    });
+    let buf = SharedBuf::default();
+    let out = output_from(buf.clone());
+    let input = "\
+        {\"op\":\"submit\",\"circuit\":\"9sym\",\"vectors\":64,\"verify\":\"off\"}\n\
+        {\"op\":\"submit\",\"circuit\":\"Z5xp1\",\"vectors\":64,\"verify\":\"off\"}\n";
+    server.run_batch(std::io::Cursor::new(input), &out);
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    let lines: Vec<String> = text.lines().map(str::to_string).collect();
+    // Both jobs asked for no per-job limit, but the 5-unit ceiling cuts
+    // the first and leaves nothing for the second.
+    assert_eq!(count_kind(&lines, "degraded"), 2, "{text}");
+    assert_eq!(count_kind(&lines, "done"), 0, "{text}");
+}

@@ -461,6 +461,16 @@ pub fn snapshot() -> RunReport {
     })
 }
 
+/// Escapes `s` as a quoted JSON string — the exact escaping the
+/// [`RunReport`] serializer and the NDJSON sink use, exported so other
+/// hand-rolled JSON writers (the serving protocol) stay byte-compatible.
+#[must_use]
+pub fn json_escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    write_json_str(&mut out, s);
+    out
+}
+
 fn write_json_str(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {

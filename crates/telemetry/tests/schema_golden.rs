@@ -34,6 +34,12 @@ fn fixed_report() -> RunReport {
     report.counters.insert("sat.conflicts".into(), 42);
     report.counters.insert("sta.full_recomputes".into(), 1);
     report.counters.insert("sta.incremental_updates".into(), 5);
+    report.counters.insert("server.jobs_accepted".into(), 3);
+    report.counters.insert("server.jobs_rejected".into(), 1);
+    report.counters.insert("server.jobs_done".into(), 2);
+    report.counters.insert("server.jobs_degraded".into(), 1);
+    report.counters.insert("server.queue_depth_max".into(), 2);
+    report.counters.insert("server.drain_ms".into(), 7);
     report.gauges.insert("gdo.round".into(), 3.0);
     report.spans.insert(
         "gdo.optimize".into(),

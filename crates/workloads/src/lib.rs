@@ -63,4 +63,7 @@ pub use parity::{parity_tree, sym_detector};
 pub use randlogic::{random_logic, random_sop};
 pub use rotator::barrel_rotator;
 pub use scripts::{script_delay, script_rugged};
-pub use suite::{circuit_by_name, suite_table1, suite_table2, SuiteEntry};
+pub use suite::{
+    circuit_by_name, circuit_names, lookup_circuit, suite_table1, suite_table2, SuiteEntry,
+    UnknownCircuit,
+};

@@ -134,6 +134,47 @@ pub fn circuit_by_name(name: &str) -> Option<SuiteEntry> {
     ENTRIES.iter().copied().find(|e| e.name == name)
 }
 
+/// Every suite circuit name, in Table 1 order — the vocabulary that
+/// [`lookup_circuit`] accepts (surfaced by `gdo-opt --list-circuits` and
+/// used by `gdo-submit` to validate requests before they leave the
+/// client).
+#[must_use]
+pub fn circuit_names() -> Vec<&'static str> {
+    ENTRIES.iter().map(|e| e.name).collect()
+}
+
+/// A suite lookup that failed; its `Display` lists every valid name so a
+/// typo in a request or on a command line is self-explaining.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownCircuit {
+    /// The name that matched no suite entry.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownCircuit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown suite circuit {:?} (valid names: {})",
+            self.name,
+            circuit_names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownCircuit {}
+
+/// Like [`circuit_by_name`], but the error names every valid entry.
+///
+/// # Errors
+///
+/// [`UnknownCircuit`] when `name` matches no suite entry.
+pub fn lookup_circuit(name: &str) -> Result<SuiteEntry, UnknownCircuit> {
+    circuit_by_name(name).ok_or_else(|| UnknownCircuit {
+        name: name.to_string(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +216,25 @@ mod tests {
     fn lookup_by_name() {
         assert!(circuit_by_name("C6288").is_some());
         assert!(circuit_by_name("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn failed_lookup_lists_valid_names() {
+        let err = lookup_circuit("c6288").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("\"c6288\""), "{msg}");
+        for name in circuit_names() {
+            assert!(msg.contains(name), "{msg} missing {name}");
+        }
+        assert_eq!(lookup_circuit("C6288").unwrap().name, "C6288");
+    }
+
+    #[test]
+    fn names_cover_the_suite_in_order() {
+        let names = circuit_names();
+        assert_eq!(names.len(), suite_table1().len());
+        assert_eq!(names[0], "Z5xp1");
+        assert!(names.contains(&"C6288"));
     }
 
     #[test]
