@@ -4,16 +4,20 @@
 //!
 //! ```text
 //! cargo run -p bench --bin gen_circuit --release -- dp96 /tmp/dp96.bench
+//! cargo run -p bench --bin gen_circuit --release -- xl50k /tmp/xl50k.bench
 //! ```
 //!
-//! Supported names: `dpN` ([`workloads::datapath`]) and `mulN`
-//! ([`workloads::array_multiplier`]).
+//! Supported names: `dpN` ([`workloads::datapath`]), `mulN`
+//! ([`workloads::array_multiplier`]) and every suite entry accepted by
+//! [`workloads::lookup_circuit`] — including the generated scale
+//! circuits `xl12k`/`xl50k`/`xl100k`.
 
 use std::process::exit;
-use workloads::{array_multiplier, datapath};
+use workloads::{array_multiplier, datapath, lookup_circuit};
 
 fn usage() -> ! {
-    eprintln!("usage: gen_circuit <dpN|mulN> <out.bench>");
+    eprintln!("usage: gen_circuit <dpN|mulN|SUITE-NAME> <out.bench>");
+    eprintln!("suite names: {}", workloads::circuit_names().join(", "));
     exit(2);
 }
 
@@ -22,12 +26,18 @@ fn main() {
     let (Some(name), Some(out)) = (args.next(), args.next()) else {
         usage();
     };
-    let nl = if let Some(n) = name.strip_prefix("dp") {
-        datapath(n.parse().unwrap_or_else(|_| usage()))
-    } else if let Some(n) = name.strip_prefix("mul") {
-        array_multiplier(n.parse().unwrap_or_else(|_| usage()))
+    let nl = if let Some(n) = name.strip_prefix("dp").and_then(|n| n.parse().ok()) {
+        datapath(n)
+    } else if let Some(n) = name.strip_prefix("mul").and_then(|n| n.parse().ok()) {
+        array_multiplier(n)
     } else {
-        usage();
+        match lookup_circuit(&name) {
+            Ok(entry) => entry.build(),
+            Err(e) => {
+                eprintln!("gen_circuit: {e}");
+                usage();
+            }
+        }
     };
     let text = formats::write_bench(&nl).expect("workload circuits serialize");
     std::fs::write(&out, text).unwrap_or_else(|e| {

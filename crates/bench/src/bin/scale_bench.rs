@@ -1,0 +1,74 @@
+//! Regenerates `BENCH_scale.json`: the partitioned-optimization
+//! gates × threads scaling curve over the generated `xl*` circuits.
+//!
+//! ```text
+//! cargo run --release -p bench --bin scale_bench [-- --out PATH] [--quick]
+//! ```
+
+use bench::{run_scale_bench, ScaleBenchConfig};
+
+fn main() {
+    let mut out_path = String::from("BENCH_scale.json");
+    let mut cfg = ScaleBenchConfig::default();
+    let mut circuits: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--quick" => {
+                cfg.circuits = vec!["xl12k".to_string()];
+                cfg.work_limit = 128;
+            }
+            "--circuit" => circuits.push(args.next().expect("--circuit needs a name")),
+            "--threads" => {
+                cfg.thread_counts = args
+                    .next()
+                    .expect("--threads needs a comma-separated list")
+                    .split(',')
+                    .map(|t| t.parse().expect("--threads needs integers"))
+                    .collect();
+            }
+            "--work-limit" => {
+                cfg.work_limit = args
+                    .next()
+                    .expect("--work-limit needs a count")
+                    .parse()
+                    .expect("--work-limit needs an integer");
+            }
+            "--vectors" => {
+                cfg.vectors = args
+                    .next()
+                    .expect("--vectors needs a count")
+                    .parse()
+                    .expect("--vectors needs an integer");
+            }
+            "--no-verify" => cfg.verify = false,
+            other => panic!(
+                "unknown flag {other:?}; known: --out PATH --circuit NAME \
+                 --threads LIST --work-limit N --vectors N --no-verify --quick"
+            ),
+        }
+    }
+    if !circuits.is_empty() {
+        cfg.circuits = circuits;
+    }
+    let report = run_scale_bench(&cfg);
+    let json = report.to_json();
+    std::fs::write(&out_path, format!("{json}\n")).expect("write report");
+    println!("{json}");
+    for row in &report.rows {
+        println!(
+            "\n{}: {} gates in {} regions; 1 partition {:.2}s, widest {:.2}s \
+             ({:.2}x on {} host cores); equivalent: {:?}",
+            row.circuit,
+            row.gates,
+            row.regions,
+            row.one_partition_s,
+            row.times.last().map_or(0.0, |t| t.seconds),
+            row.speedup_vs_one_partition,
+            report.host_cores,
+            row.equivalent,
+        );
+    }
+    println!("\nwrote {out_path}");
+}

@@ -2,8 +2,10 @@
 //! criterion micro-benchmarks.
 
 pub mod bpfs_bench;
+pub mod scale_bench;
 
 pub use bpfs_bench::{run_bpfs_bench, BenchCircuit, BpfsBenchConfig, BpfsReport};
+pub use scale_bench::{run_scale_bench, ScaleBenchConfig, ScaleReport, ScaleRow};
 
 use gdo::{optimize, GdoConfig, GdoStats, OptimizeReport};
 use library::{standard_library, Library, MapGoal, Mapper};

@@ -1,0 +1,309 @@
+//! The partitioned-optimization scaling benchmark behind
+//! `BENCH_scale.json`: a gates × threads wall-clock curve over the
+//! generated `xl*` circuits, with a single-region run (the whole netlist
+//! as one partition) as the baseline and a SAT-sweep equivalence check
+//! on the stitched result.
+//!
+//! The curve is only as parallel as the host: `host_cores` is recorded
+//! next to every row so a flat curve on a one-core container reads as
+//! what it is.
+
+use gdo::{Budget, GdoConfig};
+use library::{standard_library, MapGoal, Mapper};
+use netlist::Netlist;
+use partition::{optimize_partitioned, ClusterConfig, PartitionOptions, PartitionStats};
+use std::time::Instant;
+
+/// What to measure.
+#[derive(Debug, Clone)]
+pub struct ScaleBenchConfig {
+    /// Suite circuit names ([`workloads::lookup_circuit`] vocabulary).
+    pub circuits: Vec<String>,
+    /// Region-pool thread counts to sweep.
+    pub thread_counts: Vec<usize>,
+    /// Total work-unit budget per run (sliced across regions), so every
+    /// run does the same amount of optimization and the wall-clock ratio
+    /// is a clean parallelism measurement.
+    ///
+    /// The default is deliberately small: the cost of a work unit in the
+    /// single-region baseline grows superlinearly with region size (a
+    /// full flat optimization round over a ≥50k-gate netlist runs for
+    /// minutes to hours — exactly the scaling wall partitioning
+    /// removes), so large budgets make the 1-partition baseline
+    /// intractable on exactly the circuits this curve is about.
+    pub work_limit: u64,
+    /// BPFS vectors per region round.
+    pub vectors: usize,
+    /// Clustering/BPFS seed.
+    pub seed: u64,
+    /// Sweep-check the widest run's stitched netlist against the mapped
+    /// input.
+    pub verify: bool,
+}
+
+impl Default for ScaleBenchConfig {
+    fn default() -> Self {
+        ScaleBenchConfig {
+            circuits: vec![
+                "xl12k".to_string(),
+                "xl50k".to_string(),
+                "xl100k".to_string(),
+            ],
+            thread_counts: vec![1, 2, 4, 8],
+            work_limit: 256,
+            vectors: 64,
+            seed: 1995,
+            verify: true,
+        }
+    }
+}
+
+/// One timed partitioned run.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadTiming {
+    /// Region-pool threads.
+    pub threads: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// One circuit's row of the curve.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Suite circuit name.
+    pub circuit: String,
+    /// Mapped gate count.
+    pub gates: usize,
+    /// Regions the partitioned runs cluster into.
+    pub regions: usize,
+    /// Single-region baseline (whole netlist as one partition, one
+    /// thread), seconds.
+    pub one_partition_s: f64,
+    /// Partitioned wall clock per thread count, in sweep order.
+    pub times: Vec<ThreadTiming>,
+    /// Baseline over the widest partitioned run — the headline number.
+    pub speedup_vs_one_partition: f64,
+    /// Rewrites stitched by the widest partitioned run.
+    pub region_rewrites: usize,
+    /// Regions quarantined by the widest partitioned run.
+    pub stitch_conflicts: usize,
+    /// Sweep-equivalence verdict for the widest run's stitched netlist
+    /// (`None` when verification was off).
+    pub equivalent: Option<bool>,
+    /// Parent worst slack before optimization.
+    pub slack_before: f64,
+    /// Parent worst slack after the widest partitioned run.
+    pub slack_after: f64,
+}
+
+/// The full report serialized into `BENCH_scale.json`.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// `std::thread::available_parallelism` on the measuring host.
+    pub host_cores: usize,
+    /// Work-unit budget shared by every run.
+    pub work_limit: u64,
+    /// BPFS vectors per region round.
+    pub vectors: usize,
+    /// One row per circuit, in config order.
+    pub rows: Vec<ScaleRow>,
+}
+
+fn timed_run(
+    lib: &library::Library,
+    cfg: &GdoConfig,
+    mapped: &Netlist,
+    cluster: ClusterConfig,
+    threads: usize,
+) -> (f64, PartitionStats, Netlist) {
+    let mut nl = mapped.clone();
+    let opts = PartitionOptions {
+        cluster,
+        threads,
+        verify_regions: true,
+    };
+    let budget = Budget::new(None, cfg.work_limit);
+    let t = Instant::now();
+    let stats = optimize_partitioned(lib, cfg, &mut nl, &opts, &budget)
+        .expect("partitioned run succeeds on mapped workloads");
+    (t.elapsed().as_secs_f64(), stats, nl)
+}
+
+/// Runs the benchmark.
+///
+/// # Panics
+///
+/// Panics on unknown circuit names or internal pipeline errors.
+#[must_use]
+pub fn run_scale_bench(cfg: &ScaleBenchConfig) -> ScaleReport {
+    let lib = standard_library();
+    let gdo_cfg = GdoConfig::builder()
+        .vectors(cfg.vectors)
+        .seed(cfg.seed)
+        .work_limit(cfg.work_limit)
+        .build()
+        .expect("valid bench config");
+    let mut rows = Vec::new();
+    for name in &cfg.circuits {
+        let entry = workloads::lookup_circuit(name).unwrap_or_else(|e| panic!("{e}"));
+        let mapped = Mapper::new(&lib)
+            .goal(MapGoal::Area)
+            .map(&entry.build())
+            .expect("mapping succeeds");
+        let gates = mapped.stats().gates;
+        eprintln!("{name}: {gates} mapped gates");
+
+        let seeded = ClusterConfig {
+            seed: cfg.seed,
+            ..ClusterConfig::default()
+        };
+        let one_region = ClusterConfig {
+            seed: cfg.seed,
+            ..ClusterConfig::for_partitions(gates, 1)
+        };
+        let (one_partition_s, base_stats, _) = timed_run(&lib, &gdo_cfg, &mapped, one_region, 1);
+        eprintln!("  1 partition, 1 thread: {one_partition_s:.2}s");
+
+        let mut times = Vec::new();
+        let mut widest: Option<(PartitionStats, Netlist)> = None;
+        for &threads in &cfg.thread_counts {
+            let (s, stats, result) = timed_run(&lib, &gdo_cfg, &mapped, seeded, threads);
+            eprintln!("  {} regions, {threads} threads: {s:.2}s", stats.regions);
+            times.push(ThreadTiming {
+                threads,
+                seconds: s,
+            });
+            widest = Some((stats, result));
+        }
+        let (stats, result) = widest.expect("at least one thread count");
+        let widest_s = times.last().expect("at least one timing").seconds;
+        let equivalent = if cfg.verify {
+            Some(
+                sat::check_equiv_sweep(&mapped, &result, cfg.vectors.max(128), cfg.seed)
+                    .expect("same interface"),
+            )
+        } else {
+            None
+        };
+        assert!(
+            equivalent != Some(false),
+            "SOUNDNESS VIOLATION: {name} stitched result is not equivalent"
+        );
+        rows.push(ScaleRow {
+            circuit: name.clone(),
+            gates,
+            regions: stats.regions,
+            one_partition_s,
+            times,
+            speedup_vs_one_partition: if widest_s > 0.0 {
+                one_partition_s / widest_s
+            } else {
+                f64::INFINITY
+            },
+            region_rewrites: stats.region_rewrites,
+            stitch_conflicts: stats.stitch_conflicts,
+            equivalent,
+            slack_before: base_stats.slack_before,
+            slack_after: stats.slack_after,
+        });
+    }
+    ScaleReport {
+        host_cores: std::thread::available_parallelism().map_or(1, usize::from),
+        work_limit: cfg.work_limit,
+        vectors: cfg.vectors,
+        rows,
+    }
+}
+
+impl ScaleReport {
+    /// Machine-readable JSON (hand-rolled; the workspace has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
+        s.push_str(&format!("  \"work_limit\": {},\n", self.work_limit));
+        s.push_str(&format!("  \"vectors\": {},\n", self.vectors));
+        s.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"circuit\": \"{}\",\n", row.circuit));
+            s.push_str(&format!("      \"gates\": {},\n", row.gates));
+            s.push_str(&format!("      \"regions\": {},\n", row.regions));
+            s.push_str(&format!(
+                "      \"one_partition_s\": {:.6},\n",
+                row.one_partition_s
+            ));
+            s.push_str("      \"threads\": {\n");
+            for (j, t) in row.times.iter().enumerate() {
+                let comma = if j + 1 < row.times.len() { "," } else { "" };
+                s.push_str(&format!(
+                    "        \"{}t\": {:.6}{comma}\n",
+                    t.threads, t.seconds
+                ));
+            }
+            s.push_str("      },\n");
+            s.push_str(&format!(
+                "      \"speedup_vs_one_partition\": {:.3},\n",
+                row.speedup_vs_one_partition
+            ));
+            s.push_str(&format!(
+                "      \"region_rewrites\": {},\n",
+                row.region_rewrites
+            ));
+            s.push_str(&format!(
+                "      \"stitch_conflicts\": {},\n",
+                row.stitch_conflicts
+            ));
+            s.push_str(&format!(
+                "      \"equivalent\": {},\n",
+                match row.equivalent {
+                    Some(v) => v.to_string(),
+                    None => "null".to_string(),
+                }
+            ));
+            s.push_str(&format!(
+                "      \"slack_before\": {:.4},\n",
+                row.slack_before
+            ));
+            s.push_str(&format!("      \"slack_after\": {:.4}\n", row.slack_after));
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            s.push_str(&format!("    }}{comma}\n"));
+        }
+        s.push_str("  ]\n}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_the_curve_and_serializes() {
+        // A deliberately small configuration: this smoke-tests the report
+        // plumbing, not the 100k-gate measurement.
+        let cfg = ScaleBenchConfig {
+            circuits: vec!["C880".to_string()],
+            thread_counts: vec![1, 2],
+            work_limit: 64,
+            vectors: 64,
+            seed: 7,
+            verify: true,
+        };
+        let report = run_scale_bench(&cfg);
+        assert_eq!(report.rows.len(), 1);
+        let row = &report.rows[0];
+        assert_eq!(row.circuit, "C880");
+        assert!(row.gates > 0);
+        assert!(row.regions >= 1);
+        assert_eq!(row.times.len(), 2);
+        assert!(row.one_partition_s > 0.0);
+        assert_eq!(row.equivalent, Some(true));
+        assert!(row.slack_after >= row.slack_before - 1e-9);
+        let json = report.to_json();
+        assert!(json.contains("\"host_cores\""), "{json}");
+        assert!(json.contains("\"2t\""), "{json}");
+        assert!(json.contains("\"speedup_vs_one_partition\""), "{json}");
+        assert!(json.contains("\"equivalent\": true"), "{json}");
+    }
+}

@@ -153,6 +153,12 @@ pub struct Options {
     /// Treat a verification rollback as an acceptable (exit 0) outcome
     /// instead of the degraded-result exit code 4.
     pub allow_degraded: bool,
+    /// Partitioned optimization: cluster into roughly this many regions
+    /// and optimize them on a worker pool (`0` = whole-netlist run).
+    pub partitions: usize,
+    /// Explicit region size cap (gates) for partitioned runs; implies
+    /// partitioning even with `partitions == 0`.
+    pub region_size: Option<usize>,
 }
 
 impl Options {
@@ -180,6 +186,8 @@ impl Options {
             report_json: None,
             verbose: false,
             allow_degraded: false,
+            partitions: 0,
+            region_size: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -194,8 +202,13 @@ impl Options {
                     return Ok(None);
                 }
                 "--list-circuits" => {
+                    println!("{:<8} {:>8} {:>6} {:>6}", "name", "gates", "pis", "pos");
                     for name in workloads::circuit_names() {
-                        println!("{name}");
+                        let nl = workloads::lookup_circuit(name)
+                            .expect("listed names resolve")
+                            .build();
+                        let s = nl.stats();
+                        println!("{name:<8} {:>8} {:>6} {:>6}", s.gates, s.inputs, s.outputs);
                     }
                     return Ok(None);
                 }
@@ -283,6 +296,20 @@ impl Options {
                         })?,
                     ));
                 }
+                "--partitions" => {
+                    out.partitions = need("--partitions")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--partitions needs an integer".into()))?;
+                }
+                "--region-size" => {
+                    let size: usize = need("--region-size")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--region-size needs an integer".into()))?;
+                    if size == 0 {
+                        return Err(CliError::Usage("--region-size must be positive".into()));
+                    }
+                    out.region_size = Some(size);
+                }
                 "--allow-degraded" => out.allow_degraded = true,
                 "--stats" => out.stats = true,
                 "--trace-out" => out.trace_out = Some(PathBuf::from(need("--trace-out")?)),
@@ -339,7 +366,11 @@ pub fn usage() -> &'static str {
                               rolling back and quarantining on failure\n\
      --verify-every N         like --verify-each, every N substitutions\n\
      --allow-degraded         exit 0 even when a verification rollback fired\n\
-     --list-circuits          print the workload suite circuit names and exit\n\
+     --partitions N           cluster into ~N regions and optimize them on a\n\
+                              worker pool (0 = whole-netlist run; default 0)\n\
+     --region-size S          cap partitioned regions at S gates (implies\n\
+                              partitioning)\n\
+     --list-circuits          print the workload suite (name, gates, PIs, POs)\n\
      --stats                  print detailed statistics\n\
      --trace-out FILE         stream telemetry events as NDJSON to FILE\n\
      --report-json FILE       write the aggregated telemetry report as JSON\n\
@@ -481,7 +512,35 @@ pub fn run(options: &Options) -> Result<RunOutcome, CliError> {
         telemetry::enable();
     }
 
-    let stats = optimize(&lib, options.cfg.clone(), &mut nl).map_err(CliError::Optimize)?;
+    let partitioned = options.partitions > 0 || options.region_size.is_some();
+    let (stats, pstats) = if partitioned {
+        let mut cluster = if options.partitions > 0 {
+            partition::ClusterConfig::for_partitions(nl.stats().gates, options.partitions)
+        } else {
+            partition::ClusterConfig::default()
+        };
+        if let Some(size) = options.region_size {
+            cluster.max_region_size = size;
+        }
+        cluster.seed = options.cfg.seed;
+        let popts = partition::PartitionOptions {
+            cluster,
+            threads: options.cfg.threads,
+            verify_regions: true,
+        };
+        let budget = gdo::Budget::new(options.cfg.deadline, options.cfg.work_limit);
+        let ps = partition::optimize_partitioned(&lib, &options.cfg, &mut nl, &popts, &budget)
+            .map_err(|e| match e {
+                partition::PartitionError::Gdo(g) => CliError::Optimize(g),
+                partition::PartitionError::Netlist(n) => {
+                    CliError::Parse(format!("partitioning failed: {n}"))
+                }
+            })?;
+        (ps.gdo, Some(ps))
+    } else {
+        let s = optimize(&lib, options.cfg.clone(), &mut nl).map_err(CliError::Optimize)?;
+        (s, None)
+    };
 
     if telemetry_on {
         // Flushes the NDJSON sink and stops probes; the collected
@@ -494,7 +553,10 @@ pub fn run(options: &Options) -> Result<RunOutcome, CliError> {
         report
             .meta
             .insert("input".into(), options.input.display().to_string());
-        stats.merge_into_report(&mut report);
+        match &pstats {
+            Some(ps) => ps.merge_into_report(&mut report),
+            None => stats.merge_into_report(&mut report),
+        }
         std::fs::write(path, report.to_json()).map_err(|source| CliError::Io {
             path: path.clone(),
             source,
@@ -504,6 +566,19 @@ pub fn run(options: &Options) -> Result<RunOutcome, CliError> {
         }
     }
 
+    if !options.quiet {
+        if let Some(ps) = &pstats {
+            println!(
+                "partition: {} regions ({} boundary signals), {} rewrites stitched, \
+                 {} quarantined, {} skipped",
+                ps.regions,
+                ps.boundary_signals,
+                ps.region_rewrites,
+                ps.stitch_conflicts,
+                ps.regions_skipped
+            );
+        }
+    }
     if !options.quiet && stats.budget_exhausted {
         println!("note: budget exhausted — kept the best netlist found so far");
     }
@@ -722,6 +797,28 @@ mod tests {
     }
 
     #[test]
+    fn parses_partition_flags() {
+        let o = opts(&["in.bench", "--partitions", "8", "--region-size", "512"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(o.partitions, 8);
+        assert_eq!(o.region_size, Some(512));
+
+        let o = opts(&["in.bench"]).unwrap().unwrap();
+        assert_eq!(o.partitions, 0, "whole-netlist run by default");
+        assert_eq!(o.region_size, None);
+
+        assert!(matches!(
+            opts(&["a.bench", "--partitions", "many"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            opts(&["a.bench", "--region-size", "0"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn budget_flags_reject_garbage() {
         assert!(matches!(
             opts(&["a.bench", "--time-budget-ms", "soon"]),
@@ -796,10 +893,50 @@ mod tests {
             report_json: None,
             verbose: false,
             allow_degraded: false,
+            partitions: 0,
+            region_size: None,
         };
         run(&o).unwrap();
         let written = read_netlist(&output).unwrap();
         assert!(sat::check_equiv(&subject, &written).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partitioned_pipeline_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("gdo_cli_part_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.bench");
+        let output = dir.join("out.blif");
+        let report = dir.join("report.json");
+        let nl = workloads::datapath(8);
+        let subject = library::to_subject_graph(&nl).unwrap();
+        std::fs::write(&input, formats::write_bench(&subject).unwrap()).unwrap();
+
+        let o = Options {
+            input: input.clone(),
+            output: Some(output.clone()),
+            library: None,
+            map_goal: MapGoal::Area,
+            no_map: false,
+            cfg: GdoConfig::default(),
+            mapped_output: false,
+            verify: true,
+            require: None,
+            stats: false,
+            quiet: true,
+            trace_out: None,
+            report_json: Some(report.clone()),
+            verbose: false,
+            allow_degraded: false,
+            partitions: 4,
+            region_size: None,
+        };
+        run(&o).unwrap();
+        let written = read_netlist(&output).unwrap();
+        assert!(sat::check_equiv(&subject, &written).unwrap());
+        let json = std::fs::read_to_string(&report).unwrap();
+        assert!(json.contains("partition.regions"), "{json}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -831,6 +968,8 @@ mod tests {
             report_json: None,
             verbose: false,
             allow_degraded: false,
+            partitions: 0,
+            region_size: None,
         };
         run(&o).unwrap();
         let text = std::fs::read_to_string(&output).unwrap();
@@ -858,6 +997,8 @@ mod tests {
             report_json: None,
             verbose: false,
             allow_degraded: false,
+            partitions: 0,
+            region_size: None,
         };
         assert!(matches!(run(&o), Err(CliError::Io { .. })));
     }

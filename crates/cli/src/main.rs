@@ -19,6 +19,9 @@
 //!       --verify-each        re-prove equivalence after every substitution
 //!       --verify-every N     re-prove equivalence every N substitutions
 //!       --allow-degraded     exit 0 even after a verification rollback
+//!       --partitions N       cluster into ~N regions, optimize in parallel
+//!       --region-size S      cap partitioned regions at S gates
+//!       --list-circuits      print the workload suite and exit
 //!       --stats              print the full statistics block
 //!       --trace-out FILE     stream telemetry events as NDJSON to FILE
 //!       --report-json FILE   write the aggregated telemetry report as JSON

@@ -84,7 +84,9 @@ pub use candidates::{
     pair_candidates, pair_candidates_counted, CandidateConfig, CandidateContext, CandidateCounts,
 };
 pub use error::GdoError;
-pub use optimizer::{optimize, GdoConfig, GdoConfigBuilder, GdoStats, Optimizer};
+pub use optimizer::{
+    optimize, GdoConfig, GdoConfigBuilder, GdoStats, Optimizer, RegionConstraints,
+};
 pub use prove::{prove_rewrite, prove_rewrite_budgeted, prove_rewrite_with_budget, ProverKind};
 pub use pvcc::{
     and_or_triple_requests, const_candidates, site_arrival, site_ncp, site_required,

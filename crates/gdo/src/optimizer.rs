@@ -363,6 +363,20 @@ impl GdoStats {
     }
 }
 
+/// Frozen boundary timing for optimizing an extracted region in
+/// isolation: arrival times at the region's primary inputs and required
+/// times at its primary outputs, both in pin order and taken from the
+/// parent netlist's timing analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionConstraints {
+    /// Arrival time of each region primary input (parent arrival of the
+    /// boundary signal it stands for).
+    pub input_arrivals: Vec<f64>,
+    /// Required time of each region primary output (parent required time
+    /// of the boundary signal it recomputes).
+    pub po_required: Vec<f64>,
+}
+
 /// The GDO optimizer. Construct with a library and a [`GdoConfig`], then
 /// call [`optimize`](Self::optimize) on mapped netlists.
 ///
@@ -432,6 +446,40 @@ impl<'a> Optimizer<'a> {
         nl: &mut Netlist,
         budget: &Budget,
     ) -> Result<GdoStats, GdoError> {
+        self.optimize_impl(nl, budget, None)
+    }
+
+    /// Like [`optimize_with_budget`](Self::optimize_with_budget), but
+    /// timed against frozen region boundaries: primary inputs arrive at
+    /// `rc.input_arrivals` and each primary output must settle by its
+    /// `rc.po_required` entry (both in pin order). This is how a
+    /// partition driver optimizes an extracted sub-netlist without
+    /// letting a region rewrite steal slack the surrounding logic needs.
+    ///
+    /// # Errors
+    ///
+    /// [`GdoError`] on structural failures, as for the unconstrained
+    /// entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constraint vectors do not match the netlist's pin
+    /// counts or contain non-finite values.
+    pub fn optimize_region_with_budget(
+        &self,
+        nl: &mut Netlist,
+        budget: &Budget,
+        rc: &RegionConstraints,
+    ) -> Result<GdoStats, GdoError> {
+        self.optimize_impl(nl, budget, Some(rc))
+    }
+
+    fn optimize_impl(
+        &self,
+        nl: &mut Netlist,
+        budget: &Budget,
+        region: Option<&RegionConstraints>,
+    ) -> Result<GdoStats, GdoError> {
         let _span = telemetry::span("gdo.optimize");
         let start = std::time::Instant::now();
         budget.enter_phase(Phase::Setup);
@@ -442,7 +490,15 @@ impl<'a> Optimizer<'a> {
         // incrementally, so `sta.full_recomputes` stays O(1) regardless
         // of how many substitutions are applied.
         nl.record_edits();
-        let mut tg = TimingGraph::from_scratch(nl, &model)?;
+        let mut tg = match region {
+            Some(rc) => TimingGraph::from_scratch_region(
+                nl,
+                &model,
+                Some(&rc.input_arrivals),
+                &rc.po_required,
+            )?,
+            None => TimingGraph::from_scratch(nl, &model)?,
+        };
         {
             let s = nl.stats();
             stats.gates_before = s.gates;

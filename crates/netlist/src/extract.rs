@@ -1,0 +1,270 @@
+//! Sub-netlist extraction: lifting a region of gates out of a parent
+//! netlist as a standalone [`Netlist`] with an explicit boundary pin
+//! mapping.
+//!
+//! A *region* is a set of gates closed enough to optimize independently:
+//! signals entering the region become primary inputs of the extracted
+//! sub-netlist, and region signals consumed outside it (or driving
+//! parent primary outputs) become its primary outputs. The mapping
+//! between sub-netlist boundary pins and parent signals is returned
+//! alongside, so a caller can seed boundary timing constraints from the
+//! parent and stitch an optimized replacement back in.
+//!
+//! Extraction is only *sound* for convex regions — no path from a region
+//! gate may leave the region and re-enter it, otherwise two extracted
+//! "inputs" would be correlated through the region's own outputs. The
+//! clustering passes that produce regions guarantee convexity; this
+//! module checks nothing beyond liveness and acyclicity.
+
+use crate::{Fanout, GateKind, Netlist, NetlistError, SignalId, SignalSet};
+use std::collections::{HashMap, VecDeque};
+
+/// A region lifted out of a parent netlist, with its boundary mapping.
+///
+/// `sub.inputs()[i]` stands for the parent signal `inputs[i]` (frozen at
+/// the boundary), and `sub.outputs()[j]` recomputes the parent signal
+/// `outputs[j]`. Both mappings are in sub-netlist pin order.
+#[derive(Debug, Clone)]
+pub struct RegionExtract {
+    /// The standalone sub-netlist (library tags copied from the parent).
+    pub sub: Netlist,
+    /// Parent signal behind each sub-netlist primary input.
+    pub inputs: Vec<SignalId>,
+    /// Parent signal recomputed by each sub-netlist primary output.
+    pub outputs: Vec<SignalId>,
+}
+
+impl Netlist {
+    /// Extracts the gates in `members` as a standalone sub-netlist.
+    ///
+    /// Fanins from outside the region become primary inputs (parent
+    /// constants are re-created as constants, not inputs); members with
+    /// any fanout outside the region — a gate in another region or a
+    /// parent primary output — become primary outputs. Gate kinds and
+    /// library bindings are copied. The result is deterministic in the
+    /// order of `members` (duplicates are ignored).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::DeadSignal`] for a dead member,
+    /// [`NetlistError::NotAGate`] for a member that is a primary input or
+    /// constant, and [`NetlistError::CycleDetected`] if the members do
+    /// not order topologically (possible only on a corrupt netlist).
+    pub fn extract_region(&self, members: &[SignalId]) -> Result<RegionExtract, NetlistError> {
+        let mut member_set = SignalSet::with_capacity(self.capacity());
+        let mut uniq: Vec<SignalId> = Vec::with_capacity(members.len());
+        for &m in members {
+            if !self.is_live(m) {
+                return Err(NetlistError::DeadSignal(m));
+            }
+            if self.kind(m).is_source() {
+                return Err(NetlistError::NotAGate(m));
+            }
+            if member_set.insert(m) {
+                uniq.push(m);
+            }
+        }
+        let order = self.region_topo(&uniq, &member_set)?;
+
+        let mut sub = Netlist::new(format!("{}.region", self.name()));
+        let mut map: HashMap<SignalId, SignalId> = HashMap::with_capacity(2 * uniq.len());
+        let mut inputs: Vec<SignalId> = Vec::new();
+        for &m in &order {
+            let mut fanins = Vec::with_capacity(self.fanins(m).len());
+            for &f in self.fanins(m) {
+                let sub_f = match map.get(&f) {
+                    Some(&x) => x,
+                    None => {
+                        let x = match self.kind(f) {
+                            GateKind::Const0 => sub.const0(),
+                            GateKind::Const1 => sub.const1(),
+                            _ => {
+                                let pi = sub.add_input(format!("x{}", inputs.len()));
+                                inputs.push(f);
+                                pi
+                            }
+                        };
+                        map.insert(f, x);
+                        x
+                    }
+                };
+                fanins.push(sub_f);
+            }
+            let g = sub.add_gate(self.kind(m), &fanins)?;
+            sub.set_lib(g, self.cell(m).lib())?;
+            map.insert(m, g);
+        }
+
+        let mut outputs: Vec<SignalId> = Vec::new();
+        for &m in &order {
+            let leaves = self.fanouts(m).iter().any(|fo| match *fo {
+                Fanout::Po(_) => true,
+                Fanout::Gate { cell, .. } => !member_set.contains(cell),
+            });
+            if leaves {
+                sub.add_output(format!("y{}", outputs.len()), map[&m]);
+                outputs.push(m);
+            }
+        }
+        Ok(RegionExtract {
+            sub,
+            inputs,
+            outputs,
+        })
+    }
+
+    /// Topologically orders `members` among themselves (Kahn's algorithm
+    /// restricted to intra-region edges), deterministically in member
+    /// order.
+    fn region_topo(
+        &self,
+        members: &[SignalId],
+        member_set: &SignalSet,
+    ) -> Result<Vec<SignalId>, NetlistError> {
+        let mut indeg: HashMap<SignalId, usize> = HashMap::with_capacity(members.len());
+        for &m in members {
+            let d = self
+                .fanins(m)
+                .iter()
+                .filter(|f| member_set.contains(**f))
+                .count();
+            indeg.insert(m, d);
+        }
+        let mut queue: VecDeque<SignalId> =
+            members.iter().copied().filter(|m| indeg[m] == 0).collect();
+        let mut order = Vec::with_capacity(members.len());
+        while let Some(m) = queue.pop_front() {
+            order.push(m);
+            for fo in self.fanouts(m) {
+                if let Fanout::Gate { cell, .. } = *fo {
+                    if let Some(d) = indeg.get_mut(&cell) {
+                        *d -= 1;
+                        if *d == 0 {
+                            queue.push_back(cell);
+                        }
+                    }
+                }
+            }
+        }
+        if order.len() != members.len() {
+            return Err(NetlistError::CycleDetected);
+        }
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively checks that the extraction computes, at every
+    /// boundary output, the same value the parent computes for the
+    /// corresponding parent signal (inputs fed through the boundary
+    /// mapping).
+    fn check_consistent(nl: &Netlist, ex: &RegionExtract) {
+        let n = nl.inputs().len();
+        assert!(n <= 10);
+        for v in 0u32..(1u32 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| v >> i & 1 == 1).collect();
+            let parent = nl.eval(&assignment).unwrap();
+            let sub_in: Vec<bool> = ex.inputs.iter().map(|s| parent[s.index()]).collect();
+            let got = ex.sub.eval_outputs(&sub_in).unwrap();
+            let want: Vec<bool> = ex.outputs.iter().map(|s| parent[s.index()]).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    /// d = AND(a, b); e = NOT(c); f = OR(d, e); y = f.
+    fn fig1() -> (Netlist, [SignalId; 3]) {
+        let mut nl = Netlist::new("fig1");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let e = nl.add_gate(GateKind::Not, &[c]).unwrap();
+        let f = nl.add_gate(GateKind::Or, &[d, e]).unwrap();
+        nl.add_output("f", f);
+        (nl, [d, e, f])
+    }
+
+    #[test]
+    fn whole_netlist_extraction_round_trips() {
+        let (nl, [d, e, f]) = fig1();
+        let ex = nl.extract_region(&[d, e, f]).unwrap();
+        ex.sub.validate().unwrap();
+        assert_eq!(ex.inputs.len(), 3);
+        assert_eq!(ex.outputs, vec![f]);
+        check_consistent(&nl, &ex);
+    }
+
+    #[test]
+    fn partial_region_exposes_boundary_signals() {
+        let (nl, [d, e, f]) = fig1();
+        // Only the OR: both fanins are boundary inputs.
+        let ex = nl.extract_region(&[f]).unwrap();
+        assert_eq!(ex.inputs, vec![d, e]);
+        assert_eq!(ex.outputs, vec![f]);
+        assert_eq!(ex.sub.stats().gates, 1);
+
+        // The two first-level gates: both are boundary outputs (their
+        // fanouts leave the region into the OR).
+        let ex = nl.extract_region(&[d, e]).unwrap();
+        assert_eq!(ex.outputs, vec![d, e]);
+        assert_eq!(ex.sub.stats().outputs, 2);
+        check_consistent(&nl, &ex);
+    }
+
+    #[test]
+    fn member_order_only_permutes_the_boundary() {
+        let (nl, [d, e, f]) = fig1();
+        let fwd = nl.extract_region(&[d, e, f]).unwrap();
+        let rev = nl.extract_region(&[f, e, d, f, d]).unwrap();
+        assert_eq!(fwd.sub.stats().gates, rev.sub.stats().gates);
+        assert_eq!(fwd.outputs, rev.outputs);
+        let mut a = fwd.inputs.clone();
+        let mut b = rev.inputs.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        check_consistent(&nl, &fwd);
+        check_consistent(&nl, &rev);
+    }
+
+    #[test]
+    fn constants_are_recreated_not_imported() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let one = nl.const1();
+        let g = nl.add_gate(GateKind::And, &[a, one]).unwrap();
+        nl.add_output("y", g);
+        let ex = nl.extract_region(&[g]).unwrap();
+        assert_eq!(ex.inputs, vec![a], "the constant must not become a PI");
+        assert_eq!(ex.sub.stats().inputs, 1);
+    }
+
+    #[test]
+    fn library_tags_are_copied() {
+        let (mut nl, [d, ..]) = fig1();
+        nl.set_lib(d, Some(7)).unwrap();
+        let ex = nl.extract_region(&[d]).unwrap();
+        let sub_gate = ex.sub.outputs()[0].driver();
+        assert_eq!(ex.sub.cell(sub_gate).lib(), Some(7));
+    }
+
+    #[test]
+    fn rejects_sources_and_dead_members() {
+        let (mut nl, [d, _, f]) = fig1();
+        let a = nl.find("a").unwrap();
+        assert!(matches!(
+            nl.extract_region(&[a]),
+            Err(NetlistError::NotAGate(_))
+        ));
+        // Delete the OR, then ask for it.
+        nl.substitute_stem(f, d).unwrap();
+        nl.prune_dangling();
+        assert!(matches!(
+            nl.extract_region(&[f]),
+            Err(NetlistError::DeadSignal(_))
+        ));
+    }
+}

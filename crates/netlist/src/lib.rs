@@ -45,6 +45,7 @@ mod delta;
 mod edit;
 mod error;
 mod eval;
+mod extract;
 mod id;
 mod kind;
 #[allow(clippy::module_inception)]
@@ -58,6 +59,7 @@ pub use bitset::SignalSet;
 pub use cell::{Branch, Cell, Fanout};
 pub use delta::EditDelta;
 pub use error::NetlistError;
+pub use extract::RegionExtract;
 pub use id::SignalId;
 pub use kind::{Arity, GateKind};
 pub use netlist::{Netlist, PrimaryOutput};

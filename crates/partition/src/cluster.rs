@@ -1,0 +1,396 @@
+//! Levelization-aware clustering under size and fanout constraints.
+//!
+//! Following the clustering formulation of Raghavan et al. (no gate
+//! replication, bounded cluster size, bounded cluster fanout), gates are
+//! grouped into *convex* regions: no path leaves a region and re-enters
+//! it. Convexity is what makes independent per-region optimization sound
+//! — every region input can be frozen as a free primary input without
+//! creating hidden correlations through the region's own outputs.
+//!
+//! Two region shapes guarantee convexity by construction:
+//!
+//! * a run of **complete consecutive topological levels** — any path
+//!   leaving the run continues to strictly deeper levels and never
+//!   returns;
+//! * a **chunk of a single level** — level-`l` gates never feed other
+//!   level-`l` gates.
+//!
+//! The pass packs complete levels greedily up to the size bound, chunks
+//! oversized levels, then best-effort splits regions whose boundary
+//! fanout exceeds the bound (the exact fanout-bounded problem is
+//! NP-hard; splitting at level boundaries keeps convexity and usually
+//! lands under the bound). The region *schedule* is a seed-keyed
+//! permutation, making the processing order deterministic and
+//! reproducible independent of worker count.
+
+use netlist::{Fanout, Netlist, NetlistError, SignalId, SignalSet};
+
+/// Constraints and determinism seed for [`cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Maximum gates per region. Oversized topological levels are
+    /// chunked to this bound.
+    pub max_region_size: usize,
+    /// Best-effort bound on a region's boundary outputs (signals
+    /// consumed outside the region). Regions over the bound are split at
+    /// level boundaries until they fit or cannot be split further.
+    pub max_region_fanout: usize,
+    /// Seed of the region schedule permutation.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            max_region_size: 2048,
+            max_region_fanout: 512,
+            seed: 1995,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A configuration sized so that `gates` gates split into about
+    /// `partitions` regions (the `--partitions N` CLI semantics).
+    #[must_use]
+    pub fn for_partitions(gates: usize, partitions: usize) -> Self {
+        let p = partitions.max(1);
+        ClusterConfig {
+            max_region_size: gates.div_ceil(p).max(1),
+            ..ClusterConfig::default()
+        }
+    }
+}
+
+/// One region: a convex set of gates, in deterministic (level-major,
+/// id-minor) order.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Member gates (never primary inputs or constants).
+    pub members: Vec<SignalId>,
+}
+
+/// The result of [`cluster`]: every live gate in exactly one region.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// The regions, in construction (level) order.
+    pub regions: Vec<Region>,
+    /// Region indices in seed-permuted processing order.
+    pub schedule: Vec<usize>,
+    /// Distinct gate signals whose value crosses a region boundary (a
+    /// consumer in another region, or a primary output).
+    pub boundary_signals: usize,
+}
+
+/// Clusters every live gate of `nl` into convex regions under `cfg`.
+///
+/// # Errors
+///
+/// [`NetlistError::CycleDetected`] if the netlist is not a DAG.
+pub fn cluster(nl: &Netlist, cfg: &ClusterConfig) -> Result<Clustering, NetlistError> {
+    let levels = nl.levels()?;
+    let max_level = nl
+        .gates()
+        .map(|g| levels[g.index()] as usize)
+        .max()
+        .unwrap_or(0);
+    // Gates per level, in id order (nl.gates() iterates by index).
+    let mut by_level: Vec<Vec<SignalId>> = vec![Vec::new(); max_level + 1];
+    for g in nl.gates() {
+        by_level[levels[g.index()] as usize].push(g);
+    }
+
+    let size_cap = cfg.max_region_size.max(1);
+    let mut regions: Vec<Vec<SignalId>> = Vec::new();
+    let mut run: Vec<SignalId> = Vec::new();
+    for level in by_level {
+        if level.is_empty() {
+            continue;
+        }
+        if level.len() > size_cap {
+            // Oversized level: close the current run, then chunk the
+            // level (single-level chunks are convex on their own).
+            if !run.is_empty() {
+                regions.push(std::mem::take(&mut run));
+            }
+            for chunk in level.chunks(size_cap) {
+                regions.push(chunk.to_vec());
+            }
+            continue;
+        }
+        if !run.is_empty() && run.len() + level.len() > size_cap {
+            regions.push(std::mem::take(&mut run));
+        }
+        run.extend(level);
+    }
+    if !run.is_empty() {
+        regions.push(run);
+    }
+
+    // Best-effort fanout bounding: split over-fanout regions, at level
+    // boundaries when possible, until they fit or are single gates.
+    let mut bounded: Vec<Vec<SignalId>> = Vec::new();
+    for members in regions {
+        split_for_fanout(
+            nl,
+            &levels,
+            members,
+            cfg.max_region_fanout.max(1),
+            &mut bounded,
+        );
+    }
+
+    let boundary_signals = count_boundary_signals(nl, &bounded);
+    let schedule = permutation(bounded.len(), cfg.seed);
+    Ok(Clustering {
+        regions: bounded
+            .into_iter()
+            .map(|members| Region { members })
+            .collect(),
+        schedule,
+        boundary_signals,
+    })
+}
+
+/// Boundary outputs of a member set: members with a fanout outside it.
+fn boundary_outputs(nl: &Netlist, members: &[SignalId], set: &SignalSet) -> usize {
+    members
+        .iter()
+        .filter(|&&m| {
+            nl.fanouts(m).iter().any(|fo| match *fo {
+                Fanout::Po(_) => true,
+                Fanout::Gate { cell, .. } => !set.contains(cell),
+            })
+        })
+        .count()
+}
+
+fn split_for_fanout(
+    nl: &Netlist,
+    levels: &[u32],
+    members: Vec<SignalId>,
+    max_fanout: usize,
+    out: &mut Vec<Vec<SignalId>>,
+) {
+    if members.len() <= 1 {
+        out.push(members);
+        return;
+    }
+    let set: SignalSet = members.iter().copied().collect();
+    if boundary_outputs(nl, &members, &set) <= max_fanout {
+        out.push(members);
+        return;
+    }
+    // Split at the median level boundary when the region spans several
+    // levels (both halves stay complete-level runs); otherwise halve the
+    // single-level chunk.
+    let lo = levels[members[0].index()];
+    let hi = levels[members[members.len() - 1].index()];
+    let (a, b) = if lo != hi {
+        let mid = u32::midpoint(lo, hi);
+        let split = members.partition_point(|m| levels[m.index()] <= mid);
+        // `mid >= lo` so the first half is never empty; if everything
+        // fell at or below `mid`, fall back to halving.
+        if split == members.len() {
+            let half = members.len() / 2;
+            (members[..half].to_vec(), members[half..].to_vec())
+        } else {
+            (members[..split].to_vec(), members[split..].to_vec())
+        }
+    } else {
+        let half = members.len() / 2;
+        (members[..half].to_vec(), members[half..].to_vec())
+    };
+    split_for_fanout(nl, levels, a, max_fanout, out);
+    split_for_fanout(nl, levels, b, max_fanout, out);
+}
+
+fn count_boundary_signals(nl: &Netlist, regions: &[Vec<SignalId>]) -> usize {
+    // Region id per signal slot, to test "consumer in another region".
+    let mut region_of: Vec<u32> = vec![u32::MAX; nl.capacity()];
+    for (i, members) in regions.iter().enumerate() {
+        for &m in members {
+            region_of[m.index()] = i as u32;
+        }
+    }
+    let mut n = 0usize;
+    for members in regions {
+        for &m in members {
+            let mine = region_of[m.index()];
+            let crosses = nl.fanouts(m).iter().any(|fo| match *fo {
+                Fanout::Po(_) => true,
+                Fanout::Gate { cell, .. } => region_of[cell.index()] != mine,
+            });
+            if crosses {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Deterministic seed-keyed permutation of `0..n` (splitmix64-driven
+/// Fisher–Yates, no external RNG dependency).
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::GateKind;
+
+    /// A layered netlist: `w` columns of `d` NOT-gate stages.
+    fn grid(w: usize, d: usize) -> Netlist {
+        let mut nl = Netlist::new("grid");
+        let ins: Vec<_> = (0..w).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let mut cur = ins;
+        for _ in 0..d {
+            cur = cur
+                .iter()
+                .map(|&s| nl.add_gate(GateKind::Not, &[s]).unwrap())
+                .collect();
+        }
+        for (i, &s) in cur.iter().enumerate() {
+            nl.add_output(format!("y{i}"), s);
+        }
+        nl
+    }
+
+    fn covers_all_gates_once(nl: &Netlist, c: &Clustering) {
+        let mut seen = SignalSet::with_capacity(nl.capacity());
+        for r in &c.regions {
+            for &m in &r.members {
+                assert!(seen.insert(m), "gate in two regions");
+                assert!(!nl.kind(m).is_source());
+            }
+        }
+        assert_eq!(seen.len(), nl.gates().count());
+    }
+
+    #[test]
+    fn regions_respect_the_size_bound_and_cover_everything() {
+        let nl = grid(8, 10); // 80 gates, 10 levels of 8
+        let cfg = ClusterConfig {
+            max_region_size: 20,
+            max_region_fanout: usize::MAX,
+            seed: 1,
+        };
+        let c = cluster(&nl, &cfg).unwrap();
+        covers_all_gates_once(&nl, &c);
+        assert!(c.regions.len() >= 4);
+        for r in &c.regions {
+            assert!(r.members.len() <= 20);
+        }
+        // 8 complete levels of NOT gates per region: only the last level
+        // of each region is boundary.
+        assert!(c.boundary_signals < 80);
+    }
+
+    #[test]
+    fn oversized_levels_are_chunked() {
+        let nl = grid(50, 1); // one level of 50 gates
+        let cfg = ClusterConfig {
+            max_region_size: 16,
+            max_region_fanout: usize::MAX,
+            seed: 0,
+        };
+        let c = cluster(&nl, &cfg).unwrap();
+        covers_all_gates_once(&nl, &c);
+        assert_eq!(c.regions.len(), 4); // 16+16+16+2
+    }
+
+    #[test]
+    fn regions_are_convex() {
+        // Convexity: for every region, no member's fanin chain passes
+        // through a non-member gate that itself depends on the region.
+        let nl = grid(6, 6);
+        let cfg = ClusterConfig {
+            max_region_size: 13, // forces ragged level runs
+            max_region_fanout: usize::MAX,
+            seed: 7,
+        };
+        let c = cluster(&nl, &cfg).unwrap();
+        let levels = nl.levels().unwrap();
+        for r in &c.regions {
+            let lo = r.members.iter().map(|m| levels[m.index()]).min().unwrap();
+            let hi = r.members.iter().map(|m| levels[m.index()]).max().unwrap();
+            if lo == hi {
+                continue; // single-level chunk: convex by construction
+            }
+            // A multi-level region must hold complete levels.
+            let set: SignalSet = r.members.iter().copied().collect();
+            for g in nl.gates() {
+                let l = levels[g.index()];
+                if l >= lo && l <= hi {
+                    assert!(set.contains(g), "incomplete level in region");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_bound_splits_regions() {
+        let nl = grid(32, 2);
+        let loose = cluster(
+            &nl,
+            &ClusterConfig {
+                max_region_size: 64,
+                max_region_fanout: usize::MAX,
+                seed: 0,
+            },
+        )
+        .unwrap();
+        let tight = cluster(
+            &nl,
+            &ClusterConfig {
+                max_region_size: 64,
+                max_region_fanout: 8,
+                seed: 0,
+            },
+        )
+        .unwrap();
+        assert!(tight.regions.len() > loose.regions.len());
+        covers_all_gates_once(&nl, &tight);
+    }
+
+    #[test]
+    fn schedule_is_a_seeded_permutation() {
+        let nl = grid(8, 8);
+        let cfg = ClusterConfig {
+            max_region_size: 8,
+            max_region_fanout: usize::MAX,
+            seed: 42,
+        };
+        let a = cluster(&nl, &cfg).unwrap();
+        let b = cluster(&nl, &cfg).unwrap();
+        assert_eq!(a.schedule, b.schedule, "same seed, same schedule");
+        let c = cluster(&nl, &ClusterConfig { seed: 43, ..cfg }).unwrap();
+        assert_ne!(a.schedule, c.schedule, "different seed, different order");
+        let mut sorted = a.schedule.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..a.regions.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_partitions_sizes_regions() {
+        let cfg = ClusterConfig::for_partitions(1000, 4);
+        assert_eq!(cfg.max_region_size, 250);
+        let nl = grid(10, 10); // 100 gates
+        let c = cluster(&nl, &ClusterConfig::for_partitions(100, 4)).unwrap();
+        assert!(c.regions.len() >= 4, "got {} regions", c.regions.len());
+    }
+}

@@ -41,6 +41,7 @@ mod encode;
 mod miter;
 mod prove;
 mod solver;
+pub mod sweep;
 
 pub use cnf::{Cnf, Lit, Var};
 pub use dimacs::{parse_dimacs, solver_from_cnf, write_dimacs, DimacsError};
@@ -48,3 +49,4 @@ pub use encode::CircuitCnf;
 pub use miter::{build_miter, check_equiv, check_equiv_stats, EquivError};
 pub use prove::{ClauseProver, FaultSite};
 pub use solver::{Model, SatResult, Solver, SolverStats};
+pub use sweep::{check_equiv_sweep, check_equiv_sweep_stats, SweepStats};

@@ -41,15 +41,11 @@ impl From<NetlistError> for EquivError {
     }
 }
 
-/// Builds a miter of two netlists into one solver: inputs are shared
-/// positionally, corresponding outputs are XORed, and the returned literal
-/// is true iff some output pair differs.
-///
-/// # Errors
-///
-/// [`EquivError::InterfaceMismatch`] if the interfaces differ, or
-/// [`EquivError::Netlist`] if either netlist is cyclic.
-pub fn build_miter(a: &Netlist, b: &Netlist) -> Result<(CircuitCnf, Lit), EquivError> {
+/// Encodes both netlists into one solver with positionally shared
+/// inputs, returning the encoding (indexed by `a`'s signals) and the
+/// variable of each of `b`'s signal slots. The building block behind
+/// [`build_miter`] and the sweeping checker in [`crate::sweep`].
+pub(crate) fn encode_pair(a: &Netlist, b: &Netlist) -> Result<(CircuitCnf, Vec<Var>), EquivError> {
     if a.inputs().len() != b.inputs().len() || a.outputs().len() != b.outputs().len() {
         return Err(EquivError::InterfaceMismatch {
             left: (a.inputs().len(), a.outputs().len()),
@@ -79,6 +75,19 @@ pub fn build_miter(a: &Netlist, b: &Netlist) -> Result<(CircuitCnf, Lit), EquivE
         let y = b_vars[s.index()];
         enc.encode_function(y, kind, &ins);
     }
+    Ok((enc, b_vars))
+}
+
+/// Builds a miter of two netlists into one solver: inputs are shared
+/// positionally, corresponding outputs are XORed, and the returned literal
+/// is true iff some output pair differs.
+///
+/// # Errors
+///
+/// [`EquivError::InterfaceMismatch`] if the interfaces differ, or
+/// [`EquivError::Netlist`] if either netlist is cyclic.
+pub fn build_miter(a: &Netlist, b: &Netlist) -> Result<(CircuitCnf, Lit), EquivError> {
+    let (mut enc, b_vars) = encode_pair(a, b)?;
     // XOR each output pair; OR the differences.
     let mut diffs: Vec<Lit> = Vec::with_capacity(a.outputs().len());
     for (pa, pb) in a.outputs().iter().zip(b.outputs()) {

@@ -36,6 +36,7 @@ fn usage() -> String {
        --seed N                 BPFS seed\n\
        --vectors N              BPFS vectors per round\n\
        --verify POLICY          off|final|each|every:N\n\
+       --partitions N           partitioned optimization with ~N regions\n\
        --priority LANE          high|normal|low (default normal)\n\
      \n\
      control:\n\
@@ -69,6 +70,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             seed: None,
             vectors: None,
             verify: None,
+            partitions: None,
             priority: Priority::Normal,
         },
         status: false,
@@ -122,6 +124,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     Some(parse_u64(need(&mut it, "--vectors")?, "--vectors")? as usize);
             }
             "--verify" => opts.template.verify = Some(parse_verify(&need(&mut it, "--verify")?)?),
+            "--partitions" => {
+                opts.template.partitions =
+                    Some(parse_u64(need(&mut it, "--partitions")?, "--partitions")? as usize);
+            }
             "--priority" => {
                 let v = need(&mut it, "--priority")?;
                 opts.template.priority = Priority::from_name(&v)
@@ -263,6 +269,8 @@ mod tests {
             "7",
             "--verify",
             "final",
+            "--partitions",
+            "4",
             "--priority",
             "high",
             "--drain",
@@ -272,6 +280,7 @@ mod tests {
         assert_eq!(opts.jobs.len(), 2);
         assert_eq!(opts.jobs[0], JobSource::Suite("9sym".to_string()));
         assert_eq!(opts.template.work_limit, Some(100));
+        assert_eq!(opts.template.partitions, Some(4));
         assert_eq!(opts.template.priority, Priority::High);
         assert!(opts.drain);
     }

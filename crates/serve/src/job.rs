@@ -51,6 +51,11 @@ pub struct JobSpec {
     pub vectors: Option<usize>,
     /// Checkpointed verify-with-rollback policy.
     pub verify: VerifyPolicy,
+    /// Partitioned optimization: cluster into roughly this many regions
+    /// and optimize them region by region (`0` = whole-netlist run).
+    /// Region workers stay single-threaded — the server's worker pool is
+    /// the parallelism axis.
+    pub partitions: usize,
     /// Queue lane.
     pub priority: Priority,
 }
@@ -167,10 +172,6 @@ pub fn run_job(lib: &Library, spec: &JobSpec, budget: &Budget) -> Result<JobResu
     let cfg = cfg.threads(1).build().map_err(|e| e.to_string())?;
 
     let circuit = nl.name().to_string();
-    let stats = Optimizer::new(lib, cfg)
-        .optimize_with_budget(&mut nl, budget)
-        .map_err(|e| format!("optimizing {circuit} failed: {e}"))?;
-
     let mut report = RunReport::default();
     report.meta.insert("job".into(), spec.id.clone());
     report.meta.insert("circuit".into(), circuit.clone());
@@ -178,7 +179,27 @@ pub fn run_job(lib: &Library, spec: &JobSpec, budget: &Budget) -> Result<JobResu
     report
         .meta
         .insert("verify".into(), verify_name(spec.verify));
-    stats.merge_into_report(&mut report);
+    let stats = if spec.partitions > 0 {
+        // Partitioned path: region workers run serially inside this job
+        // (cfg.threads is 1 above), so a partitioned job costs one worker
+        // slot like any other, and the per-region progress counters land
+        // in the job's report.
+        let popts = partition::PartitionOptions {
+            cluster: partition::ClusterConfig::for_partitions(nl.stats().gates, spec.partitions),
+            threads: 1,
+            verify_regions: true,
+        };
+        let ps = partition::optimize_partitioned(lib, &cfg, &mut nl, &popts, budget)
+            .map_err(|e| format!("optimizing {circuit} failed: {e}"))?;
+        ps.merge_into_report(&mut report);
+        ps.gdo
+    } else {
+        let stats = Optimizer::new(lib, cfg)
+            .optimize_with_budget(&mut nl, budget)
+            .map_err(|e| format!("optimizing {circuit} failed: {e}"))?;
+        stats.merge_into_report(&mut report);
+        stats
+    };
 
     let outcome = if budget.was_cancelled_externally() {
         JobOutcome::Cancelled
@@ -208,6 +229,7 @@ mod tests {
             seed: 1995,
             vectors: Some(64),
             verify: VerifyPolicy::Off,
+            partitions: 0,
             priority: Priority::Normal,
         }
     }
@@ -223,6 +245,22 @@ mod tests {
         assert!(result.stats.gates_after > 0);
         assert_eq!(result.report.meta["job"], "t1");
         assert_eq!(result.report.meta["circuit"], "Z5xp1");
+        telemetry::validate_json(&result.report.to_json()).unwrap();
+    }
+
+    #[test]
+    fn partitioned_job_reports_region_counters() {
+        let lib = library::standard_library();
+        let mut s = spec(JobSource::Suite("C880".to_string()));
+        s.partitions = 4;
+        let result = run_job(&lib, &s, &Budget::unlimited()).unwrap();
+        assert_eq!(result.outcome, JobOutcome::Done);
+        let regions = result.report.counters["partition.regions"];
+        assert!(regions >= 4, "expected several regions, got {regions}");
+        assert!(result
+            .report
+            .counters
+            .contains_key("partition.regions_done"));
         telemetry::validate_json(&result.report.to_json()).unwrap();
     }
 

@@ -71,6 +71,9 @@ pub struct SubmitRequest {
     pub vectors: Option<usize>,
     /// Checkpointed verify-with-rollback policy.
     pub verify: Option<VerifyPolicy>,
+    /// Partitioned optimization: cluster into roughly this many regions
+    /// (`0`/absent = whole-netlist run).
+    pub partitions: Option<usize>,
     /// Queue lane.
     pub priority: Priority,
 }
@@ -143,6 +146,7 @@ fn parse_submit(v: &Json) -> Result<SubmitRequest, String> {
         seed: uint("seed")?,
         vectors: uint("vectors")?.map(|n| n as usize),
         verify,
+        partitions: uint("partitions")?.map(|n| n as usize),
         priority,
     })
 }
@@ -210,6 +214,9 @@ pub fn submit_to_json(r: &SubmitRequest) -> String {
     }
     if let Some(p) = r.verify {
         let _ = write!(out, ",\"verify\":{}", json_escaped(&verify_name(p)));
+    }
+    if let Some(p) = r.partitions {
+        let _ = write!(out, ",\"partitions\":{p}");
     }
     if r.priority != Priority::Normal {
         let _ = write!(out, ",\"priority\":{}", json_escaped(r.priority.name()));
@@ -436,7 +443,7 @@ mod tests {
         let r = parse_request(
             r#"{"op":"submit","id":"j9","circuit":"9sym","deadline_ms":250,
                 "work_limit":100,"seed":7,"vectors":128,"verify":"every:4",
-                "priority":"high"}"#,
+                "partitions":4,"priority":"high"}"#,
         )
         .unwrap();
         let Request::Submit(s) = r else {
@@ -449,6 +456,7 @@ mod tests {
         assert_eq!(s.seed, Some(7));
         assert_eq!(s.vectors, Some(128));
         assert_eq!(s.verify, Some(VerifyPolicy::EveryN(4)));
+        assert_eq!(s.partitions, Some(4));
         assert_eq!(s.priority, Priority::High);
     }
 
@@ -462,6 +470,7 @@ mod tests {
             seed: Some(1995),
             vectors: None,
             verify: Some(VerifyPolicy::Final),
+            partitions: Some(8),
             priority: Priority::Low,
         };
         let line = submit_to_json(&original);

@@ -297,6 +297,7 @@ impl Server {
             seed: req.seed.unwrap_or(self.default_seed()),
             vectors: req.vectors,
             verify: req.verify.unwrap_or(self.default_verify()),
+            partitions: req.partitions.unwrap_or(0),
             priority: req.priority,
         };
         let priority = spec.priority;

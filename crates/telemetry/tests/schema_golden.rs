@@ -40,6 +40,20 @@ fn fixed_report() -> RunReport {
     report.counters.insert("server.jobs_degraded".into(), 1);
     report.counters.insert("server.queue_depth_max".into(), 2);
     report.counters.insert("server.drain_ms".into(), 7);
+    report.counters.insert("partition.regions".into(), 4);
+    report
+        .counters
+        .insert("partition.boundary_signals".into(), 12);
+    report
+        .counters
+        .insert("partition.region_rewrites".into(), 6);
+    report
+        .counters
+        .insert("partition.stitch_conflicts".into(), 0);
+    report
+        .counters
+        .insert("partition.regions_skipped".into(), 0);
+    report.counters.insert("partition.regions_done".into(), 4);
     report.gauges.insert("gdo.round".into(), 3.0);
     report.spans.insert(
         "gdo.optimize".into(),

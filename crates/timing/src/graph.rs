@@ -83,6 +83,17 @@ pub struct TimingGraph {
     /// Effective required time at every primary output.
     po_req: f64,
     explicit_po_req: Option<f64>,
+    /// Per-primary-output required times (indexed by PO position) for
+    /// region-constrained analysis; `None` keeps the scalar behaviour.
+    /// Takes precedence over `explicit_po_req`.
+    po_required_times: Option<Vec<f64>>,
+    /// Backward-pass seed per PO index (`po_req − required(po_j)`).
+    /// Empty without per-output constraints, meaning "seed 0 everywhere".
+    po_seed: Vec<f64>,
+    /// Cached effective required time per `po_drivers` entry; empty
+    /// without per-output constraints (then every endpoint uses
+    /// `po_req`).
+    endpoint_req: Vec<f64>,
     input_arrivals: Option<Vec<f64>>,
     /// Propagation cutoff: a recomputed value that moves by no more than
     /// this stops the worklist. 0.0 (the default) reproduces a full
@@ -149,6 +160,74 @@ impl TimingGraph {
             eps: REL_EPS,
             po_req: 0.0,
             explicit_po_req: po_required,
+            po_required_times: None,
+            po_seed: Vec::new(),
+            endpoint_req: Vec::new(),
+            input_arrivals: input_arrivals.map(<[f64]>::to_vec),
+            cutoff: 0.0,
+        };
+        tg.analyze_full(nl, model)?;
+        Ok(tg)
+    }
+
+    /// Builds the graph under *per-output* boundary constraints — the
+    /// timing view of one extracted partition region. `input_arrivals[i]`
+    /// is the arrival time of primary input `i` (the parent arrival of
+    /// the frozen boundary signal feeding it); `po_required[j]` is the
+    /// required time of primary output `j` (the parent required time of
+    /// the frozen boundary signal it drives, so downstream path tails
+    /// outside the region keep shaping criticality inside it).
+    ///
+    /// The per-output requirements are folded into the shared backward
+    /// pass by seeding output `j`'s tail with `max_k(po_required[k]) −
+    /// po_required[j]`, so `required(s)` is `min_j(po_required[j] −
+    /// delay(s → j))` and incremental [`update`](Self::update)s keep
+    /// working unchanged. Constraints persist across updates.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::CycleDetected`] if `nl` is not a DAG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a constraint slice has the wrong length or contains a
+    /// non-finite value.
+    pub fn from_scratch_region<M: DelayModel>(
+        nl: &Netlist,
+        model: &M,
+        input_arrivals: Option<&[f64]>,
+        po_required: &[f64],
+    ) -> Result<TimingGraph, NetlistError> {
+        if let Some(ia) = input_arrivals {
+            assert_eq!(
+                ia.len(),
+                nl.inputs().len(),
+                "one arrival time per primary input"
+            );
+        }
+        assert_eq!(
+            po_required.len(),
+            nl.outputs().len(),
+            "one required time per primary output"
+        );
+        assert!(
+            po_required.iter().all(|r| r.is_finite()),
+            "required times must be finite"
+        );
+        telemetry::counter_add("sta.full_recomputes", 1);
+        let mut tg = TimingGraph {
+            arrival: Vec::new(),
+            tail: Vec::new(),
+            level: Vec::new(),
+            delays: Vec::new(),
+            po_drivers: Vec::new(),
+            circuit_delay: 0.0,
+            eps: REL_EPS,
+            po_req: 0.0,
+            explicit_po_req: None,
+            po_required_times: Some(po_required.to_vec()),
+            po_seed: Vec::new(),
+            endpoint_req: Vec::new(),
             input_arrivals: input_arrivals.map(<[f64]>::to_vec),
             cutoff: 0.0,
         };
@@ -228,10 +307,13 @@ impl TimingGraph {
             self.level[s.index()] = lvl;
             self.delays[s.index()] = delays;
         }
+        // Endpoints (and the per-output tail seeds) derive from arrivals
+        // only, so they must be fresh before the backward pass reads
+        // them through `tail_of`.
+        self.refresh_endpoints(nl);
         for &s in order.iter().rev() {
             self.tail[s.index()] = self.tail_of(nl, s);
         }
-        self.refresh_endpoints(nl);
         Ok(())
     }
 
@@ -241,13 +323,23 @@ impl TimingGraph {
         let mut t = f64::NEG_INFINITY;
         for fo in nl.fanouts(s) {
             match *fo {
-                Fanout::Po(_) => t = t.max(0.0),
+                Fanout::Po(j) => t = t.max(self.po_seed_of(j)),
                 Fanout::Gate { cell, pin } => {
                     t = t.max(self.tail[cell.index()] + self.delays[cell.index()][pin as usize]);
                 }
             }
         }
         t
+    }
+
+    /// The backward-pass tail seed of primary output `j`: 0 without
+    /// per-output constraints, `po_req − required(po_j)` with them.
+    fn po_seed_of(&self, j: u32) -> f64 {
+        if self.po_seed.is_empty() {
+            0.0
+        } else {
+            self.po_seed.get(j as usize).copied().unwrap_or(0.0)
+        }
     }
 
     /// Re-derives the cached endpoint set, the circuit delay, eps and the
@@ -266,7 +358,33 @@ impl TimingGraph {
             .map(|d| self.arrival[d.index()])
             .fold(0.0_f64, f64::max);
         self.eps = self.circuit_delay.abs().max(1.0) * REL_EPS;
-        self.po_req = self.explicit_po_req.unwrap_or(self.circuit_delay);
+        match &self.po_required_times {
+            Some(req) => {
+                // Base required = the latest per-output requirement;
+                // seeding PO j's tail with `base − req[j]` folds the
+                // per-output offsets into the one shared backward pass.
+                let base = req.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                self.po_req = base;
+                self.po_seed = req.iter().map(|&r| base - r).collect();
+                self.endpoint_req = self
+                    .po_drivers
+                    .iter()
+                    .map(|&d| {
+                        nl.outputs()
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, po)| po.driver() == d)
+                            .map(|(j, _)| req.get(j).copied().unwrap_or(base))
+                            .fold(f64::INFINITY, f64::min)
+                    })
+                    .collect();
+            }
+            None => {
+                self.po_req = self.explicit_po_req.unwrap_or(self.circuit_delay);
+                self.po_seed.clear();
+                self.endpoint_req.clear();
+            }
+        }
     }
 
     /// Applies a batch of recorded edits, re-propagating arrivals through
@@ -514,10 +632,18 @@ impl TimingGraph {
     /// netlists without outputs.
     #[must_use]
     pub fn worst_slack(&self) -> f64 {
-        self.po_drivers
-            .iter()
-            .map(|d| self.po_req - self.arrival[d.index()])
-            .fold(f64::INFINITY, f64::min)
+        if self.endpoint_req.is_empty() {
+            self.po_drivers
+                .iter()
+                .map(|d| self.po_req - self.arrival[d.index()])
+                .fold(f64::INFINITY, f64::min)
+        } else {
+            self.po_drivers
+                .iter()
+                .zip(&self.endpoint_req)
+                .map(|(d, &r)| r - self.arrival[d.index()])
+                .fold(f64::INFINITY, f64::min)
+        }
     }
 
     /// Arrival time of a signal.
@@ -978,6 +1104,53 @@ mod tests {
             dev <= cutoff * (gates.len() + 1) as f64,
             "drift {dev} exceeds the cutoff bound"
         );
+    }
+
+    #[test]
+    fn per_output_required_times_shape_slack() {
+        // One chain, tapped twice: y1 = NOT a (depth 1), y2 = NOT y1
+        // (depth 2), with different requirements per output.
+        let mut nl = Netlist::new("r");
+        let a = nl.add_input("a");
+        let g1 = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        let g2 = nl.add_gate(GateKind::Not, &[g1]).unwrap();
+        nl.add_output("y1", g1);
+        nl.add_output("y2", g2);
+        let tg = TimingGraph::from_scratch_region(&nl, &UnitDelay, None, &[5.0, 3.0]).unwrap();
+        assert_eq!(tg.required(g2), 3.0);
+        // g1 must honour both its own output (5.0) and the path through
+        // g2 (3.0 − 1.0): the tighter one wins.
+        assert_eq!(tg.required(g1), 2.0);
+        assert_eq!(tg.required(a), 1.0);
+        assert_eq!(tg.worst_slack(), 1.0); // min(5 − 1, 3 − 2)
+        assert_eq!(tg.slack(g1), 1.0);
+    }
+
+    #[test]
+    fn region_constraints_persist_across_updates() {
+        let mut nl = Netlist::new("r");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        nl.add_output("y", g);
+        // Input b arrives late (a frozen boundary signal with parent
+        // arrival 2.0); the output must settle by 4.0.
+        let mut tg =
+            TimingGraph::from_scratch_region(&nl, &UnitDelay, Some(&[0.0, 2.0]), &[4.0]).unwrap();
+        assert_eq!(tg.arrival(g), 3.0);
+        assert_eq!(tg.worst_slack(), 1.0);
+        // An incremental edit keeps both constraints (the debug
+        // cross-check inside update would catch any drift).
+        nl.record_edits();
+        let h = nl.add_gate(GateKind::Not, &[g]).unwrap();
+        nl.add_output("z", h);
+        // A new PO appeared after construction: it falls back to the
+        // base requirement (the latest constrained output).
+        let delta = nl.take_delta();
+        tg.update(&nl, &UnitDelay, &delta);
+        assert_eq!(tg.arrival(h), 4.0);
+        assert_eq!(tg.required(h), 4.0);
+        assert_eq!(tg.worst_slack(), 0.0);
     }
 
     #[test]

@@ -46,6 +46,7 @@ mod arith;
 mod datapath;
 mod ecc;
 mod interrupt;
+mod layered;
 mod multiplier;
 mod parity;
 mod randlogic;
@@ -58,12 +59,13 @@ pub use arith::{full_adder, half_adder, ripple_adder, xor_tree};
 pub use datapath::datapath;
 pub use ecc::{sec_corrector, EccStyle};
 pub use interrupt::priority_controller;
+pub use layered::layered_datapath;
 pub use multiplier::{array_multiplier, array_multiplier_nor};
 pub use parity::{parity_tree, sym_detector};
 pub use randlogic::{random_logic, random_sop};
 pub use rotator::barrel_rotator;
 pub use scripts::{script_delay, script_rugged};
 pub use suite::{
-    circuit_by_name, circuit_names, lookup_circuit, suite_table1, suite_table2, SuiteEntry,
-    UnknownCircuit,
+    circuit_by_name, circuit_names, lookup_circuit, suite_scale, suite_table1, suite_table2,
+    SuiteEntry, UnknownCircuit,
 };

@@ -7,8 +7,8 @@
 //! deterministic.
 
 use crate::{
-    alu, array_multiplier_nor, barrel_rotator, datapath, priority_controller, random_logic,
-    random_sop, sec_corrector, sym_detector, EccStyle,
+    alu, array_multiplier_nor, barrel_rotator, datapath, layered_datapath, priority_controller,
+    random_logic, random_sop, sec_corrector, sym_detector, EccStyle,
 };
 use netlist::Netlist;
 
@@ -110,6 +110,34 @@ const ENTRIES: &[SuiteEntry] = &[
     },
 ];
 
+/// Generated large circuits for partitioned-optimization scale runs.
+/// These are not in the paper's tables — `suite_table1`/`suite_table2`
+/// exclude them — but [`circuit_by_name`], [`lookup_circuit`] and
+/// [`circuit_names`] accept them, so `gdo-opt --circuit xl100k
+/// --partitions 8` works out of the box. The suffix is the approximate
+/// unmapped gate count.
+const SCALE_ENTRIES: &[SuiteEntry] = &[
+    SuiteEntry {
+        name: "xl12k",
+        gen: || layered_datapath(48, 30),
+    },
+    SuiteEntry {
+        name: "xl50k",
+        gen: || layered_datapath(64, 90),
+    },
+    SuiteEntry {
+        name: "xl100k",
+        gen: || layered_datapath(96, 120),
+    },
+];
+
+/// The generated scale circuits (beyond the paper's tables), smallest
+/// first.
+#[must_use]
+pub fn suite_scale() -> Vec<SuiteEntry> {
+    SCALE_ENTRIES.to_vec()
+}
+
 /// The 17 circuits of the paper's Table 1, in table order.
 #[must_use]
 pub fn suite_table1() -> Vec<SuiteEntry> {
@@ -128,19 +156,28 @@ pub fn suite_table2() -> Vec<SuiteEntry> {
         .collect()
 }
 
-/// Looks up a suite entry by its paper name.
+/// Looks up a suite entry by its paper name (or a generated scale
+/// circuit's name).
 #[must_use]
 pub fn circuit_by_name(name: &str) -> Option<SuiteEntry> {
-    ENTRIES.iter().copied().find(|e| e.name == name)
+    ENTRIES
+        .iter()
+        .chain(SCALE_ENTRIES)
+        .copied()
+        .find(|e| e.name == name)
 }
 
-/// Every suite circuit name, in Table 1 order — the vocabulary that
-/// [`lookup_circuit`] accepts (surfaced by `gdo-opt --list-circuits` and
-/// used by `gdo-submit` to validate requests before they leave the
-/// client).
+/// Every suite circuit name, in Table 1 order followed by the generated
+/// scale circuits — the vocabulary that [`lookup_circuit`] accepts
+/// (surfaced by `gdo-opt --list-circuits` and used by `gdo-submit` to
+/// validate requests before they leave the client).
 #[must_use]
 pub fn circuit_names() -> Vec<&'static str> {
-    ENTRIES.iter().map(|e| e.name).collect()
+    ENTRIES
+        .iter()
+        .chain(SCALE_ENTRIES)
+        .map(|e| e.name)
+        .collect()
 }
 
 /// A suite lookup that failed; its `Display` lists every valid name so a
@@ -232,9 +269,28 @@ mod tests {
     #[test]
     fn names_cover_the_suite_in_order() {
         let names = circuit_names();
-        assert_eq!(names.len(), suite_table1().len());
+        assert_eq!(names.len(), suite_table1().len() + suite_scale().len());
         assert_eq!(names[0], "Z5xp1");
         assert!(names.contains(&"C6288"));
+        assert!(names.contains(&"xl100k"));
+    }
+
+    #[test]
+    fn scale_entries_resolve_but_stay_out_of_the_tables() {
+        for entry in suite_scale() {
+            assert!(circuit_by_name(entry.name).is_some(), "{}", entry.name);
+            assert!(
+                !suite_table1().iter().any(|e| e.name == entry.name),
+                "{} must not join table 1",
+                entry.name
+            );
+        }
+        // Spot-check the advertised sizes without building the 100k one
+        // (the suffix is the approximate gate count).
+        let nl = lookup_circuit("xl12k").unwrap().build();
+        let gates = nl.stats().gates;
+        assert!((10_000..20_000).contains(&gates), "xl12k has {gates} gates");
+        assert_eq!(nl.name(), "xl12k");
     }
 
     #[test]

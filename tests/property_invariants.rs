@@ -189,4 +189,87 @@ proptest! {
         cleaned.validate().expect("sound");
         prop_assert!(nl.equiv_exhaustive(&cleaned).expect("small"));
     }
+
+    /// Partitioned optimization at any partition count keeps the
+    /// function and never degrades the input's worst slack.
+    #[test]
+    fn partitioned_optimization_is_safe(recipe in recipe_strategy(), seed in 0u64..1000) {
+        let lib = standard_library();
+        let mapped = Mapper::new(&lib)
+            .goal(MapGoal::Area)
+            .map(&build(&recipe))
+            .expect("maps");
+        let cfg = gdo::GdoConfig::builder()
+            .vectors(64)
+            .seed(seed)
+            .build()
+            .expect("valid config");
+        for partitions in [1usize, 2, 4, 8] {
+            let mut nl = mapped.clone();
+            let opts = partition::PartitionOptions {
+                cluster: partition::ClusterConfig {
+                    seed,
+                    ..partition::ClusterConfig::for_partitions(nl.stats().gates, partitions)
+                },
+                threads: 1,
+                verify_regions: true,
+            };
+            let stats = partition::optimize_partitioned(
+                &lib, &cfg, &mut nl, &opts, &gdo::Budget::unlimited(),
+            )
+            .expect("partitioned run succeeds");
+            nl.validate().expect("sound");
+            prop_assert!(
+                mapped.equiv_exhaustive(&nl).expect("small"),
+                "{partitions} partitions changed the function"
+            );
+            prop_assert!(
+                stats.slack_after >= stats.slack_before - 1e-9,
+                "{partitions} partitions degraded slack {} -> {}",
+                stats.slack_before,
+                stats.slack_after
+            );
+        }
+    }
+}
+
+/// The satellite check at workload scale: dp96 at 1/2/4/8 partitions
+/// stays SAT-equivalent to its input and never loses slack.
+#[test]
+fn dp96_partitioned_is_equivalent_and_slack_safe() {
+    let lib = standard_library();
+    let mapped = Mapper::new(&lib)
+        .goal(MapGoal::Area)
+        .map(&workloads::datapath(96))
+        .expect("maps");
+    let cfg = gdo::GdoConfig::builder()
+        .vectors(128)
+        .seed(7)
+        .work_limit(1_000)
+        .build()
+        .expect("valid config");
+    for partitions in [1usize, 2, 4, 8] {
+        let mut nl = mapped.clone();
+        let opts = partition::PartitionOptions {
+            cluster: partition::ClusterConfig {
+                seed: 7,
+                ..partition::ClusterConfig::for_partitions(nl.stats().gates, partitions)
+            },
+            threads: 2,
+            verify_regions: true,
+        };
+        let stats =
+            partition::optimize_partitioned(&lib, &cfg, &mut nl, &opts, &gdo::Budget::unlimited())
+                .expect("partitioned run succeeds");
+        assert!(
+            sat::check_equiv_sweep(&mapped, &nl, 128, 7).expect("same interface"),
+            "{partitions} partitions changed dp96's function"
+        );
+        assert!(
+            stats.slack_after >= stats.slack_before - 1e-9,
+            "{partitions} partitions degraded dp96 slack {} -> {}",
+            stats.slack_before,
+            stats.slack_after
+        );
+    }
 }
