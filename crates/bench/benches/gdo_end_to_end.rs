@@ -9,7 +9,7 @@
 
 use bench::{bench_library, prepare, Flow};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use gdo::{GdoConfig, Optimizer};
+use gdo::GdoConfig;
 use workloads::circuit_by_name;
 
 fn bench_gdo(c: &mut Criterion) {
@@ -23,9 +23,7 @@ fn bench_gdo(c: &mut Criterion) {
             b.iter_batched(
                 || mapped.clone(),
                 |mut nl| {
-                    Optimizer::new(&lib, GdoConfig::default())
-                        .optimize(&mut nl)
-                        .expect("optimizer succeeds")
+                    gdo::optimize(&lib, GdoConfig::default(), &mut nl).expect("optimizer succeeds")
                 },
                 BatchSize::LargeInput,
             )
@@ -45,9 +43,7 @@ fn bench_gdo_delay_flow(c: &mut Criterion) {
             b.iter_batched(
                 || mapped.clone(),
                 |mut nl| {
-                    Optimizer::new(&lib, GdoConfig::default())
-                        .optimize(&mut nl)
-                        .expect("optimizer succeeds")
+                    gdo::optimize(&lib, GdoConfig::default(), &mut nl).expect("optimizer succeeds")
                 },
                 BatchSize::LargeInput,
             )

@@ -4,9 +4,7 @@
 //! optimizer timings. All variants are checked bit-identical before any
 //! number is reported.
 
-use gdo::{
-    pair_candidates, CandidateConfig, CandidateContext, GdoConfig, Optimizer, Site, SiteRound,
-};
+use gdo::{pair_candidates, CandidateConfig, CandidateContext, GdoConfig, Site, SiteRound};
 use library::{standard_library, MapGoal, Mapper};
 use netlist::{Netlist, SignalId};
 use sim::{simulate, SimResult, VectorSet};
@@ -265,9 +263,7 @@ pub fn run_bpfs_bench(cfg: &BpfsBenchConfig) -> BpfsReport {
     let optimize_with = |gdo_cfg: GdoConfig| -> f64 {
         let mut work = nl.clone();
         let t = Instant::now();
-        let _ = Optimizer::new(&lib, gdo_cfg)
-            .optimize(&mut work)
-            .expect("optimizer succeeds");
+        let _ = gdo::optimize(&lib, gdo_cfg, &mut work).expect("optimizer succeeds");
         t.elapsed().as_secs_f64()
     };
     let cfg_with = |threads: usize, legacy_eval: bool| -> GdoConfig {

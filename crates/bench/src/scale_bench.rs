@@ -121,6 +121,7 @@ fn timed_run(
         cluster,
         threads,
         verify_regions: true,
+        ..PartitionOptions::default()
     };
     let budget = Budget::new(None, cfg.work_limit);
     let t = Instant::now();

@@ -2,7 +2,9 @@
 //! the read → map → optimize → write pipeline, and reporting. Split into
 //! a library so the pipeline is unit-testable without spawning processes.
 
-use gdo::{optimize, GdoConfig, GdoStats, ProverKind, VerifyPolicy};
+use gdo::{
+    Budget, EngineId, GdoConfig, GdoStats, OptimizeRequest, Pipeline, ProverKind, VerifyPolicy,
+};
 use library::{parse_genlib, standard_library, Library, MapGoal, Mapper};
 use netlist::Netlist;
 use std::fmt;
@@ -153,6 +155,9 @@ pub struct Options {
     /// Treat a verification rollback as an acceptable (exit 0) outcome
     /// instead of the degraded-result exit code 4.
     pub allow_degraded: bool,
+    /// Engine pipeline run over the netlist, in order (default GDO
+    /// alone).
+    pub engines: Vec<EngineId>,
     /// Partitioned optimization: cluster into roughly this many regions
     /// and optimize them on a worker pool (`0` = whole-netlist run).
     pub partitions: usize,
@@ -186,6 +191,7 @@ impl Options {
             report_json: None,
             verbose: false,
             allow_degraded: false,
+            engines: vec![EngineId::Gdo],
             partitions: 0,
             region_size: None,
         };
@@ -263,6 +269,10 @@ impl Options {
                             )))
                         }
                     });
+                }
+                "--engine" => {
+                    out.engines = EngineId::parse_list(&need("--engine")?)
+                        .map_err(|e| CliError::Usage(e.to_string()))?;
                 }
                 "--mapped-output" => out.mapped_output = true,
                 "--require" => {
@@ -355,6 +365,8 @@ pub fn usage() -> &'static str {
      --seed N                 BPFS seed (default 1995)\n\
      --threads N              BPFS worker threads (default 0 = all cores)\n\
      --prover sat|bdd|miter   validity prover (default sat)\n\
+     --engine LIST            engine pipeline, comma-separated: gdo, resub\n\
+                              (default gdo; e.g. --engine gdo,resub)\n\
      --mapped-output          write .gate (mapped) BLIF\n\
      --require T              report MET/VIOLATED for output required time T\n\
      --time-budget-ms N       wall-clock budget; past it the run unwinds and\n\
@@ -527,6 +539,7 @@ pub fn run(options: &Options) -> Result<RunOutcome, CliError> {
             cluster,
             threads: options.cfg.threads,
             verify_regions: true,
+            engines: options.engines.clone(),
         };
         let budget = gdo::Budget::new(options.cfg.deadline, options.cfg.work_limit);
         let ps = partition::optimize_partitioned(&lib, &options.cfg, &mut nl, &popts, &budget)
@@ -538,7 +551,11 @@ pub fn run(options: &Options) -> Result<RunOutcome, CliError> {
             })?;
         (ps.gdo, Some(ps))
     } else {
-        let s = optimize(&lib, options.cfg.clone(), &mut nl).map_err(CliError::Optimize)?;
+        let budget = Budget::new(options.cfg.deadline, options.cfg.work_limit);
+        let req = OptimizeRequest::new(options.cfg.clone()).engines(options.engines.clone());
+        let s = Pipeline::new(&lib)
+            .run(&req, &mut nl, &budget)
+            .map_err(CliError::Optimize)?;
         (s, None)
     };
 
@@ -764,6 +781,23 @@ mod tests {
     }
 
     #[test]
+    fn parses_engine_lists_and_rejects_unknown_engines() {
+        let o = opts(&["in.bench", "--engine", "gdo,resub"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(o.engines, vec![EngineId::Gdo, EngineId::Resub]);
+        let o = opts(&["in.bench"]).unwrap().unwrap();
+        assert_eq!(o.engines, vec![EngineId::Gdo]);
+        match opts(&["in.bench", "--engine", "gdo,frob"]) {
+            Err(CliError::Usage(msg)) => {
+                assert!(msg.contains("valid engines"), "{msg}");
+                assert!(msg.contains("resub"), "{msg}");
+            }
+            other => panic!("expected usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn parses_budget_and_verify_flags() {
         let o = opts(&[
             "in.bench",
@@ -893,6 +927,7 @@ mod tests {
             report_json: None,
             verbose: false,
             allow_degraded: false,
+            engines: vec![EngineId::Gdo],
             partitions: 0,
             region_size: None,
         };
@@ -929,6 +964,7 @@ mod tests {
             report_json: Some(report.clone()),
             verbose: false,
             allow_degraded: false,
+            engines: vec![EngineId::Gdo],
             partitions: 4,
             region_size: None,
         };
@@ -968,6 +1004,7 @@ mod tests {
             report_json: None,
             verbose: false,
             allow_degraded: false,
+            engines: vec![EngineId::Gdo],
             partitions: 0,
             region_size: None,
         };
@@ -997,6 +1034,7 @@ mod tests {
             report_json: None,
             verbose: false,
             allow_degraded: false,
+            engines: vec![EngineId::Gdo],
             partitions: 0,
             region_size: None,
         };

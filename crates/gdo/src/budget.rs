@@ -32,6 +32,8 @@ pub enum Phase {
     Area = 3,
     /// Final checkpoint verification.
     Verify = 4,
+    /// The simulation-guided resubstitution engine.
+    Resub = 5,
 }
 
 impl Phase {
@@ -43,6 +45,7 @@ impl Phase {
             Phase::Delay => "delay",
             Phase::Area => "area",
             Phase::Verify => "verify",
+            Phase::Resub => "resub",
         }
     }
 
@@ -52,6 +55,7 @@ impl Phase {
             2 => Some(Phase::Delay),
             3 => Some(Phase::Area),
             4 => Some(Phase::Verify),
+            5 => Some(Phase::Resub),
             _ => None,
         }
     }

@@ -65,12 +65,14 @@
 mod bpfs;
 mod budget;
 mod candidates;
+mod engine;
 mod error;
 mod optimizer;
 mod prove;
 mod pvcc;
 mod redundancy;
 mod report;
+mod resub;
 mod rewrite;
 mod site;
 mod transform;
@@ -83,9 +85,10 @@ pub use budget::{Budget, CancelHandle, Phase, VerifyPolicy};
 pub use candidates::{
     pair_candidates, pair_candidates_counted, CandidateConfig, CandidateContext, CandidateCounts,
 };
+pub use engine::{Engine, EngineCounters, EngineId, OptimizeContext, OptimizeRequest, Pipeline};
 pub use error::GdoError;
 pub use optimizer::{
-    optimize, GdoConfig, GdoConfigBuilder, GdoStats, Optimizer, RegionConstraints,
+    optimize, GdoConfig, GdoConfigBuilder, GdoEngine, GdoStats, Optimizer, RegionConstraints,
 };
 pub use prove::{prove_rewrite, prove_rewrite_budgeted, prove_rewrite_with_budget, ProverKind};
 pub use pvcc::{
@@ -94,14 +97,20 @@ pub use pvcc::{
 };
 pub use redundancy::remove_redundancies;
 pub use report::OptimizeReport;
+pub use resub::ResubEngine;
 pub use rewrite::{Gate3, Rewrite, RewriteKind};
 pub use site::{SigLit, Site};
 #[cfg(feature = "fault-inject")]
 pub use transform::fault;
 pub use transform::{apply_rewrite, estimate_area_delta, estimate_arrival};
 
-/// The one-import surface for typical users: build a config, run
-/// [`optimize`], inspect [`GdoStats`], handle [`GdoError`].
+/// The one-import surface for typical users: build an
+/// [`OptimizeRequest`], run it through a [`Pipeline`] (or call
+/// [`optimize`] for the one-engine default), inspect [`GdoStats`],
+/// handle [`GdoError`].
 pub mod prelude {
-    pub use crate::{optimize, Budget, CancelHandle, GdoConfig, GdoError, GdoStats, VerifyPolicy};
+    pub use crate::{
+        optimize, Budget, CancelHandle, EngineId, GdoConfig, GdoError, GdoStats, OptimizeRequest,
+        Pipeline, VerifyPolicy,
+    };
 }

@@ -7,6 +7,10 @@
 use crate::bpfs::{run_c2_budgeted, run_c2_full_walk, run_c3_budgeted, SiteRound, TripleEntry};
 use crate::budget::{Budget, Phase, VerifyPolicy};
 use crate::candidates::{pair_candidates_counted, CandidateConfig, CandidateContext};
+use crate::engine::{
+    rewrite_class, Engine, EngineCounters, EngineId, OptimizeContext, OptimizeRequest, Pipeline,
+    SafetyNet,
+};
 use crate::prove::prove_rewrite_with_budget;
 use crate::pvcc::{
     and_or_triple_requests, const_candidates, site_arrival, site_ncp, site_required,
@@ -15,7 +19,7 @@ use crate::pvcc::{
 use crate::transform::{apply_rewrite, estimate_area_delta, estimate_arrival};
 use crate::{GdoError, ProverKind, Rewrite, RewriteKind, Site};
 use library::Library;
-use netlist::{Branch, GateKind, Netlist, SignalId};
+use netlist::{Branch, Netlist, SignalId};
 use sim::{simulate, VectorSet};
 use std::collections::HashSet;
 use std::time::Duration;
@@ -280,6 +284,8 @@ pub struct GdoStats {
     pub sub3_mods: usize,
     /// Applied constant substitutions (redundancy removals).
     pub const_mods: usize,
+    /// Applied k-resubstitutions (the `resub` engine).
+    pub resub_mods: usize,
     /// Validity proofs attempted.
     pub proofs: usize,
     /// Proofs that confirmed validity.
@@ -300,6 +306,9 @@ pub struct GdoStats {
     pub verify_rollbacks: usize,
     /// Rewrite classes quarantined after failed verifications.
     pub quarantined_kinds: usize,
+    /// Per-engine candidate-funnel counters, indexed by
+    /// [`EngineId::index`] (reported as `engine.<name>.*`).
+    pub engines: [EngineCounters; EngineId::COUNT],
 }
 
 impl GdoStats {
@@ -326,7 +335,7 @@ impl GdoStats {
     /// Total applied modifications.
     #[must_use]
     pub fn total_mods(&self) -> usize {
-        self.sub2_mods + self.sub3_mods + self.const_mods
+        self.sub2_mods + self.sub3_mods + self.const_mods + self.resub_mods
     }
 
     /// Writes every field (plus the derived reductions) into a
@@ -345,6 +354,7 @@ impl GdoStats {
         s.insert("sub2_mods".into(), self.sub2_mods as f64);
         s.insert("sub3_mods".into(), self.sub3_mods as f64);
         s.insert("const_mods".into(), self.const_mods as f64);
+        s.insert("resub_mods".into(), self.resub_mods as f64);
         s.insert("proofs".into(), self.proofs as f64);
         s.insert("proofs_valid".into(), self.proofs_valid as f64);
         s.insert("rounds".into(), self.rounds as f64);
@@ -360,6 +370,19 @@ impl GdoStats {
         c.insert("verify.failures".into(), self.verify_failures as u64);
         c.insert("verify.rollbacks".into(), self.verify_rollbacks as u64);
         c.insert("quarantine.kinds".into(), self.quarantined_kinds as u64);
+        // Per-engine funnel counters, always present as explicit zeros so
+        // report consumers can rely on the keys.
+        for id in EngineId::ALL {
+            let e = &self.engines[id.index()];
+            for (stage, value) in [
+                ("proposed", e.proposed),
+                ("filtered", e.filtered),
+                ("proved", e.proved),
+                ("applied", e.applied),
+            ] {
+                c.insert(format!("engine.{}.{stage}", id.name()), value as u64);
+            }
+        }
     }
 }
 
@@ -425,9 +448,13 @@ impl<'a> Optimizer<'a> {
     ///
     /// [`GdoError`] on structural failures (cyclic input netlist, or a
     /// library with no cells for inserted gates).
+    #[deprecated(
+        since = "0.8.0",
+        note = "build an OptimizeRequest and call Pipeline::run"
+    )]
     pub fn optimize(&self, nl: &mut Netlist) -> Result<GdoStats, GdoError> {
         let budget = Budget::new(self.cfg.deadline, self.cfg.work_limit);
-        self.optimize_with_budget(nl, &budget)
+        Pipeline::new(self.lib).run(&OptimizeRequest::new(self.cfg.clone()), nl, &budget)
     }
 
     /// Like [`optimize`](Self::optimize), but under a caller-supplied
@@ -441,12 +468,16 @@ impl<'a> Optimizer<'a> {
     ///
     /// [`GdoError`] on structural failures (cyclic input netlist, or a
     /// library with no cells for inserted gates).
+    #[deprecated(
+        since = "0.8.0",
+        note = "build an OptimizeRequest and call Pipeline::run"
+    )]
     pub fn optimize_with_budget(
         &self,
         nl: &mut Netlist,
         budget: &Budget,
     ) -> Result<GdoStats, GdoError> {
-        self.optimize_impl(nl, budget, None)
+        Pipeline::new(self.lib).run(&OptimizeRequest::new(self.cfg.clone()), nl, budget)
     }
 
     /// Like [`optimize_with_budget`](Self::optimize_with_budget), but
@@ -465,150 +496,18 @@ impl<'a> Optimizer<'a> {
     ///
     /// Panics if the constraint vectors do not match the netlist's pin
     /// counts or contain non-finite values.
+    #[deprecated(
+        since = "0.8.0",
+        note = "build an OptimizeRequest with a region and call Pipeline::run"
+    )]
     pub fn optimize_region_with_budget(
         &self,
         nl: &mut Netlist,
         budget: &Budget,
         rc: &RegionConstraints,
     ) -> Result<GdoStats, GdoError> {
-        self.optimize_impl(nl, budget, Some(rc))
-    }
-
-    fn optimize_impl(
-        &self,
-        nl: &mut Netlist,
-        budget: &Budget,
-        region: Option<&RegionConstraints>,
-    ) -> Result<GdoStats, GdoError> {
-        let _span = telemetry::span("gdo.optimize");
-        let start = std::time::Instant::now();
-        budget.enter_phase(Phase::Setup);
-        let model = LibDelay::new(self.lib);
-        let mut stats = GdoStats::default();
-        // One full timing analysis for the whole run: every rewrite is
-        // journaled by the netlist and folded into the persistent graph
-        // incrementally, so `sta.full_recomputes` stays O(1) regardless
-        // of how many substitutions are applied.
-        nl.record_edits();
-        let mut tg = match region {
-            Some(rc) => TimingGraph::from_scratch_region(
-                nl,
-                &model,
-                Some(&rc.input_arrivals),
-                &rc.po_required,
-            )?,
-            None => TimingGraph::from_scratch(nl, &model)?,
-        };
-        {
-            let s = nl.stats();
-            stats.gates_before = s.gates;
-            stats.literals_before = s.literals;
-            stats.delay_before = tg.circuit_delay();
-            stats.area_before = total_area(nl, &model);
-        }
-        let xor_available = self.lib.cheapest(GateKind::Xor, 2).is_some()
-            && self.lib.cheapest(GateKind::Xnor, 2).is_some();
-        let enable_xor = self.cfg.enable_xor && xor_available;
-        // The safety net clones its checkpoints here and right after
-        // `TimingGraph::update` — the only places the edit journal is
-        // guaranteed drained, so a restore never resurrects stale edits.
-        let mut net = SafetyNet::new(self.cfg.verify_policy, nl, &tg);
-
-        let mut seed_counter = self.cfg.seed;
-        // SAT refutations stay valid as long as the netlist is unchanged:
-        // validity depends only on the circuit function, not on timing or
-        // on the vector sample. Rounds skip re-proving cached refutations
-        // and clear the cache on every applied rewrite.
-        let mut refuted: HashSet<Rewrite> = HashSet::new();
-        for outer in 0..self.cfg.max_outer_rounds {
-            if budget.is_exhausted() {
-                break;
-            }
-            stats.rounds += 1;
-            let t = std::time::Instant::now();
-            let delay_applied = {
-                let _phase = telemetry::span("gdo.delay_phase");
-                budget.enter_phase(Phase::Delay);
-                self.delay_phase(
-                    nl,
-                    &mut tg,
-                    &model,
-                    enable_xor,
-                    &mut stats,
-                    &mut seed_counter,
-                    &mut refuted,
-                    budget,
-                    &mut net,
-                )?
-            };
-            let t_delay = t.elapsed();
-            let t = std::time::Instant::now();
-            let area_applied = if self.cfg.area_phase && !budget.is_exhausted() {
-                let _phase = telemetry::span("gdo.area_phase");
-                budget.enter_phase(Phase::Area);
-                self.area_round(
-                    nl,
-                    &mut tg,
-                    &model,
-                    enable_xor,
-                    &mut stats,
-                    &mut seed_counter,
-                    &mut refuted,
-                    budget,
-                    &mut net,
-                )?
-            } else {
-                0
-            };
-            if telemetry::enabled() {
-                telemetry::event(
-                    "gdo.outer",
-                    &[
-                        ("outer", outer.into()),
-                        ("delay_mods", delay_applied.into()),
-                        ("delay_s", t_delay.as_secs_f64().into()),
-                        ("area_mods", area_applied.into()),
-                        ("area_s", t.elapsed().as_secs_f64().into()),
-                        ("proofs", stats.proofs.into()),
-                    ],
-                );
-            }
-            if delay_applied == 0 && area_applied == 0 {
-                break;
-            }
-            if !self.cfg.area_phase && delay_applied == 0 {
-                break;
-            }
-        }
-
-        // Verify any unverified tail of applied rewrites (the only check
-        // `VerifyPolicy::Final` performs). Runs even after budget
-        // exhaustion: a deadline must never skip a requested proof.
-        budget.enter_phase(Phase::Verify);
-        net.finalize(nl, &mut tg)?;
-
-        nl.stop_recording();
-        {
-            let s = nl.stats();
-            stats.gates_after = s.gates;
-            stats.literals_after = s.literals;
-            stats.delay_after = tg.circuit_delay();
-            stats.area_after = total_area(nl, &model);
-        }
-        stats.cpu_seconds = start.elapsed().as_secs_f64();
-        stats.budget_exhausted = budget.tripped_phase().is_some();
-        stats.verify_checks = net.checks;
-        stats.verify_failures = net.failures;
-        stats.verify_rollbacks = net.rollbacks;
-        stats.quarantined_kinds = net.quarantined.len();
-        if let Some(phase) = budget.tripped_phase() {
-            telemetry::counter_add("budget.exhausted", 1);
-            telemetry::counter_add(cancelled_counter(phase), 1);
-        }
-        if net.skipped > 0 {
-            telemetry::counter_add("quarantine.skipped", net.skipped);
-        }
-        Ok(stats)
+        let req = OptimizeRequest::new(self.cfg.clone()).region(rc.clone());
+        Pipeline::new(self.lib).run(&req, nl, budget)
     }
 
     /// Delay reduction phase: C2 rounds until dry, then C3 rounds, until
@@ -807,6 +706,7 @@ impl<'a> Optimizer<'a> {
             survived,
         );
         pvccs.sort_by(|x, y| x.rank.cmp_desc(&y.rank));
+        stats.engines[EngineId::Gdo.index()].proposed += pvccs.len();
         if telemetry::enabled() {
             let pair_survivors: usize = rounds.iter().map(|r| r.pairs.len()).sum();
             telemetry::event(
@@ -856,6 +756,7 @@ impl<'a> Optimizer<'a> {
                 continue;
             }
             stats.proofs += 1;
+            stats.engines[EngineId::Gdo.index()].filtered += 1;
             proofs_here += 1;
             budget.charge(1);
             telemetry::counter_add(funnel_counter(&rw, FunnelStage::Proofs), 1);
@@ -878,12 +779,13 @@ impl<'a> Optimizer<'a> {
                 continue;
             }
             stats.proofs_valid += 1;
+            stats.engines[EngineId::Gdo.index()].proved += 1;
             telemetry::counter_add(funnel_counter(&rw, FunnelStage::Proved), 1);
             apply_rewrite(nl, self.lib, &rw, true)?;
             let delta = nl.take_delta();
             tg.update(nl, model, &delta);
             refuted.clear();
-            if net.check_after_apply(nl, tg, &rw)? {
+            if net.check_after_apply(nl, tg, rewrite_class(&rw))? {
                 // Verification failed: everything since the last good
                 // checkpoint was rolled back and the class quarantined.
                 continue;
@@ -901,6 +803,7 @@ impl<'a> Optimizer<'a> {
                 );
             }
             count_mod(stats, &rw);
+            stats.engines[EngineId::Gdo.index()].applied += 1;
             applied += 1;
         }
         drop(apply_span);
@@ -1036,6 +939,7 @@ impl<'a> Optimizer<'a> {
         telemetry::counter_add("gdo.funnel.c2.bpfs_survived", surv_c2);
         telemetry::counter_add("gdo.funnel.c3.bpfs_survived", surv_c3);
         pvccs.sort_by(|(gx, _), (gy, _)| gy.total_cmp(gx));
+        stats.engines[EngineId::Gdo.index()].proposed += pvccs.len();
 
         let mut applied = 0;
         let mut proofs_here = 0usize;
@@ -1067,6 +971,7 @@ impl<'a> Optimizer<'a> {
                     continue;
                 }
                 stats.proofs += 1;
+                stats.engines[EngineId::Gdo.index()].filtered += 1;
                 proofs_here += 1;
                 budget.charge(1);
                 telemetry::counter_add(funnel_counter(&rw, FunnelStage::Proofs), 1);
@@ -1081,6 +986,7 @@ impl<'a> Optimizer<'a> {
                     continue;
                 }
                 stats.proofs_valid += 1;
+                stats.engines[EngineId::Gdo.index()].proved += 1;
                 telemetry::counter_add(funnel_counter(&rw, FunnelStage::Proved), 1);
                 *nl = trial;
                 // The trial graph is already a fresh full analysis; just
@@ -1111,6 +1017,7 @@ impl<'a> Optimizer<'a> {
                     continue;
                 }
                 stats.proofs += 1;
+                stats.engines[EngineId::Gdo.index()].filtered += 1;
                 proofs_here += 1;
                 budget.charge(1);
                 telemetry::counter_add(funnel_counter(&rw, FunnelStage::Proofs), 1);
@@ -1129,6 +1036,7 @@ impl<'a> Optimizer<'a> {
                     continue;
                 }
                 stats.proofs_valid += 1;
+                stats.engines[EngineId::Gdo.index()].proved += 1;
                 telemetry::counter_add(funnel_counter(&rw, FunnelStage::Proved), 1);
                 // One backup per *accepted* candidate (bounded by the batch
                 // size) guards the estimates end to end: constant
@@ -1150,7 +1058,7 @@ impl<'a> Optimizer<'a> {
                 }
             }
             refuted.clear();
-            if net.check_after_apply(nl, tg, &rw)? {
+            if net.check_after_apply(nl, tg, rewrite_class(&rw))? {
                 continue;
             }
             telemetry::counter_add(funnel_counter(&rw, FunnelStage::Applied), 1);
@@ -1164,170 +1072,90 @@ impl<'a> Optimizer<'a> {
                 );
             }
             count_mod(stats, &rw);
+            stats.engines[EngineId::Gdo.index()].applied += 1;
             applied += 1;
         }
         Ok(applied)
     }
 }
 
-/// Rewrite classes for quarantine bookkeeping: when a checkpoint
-/// verification fails, every class applied since the last good checkpoint
-/// is disabled for the rest of the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum RewriteClass {
-    Sub2,
-    Sub3,
-    SubConst,
-}
+/// The paper's two-phase clause-analysis optimizer as a pipeline
+/// [`Engine`]: alternates the delay-reduction and area-recovery phases
+/// until neither finds a substitution (or the outer-round cap / budget
+/// cuts the run short).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GdoEngine;
 
-fn rewrite_class(rw: &Rewrite) -> RewriteClass {
-    match rw.kind {
-        RewriteKind::Sub2 { .. } => RewriteClass::Sub2,
-        RewriteKind::Sub3 { .. } => RewriteClass::Sub3,
-        RewriteKind::SubConst { .. } => RewriteClass::SubConst,
-    }
-}
-
-/// Checkpointed verify-with-rollback state for one optimization run.
-///
-/// Inactive policies cost nothing: no checkpoint is ever cloned and every
-/// hook returns immediately. Checkpoints are cloned only at points where
-/// the netlist's edit journal is drained (right after
-/// `TimingGraph::update`), so restoring one never resurrects stale edits.
-struct SafetyNet {
-    policy: VerifyPolicy,
-    checkpoint: Option<(Netlist, TimingGraph)>,
-    /// Rewrites applied since the last verified checkpoint.
-    applied_since: usize,
-    /// Classes of those rewrites — the quarantine set on failure.
-    classes_since: HashSet<RewriteClass>,
-    quarantined: HashSet<RewriteClass>,
-    checks: usize,
-    failures: usize,
-    rollbacks: usize,
-    skipped: u64,
-}
-
-impl SafetyNet {
-    fn new(policy: VerifyPolicy, nl: &Netlist, tg: &TimingGraph) -> SafetyNet {
-        let checkpoint = policy.is_active().then(|| (nl.clone(), tg.clone()));
-        SafetyNet {
-            policy,
-            checkpoint,
-            applied_since: 0,
-            classes_since: HashSet::new(),
-            quarantined: HashSet::new(),
-            checks: 0,
-            failures: 0,
-            rollbacks: 0,
-            skipped: 0,
-        }
+impl Engine for GdoEngine {
+    fn id(&self) -> EngineId {
+        EngineId::Gdo
     }
 
-    /// True when the rewrite's class was quarantined by an earlier failed
-    /// verification; counts the skip.
-    fn is_quarantined(&mut self, rw: &Rewrite) -> bool {
-        if self.quarantined.is_empty() {
-            return false;
+    fn run(&self, ctx: &mut OptimizeContext<'_, '_>) -> Result<usize, GdoError> {
+        let opt = Optimizer::new(ctx.lib, ctx.cfg.clone());
+        let mut total = 0;
+        for outer in 0..opt.cfg.max_outer_rounds {
+            if ctx.budget.is_exhausted() {
+                break;
+            }
+            ctx.stats.rounds += 1;
+            let t = std::time::Instant::now();
+            let delay_applied = {
+                let _phase = telemetry::span("gdo.delay_phase");
+                ctx.budget.enter_phase(Phase::Delay);
+                opt.delay_phase(
+                    ctx.nl,
+                    ctx.tg,
+                    ctx.model,
+                    ctx.enable_xor,
+                    ctx.stats,
+                    ctx.seed,
+                    ctx.refuted,
+                    ctx.budget,
+                    ctx.net,
+                )?
+            };
+            let t_delay = t.elapsed();
+            let t = std::time::Instant::now();
+            let area_applied = if opt.cfg.area_phase && !ctx.budget.is_exhausted() {
+                let _phase = telemetry::span("gdo.area_phase");
+                ctx.budget.enter_phase(Phase::Area);
+                opt.area_round(
+                    ctx.nl,
+                    ctx.tg,
+                    ctx.model,
+                    ctx.enable_xor,
+                    ctx.stats,
+                    ctx.seed,
+                    ctx.refuted,
+                    ctx.budget,
+                    ctx.net,
+                )?
+            } else {
+                0
+            };
+            if telemetry::enabled() {
+                telemetry::event(
+                    "gdo.outer",
+                    &[
+                        ("outer", outer.into()),
+                        ("delay_mods", delay_applied.into()),
+                        ("delay_s", t_delay.as_secs_f64().into()),
+                        ("area_mods", area_applied.into()),
+                        ("area_s", t.elapsed().as_secs_f64().into()),
+                        ("proofs", ctx.stats.proofs.into()),
+                    ],
+                );
+            }
+            total += delay_applied + area_applied;
+            if delay_applied == 0 && area_applied == 0 {
+                break;
+            }
+            if !opt.cfg.area_phase && delay_applied == 0 {
+                break;
+            }
         }
-        if self.quarantined.contains(&rewrite_class(rw)) {
-            self.skipped += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Records an applied rewrite and, when the policy makes a checkpoint
-    /// due, re-proves equivalence against the last verified netlist.
-    /// Returns `true` when the check failed and `nl`/`tg` were rolled
-    /// back — the caller must not count the rewrite as applied.
-    ///
-    /// Must be called with the edit journal drained (right after
-    /// `TimingGraph::update`).
-    fn check_after_apply(
-        &mut self,
-        nl: &mut Netlist,
-        tg: &mut TimingGraph,
-        rw: &Rewrite,
-    ) -> Result<bool, GdoError> {
-        if self.checkpoint.is_none() {
-            return Ok(false);
-        }
-        self.applied_since += 1;
-        self.classes_since.insert(rewrite_class(rw));
-        let due = match self.policy {
-            VerifyPolicy::Off | VerifyPolicy::Final => false,
-            VerifyPolicy::EveryN(k) => self.applied_since >= k,
-            VerifyPolicy::EachSubstitution => true,
-        };
-        if !due {
-            return Ok(false);
-        }
-        self.verify(nl, tg)
-    }
-
-    /// Verifies any unverified tail of applied rewrites at the end of the
-    /// run (the only check [`VerifyPolicy::Final`] performs).
-    fn finalize(&mut self, nl: &mut Netlist, tg: &mut TimingGraph) -> Result<bool, GdoError> {
-        if self.checkpoint.is_none() || self.applied_since == 0 {
-            return Ok(false);
-        }
-        self.verify(nl, tg)
-    }
-
-    fn verify(&mut self, nl: &mut Netlist, tg: &mut TimingGraph) -> Result<bool, GdoError> {
-        let _span = telemetry::span("gdo.verify");
-        self.checks += 1;
-        let ok = match &self.checkpoint {
-            Some((cp_nl, _)) => netlists_equivalent(cp_nl, nl)?,
-            None => return Ok(false),
-        };
-        if ok {
-            self.checkpoint = Some((nl.clone(), tg.clone()));
-            self.applied_since = 0;
-            self.classes_since.clear();
-            return Ok(false);
-        }
-        self.failures += 1;
-        self.rollbacks += 1;
-        if let Some((cp_nl, cp_tg)) = &self.checkpoint {
-            *nl = cp_nl.clone();
-            *tg = cp_tg.clone();
-        }
-        self.quarantined.extend(self.classes_since.drain());
-        self.applied_since = 0;
-        if telemetry::enabled() {
-            telemetry::event(
-                "gdo.verify.rollback",
-                &[("quarantined", format!("{:?}", self.quarantined).into())],
-            );
-        }
-        Ok(true)
-    }
-}
-
-/// Equivalence oracle for checkpoint verification: exhaustive simulation
-/// for tiny interfaces, a SAT miter otherwise.
-fn netlists_equivalent(reference: &Netlist, candidate: &Netlist) -> Result<bool, GdoError> {
-    if reference.inputs().len() <= 12 {
-        return Ok(reference.equiv_exhaustive(candidate)?);
-    }
-    match sat::check_equiv(reference, candidate) {
-        Ok(eq) => Ok(eq),
-        Err(sat::EquivError::Netlist(e)) => Err(e.into()),
-        // A changed PI/PO interface is by definition not equivalent.
-        Err(_) => Ok(false),
-    }
-}
-
-/// Static counter name for the phase where the budget first tripped.
-fn cancelled_counter(phase: Phase) -> &'static str {
-    match phase {
-        Phase::Setup => "budget.cancelled_at_phase.setup",
-        Phase::Delay => "budget.cancelled_at_phase.delay",
-        Phase::Area => "budget.cancelled_at_phase.area",
-        Phase::Verify => "budget.cancelled_at_phase.verify",
+        Ok(total)
     }
 }
 
@@ -1364,25 +1192,32 @@ fn funnel_counter(rw: &Rewrite, stage: FunnelStage) -> &'static str {
     }
 }
 
-fn total_area<M: DelayModel>(nl: &Netlist, model: &M) -> f64 {
+pub(crate) fn total_area<M: DelayModel>(nl: &Netlist, model: &M) -> f64 {
     nl.gates().map(|g| model.area(nl, g)).sum()
 }
 
-/// Optimizes `nl` in place under `lib` — the one-call entry point of the
-/// crate ([`gdo::prelude`](crate::prelude) re-exports it together with
-/// everything it needs).
+/// Optimizes `nl` in place under `lib` with the default engine pipeline
+/// (`gdo`) — the one-call entry point of the crate
+/// ([`gdo::prelude`](crate::prelude) re-exports it together with
+/// everything it needs). Build an [`OptimizeRequest`] and call
+/// [`Pipeline::run`] directly to select engines or region constraints.
 ///
 /// # Errors
 ///
-/// Propagates [`Optimizer::optimize`]'s errors.
+/// Propagates [`Pipeline::run`]'s errors.
 pub fn optimize(lib: &Library, cfg: GdoConfig, nl: &mut Netlist) -> Result<GdoStats, GdoError> {
-    Optimizer::new(lib, cfg).optimize(nl)
+    let budget = Budget::new(cfg.deadline, cfg.work_limit);
+    Pipeline::new(lib).run(&OptimizeRequest::new(cfg), nl, &budget)
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated trio stays covered until it is removed: these tests
+    // exercise the shims on purpose.
+    #![allow(deprecated)]
     use super::*;
     use library::{standard_library, MapGoal, Mapper};
+    use netlist::GateKind;
 
     fn optimize_and_check(nl: &Netlist, cfg: GdoConfig) -> (Netlist, GdoStats) {
         let lib = standard_library();

@@ -10,7 +10,7 @@ use timing::TimingGraph;
 
 /// Picks the library cell for an inserted gate: fastest in the delay
 /// phase, smallest in the area phase.
-fn pick(lib: &Library, kind: GateKind, arity: usize, fast: bool) -> Option<LibCellId> {
+pub(crate) fn pick(lib: &Library, kind: GateKind, arity: usize, fast: bool) -> Option<LibCellId> {
     if fast {
         lib.fastest(kind, arity)
     } else {
@@ -18,7 +18,7 @@ fn pick(lib: &Library, kind: GateKind, arity: usize, fast: bool) -> Option<LibCe
     }
 }
 
-fn pick_or_err(
+pub(crate) fn pick_or_err(
     lib: &Library,
     kind: GateKind,
     arity: usize,
@@ -32,7 +32,7 @@ fn pick_or_err(
 /// Finds an existing inverter driven by `s`, reusable instead of
 /// inserting a new one. Inverters in `forbidden` (the site's fanout cone,
 /// where reuse would close a combinational loop) are skipped.
-fn existing_inverter(
+pub(crate) fn existing_inverter(
     nl: &Netlist,
     s: SignalId,
     forbidden: &netlist::SignalSet,
@@ -49,7 +49,7 @@ fn existing_inverter(
 }
 
 /// Materializes `s` or `!s`, reusing an existing inverter when possible.
-fn realize_literal(
+pub(crate) fn realize_literal(
     nl: &mut Netlist,
     lib: &Library,
     s: SignalId,

@@ -6,7 +6,7 @@
 
 #![cfg(feature = "fault-inject")]
 
-use gdo::{fault, GdoConfig, GdoStats, Optimizer, VerifyPolicy};
+use gdo::{fault, GdoConfig, GdoStats, VerifyPolicy};
 use library::{standard_library, MapGoal, Mapper};
 use netlist::{GateKind, Netlist};
 
@@ -35,7 +35,7 @@ fn optimize_with(policy: VerifyPolicy, reference: &Netlist) -> (Netlist, GdoStat
         .map(reference)
         .unwrap();
     let cfg = GdoConfig::builder().verify_policy(policy).build().unwrap();
-    let stats = Optimizer::new(&lib, cfg).optimize(&mut mapped).unwrap();
+    let stats = gdo::optimize(&lib, cfg, &mut mapped).unwrap();
     mapped.validate().unwrap();
     (mapped, stats)
 }

@@ -2,7 +2,7 @@
 //! whatever circuit, the function never changes and the delay never gets
 //! worse. Property-tested over random circuits and configurations.
 
-use gdo::{CandidateConfig, GdoConfig, Optimizer, ProverKind};
+use gdo::{CandidateConfig, GdoConfig, ProverKind};
 use library::{standard_library, MapGoal, Mapper};
 use netlist::{GateKind, Netlist, SignalId};
 use proptest::prelude::*;
@@ -69,9 +69,7 @@ fn check(recipe: &Recipe, cfg: GdoConfig) -> Result<(), TestCaseError> {
         .map(&nl)
         .expect("mapping succeeds");
     let mut optimized = mapped.clone();
-    let stats = Optimizer::new(&lib, cfg)
-        .optimize(&mut optimized)
-        .expect("optimizer succeeds");
+    let stats = gdo::optimize(&lib, cfg, &mut optimized).expect("optimizer succeeds");
     optimized.validate().expect("sound");
     prop_assert!(
         nl.equiv_exhaustive(&optimized).expect("small"),

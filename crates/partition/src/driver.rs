@@ -17,7 +17,9 @@
 //! input with the sweeping checker.
 
 use crate::cluster::{cluster, ClusterConfig, Clustering};
-use gdo::{Budget, GdoConfig, GdoError, GdoStats, Optimizer, RegionConstraints};
+use gdo::{
+    Budget, EngineId, GdoConfig, GdoError, GdoStats, OptimizeRequest, Pipeline, RegionConstraints,
+};
 use library::Library;
 use netlist::{GateKind, Netlist, NetlistError, RegionExtract, SignalId};
 use std::collections::HashMap;
@@ -38,6 +40,8 @@ pub struct PartitionOptions {
     /// before stitching; a failing region is quarantined (skipped and
     /// counted), not fatal.
     pub verify_regions: bool,
+    /// Engine pipeline run inside every region, in order.
+    pub engines: Vec<EngineId>,
 }
 
 impl Default for PartitionOptions {
@@ -46,6 +50,7 @@ impl Default for PartitionOptions {
             cluster: ClusterConfig::default(),
             threads: 0,
             verify_regions: true,
+            engines: vec![EngineId::Gdo],
         }
     }
 }
@@ -372,8 +377,10 @@ fn run_one_region(
     children.lock().unwrap().push(child.cancel_handle());
 
     let mut sub = extract.sub.clone();
-    let optimizer = Optimizer::new(lib, region_cfg);
-    let run = optimizer.optimize_region_with_budget(&mut sub, &child, &rc);
+    let req = OptimizeRequest::new(region_cfg)
+        .engines(opts.engines.clone())
+        .region(rc.clone());
+    let run = Pipeline::new(lib).run(&req, &mut sub, &child);
     // Satellite invariant: whatever a region consumed is visible on the
     // caller's budget, so `--work-ceiling` aggregates across regions.
     budget.charge(child.work_done());
@@ -469,6 +476,15 @@ fn accumulate(agg: &mut GdoStats, region: &GdoStats, accepted: bool) {
         agg.sub2_mods += region.sub2_mods;
         agg.sub3_mods += region.sub3_mods;
         agg.const_mods += region.const_mods;
+        agg.resub_mods += region.resub_mods;
+    }
+    for (agg_eng, region_eng) in agg.engines.iter_mut().zip(region.engines.iter()) {
+        agg_eng.proposed += region_eng.proposed;
+        agg_eng.filtered += region_eng.filtered;
+        agg_eng.proved += region_eng.proved;
+        if accepted {
+            agg_eng.applied += region_eng.applied;
+        }
     }
     agg.proofs += region.proofs;
     agg.proofs_valid += region.proofs_valid;

@@ -1,0 +1,103 @@
+//! Pipeline-invariant property tests (ISSUE 8 satellite): running the
+//! `gdo,resub` engine pipeline must keep the netlist SAT-equivalent to
+//! its input and must never end with worse slack than `gdo` alone —
+//! whole-netlist (1 partition) and partitioned (4 regions) alike.
+//!
+//! The invariant holds by construction: with identical seeds the `gdo`
+//! stage of the pipeline reproduces the gdo-only run exactly, and the
+//! resub stage only accepts edits whose incremental-STA slack is no
+//! worse. These tests pin that contract end-to-end through the
+//! partition driver on random MCNC-style netlists and on dp96.
+
+use gdo::{Budget, EngineId, GdoConfig};
+use library::{standard_library, Library, MapGoal, Mapper};
+use netlist::Netlist;
+use partition::{optimize_partitioned, ClusterConfig, PartitionOptions};
+use timing::{LibDelay, TimingGraph};
+
+const EPS: f64 = 1e-9;
+
+fn mapped(lib: &Library, nl: &Netlist) -> Netlist {
+    Mapper::new(lib).goal(MapGoal::Area).map(nl).unwrap()
+}
+
+/// Runs `engines` over `nl` through the partition driver and returns the
+/// resulting worst slack (recomputed from scratch, not trusted from stats).
+fn run_engines(lib: &Library, nl: &mut Netlist, engines: Vec<EngineId>, partitions: usize) -> f64 {
+    let cfg = GdoConfig::builder()
+        .vectors(256)
+        .seed(7)
+        .max_delay_rounds(8)
+        .build()
+        .unwrap();
+    let opts = PartitionOptions {
+        cluster: ClusterConfig {
+            seed: 7,
+            ..ClusterConfig::for_partitions(nl.stats().gates, partitions)
+        },
+        threads: 2,
+        verify_regions: true,
+        engines,
+    };
+    optimize_partitioned(lib, &cfg, nl, &opts, &Budget::unlimited()).unwrap();
+    let tg = TimingGraph::from_scratch(nl, &LibDelay::new(lib)).unwrap();
+    tg.worst_slack()
+}
+
+/// Property core: pipeline result equivalent to the mapped input, and
+/// pipeline slack no worse than the gdo-only slack on an identical copy.
+fn assert_pipeline_invariant(base: &Netlist, partitions: usize, sweep: bool) {
+    let lib = standard_library();
+    let reference = mapped(&lib, base);
+    let mut gdo_only = reference.clone();
+    let mut pipeline = reference.clone();
+    let slack_gdo = run_engines(&lib, &mut gdo_only, vec![EngineId::Gdo], partitions);
+    let slack_pipe = run_engines(
+        &lib,
+        &mut pipeline,
+        vec![EngineId::Gdo, EngineId::Resub],
+        partitions,
+    );
+    let equivalent = if sweep {
+        sat::check_equiv_sweep(&reference, &pipeline, 256, 7).unwrap()
+    } else {
+        sat::check_equiv(&reference, &pipeline).unwrap()
+    };
+    assert!(
+        equivalent,
+        "{}: gdo,resub at {partitions} partition(s) must stay equivalent",
+        base.name()
+    );
+    assert!(
+        slack_pipe >= slack_gdo - EPS,
+        "{}: pipeline slack {slack_pipe} worse than gdo-only slack {slack_gdo} \
+         at {partitions} partition(s)",
+        base.name()
+    );
+}
+
+#[test]
+fn random_netlists_whole_netlist() {
+    for seed in [3, 11, 42] {
+        let base = workloads::random_logic(seed, 14, 6, 150);
+        assert_pipeline_invariant(&base, 1, false);
+    }
+}
+
+#[test]
+fn random_netlists_partitioned() {
+    for seed in [3, 11, 42] {
+        let base = workloads::random_logic(seed, 14, 6, 150);
+        assert_pipeline_invariant(&base, 4, false);
+    }
+}
+
+#[test]
+fn dp96_whole_netlist() {
+    assert_pipeline_invariant(&workloads::datapath(96), 1, true);
+}
+
+#[test]
+fn dp96_partitioned() {
+    assert_pipeline_invariant(&workloads::datapath(96), 4, true);
+}

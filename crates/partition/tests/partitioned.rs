@@ -28,6 +28,7 @@ fn run(
         },
         threads,
         verify_regions: true,
+        ..PartitionOptions::default()
     };
     optimize_partitioned(lib, &cfg, nl, &opts, budget).unwrap()
 }

@@ -36,6 +36,7 @@ fn usage() -> String {
        --seed N                 BPFS seed\n\
        --vectors N              BPFS vectors per round\n\
        --verify POLICY          off|final|each|every:N\n\
+       --engine LIST            engine pipeline, comma-separated (gdo,resub)\n\
        --partitions N           partitioned optimization with ~N regions\n\
        --priority LANE          high|normal|low (default normal)\n\
      \n\
@@ -70,6 +71,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             seed: None,
             vectors: None,
             verify: None,
+            engines: None,
             partitions: None,
             priority: Priority::Normal,
         },
@@ -124,6 +126,13 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     Some(parse_u64(need(&mut it, "--vectors")?, "--vectors")? as usize);
             }
             "--verify" => opts.template.verify = Some(parse_verify(&need(&mut it, "--verify")?)?),
+            "--engine" => {
+                let list = need(&mut it, "--engine")?;
+                // Validate locally so a typo fails with the full list of
+                // valid engines before anything reaches the server.
+                gdo::EngineId::parse_list(&list).map_err(|e| e.to_string())?;
+                opts.template.engines = Some(list);
+            }
             "--partitions" => {
                 opts.template.partitions =
                     Some(parse_u64(need(&mut it, "--partitions")?, "--partitions")? as usize);
@@ -269,6 +278,8 @@ mod tests {
             "7",
             "--verify",
             "final",
+            "--engine",
+            "gdo,resub",
             "--partitions",
             "4",
             "--priority",
@@ -280,6 +291,7 @@ mod tests {
         assert_eq!(opts.jobs.len(), 2);
         assert_eq!(opts.jobs[0], JobSource::Suite("9sym".to_string()));
         assert_eq!(opts.template.work_limit, Some(100));
+        assert_eq!(opts.template.engines.as_deref(), Some("gdo,resub"));
         assert_eq!(opts.template.partitions, Some(4));
         assert_eq!(opts.template.priority, Priority::High);
         assert!(opts.drain);
@@ -290,6 +302,21 @@ mod tests {
         let err = parse_args(&argv(&["--addr", "x:1", "--circuit", "nope"])).unwrap_err();
         assert!(err.contains("valid names"), "{err}");
         assert!(err.contains("Z5xp1"), "{err}");
+    }
+
+    #[test]
+    fn unknown_engine_fails_fast_with_the_valid_names() {
+        let err = parse_args(&argv(&[
+            "--addr",
+            "x:1",
+            "--circuit",
+            "9sym",
+            "--engine",
+            "frob",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("valid engines"), "{err}");
+        assert!(err.contains("resub"), "{err}");
     }
 
     #[test]

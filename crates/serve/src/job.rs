@@ -2,7 +2,7 @@
 //! and how a worker runs it (load → map → optimize under a [`Budget`]
 //! → per-job [`RunReport`]).
 
-use gdo::{Budget, GdoConfig, GdoStats, Optimizer, VerifyPolicy};
+use gdo::{Budget, EngineId, GdoConfig, GdoStats, OptimizeRequest, Pipeline, VerifyPolicy};
 use library::{Library, MapGoal, Mapper};
 use netlist::Netlist;
 use std::path::PathBuf;
@@ -51,6 +51,9 @@ pub struct JobSpec {
     pub vectors: Option<usize>,
     /// Checkpointed verify-with-rollback policy.
     pub verify: VerifyPolicy,
+    /// Engine pipeline run by the job, in order (validated at
+    /// admission).
+    pub engines: Vec<EngineId>,
     /// Partitioned optimization: cluster into roughly this many regions
     /// and optimize them region by region (`0` = whole-netlist run).
     /// Region workers stay single-threaded — the server's worker pool is
@@ -179,6 +182,9 @@ pub fn run_job(lib: &Library, spec: &JobSpec, budget: &Budget) -> Result<JobResu
     report
         .meta
         .insert("verify".into(), verify_name(spec.verify));
+    report
+        .meta
+        .insert("engines".into(), EngineId::render_list(&spec.engines));
     let stats = if spec.partitions > 0 {
         // Partitioned path: region workers run serially inside this job
         // (cfg.threads is 1 above), so a partitioned job costs one worker
@@ -188,14 +194,16 @@ pub fn run_job(lib: &Library, spec: &JobSpec, budget: &Budget) -> Result<JobResu
             cluster: partition::ClusterConfig::for_partitions(nl.stats().gates, spec.partitions),
             threads: 1,
             verify_regions: true,
+            engines: spec.engines.clone(),
         };
         let ps = partition::optimize_partitioned(lib, &cfg, &mut nl, &popts, budget)
             .map_err(|e| format!("optimizing {circuit} failed: {e}"))?;
         ps.merge_into_report(&mut report);
         ps.gdo
     } else {
-        let stats = Optimizer::new(lib, cfg)
-            .optimize_with_budget(&mut nl, budget)
+        let req = OptimizeRequest::new(cfg).engines(spec.engines.clone());
+        let stats = Pipeline::new(lib)
+            .run(&req, &mut nl, budget)
             .map_err(|e| format!("optimizing {circuit} failed: {e}"))?;
         stats.merge_into_report(&mut report);
         stats
@@ -229,6 +237,7 @@ mod tests {
             seed: 1995,
             vectors: Some(64),
             verify: VerifyPolicy::Off,
+            engines: vec![EngineId::Gdo],
             partitions: 0,
             priority: Priority::Normal,
         }

@@ -71,6 +71,10 @@ pub struct SubmitRequest {
     pub vectors: Option<usize>,
     /// Checkpointed verify-with-rollback policy.
     pub verify: Option<VerifyPolicy>,
+    /// Engine pipeline, comma-separated (`"gdo,resub"`; absent = GDO
+    /// alone). Unknown names are rejected at admission with the list of
+    /// valid engines.
+    pub engines: Option<String>,
     /// Partitioned optimization: cluster into roughly this many regions
     /// (`0`/absent = whole-netlist run).
     pub partitions: Option<usize>,
@@ -146,6 +150,7 @@ fn parse_submit(v: &Json) -> Result<SubmitRequest, String> {
         seed: uint("seed")?,
         vectors: uint("vectors")?.map(|n| n as usize),
         verify,
+        engines: v.get("engines").and_then(Json::as_str).map(str::to_string),
         partitions: uint("partitions")?.map(|n| n as usize),
         priority,
     })
@@ -214,6 +219,9 @@ pub fn submit_to_json(r: &SubmitRequest) -> String {
     }
     if let Some(p) = r.verify {
         let _ = write!(out, ",\"verify\":{}", json_escaped(&verify_name(p)));
+    }
+    if let Some(e) = &r.engines {
+        let _ = write!(out, ",\"engines\":{}", json_escaped(e));
     }
     if let Some(p) = r.partitions {
         let _ = write!(out, ",\"partitions\":{p}");
@@ -443,7 +451,7 @@ mod tests {
         let r = parse_request(
             r#"{"op":"submit","id":"j9","circuit":"9sym","deadline_ms":250,
                 "work_limit":100,"seed":7,"vectors":128,"verify":"every:4",
-                "partitions":4,"priority":"high"}"#,
+                "engines":"gdo,resub","partitions":4,"priority":"high"}"#,
         )
         .unwrap();
         let Request::Submit(s) = r else {
@@ -456,6 +464,7 @@ mod tests {
         assert_eq!(s.seed, Some(7));
         assert_eq!(s.vectors, Some(128));
         assert_eq!(s.verify, Some(VerifyPolicy::EveryN(4)));
+        assert_eq!(s.engines.as_deref(), Some("gdo,resub"));
         assert_eq!(s.partitions, Some(4));
         assert_eq!(s.priority, Priority::High);
     }
@@ -470,6 +479,7 @@ mod tests {
             seed: Some(1995),
             vectors: None,
             verify: Some(VerifyPolicy::Final),
+            engines: Some("gdo,resub".to_string()),
             partitions: Some(8),
             priority: Priority::Low,
         };

@@ -272,6 +272,20 @@ impl Server {
             }
         }
 
+        // Engine lists get the same treatment: an unknown engine name is
+        // a protocol-level mistake, rejected with the full list of valid
+        // engines before the job ever queues.
+        let engines = match &req.engines {
+            None => vec![gdo::EngineId::Gdo],
+            Some(list) => match gdo::EngineId::parse_list(list) {
+                Ok(engines) => engines,
+                Err(e) => {
+                    reject(e.to_string());
+                    return;
+                }
+            },
+        };
+
         let control = Arc::new(JobControl {
             cancelled: AtomicBool::new(false),
             running: Mutex::new(None),
@@ -297,6 +311,7 @@ impl Server {
             seed: req.seed.unwrap_or(self.default_seed()),
             vectors: req.vectors,
             verify: req.verify.unwrap_or(self.default_verify()),
+            engines,
             partitions: req.partitions.unwrap_or(0),
             priority: req.priority,
         };

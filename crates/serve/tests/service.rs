@@ -238,6 +238,32 @@ fn reject_admission_reports_queue_full() {
     );
 }
 
+/// Unknown engine names are a protocol-level mistake: rejected at
+/// admission with the full list of valid engines, before queueing.
+/// Valid engine lists run end to end and are echoed in the report meta.
+#[test]
+fn engine_lists_are_validated_at_admission() {
+    let (_server, addr) = start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr);
+    c.send(r#"{"op":"submit","id":"bad","circuit":"Z5xp1","engines":"gdo,frob"}"#);
+    let line = c.recv();
+    assert_eq!(event_kind(&line), "rejected", "{line}");
+    assert!(line.contains("valid engines"), "{line}");
+    assert!(line.contains("resub"), "{line}");
+
+    c.send(
+        r#"{"op":"submit","id":"ok","circuit":"Z5xp1","engines":"gdo,resub","vectors":64,"verify":"off"}"#,
+    );
+    let lines = c.recv_until_terminals(1);
+    assert_eq!(count_kind(&lines, "rejected"), 0, "{lines:?}");
+    let done = lines.last().unwrap();
+    assert!(matches!(event_kind(done).as_str(), "done" | "degraded"));
+    assert!(done.contains("\"engines\":\"gdo,resub\""), "{done}");
+}
+
 /// Cancel-by-id works both for queued jobs (removed before a worker sees
 /// them) and for running jobs (their budget's cancel flag trips).
 #[test]

@@ -26,6 +26,14 @@ fn fixed_report() -> RunReport {
     report.counters.insert("gdo.funnel.c2.proofs".into(), 9);
     report.counters.insert("gdo.funnel.c2.proved".into(), 7);
     report.counters.insert("gdo.funnel.c2.applied".into(), 5);
+    report.counters.insert("engine.gdo.proposed".into(), 128);
+    report.counters.insert("engine.gdo.filtered".into(), 40);
+    report.counters.insert("engine.gdo.proved".into(), 7);
+    report.counters.insert("engine.gdo.applied".into(), 5);
+    report.counters.insert("engine.resub.proposed".into(), 12);
+    report.counters.insert("engine.resub.filtered".into(), 3);
+    report.counters.insert("engine.resub.proved".into(), 2);
+    report.counters.insert("engine.resub.applied".into(), 2);
     report.counters.insert("budget.exhausted".into(), 0);
     report.counters.insert("verify.checks".into(), 2);
     report.counters.insert("verify.failures".into(), 0);

@@ -3,16 +3,15 @@
 //! suite circuits through both flows.
 
 use bench::{bench_library, prepare, Flow};
-use gdo::{GdoConfig, Optimizer};
+use gdo::GdoConfig;
 
 fn optimize_and_verify(name: &str, flow: Flow) -> gdo::GdoStats {
     let lib = bench_library();
     let entry = workloads::circuit_by_name(name).expect("suite circuit");
     let mapped = prepare(&entry, &lib, flow);
     let mut optimized = mapped.clone();
-    let stats = Optimizer::new(&lib, GdoConfig::default())
-        .optimize(&mut optimized)
-        .expect("optimizer succeeds");
+    let stats =
+        gdo::optimize(&lib, GdoConfig::default(), &mut optimized).expect("optimizer succeeds");
     optimized.validate().expect("structurally sound");
     assert!(
         sat::check_equiv(&mapped, &optimized).expect("same interface"),
@@ -72,9 +71,7 @@ fn multiplier_headline_delay_reduction() {
         .goal(library::MapGoal::Area)
         .map(&raw)
         .expect("maps");
-    let stats = Optimizer::new(&lib, GdoConfig::default())
-        .optimize(&mut mapped)
-        .expect("optimizer succeeds");
+    let stats = gdo::optimize(&lib, GdoConfig::default(), &mut mapped).expect("optimizer succeeds");
     assert!(
         stats.delay_reduction() > 0.08,
         "multiplier delay reduction regressed: {:.1}%",
@@ -110,9 +107,7 @@ fn delay_flow_recovers_area() {
     for name in ["Z5xp1", "C880", "9sym", "C1908"] {
         let entry = workloads::circuit_by_name(name).expect("suite circuit");
         let mut nl = prepare(&entry, &lib, Flow::Delay);
-        let stats = Optimizer::new(&lib, GdoConfig::default())
-            .optimize(&mut nl)
-            .expect("optimizer succeeds");
+        let stats = gdo::optimize(&lib, GdoConfig::default(), &mut nl).expect("optimizer succeeds");
         before += stats.area_before;
         after += stats.area_after;
     }

@@ -213,6 +213,7 @@ proptest! {
                 },
                 threads: 1,
                 verify_regions: true,
+                ..partition::PartitionOptions::default()
             };
             let stats = partition::optimize_partitioned(
                 &lib, &cfg, &mut nl, &opts, &gdo::Budget::unlimited(),
@@ -257,6 +258,7 @@ fn dp96_partitioned_is_equivalent_and_slack_safe() {
             },
             threads: 2,
             verify_regions: true,
+            ..partition::PartitionOptions::default()
         };
         let stats =
             partition::optimize_partitioned(&lib, &cfg, &mut nl, &opts, &gdo::Budget::unlimited())
