@@ -164,6 +164,17 @@ pub struct Options {
     /// Explicit region size cap (gates) for partitioned runs; implies
     /// partitioning even with `partitions == 0`.
     pub region_size: Option<usize>,
+    /// Write crash-safe run snapshots to this path (atomic temp-file +
+    /// rename; resumable with `--resume-from`).
+    pub checkpoint_out: Option<PathBuf>,
+    /// Snapshot cadence: engine-iteration boundaries for whole-netlist
+    /// runs, finished regions for partitioned runs (default 1).
+    pub checkpoint_every: usize,
+    /// Resume from a snapshot written by a previous `--checkpoint-out`
+    /// run. The input file and optimizer flags must match the original
+    /// run (digest-checked); explicit budget flags override the
+    /// snapshot's recorded remainders.
+    pub resume_from: Option<PathBuf>,
 }
 
 impl Options {
@@ -194,6 +205,9 @@ impl Options {
             engines: vec![EngineId::Gdo],
             partitions: 0,
             region_size: None,
+            checkpoint_out: None,
+            checkpoint_every: 1,
+            resume_from: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -320,6 +334,23 @@ impl Options {
                     }
                     out.region_size = Some(size);
                 }
+                "--checkpoint-out" => {
+                    out.checkpoint_out = Some(PathBuf::from(need("--checkpoint-out")?));
+                }
+                "--checkpoint-every" => {
+                    let every: usize = need("--checkpoint-every")?.parse().map_err(|_| {
+                        CliError::Usage("--checkpoint-every needs an integer".into())
+                    })?;
+                    if every == 0 {
+                        return Err(CliError::Usage(
+                            "--checkpoint-every must be positive".into(),
+                        ));
+                    }
+                    out.checkpoint_every = every;
+                }
+                "--resume-from" => {
+                    out.resume_from = Some(PathBuf::from(need("--resume-from")?));
+                }
                 "--allow-degraded" => out.allow_degraded = true,
                 "--stats" => out.stats = true,
                 "--trace-out" => out.trace_out = Some(PathBuf::from(need("--trace-out")?)),
@@ -382,6 +413,15 @@ pub fn usage() -> &'static str {
                               worker pool (0 = whole-netlist run; default 0)\n\
      --region-size S          cap partitioned regions at S gates (implies\n\
                               partitioning)\n\
+     --checkpoint-out FILE    write crash-safe run snapshots to FILE (atomic\n\
+                              temp-file + rename; also written on budget\n\
+                              exhaustion or cancel)\n\
+     --checkpoint-every N     snapshot cadence: every N engine iterations\n\
+                              (whole-netlist) or finished regions\n\
+                              (partitioned); default 1\n\
+     --resume-from FILE       resume an interrupted run from FILE; input and\n\
+                              flags must match the original run, and explicit\n\
+                              budget flags override the snapshot remainders\n\
      --list-circuits          print the workload suite (name, gates, PIs, POs)\n\
      --stats                  print detailed statistics\n\
      --trace-out FILE         stream telemetry events as NDJSON to FILE\n\
@@ -525,6 +565,22 @@ pub fn run(options: &Options) -> Result<RunOutcome, CliError> {
     }
 
     let partitioned = options.partitions > 0 || options.region_size.is_some();
+    // Crash-safe snapshots: the cadence spec goes to whichever driver
+    // runs; a resume snapshot rebases the *remaining* budget recorded at
+    // suspension (the original deadline was absolute and has expired),
+    // unless explicit budget flags override it.
+    let ckpt_spec = options
+        .checkpoint_out
+        .as_ref()
+        .map(|p| gdo::CheckpointSpec::new(p.clone()).every(options.checkpoint_every));
+    let explicit_time_ms = options
+        .cfg
+        .deadline
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX));
+    let resume_failed = |path: &Path, e: gdo::SnapshotError| {
+        telemetry::counter_add("snapshot.rejected", 1);
+        CliError::Parse(format!("cannot resume from {}: {e}", path.display()))
+    };
     let (stats, pstats) = if partitioned {
         let mut cluster = if options.partitions > 0 {
             partition::ClusterConfig::for_partitions(nl.stats().gates, options.partitions)
@@ -535,13 +591,29 @@ pub fn run(options: &Options) -> Result<RunOutcome, CliError> {
             cluster.max_region_size = size;
         }
         cluster.seed = options.cfg.seed;
+        let resume = match &options.resume_from {
+            Some(path) => {
+                Some(partition::PartitionSnapshot::read(path).map_err(|e| resume_failed(path, e))?)
+            }
+            None => None,
+        };
+        let budget = match &resume {
+            Some(snap) => gdo::snapshot::rebased_budget(
+                explicit_time_ms,
+                options.cfg.work_limit,
+                snap.time_remaining_ms,
+                snap.work_remaining,
+            ),
+            None => gdo::Budget::new(options.cfg.deadline, options.cfg.work_limit),
+        };
         let popts = partition::PartitionOptions {
             cluster,
             threads: options.cfg.threads,
             verify_regions: true,
             engines: options.engines.clone(),
+            checkpoint: ckpt_spec,
+            resume_from: resume,
         };
-        let budget = gdo::Budget::new(options.cfg.deadline, options.cfg.work_limit);
         let ps = partition::optimize_partitioned(&lib, &options.cfg, &mut nl, &popts, &budget)
             .map_err(|e| match e {
                 partition::PartitionError::Gdo(g) => CliError::Optimize(g),
@@ -551,8 +623,26 @@ pub fn run(options: &Options) -> Result<RunOutcome, CliError> {
             })?;
         (ps.gdo, Some(ps))
     } else {
-        let budget = Budget::new(options.cfg.deadline, options.cfg.work_limit);
-        let req = OptimizeRequest::new(options.cfg.clone()).engines(options.engines.clone());
+        let resume = match &options.resume_from {
+            Some(path) => Some(gdo::RunSnapshot::read(path).map_err(|e| resume_failed(path, e))?),
+            None => None,
+        };
+        let budget = match &resume {
+            Some(snap) => gdo::snapshot::rebased_budget(
+                explicit_time_ms,
+                options.cfg.work_limit,
+                snap.time_remaining_ms,
+                snap.work_remaining,
+            ),
+            None => Budget::new(options.cfg.deadline, options.cfg.work_limit),
+        };
+        let mut req = OptimizeRequest::new(options.cfg.clone()).engines(options.engines.clone());
+        if let Some(spec) = ckpt_spec {
+            req = req.checkpoint(spec);
+        }
+        if let Some(snap) = resume {
+            req = req.resume_from(snap);
+        }
         let s = Pipeline::new(&lib)
             .run(&req, &mut nl, &budget)
             .map_err(CliError::Optimize)?;
@@ -853,6 +943,38 @@ mod tests {
     }
 
     #[test]
+    fn parses_checkpoint_flags() {
+        let o = opts(&[
+            "in.bench",
+            "--checkpoint-out",
+            "run.ckpt",
+            "--checkpoint-every",
+            "4",
+            "--resume-from",
+            "old.ckpt",
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(o.checkpoint_out, Some(PathBuf::from("run.ckpt")));
+        assert_eq!(o.checkpoint_every, 4);
+        assert_eq!(o.resume_from, Some(PathBuf::from("old.ckpt")));
+
+        let o = opts(&["in.bench"]).unwrap().unwrap();
+        assert_eq!(o.checkpoint_out, None);
+        assert_eq!(o.checkpoint_every, 1);
+        assert_eq!(o.resume_from, None);
+
+        assert!(matches!(
+            opts(&["a.bench", "--checkpoint-every", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            opts(&["a.bench", "--checkpoint-out"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn budget_flags_reject_garbage() {
         assert!(matches!(
             opts(&["a.bench", "--time-budget-ms", "soon"]),
@@ -930,6 +1052,9 @@ mod tests {
             engines: vec![EngineId::Gdo],
             partitions: 0,
             region_size: None,
+            checkpoint_out: None,
+            checkpoint_every: 1,
+            resume_from: None,
         };
         run(&o).unwrap();
         let written = read_netlist(&output).unwrap();
@@ -967,6 +1092,9 @@ mod tests {
             engines: vec![EngineId::Gdo],
             partitions: 4,
             region_size: None,
+            checkpoint_out: None,
+            checkpoint_every: 1,
+            resume_from: None,
         };
         run(&o).unwrap();
         let written = read_netlist(&output).unwrap();
@@ -1007,6 +1135,9 @@ mod tests {
             engines: vec![EngineId::Gdo],
             partitions: 0,
             region_size: None,
+            checkpoint_out: None,
+            checkpoint_every: 1,
+            resume_from: None,
         };
         run(&o).unwrap();
         let text = std::fs::read_to_string(&output).unwrap();
@@ -1037,6 +1168,9 @@ mod tests {
             engines: vec![EngineId::Gdo],
             partitions: 0,
             region_size: None,
+            checkpoint_out: None,
+            checkpoint_every: 1,
+            resume_from: None,
         };
         assert!(matches!(run(&o), Err(CliError::Io { .. })));
     }

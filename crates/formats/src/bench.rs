@@ -27,6 +27,10 @@ struct GateDef {
 pub fn parse_bench(text: &str) -> Result<Netlist, FormatError> {
     let mut nl = Netlist::new("bench");
     let mut defs: HashMap<String, GateDef> = HashMap::new();
+    // Definition names in file order: resolution must not walk the map
+    // in hash order, or the same file parses to differently-numbered
+    // (and thus differently-optimized) netlists run to run.
+    let mut def_order: Vec<String> = Vec::new();
     let mut input_names: Vec<(String, usize)> = Vec::new();
     let mut output_names: Vec<(String, usize)> = Vec::new();
 
@@ -90,6 +94,7 @@ pub fn parse_bench(text: &str) -> Result<Netlist, FormatError> {
                     format!("signal {lhs:?} defined twice"),
                 ));
             }
+            def_order.push(lhs);
         } else {
             return Err(FormatError::at(
                 line,
@@ -110,9 +115,8 @@ pub fn parse_bench(text: &str) -> Result<Netlist, FormatError> {
         .iter()
         .map(|&pi| (nl.cell(pi).name().expect("named input").to_string(), pi))
         .collect();
-    let names: Vec<String> = defs.keys().cloned().collect();
-    for name in names {
-        resolve(&name, &mut nl, &defs, &mut resolved, 0)?;
+    for name in &def_order {
+        resolve(name, &mut nl, &defs, &mut resolved, 0)?;
     }
 
     for (name, line) in output_names {

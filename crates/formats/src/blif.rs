@@ -173,8 +173,10 @@ fn build_netlist(
         .iter()
         .map(|&pi| (nl.cell(pi).name().expect("named").to_string(), pi))
         .collect();
-    for name in by_output.keys() {
-        resolve_names(name, &mut nl, &defs, &by_output, &mut resolved, 0)?;
+    // Resolve in file order, not `by_output` hash order: gate numbering
+    // must be a pure function of the file text.
+    for def in &defs {
+        resolve_names(&def.output, &mut nl, &defs, &by_output, &mut resolved, 0)?;
     }
     for (name, line) in output_names {
         let driver = *resolved

@@ -152,6 +152,25 @@ impl Budget {
         self.deadline
     }
 
+    /// Wall-clock time left before the deadline (`None` when no deadline
+    /// is set; zero once it passed). Snapshots store this so a resumed
+    /// run continues with the *remaining* time, not the original —
+    /// already expired — absolute deadline.
+    #[must_use]
+    pub fn remaining_time(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Work units left under the ceiling (`None` when unlimited; zero
+    /// once exhausted). The resumed-run analogue of
+    /// [`remaining_time`](Self::remaining_time).
+    #[must_use]
+    pub fn remaining_work(&self) -> Option<u64> {
+        self.work_limit
+            .map(|limit| limit.saturating_sub(self.work_done.load(Ordering::Relaxed)))
+    }
+
     /// Charges `units` of abstract work (sites surveyed, proofs issued)
     /// against the ceiling. Work is tallied even without a ceiling so
     /// callers (the serving layer's aggregate work accounting) can read

@@ -16,6 +16,7 @@
 use crate::budget::{Budget, Phase, VerifyPolicy};
 use crate::optimizer::{total_area, GdoConfig, GdoEngine, GdoStats, RegionConstraints};
 use crate::resub::ResubEngine;
+use crate::snapshot::{self, CheckpointSpec, Checkpointer, RunSnapshot, SnapshotError};
 use crate::{GdoError, Rewrite, RewriteKind};
 use library::Library;
 use netlist::{GateKind, Netlist};
@@ -148,6 +149,14 @@ pub struct OptimizeRequest {
     pub engines: Vec<EngineId>,
     /// Frozen boundary timing when optimizing an extracted region.
     pub region: Option<RegionConstraints>,
+    /// Crash-safe checkpointing: write resumable snapshots per the spec
+    /// while the run executes (`None` = off).
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Resume a previous run from its snapshot instead of starting
+    /// fresh. The input netlist passed to [`Pipeline::run`] must be the
+    /// *original* input (its digest is cross-checked); the pipeline
+    /// swaps in the snapshot's working netlist itself.
+    pub resume_from: Option<RunSnapshot>,
 }
 
 impl OptimizeRequest {
@@ -158,6 +167,8 @@ impl OptimizeRequest {
             cfg,
             engines: vec![EngineId::Gdo],
             region: None,
+            checkpoint: None,
+            resume_from: None,
         }
     }
 
@@ -172,6 +183,20 @@ impl OptimizeRequest {
     #[must_use]
     pub fn region(mut self, rc: RegionConstraints) -> OptimizeRequest {
         self.region = Some(rc);
+        self
+    }
+
+    /// Writes resumable snapshots per `spec` while running.
+    #[must_use]
+    pub fn checkpoint(mut self, spec: CheckpointSpec) -> OptimizeRequest {
+        self.checkpoint = Some(spec);
+        self
+    }
+
+    /// Resumes from `snap` instead of optimizing from scratch.
+    #[must_use]
+    pub fn resume_from(mut self, snap: RunSnapshot) -> OptimizeRequest {
+        self.resume_from = Some(snap);
         self
     }
 }
@@ -194,6 +219,7 @@ pub struct OptimizeContext<'r, 'l> {
     pub(crate) seed: &'r mut u64,
     pub(crate) refuted: &'r mut HashSet<Rewrite>,
     pub(crate) enable_xor: bool,
+    pub(crate) ckpt: &'r mut Checkpointer,
 }
 
 impl OptimizeContext<'_, '_> {
@@ -220,6 +246,40 @@ impl OptimizeContext<'_, '_> {
     #[must_use]
     pub fn stats(&self) -> &GdoStats {
         &*self.stats
+    }
+
+    /// The iteration the running engine must start from: the resume
+    /// cursor's when this engine is the one it points at, `0` otherwise.
+    pub(crate) fn resume_start(&self) -> usize {
+        self.ckpt.resume_start()
+    }
+
+    /// Engine-iteration boundary hook: captures a resumable snapshot of
+    /// the current state as "about to execute iteration `iter`" and
+    /// writes it out on the checkpoint cadence. Engines call this at the
+    /// top of each iteration, right after the budget check.
+    pub(crate) fn checkpoint_boundary(&mut self, iter: usize) -> Result<(), GdoError> {
+        if !self.ckpt.capturing() {
+            return Ok(());
+        }
+        let quarantine: Vec<String> = self
+            .net
+            .quarantined
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect();
+        self.ckpt
+            .at_boundary(
+                iter,
+                self.nl,
+                self.tg.circuit_delay(),
+                self.budget,
+                self.stats,
+                *self.seed,
+                self.refuted,
+                quarantine,
+            )
+            .map_err(GdoError::from)
     }
 }
 
@@ -300,6 +360,21 @@ impl<'a> Pipeline<'a> {
         let start = std::time::Instant::now();
         budget.enter_phase(Phase::Setup);
         let model = LibDelay::new(self.lib);
+        // Snapshot bookkeeping: digest the *input* netlist before any
+        // edit (the digest identifies the run across suspend/resume
+        // legs), then swap in the snapshot's working netlist if
+        // resuming. Both digests are validated by the checkpointer.
+        let snapshotting = req.checkpoint.is_some() || req.resume_from.is_some();
+        let input_digest = if snapshotting {
+            snapshot::netlist_digest(nl)
+        } else {
+            0
+        };
+        let mut ckpt = Checkpointer::new(req, input_digest)?;
+        if let Some(snap) = &req.resume_from {
+            *nl = Netlist::from_raw(&snap.netlist)
+                .map_err(|e| SnapshotError::Malformed(format!("snapshot netlist: {e}")))?;
+        }
         let mut stats = GdoStats::default();
         nl.record_edits();
         let mut tg = match &req.region {
@@ -311,31 +386,63 @@ impl<'a> Pipeline<'a> {
             )?,
             None => TimingGraph::from_scratch(nl, &model)?,
         };
-        {
-            let s = nl.stats();
-            stats.gates_before = s.gates;
-            stats.literals_before = s.literals;
-            stats.delay_before = tg.circuit_delay();
-            stats.area_before = total_area(nl, &model);
-        }
-        let xor_available = self.lib.cheapest(GateKind::Xor, 2).is_some()
-            && self.lib.cheapest(GateKind::Xnor, 2).is_some();
-        let enable_xor = req.cfg.enable_xor && xor_available;
-        // The safety net clones its checkpoints here and right after
-        // `TimingGraph::update` — the only places the edit journal is
-        // guaranteed drained, so a restore never resurrects stale edits.
-        let mut net = SafetyNet::new(req.cfg.verify_policy, nl, &tg);
         let mut seed_counter = req.cfg.seed;
         // SAT refutations stay valid as long as the netlist is unchanged:
         // validity depends only on the circuit function, not on timing or
         // on the vector sample. Engines skip re-proving cached
         // refutations and clear the cache on every applied rewrite.
         let mut refuted: HashSet<Rewrite> = HashSet::new();
+        let mut quarantine_restore: Vec<RewriteClass> = Vec::new();
+        if let Some(snap) = &req.resume_from {
+            // Timing cross-check: the rebuilt graph must reproduce the
+            // boundary delay bit-for-bit, or the resuming process runs a
+            // different library / delay model than the one that wrote
+            // the snapshot.
+            if tg.circuit_delay().to_bits() != snap.delay_bits {
+                return Err(SnapshotError::Mismatch(format!(
+                    "circuit delay {} != snapshot's {} (library or delay-model skew)",
+                    tg.circuit_delay(),
+                    f64::from_bits(snap.delay_bits)
+                ))
+                .into());
+            }
+            stats = snap.stats;
+            seed_counter = snap.seed;
+            refuted = snap.refuted.iter().copied().collect();
+            for name in &snap.quarantine {
+                quarantine_restore.push(RewriteClass::from_name(name).ok_or_else(|| {
+                    SnapshotError::Malformed(format!("unknown quarantine class {name:?}"))
+                })?);
+            }
+            telemetry::counter_add("snapshot.resumed", 1);
+        } else {
+            let s = nl.stats();
+            stats.gates_before = s.gates;
+            stats.literals_before = s.literals;
+            stats.delay_before = tg.circuit_delay();
+            stats.area_before = total_area(nl, &model);
+        }
+        let cpu_base = stats.cpu_seconds;
+        let xor_available = self.lib.cheapest(GateKind::Xor, 2).is_some()
+            && self.lib.cheapest(GateKind::Xnor, 2).is_some();
+        let enable_xor = req.cfg.enable_xor && xor_available;
+        // The safety net clones its checkpoints here and right after
+        // `TimingGraph::update` — the only places the edit journal is
+        // guaranteed drained, so a restore never resurrects stale edits.
+        // On resume it re-baselines at the boundary netlist, which is
+        // sound: the boundary netlist is itself a verified-equivalent
+        // descendant of the original input.
+        let mut net = SafetyNet::new(req.cfg.verify_policy, nl, &tg);
+        net.quarantined.extend(quarantine_restore);
 
-        for &id in &req.engines {
+        for (idx, &id) in req.engines.iter().enumerate() {
+            if ckpt.engine_done(idx) {
+                continue;
+            }
             if budget.is_exhausted() {
                 break;
             }
+            ckpt.engine_idx = idx;
             let mut ctx = OptimizeContext {
                 lib: self.lib,
                 cfg: &req.cfg,
@@ -348,8 +455,15 @@ impl<'a> Pipeline<'a> {
                 seed: &mut seed_counter,
                 refuted: &mut refuted,
                 enable_xor,
+                ckpt: &mut ckpt,
             };
             id.instantiate().run(&mut ctx)?;
+        }
+
+        // On exhaustion or cancel the latest boundary goes to disk
+        // whatever the cadence: it is what the next leg resumes from.
+        if budget.tripped_phase().is_some() {
+            ckpt.write_latest()?;
         }
 
         // Verify any unverified tail of applied rewrites (the only check
@@ -366,7 +480,7 @@ impl<'a> Pipeline<'a> {
             stats.delay_after = tg.circuit_delay();
             stats.area_after = total_area(nl, &model);
         }
-        stats.cpu_seconds = start.elapsed().as_secs_f64();
+        stats.cpu_seconds = cpu_base + start.elapsed().as_secs_f64();
         stats.budget_exhausted = budget.tripped_phase().is_some();
         stats.verify_checks = net.checks;
         stats.verify_failures = net.failures;
@@ -392,6 +506,29 @@ pub(crate) enum RewriteClass {
     Sub3,
     SubConst,
     Resub,
+}
+
+impl RewriteClass {
+    /// Stable lower-case name used in snapshots.
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            RewriteClass::Sub2 => "sub2",
+            RewriteClass::Sub3 => "sub3",
+            RewriteClass::SubConst => "const",
+            RewriteClass::Resub => "resub",
+        }
+    }
+
+    /// Parses [`name`](Self::name) back.
+    pub(crate) fn from_name(name: &str) -> Option<RewriteClass> {
+        match name {
+            "sub2" => Some(RewriteClass::Sub2),
+            "sub3" => Some(RewriteClass::Sub3),
+            "const" => Some(RewriteClass::SubConst),
+            "resub" => Some(RewriteClass::Resub),
+            _ => None,
+        }
+    }
 }
 
 pub(crate) fn rewrite_class(rw: &Rewrite) -> RewriteClass {

@@ -12,6 +12,9 @@ pub enum GdoError {
     /// A [`GdoConfig`](crate::GdoConfig) builder produced an invalid
     /// configuration (zero budgets, empty vector sets, and the like).
     Config(String),
+    /// A run snapshot could not be written, read, or applied (IO
+    /// failure, corruption, or a mismatch against the resuming run).
+    Snapshot(crate::snapshot::SnapshotError),
 }
 
 impl fmt::Display for GdoError {
@@ -20,6 +23,7 @@ impl fmt::Display for GdoError {
             GdoError::Netlist(e) => write!(f, "netlist error: {e}"),
             GdoError::Library(e) => write!(f, "library error: {e}"),
             GdoError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            GdoError::Snapshot(e) => write!(f, "snapshot error: {e}"),
         }
     }
 }
@@ -30,6 +34,7 @@ impl std::error::Error for GdoError {
             GdoError::Netlist(e) => Some(e),
             GdoError::Library(e) => Some(e),
             GdoError::Config(_) => None,
+            GdoError::Snapshot(e) => Some(e),
         }
     }
 }
@@ -43,6 +48,12 @@ impl From<netlist::NetlistError> for GdoError {
 impl From<library::LibraryError> for GdoError {
     fn from(e: library::LibraryError) -> Self {
         GdoError::Library(e)
+    }
+}
+
+impl From<crate::snapshot::SnapshotError> for GdoError {
+    fn from(e: crate::snapshot::SnapshotError) -> Self {
+        GdoError::Snapshot(e)
     }
 }
 

@@ -75,6 +75,7 @@ mod report;
 mod resub;
 mod rewrite;
 mod site;
+pub mod snapshot;
 mod transform;
 
 pub use bpfs::{
@@ -100,6 +101,7 @@ pub use report::OptimizeReport;
 pub use resub::ResubEngine;
 pub use rewrite::{Gate3, Rewrite, RewriteKind};
 pub use site::{SigLit, Site};
+pub use snapshot::{CheckpointSpec, RunCursor, RunSnapshot, SnapshotError};
 #[cfg(feature = "fault-inject")]
 pub use transform::fault;
 pub use transform::{apply_rewrite, estimate_area_delta, estimate_arrival};

@@ -16,6 +16,7 @@ use crate::pvcc::{
     and_or_triple_requests, const_candidates, site_arrival, site_ncp, site_required,
     sub2_candidates, sub3_candidates, xor_triple_requests, Pvcc, RankKey,
 };
+use crate::snapshot::Checkpointer;
 use crate::transform::{apply_rewrite, estimate_area_delta, estimate_arrival};
 use crate::{GdoError, ProverKind, Rewrite, RewriteKind, Site};
 use library::Library;
@@ -513,6 +514,7 @@ impl<'a> Optimizer<'a> {
     /// Delay reduction phase: C2 rounds until dry, then C3 rounds, until
     /// neither improves anything.
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
     fn delay_phase(
         &self,
         nl: &mut Netlist,
@@ -524,6 +526,7 @@ impl<'a> Optimizer<'a> {
         refuted: &mut HashSet<Rewrite>,
         budget: &Budget,
         net: &mut SafetyNet,
+        ckpt: &mut Checkpointer,
     ) -> Result<usize, GdoError> {
         let mut total = 0;
         for _ in 0..self.cfg.max_delay_rounds {
@@ -531,7 +534,7 @@ impl<'a> Optimizer<'a> {
                 break;
             }
             let n2 = self.delay_round(
-                nl, tg, model, false, enable_xor, stats, seed, refuted, budget, net,
+                nl, tg, model, false, enable_xor, stats, seed, refuted, budget, net, ckpt,
             )?;
             total += n2;
             if n2 > 0 {
@@ -539,7 +542,7 @@ impl<'a> Optimizer<'a> {
             }
             if self.cfg.enable_sub3 && !budget.is_exhausted() {
                 let n3 = self.delay_round(
-                    nl, tg, model, true, enable_xor, stats, seed, refuted, budget, net,
+                    nl, tg, model, true, enable_xor, stats, seed, refuted, budget, net, ckpt,
                 )?;
                 total += n3;
                 if n3 > 0 {
@@ -567,6 +570,7 @@ impl<'a> Optimizer<'a> {
         refuted: &mut HashSet<Rewrite>,
         budget: &Budget,
         net: &mut SafetyNet,
+        ckpt: &mut Checkpointer,
     ) -> Result<usize, GdoError> {
         if nl.outputs().is_empty() || nl.inputs().is_empty() {
             return Ok(0);
@@ -802,6 +806,7 @@ impl<'a> Optimizer<'a> {
                     ],
                 );
             }
+            ckpt.record_applied(|| format!("{rw}"));
             count_mod(stats, &rw);
             stats.engines[EngineId::Gdo.index()].applied += 1;
             applied += 1;
@@ -837,6 +842,7 @@ impl<'a> Optimizer<'a> {
         refuted: &mut HashSet<Rewrite>,
         budget: &Budget,
         net: &mut SafetyNet,
+        ckpt: &mut Checkpointer,
     ) -> Result<usize, GdoError> {
         if nl.outputs().is_empty() || nl.inputs().is_empty() {
             return Ok(0);
@@ -1071,6 +1077,7 @@ impl<'a> Optimizer<'a> {
                     ],
                 );
             }
+            ckpt.record_applied(|| format!("{rw}"));
             count_mod(stats, &rw);
             stats.engines[EngineId::Gdo.index()].applied += 1;
             applied += 1;
@@ -1094,10 +1101,11 @@ impl Engine for GdoEngine {
     fn run(&self, ctx: &mut OptimizeContext<'_, '_>) -> Result<usize, GdoError> {
         let opt = Optimizer::new(ctx.lib, ctx.cfg.clone());
         let mut total = 0;
-        for outer in 0..opt.cfg.max_outer_rounds {
+        for outer in ctx.resume_start()..opt.cfg.max_outer_rounds {
             if ctx.budget.is_exhausted() {
                 break;
             }
+            ctx.checkpoint_boundary(outer)?;
             ctx.stats.rounds += 1;
             let t = std::time::Instant::now();
             let delay_applied = {
@@ -1113,6 +1121,7 @@ impl Engine for GdoEngine {
                     ctx.refuted,
                     ctx.budget,
                     ctx.net,
+                    ctx.ckpt,
                 )?
             };
             let t_delay = t.elapsed();
@@ -1130,6 +1139,7 @@ impl Engine for GdoEngine {
                     ctx.refuted,
                     ctx.budget,
                     ctx.net,
+                    ctx.ckpt,
                 )?
             } else {
                 0

@@ -94,10 +94,11 @@ impl Engine for ResubEngine {
             return Ok(0);
         }
         let mut applied = 0usize;
-        for _ in 0..ctx.cfg.max_delay_rounds {
+        for iter in ctx.resume_start()..ctx.cfg.max_delay_rounds {
             if ctx.budget.is_exhausted() {
                 break;
             }
+            ctx.checkpoint_boundary(iter)?;
             if ctx.nl.inputs().is_empty() || ctx.nl.outputs().is_empty() {
                 break;
             }
@@ -316,6 +317,8 @@ fn try_target(
     {
         return Ok(TargetOutcome::RolledBack);
     }
+    ctx.ckpt
+        .record_applied(|| format!("resub n{}", target.index()));
     ctx.stats.resub_mods += 1;
     ctx.stats.engines[EngineId::Resub.index()].applied += 1;
     if telemetry::enabled() {

@@ -85,6 +85,10 @@ pub fn parse_mapped_blif(lib: &Library, text: &str) -> Result<Netlist, LibraryEr
     let mut output_names: Vec<String> = Vec::new();
     // Output net name -> gate definition.
     let mut defs: HashMap<String, GateDef> = HashMap::new();
+    // Gate output names in file order: resolution must not walk the map
+    // in hash order, or identical files parse to differently-numbered
+    // netlists run to run.
+    let mut def_order: Vec<String> = Vec::new();
 
     let perr = |line: usize, message: String| LibraryError::Parse { line, message };
 
@@ -166,6 +170,7 @@ pub fn parse_mapped_blif(lib: &Library, text: &str) -> Result<Netlist, LibraryEr
                 {
                     return Err(perr(*line, format!("net {output:?} driven twice")));
                 }
+                def_order.push(output.to_string());
             }
             ".names" => {
                 return Err(perr(
@@ -248,9 +253,8 @@ pub fn parse_mapped_blif(lib: &Library, text: &str) -> Result<Netlist, LibraryEr
             )
         })
         .collect();
-    let names: Vec<String> = def_refs.keys().cloned().collect();
-    for n in names {
-        resolve(&n, lib, &mut nl, &def_refs, &mut resolved, 0)?;
+    for n in &def_order {
+        resolve(n, lib, &mut nl, &def_refs, &mut resolved, 0)?;
     }
     for name in output_names {
         let driver = *resolved.get(&name).ok_or_else(|| LibraryError::Parse {

@@ -50,6 +50,7 @@ mod id;
 mod kind;
 #[allow(clippy::module_inception)]
 mod netlist;
+mod raw;
 mod stats;
 mod strash;
 mod topo;
@@ -63,5 +64,6 @@ pub use extract::RegionExtract;
 pub use id::SignalId;
 pub use kind::{Arity, GateKind};
 pub use netlist::{Netlist, PrimaryOutput};
+pub use raw::{RawCell, RawFanout, RawNetlist};
 pub use stats::NetlistStats;
 pub use validate::{ValidateError, CYCLE_MEMBER_CAP};

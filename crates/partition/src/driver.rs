@@ -17,8 +17,11 @@
 //! input with the sweeping checker.
 
 use crate::cluster::{cluster, ClusterConfig, Clustering};
+use crate::snapshot::{options_digest, PartitionSnapshot, RegionDone};
+use gdo::snapshot::{netlist_digest, SnapshotError};
 use gdo::{
-    Budget, EngineId, GdoConfig, GdoError, GdoStats, OptimizeRequest, Pipeline, RegionConstraints,
+    Budget, CheckpointSpec, EngineId, GdoConfig, GdoError, GdoStats, OptimizeRequest, Pipeline,
+    RegionConstraints,
 };
 use library::Library;
 use netlist::{GateKind, Netlist, NetlistError, RegionExtract, SignalId};
@@ -42,6 +45,15 @@ pub struct PartitionOptions {
     pub verify_regions: bool,
     /// Engine pipeline run inside every region, in order.
     pub engines: Vec<EngineId>,
+    /// Where (and how often, in finished regions) to write phase-1
+    /// snapshots. A snapshot is also written when the parent budget
+    /// trips, so an exhausted or cancelled run leaves a resume point.
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Resume phase 1 from a previously written [`PartitionSnapshot`].
+    /// The caller must pass the *original* input netlist (digest-checked)
+    /// — phase 1 never mutates it, so re-clustering reproduces the same
+    /// regions and only the unfinished ones are re-run.
+    pub resume_from: Option<PartitionSnapshot>,
 }
 
 impl Default for PartitionOptions {
@@ -51,6 +63,8 @@ impl Default for PartitionOptions {
             threads: 0,
             verify_regions: true,
             engines: vec![EngineId::Gdo],
+            checkpoint: None,
+            resume_from: None,
         }
     }
 }
@@ -160,6 +174,59 @@ struct RegionOutcome {
     optimized: Option<Netlist>,
     stats: GdoStats,
     quarantined: bool,
+    /// True when the region's child budget never tripped: the outcome is
+    /// then what an unconstrained run of the region produces, so it may
+    /// be recorded in a snapshot and reused verbatim after a resume. A
+    /// region cut short (slice exhausted or parent-cancelled) is still
+    /// stitched this leg but re-run from scratch on resume.
+    resumable: bool,
+}
+
+/// Phase-1 snapshot writer: serializes the resumable region outcomes
+/// every `spec.every` finished regions and once more when the parent
+/// budget trips.
+struct PartCheckpointer<'a> {
+    spec: &'a CheckpointSpec,
+    config_digest: u64,
+    input_digest: u64,
+    n_regions: usize,
+    finished: AtomicUsize,
+}
+
+impl PartCheckpointer<'_> {
+    /// Serializes and atomically writes the current resumable outcomes.
+    /// Called with the results lock held, so the outcome set is a
+    /// consistent cut.
+    fn write(
+        &self,
+        budget: &Budget,
+        outcomes: &[Option<RegionOutcome>],
+    ) -> Result<(), SnapshotError> {
+        let done = outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(region, slot)| {
+                let o = slot.as_ref().filter(|o| o.resumable)?;
+                Some(RegionDone {
+                    region,
+                    stats: o.stats,
+                    quarantined: o.quarantined,
+                    optimized: o.optimized.clone(),
+                })
+            })
+            .collect();
+        let snap = PartitionSnapshot {
+            config_digest: self.config_digest,
+            input_digest: self.input_digest,
+            work_remaining: budget.remaining_work(),
+            time_remaining_ms: budget
+                .remaining_time()
+                .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX)),
+            n_regions: self.n_regions,
+            done,
+        };
+        snap.write(&self.spec.path)
+    }
 }
 
 /// Optimizes `nl` region by region under `budget` and stitches the
@@ -186,6 +253,36 @@ pub fn optimize_partitioned(
     let model = LibDelay::new(lib);
     let mut stats = PartitionStats::default();
 
+    // Digests are taken over the pristine parent, before the edit
+    // journal is armed, so a resumed leg can be cross-checked against
+    // the same original input the interrupted leg saw.
+    let snapshotting = opts.checkpoint.is_some() || opts.resume_from.is_some();
+    let (config_digest, input_digest) = if snapshotting {
+        (
+            options_digest(cfg, &opts.cluster, &opts.engines, opts.verify_regions),
+            netlist_digest(nl),
+        )
+    } else {
+        (0, 0)
+    };
+    if let Some(snap) = &opts.resume_from {
+        if snap.config_digest != config_digest {
+            return Err(GdoError::from(SnapshotError::Mismatch(format!(
+                "snapshot config digest {:016x} != request {config_digest:016x}",
+                snap.config_digest
+            )))
+            .into());
+        }
+        if snap.input_digest != input_digest {
+            return Err(GdoError::from(SnapshotError::Mismatch(format!(
+                "snapshot input digest {:016x} != netlist {input_digest:016x} \
+                 (resume requires the original input netlist)",
+                snap.input_digest
+            )))
+            .into());
+        }
+    }
+
     nl.record_edits();
     let mut tg = TimingGraph::from_scratch(nl, &model)?;
     stats.slack_before = tg.worst_slack();
@@ -206,7 +303,34 @@ pub fn optimize_partitioned(
         clustering.boundary_signals as u64,
     );
 
-    let outcomes = run_regions(lib, cfg, nl, &tg, &clustering, opts, budget)?;
+    if let Some(snap) = &opts.resume_from {
+        if snap.n_regions != clustering.regions.len() {
+            return Err(GdoError::from(SnapshotError::Mismatch(format!(
+                "snapshot has {} regions, clustering produced {}",
+                snap.n_regions,
+                clustering.regions.len()
+            )))
+            .into());
+        }
+        telemetry::counter_add("snapshot.resumed", 1);
+    }
+    let ckpt = opts.checkpoint.as_ref().map(|spec| PartCheckpointer {
+        spec,
+        config_digest,
+        input_digest,
+        n_regions: clustering.regions.len(),
+        finished: AtomicUsize::new(0),
+    });
+
+    let outcomes = run_regions(lib, cfg, nl, &tg, &clustering, opts, budget, ckpt.as_ref())?;
+
+    // An exhausted or cancelled leg leaves a resume point covering every
+    // region that finished cleanly, whatever the write cadence was.
+    if budget.tripped_phase().is_some() {
+        if let Some(ck) = &ckpt {
+            ck.write(budget, &outcomes).map_err(GdoError::from)?;
+        }
+    }
 
     // Phase 2: serial stitch in schedule order. `redirect` chases
     // boundary signals already replaced by earlier regions' stitches.
@@ -256,6 +380,7 @@ pub fn optimize_partitioned(
 /// Phase 1: optimize every region concurrently against the immutable
 /// parent snapshot. Results land in region-index slots, so completion
 /// order does not matter.
+#[allow(clippy::too_many_arguments)]
 fn run_regions(
     lib: &Library,
     cfg: &GdoConfig,
@@ -264,6 +389,7 @@ fn run_regions(
     clustering: &Clustering,
     opts: &PartitionOptions,
     budget: &Budget,
+    ckpt: Option<&PartCheckpointer<'_>>,
 ) -> Result<Vec<Option<RegionOutcome>>, PartitionError> {
     let n_regions = clustering.regions.len();
     let threads = if opts.threads == 0 {
@@ -276,8 +402,23 @@ fn run_regions(
     // leave the headroom to the shared parent ceiling check.
     let work_slice = cfg.work_limit.map(|w| (w / n_regions.max(1) as u64).max(1));
 
-    let results: Mutex<Vec<Option<RegionOutcome>>> =
-        Mutex::new((0..n_regions).map(|_| None).collect());
+    // Restored regions re-derive their extract from the (unmutated)
+    // parent; their optimized sub-netlists come from the snapshot.
+    let mut initial: Vec<Option<RegionOutcome>> = (0..n_regions).map(|_| None).collect();
+    if let Some(snap) = &opts.resume_from {
+        for rd in &snap.done {
+            let extract = nl.extract_region(&clustering.regions[rd.region].members)?;
+            initial[rd.region] = Some(RegionOutcome {
+                extract,
+                optimized: rd.optimized.clone(),
+                stats: rd.stats,
+                quarantined: rd.quarantined,
+                resumable: true,
+            });
+        }
+    }
+
+    let results: Mutex<Vec<Option<RegionOutcome>>> = Mutex::new(initial);
     let errors: Mutex<Vec<PartitionError>> = Mutex::new(Vec::new());
     let next = AtomicUsize::new(0);
     let done = AtomicBool::new(false);
@@ -304,12 +445,25 @@ fn run_regions(
                     break;
                 }
                 let region = clustering.schedule[i];
+                if results.lock().unwrap()[region].is_some() {
+                    continue; // restored from a snapshot
+                }
                 let members = &clustering.regions[region].members;
                 match run_one_region(
                     lib, cfg, nl, tg, members, opts, budget, work_slice, &children,
                 ) {
                     Ok(outcome) => {
-                        results.lock().unwrap()[region] = Some(outcome);
+                        let mut slots = results.lock().unwrap();
+                        slots[region] = Some(outcome);
+                        if let Some(ck) = ckpt {
+                            let finished = ck.finished.fetch_add(1, Ordering::Relaxed) + 1;
+                            if finished % ck.spec.every == 0 {
+                                if let Err(e) = ck.write(budget, &slots) {
+                                    errors.lock().unwrap().push(GdoError::from(e).into());
+                                    break;
+                                }
+                            }
+                        }
                     }
                     Err(e) => {
                         errors.lock().unwrap().push(e);
@@ -355,6 +509,7 @@ fn run_one_region(
             optimized: None,
             stats: GdoStats::default(),
             quarantined: false,
+            resumable: true,
         });
     }
     let model = LibDelay::new(lib);
@@ -384,6 +539,11 @@ fn run_one_region(
     // Satellite invariant: whatever a region consumed is visible on the
     // caller's budget, so `--work-ceiling` aggregates across regions.
     budget.charge(child.work_done());
+    // A region whose own budget tripped (slice exhausted or cancelled by
+    // the supervisor) produced a truncated result: good enough to stitch
+    // this leg, but not equal to the unconstrained outcome a resumed run
+    // must converge on — so it is not snapshot-recordable.
+    let resumable = child.tripped_phase().is_none();
     let stats = run?;
 
     let mut optimized = None;
@@ -415,6 +575,7 @@ fn run_one_region(
         optimized,
         stats,
         quarantined,
+        resumable,
     })
 }
 

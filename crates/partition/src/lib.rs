@@ -52,6 +52,8 @@
 
 mod cluster;
 mod driver;
+mod snapshot;
 
 pub use cluster::{cluster, ClusterConfig, Clustering, Region};
 pub use driver::{optimize_partitioned, PartitionError, PartitionOptions, PartitionStats};
+pub use snapshot::{options_digest, PartitionSnapshot, RegionDone};

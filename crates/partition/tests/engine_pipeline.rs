@@ -38,6 +38,7 @@ fn run_engines(lib: &Library, nl: &mut Netlist, engines: Vec<EngineId>, partitio
         threads: 2,
         verify_regions: true,
         engines,
+        ..PartitionOptions::default()
     };
     optimize_partitioned(lib, &cfg, nl, &opts, &Budget::unlimited()).unwrap();
     let tg = TimingGraph::from_scratch(nl, &LibDelay::new(lib)).unwrap();

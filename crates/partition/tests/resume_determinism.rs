@@ -1,0 +1,123 @@
+//! Partitioned checkpoint/resume determinism (ISSUE 9 tentpole, the
+//! 4-partition leg of the acceptance criteria): a partitioned run split
+//! across any number of suspend/resume cycles must stitch a result
+//! netlist byte-identical to the same run uninterrupted.
+//!
+//! Every resumed leg starts from the *original* mapped input (partition
+//! snapshots carry completed regions, not a mutated netlist) plus the
+//! previous leg's snapshot; the chain ends at the first leg whose
+//! parent budget does not trip.
+
+use gdo::{Budget, CheckpointSpec, EngineId, GdoConfig};
+use library::{standard_library, Library, MapGoal, Mapper};
+use netlist::Netlist;
+use partition::{optimize_partitioned, ClusterConfig, PartitionOptions, PartitionSnapshot};
+use std::path::{Path, PathBuf};
+
+const PARTITIONS: usize = 4;
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("part_resume_{tag}_{}.ckpt", std::process::id()))
+}
+
+fn cfg(rounds: usize) -> GdoConfig {
+    GdoConfig::builder()
+        .vectors(256)
+        .seed(7)
+        .max_delay_rounds(rounds)
+        .threads(1)
+        .build()
+        .unwrap()
+}
+
+fn opts(input: &Netlist, ckpt: &Path, resume: Option<PartitionSnapshot>) -> PartitionOptions {
+    PartitionOptions {
+        cluster: ClusterConfig {
+            seed: 7,
+            ..ClusterConfig::for_partitions(input.stats().gates, PARTITIONS)
+        },
+        threads: 1,
+        verify_regions: false,
+        engines: vec![EngineId::Gdo, EngineId::Resub],
+        checkpoint: Some(CheckpointSpec::new(ckpt.to_path_buf()).every(1)),
+        resume_from: resume,
+    }
+}
+
+/// One partitioned leg from the original `input` under `work` units
+/// (None = unlimited). Returns the stitched result and whether the
+/// parent budget tripped.
+fn run_leg(
+    lib: &Library,
+    input: &Netlist,
+    rounds: usize,
+    resume: Option<PartitionSnapshot>,
+    ckpt: &Path,
+    work: Option<u64>,
+) -> (Netlist, bool, u64) {
+    let mut nl = input.clone();
+    let budget = Budget::new(None, work);
+    let stats = optimize_partitioned(
+        lib,
+        &cfg(rounds),
+        &mut nl,
+        &opts(input, ckpt, resume),
+        &budget,
+    )
+    .unwrap();
+    (nl, stats.budget_exhausted, budget.work_done())
+}
+
+fn assert_partitioned_resume_determinism(base: &Netlist, rounds: usize, tag: &str) {
+    let lib = standard_library();
+    let input = Mapper::new(&lib).goal(MapGoal::Area).map(base).unwrap();
+    let ckpt = tmp_path(tag);
+    std::fs::remove_file(&ckpt).ok();
+
+    let (reference, tripped, total_work) = run_leg(&lib, &input, rounds, None, &ckpt, None);
+    assert!(!tripped, "{tag}: unlimited run must not trip");
+    std::fs::remove_file(&ckpt).ok();
+
+    // A slice must let at least one region finish for the snapshot to
+    // grow; when a leg makes no progress the slice doubles.
+    let mut slice = (total_work / 4).max(1);
+    let mut resume: Option<PartitionSnapshot> = None;
+    let mut last_ckpt: Option<Vec<u8>> = None;
+    let mut legs = 0usize;
+    let resumed = loop {
+        let (nl, tripped, _) = run_leg(&lib, &input, rounds, resume.take(), &ckpt, Some(slice));
+        legs += 1;
+        if !tripped {
+            break nl;
+        }
+        assert!(legs < 64, "{tag}: chain does not converge");
+        let bytes = std::fs::read(&ckpt).unwrap();
+        if last_ckpt.as_deref() == Some(&bytes) {
+            slice *= 2;
+        }
+        last_ckpt = Some(bytes);
+        resume = Some(PartitionSnapshot::read(&ckpt).unwrap());
+    };
+    assert!(
+        legs >= 2,
+        "{tag}: work slices never interrupted the run — the test is vacuous"
+    );
+    let expected = formats::write_blif(&reference).unwrap();
+    let actual = formats::write_blif(&resumed).unwrap();
+    assert_eq!(
+        expected, actual,
+        "{tag}: resumed partitioned chain ({legs} legs) diverged from the uninterrupted run"
+    );
+    std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn random_netlist_partitioned_resume_byte_identical() {
+    let base = workloads::random_logic(11, 16, 8, 320);
+    assert_partitioned_resume_determinism(&base, 4, "rand11");
+}
+
+#[test]
+fn dp96_partitioned_resume_byte_identical() {
+    assert_partitioned_resume_determinism(&workloads::datapath(96), 2, "dp96");
+}

@@ -30,6 +30,11 @@ fn usage() -> String {
        --work-ceiling UNITS     server-wide aggregate optimizer work ceiling\n\
        --verify POLICY          default verify policy: off|final|each|every:N (default final)\n\
        --seed N                 default BPFS seed (default 1995)\n\
+       --journal-dir DIR        durable job journal: log accepted jobs and\n\
+                                terminals, checkpoint runs, recover on restart\n\
+       --retry-max N            retries after a worker panic before a job is\n\
+                                poisoned (default 2)\n\
+       --checkpoint-every N     snapshot cadence in optimizer rounds (default 4)\n\
        --batch                  serve stdin/stdout NDJSON instead of TCP; drain at EOF\n\
        --help                   print this help\n"
         .to_string()
@@ -105,6 +110,22 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     .parse()
                     .map_err(|_| "--seed needs an integer".to_string())?;
             }
+            "--journal-dir" => {
+                opts.cfg.journal_dir = Some(need(&mut it, "--journal-dir")?.into());
+            }
+            "--retry-max" => {
+                opts.cfg.retry_max = need(&mut it, "--retry-max")?
+                    .parse()
+                    .map_err(|_| "--retry-max needs a non-negative integer".to_string())?;
+            }
+            "--checkpoint-every" => {
+                opts.cfg.checkpoint_every = need(&mut it, "--checkpoint-every")?
+                    .parse()
+                    .map_err(|_| "--checkpoint-every needs a positive integer".to_string())?;
+                if opts.cfg.checkpoint_every == 0 {
+                    return Err("--checkpoint-every must be positive".to_string());
+                }
+            }
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
@@ -177,6 +198,12 @@ mod tests {
             "every:8",
             "--seed",
             "7",
+            "--journal-dir",
+            "/tmp/j",
+            "--retry-max",
+            "5",
+            "--checkpoint-every",
+            "2",
             "--batch",
         ]))
         .unwrap()
@@ -187,6 +214,12 @@ mod tests {
         assert_eq!(opts.cfg.admission, Admission::Reject);
         assert_eq!(opts.cfg.work_ceiling, Some(5000));
         assert_eq!(opts.cfg.default_seed, 7);
+        assert_eq!(
+            opts.cfg.journal_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/j"))
+        );
+        assert_eq!(opts.cfg.retry_max, 5);
+        assert_eq!(opts.cfg.checkpoint_every, 2);
         assert!(opts.batch);
     }
 
@@ -197,5 +230,6 @@ mod tests {
         assert!(parse_args(&argv(&["--admission", "maybe"])).is_err());
         assert!(parse_args(&argv(&["--frobnicate"])).is_err());
         assert!(parse_args(&argv(&["--workers"])).is_err());
+        assert!(parse_args(&argv(&["--checkpoint-every", "0"])).is_err());
     }
 }

@@ -39,6 +39,8 @@ fn usage() -> String {
        --engine LIST            engine pipeline, comma-separated (gdo,resub)\n\
        --partitions N           partitioned optimization with ~N regions\n\
        --priority LANE          high|normal|low (default normal)\n\
+       --resume PATH            resume from a snapshot file (server-side path)\n\
+       --checkpoint PATH        write run snapshots to PATH (server-side path)\n\
      \n\
      control:\n\
        --status                 request a status event\n\
@@ -74,6 +76,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             engines: None,
             partitions: None,
             priority: Priority::Normal,
+            resume: None,
+            checkpoint: None,
+            panic_attempts: None,
         },
         status: false,
         cancels: Vec::new(),
@@ -141,6 +146,12 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 let v = need(&mut it, "--priority")?;
                 opts.template.priority = Priority::from_name(&v)
                     .ok_or_else(|| format!("--priority must be high, normal or low, got {v:?}"))?;
+            }
+            "--resume" => {
+                opts.template.resume = Some(need(&mut it, "--resume")?.into());
+            }
+            "--checkpoint" => {
+                opts.template.checkpoint = Some(need(&mut it, "--checkpoint")?.into());
             }
             "--status" => opts.status = true,
             "--cancel" => opts.cancels.push(need(&mut it, "--cancel")?),
@@ -213,7 +224,7 @@ fn run(opts: &Options) -> Result<ExitCode, String> {
                 degraded += 1;
                 terminals_left = terminals_left.saturating_sub(1);
             }
-            Some("rejected" | "failed" | "cancelled") => {
+            Some("rejected" | "failed" | "cancelled" | "poisoned") => {
                 bad += 1;
                 terminals_left = terminals_left.saturating_sub(1);
             }

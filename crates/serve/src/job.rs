@@ -61,6 +61,19 @@ pub struct JobSpec {
     pub partitions: usize,
     /// Queue lane.
     pub priority: Priority,
+    /// Snapshot path the run checkpoints to (client-chosen or the
+    /// server's journal-managed `<journal>/<id>.ckpt`).
+    pub checkpoint: Option<PathBuf>,
+    /// Checkpoint cadence in optimizer round boundaries.
+    pub checkpoint_every: usize,
+    /// Snapshot path to resume from. A snapshot that is unreadable,
+    /// corrupt, or from a different spec/input is rejected cleanly
+    /// (counted in `snapshot.rejected`, noted in the report meta) and
+    /// the job re-runs from scratch.
+    pub resume: Option<PathBuf>,
+    /// Fault injection: panic the worker this many times before the job
+    /// is allowed to run (honored only with the `fault-inject` feature).
+    pub panic_attempts: u32,
 }
 
 /// How a finished job ended.
@@ -185,6 +198,17 @@ pub fn run_job(lib: &Library, spec: &JobSpec, budget: &Budget) -> Result<JobResu
     report
         .meta
         .insert("engines".into(), EngineId::render_list(&spec.engines));
+    let ckpt_spec = spec
+        .checkpoint
+        .as_ref()
+        .map(|p| gdo::CheckpointSpec::new(p.clone()).every(spec.checkpoint_every.max(1)));
+    // A rejected snapshot (unreadable, corrupt, wrong spec or input) must
+    // never sink the job: note it, count it, and re-run from scratch —
+    // the journal replay already guarantees the job itself is not lost.
+    fn reject_snapshot(report: &mut RunReport, e: String) {
+        telemetry::counter_add("snapshot.rejected", 1);
+        report.meta.insert("resume_rejected".into(), e);
+    }
     let stats = if spec.partitions > 0 {
         // Partitioned path: region workers run serially inside this job
         // (cfg.threads is 1 above), so a partitioned job costs one worker
@@ -195,13 +219,71 @@ pub fn run_job(lib: &Library, spec: &JobSpec, budget: &Budget) -> Result<JobResu
             threads: 1,
             verify_regions: true,
             engines: spec.engines.clone(),
+            checkpoint: ckpt_spec,
+            ..partition::PartitionOptions::default()
+        };
+        let resume = match &spec.resume {
+            None => None,
+            Some(path) => match partition::PartitionSnapshot::read(path) {
+                Ok(snap) => {
+                    let expect = partition::options_digest(
+                        &cfg,
+                        &popts.cluster,
+                        &popts.engines,
+                        popts.verify_regions,
+                    );
+                    if snap.config_digest == expect
+                        && snap.input_digest == gdo::snapshot::netlist_digest(&nl)
+                    {
+                        Some(snap)
+                    } else {
+                        reject_snapshot(
+                            &mut report,
+                            format!(
+                                "{}: snapshot was written by a different job spec or input",
+                                path.display()
+                            ),
+                        );
+                        None
+                    }
+                }
+                Err(e) => {
+                    reject_snapshot(&mut report, format!("{}: {e}", path.display()));
+                    None
+                }
+            },
+        };
+        let popts = partition::PartitionOptions {
+            resume_from: resume,
+            ..popts
         };
         let ps = partition::optimize_partitioned(lib, &cfg, &mut nl, &popts, budget)
             .map_err(|e| format!("optimizing {circuit} failed: {e}"))?;
         ps.merge_into_report(&mut report);
         ps.gdo
     } else {
-        let req = OptimizeRequest::new(cfg).engines(spec.engines.clone());
+        let mut req = OptimizeRequest::new(cfg).engines(spec.engines.clone());
+        if let Some(ck) = ckpt_spec {
+            req = req.checkpoint(ck);
+        }
+        if let Some(path) = &spec.resume {
+            match gdo::RunSnapshot::read(path) {
+                Ok(snap)
+                    if snap.config_digest == gdo::snapshot::config_digest(&req)
+                        && snap.input_digest == gdo::snapshot::netlist_digest(&nl) =>
+                {
+                    req = req.resume_from(snap);
+                }
+                Ok(_) => reject_snapshot(
+                    &mut report,
+                    format!(
+                        "{}: snapshot was written by a different job spec or input",
+                        path.display()
+                    ),
+                ),
+                Err(e) => reject_snapshot(&mut report, format!("{}: {e}", path.display())),
+            }
+        }
         let stats = Pipeline::new(lib)
             .run(&req, &mut nl, budget)
             .map_err(|e| format!("optimizing {circuit} failed: {e}"))?;
@@ -240,6 +322,10 @@ mod tests {
             engines: vec![EngineId::Gdo],
             partitions: 0,
             priority: Priority::Normal,
+            checkpoint: None,
+            checkpoint_every: 1,
+            resume: None,
+            panic_attempts: 0,
         }
     }
 

@@ -24,6 +24,7 @@ pub mod json;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod wal;
 
 pub use job::{JobOutcome, JobResult, JobSource, JobSpec};
 pub use protocol::{Event, Request, SubmitRequest};

@@ -41,7 +41,7 @@ use telemetry::{json_escaped, RunReport};
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Submit one optimization job.
-    Submit(SubmitRequest),
+    Submit(Box<SubmitRequest>),
     /// Report queue depth, in-flight jobs, and aggregate counters.
     Status,
     /// Cancel a queued or running job by id.
@@ -80,6 +80,17 @@ pub struct SubmitRequest {
     pub partitions: Option<usize>,
     /// Queue lane.
     pub priority: Priority,
+    /// Resume from a snapshot file written by an earlier interrupted run
+    /// of the same spec. An unreadable or mismatched snapshot is
+    /// rejected cleanly and the job restarts from scratch.
+    pub resume: Option<std::path::PathBuf>,
+    /// Write run snapshots to this path (overrides the server's
+    /// journal-managed per-job checkpoint path).
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Fault injection: panic the worker this many times before letting
+    /// the job run. Parsed unconditionally, honored only when the server
+    /// is built with the `fault-inject` feature.
+    pub panic_attempts: Option<u32>,
 }
 
 /// Parses one NDJSON request line.
@@ -104,7 +115,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .ok_or_else(|| "cancel needs a string \"id\"".to_string())?;
             Ok(Request::Cancel { id: id.to_string() })
         }
-        "submit" => parse_submit(&v).map(Request::Submit),
+        "submit" => parse_submit(&v).map(|s| Request::Submit(Box::new(s))),
         other => Err(format!(
             "unknown op {other:?} (expected submit, status, cancel or drain)"
         )),
@@ -153,7 +164,17 @@ fn parse_submit(v: &Json) -> Result<SubmitRequest, String> {
         engines: v.get("engines").and_then(Json::as_str).map(str::to_string),
         partitions: uint("partitions")?.map(|n| n as usize),
         priority,
+        resume: v.get("resume").and_then(Json::as_str).map(Into::into),
+        checkpoint: v.get("checkpoint").and_then(Json::as_str).map(Into::into),
+        panic_attempts: uint("panic_attempts")?.map(|n| n.min(u64::from(u32::MAX)) as u32),
     })
+}
+
+/// Parses a submit request whose fields sit in `v` — shared between
+/// [`parse_request`] and the job journal's replay path, so a journaled
+/// spec round-trips through exactly the wire parser.
+pub(crate) fn parse_submit_value(v: &Json) -> Result<SubmitRequest, String> {
+    parse_submit(v)
 }
 
 /// Parses the protocol encoding of a [`VerifyPolicy`]:
@@ -229,6 +250,23 @@ pub fn submit_to_json(r: &SubmitRequest) -> String {
     if r.priority != Priority::Normal {
         let _ = write!(out, ",\"priority\":{}", json_escaped(r.priority.name()));
     }
+    if let Some(path) = &r.resume {
+        let _ = write!(
+            out,
+            ",\"resume\":{}",
+            json_escaped(&path.display().to_string())
+        );
+    }
+    if let Some(path) = &r.checkpoint {
+        let _ = write!(
+            out,
+            ",\"checkpoint\":{}",
+            json_escaped(&path.display().to_string())
+        );
+    }
+    if let Some(n) = r.panic_attempts {
+        let _ = write!(out, ",\"panic_attempts\":{n}");
+    }
     out.push('}');
     out
 }
@@ -300,6 +338,27 @@ pub enum Event {
     Cancelled {
         /// Job id.
         id: String,
+    },
+    /// The job's worker panicked on every attempt; the job is
+    /// quarantined rather than retried forever. Terminal.
+    Poisoned {
+        /// Job id.
+        id: String,
+        /// How many attempts were made (first run plus retries).
+        attempts: u32,
+        /// The last panic's message.
+        error: String,
+    },
+    /// Answer to cancelling a job that already reached its terminal
+    /// event — structured instead of an `error`, so automation can tell
+    /// a lost race from a typo'd id. Not terminal: the job's single
+    /// terminal event was already emitted.
+    AlreadyFinished {
+        /// Job id.
+        id: String,
+        /// The terminal outcome the job already reached
+        /// (`done`, `degraded`, `failed`, `cancelled`, `poisoned`).
+        outcome: String,
     },
     /// Answer to a `status` request.
     Status {
@@ -395,6 +454,26 @@ impl Event {
                     json_escaped(id)
                 );
             }
+            Event::Poisoned {
+                id,
+                attempts,
+                error,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"poisoned\",\"id\":{},\"attempts\":{attempts},\"error\":{}}}",
+                    json_escaped(id),
+                    json_escaped(error),
+                );
+            }
+            Event::AlreadyFinished { id, outcome } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"already_finished\",\"id\":{},\"outcome\":{}}}",
+                    json_escaped(id),
+                    json_escaped(outcome),
+                );
+            }
             Event::Status {
                 queue_depth,
                 running,
@@ -438,7 +517,23 @@ impl Event {
                 | Event::Degraded { .. }
                 | Event::Failed { .. }
                 | Event::Cancelled { .. }
+                | Event::Poisoned { .. }
         )
+    }
+
+    /// The outcome name recorded in the job journal and the finished map
+    /// for a terminal event (`None` for non-terminal events).
+    #[must_use]
+    pub fn terminal_outcome(&self) -> Option<&'static str> {
+        match self {
+            Event::Rejected { .. } => Some("rejected"),
+            Event::Done { .. } => Some("done"),
+            Event::Degraded { .. } => Some("degraded"),
+            Event::Failed { .. } => Some("failed"),
+            Event::Cancelled { .. } => Some("cancelled"),
+            Event::Poisoned { .. } => Some("poisoned"),
+            _ => None,
+        }
     }
 }
 
@@ -482,13 +577,16 @@ mod tests {
             engines: Some("gdo,resub".to_string()),
             partitions: Some(8),
             priority: Priority::Low,
+            resume: Some("/tmp/x.ckpt".into()),
+            checkpoint: Some("/tmp/x next.ckpt".into()),
+            panic_attempts: Some(2),
         };
         let line = submit_to_json(&original);
         telemetry::validate_json(&line).unwrap();
         let Request::Submit(back) = parse_request(&line).unwrap() else {
             panic!("not a submit")
         };
-        assert_eq!(back, original);
+        assert_eq!(*back, original);
     }
 
     #[test]
@@ -515,6 +613,9 @@ mod tests {
         assert_eq!(s.id, None);
         assert_eq!(s.priority, Priority::Normal);
         assert_eq!(s.verify, None);
+        assert_eq!(s.resume, None);
+        assert_eq!(s.checkpoint, None);
+        assert_eq!(s.panic_attempts, None);
     }
 
     #[test]
@@ -567,6 +668,15 @@ mod tests {
                 error: "boom \"quoted\"".into(),
             },
             Event::Cancelled { id: "j5".into() },
+            Event::Poisoned {
+                id: "j6".into(),
+                attempts: 3,
+                error: "worker panic: index out of bounds".into(),
+            },
+            Event::AlreadyFinished {
+                id: "j1".into(),
+                outcome: "done".into(),
+            },
             Event::Status {
                 queue_depth: 2,
                 running: 4,
@@ -587,8 +697,12 @@ mod tests {
         }
         assert!(events[1].is_terminal());
         assert!(events[3].is_terminal());
+        assert!(events[7].is_terminal(), "poisoned ends the job");
         assert!(!events[0].is_terminal());
-        assert!(!events[7].is_terminal());
+        assert!(!events[8].is_terminal(), "already_finished is informative");
+        assert_eq!(events[3].terminal_outcome(), Some("done"));
+        assert_eq!(events[7].terminal_outcome(), Some("poisoned"));
+        assert_eq!(events[0].terminal_outcome(), None);
         // The inline report keeps its versioned schema.
         assert!(events[3]
             .to_json()

@@ -7,15 +7,27 @@
 //! through the [`JobQueue`] — the single admission-control point — and
 //! every event a job produces is written to the NDJSON stream of the
 //! connection that submitted it.
+//!
+//! With a journal directory configured the server is additionally
+//! crash-safe: accepted jobs and terminal outcomes go through the
+//! [`crate::wal`] job journal, per-job snapshots land next to it, and a
+//! restarted server re-enqueues (resuming when possible) every job the
+//! previous process accepted but never concluded. Worker panics are
+//! supervised: attempts retry with capped exponential backoff and a
+//! deterministic jitter, and a job that panics on every attempt is
+//! quarantined with a `poisoned` terminal instead of looping forever.
 
 use crate::job::{self, JobOutcome, JobSource, JobSpec};
 use crate::protocol::{Event, Request, SubmitRequest};
 use crate::queue::{Admission, JobQueue, PushError};
+use crate::wal::{self, Wal};
 use gdo::{Budget, CancelHandle, VerifyPolicy};
 use library::Library;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -57,6 +69,17 @@ pub struct ServerConfig {
     pub default_verify: VerifyPolicy,
     /// Default BPFS seed for submits that name none.
     pub default_seed: u64,
+    /// Durable job journal directory. When set, accepted jobs and
+    /// terminal outcomes are logged to `<dir>/jobs.wal`, every job
+    /// checkpoints to `<dir>/<id>.ckpt`, and [`Server::new`] recovers
+    /// unfinished jobs a previous process left behind.
+    pub journal_dir: Option<PathBuf>,
+    /// How many times a job whose worker panicked is retried before it
+    /// is quarantined with a `poisoned` terminal.
+    pub retry_max: u32,
+    /// Checkpoint cadence, in optimizer round boundaries, for
+    /// journal-managed jobs.
+    pub checkpoint_every: usize,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +92,9 @@ impl Default for ServerConfig {
             work_ceiling: None,
             default_verify: VerifyPolicy::Final,
             default_seed: 1995,
+            journal_dir: None,
+            retry_max: 2,
+            checkpoint_every: 4,
         }
     }
 }
@@ -112,6 +138,8 @@ struct Counters {
     degraded: AtomicU64,
     failed: AtomicU64,
     cancelled: AtomicU64,
+    poisoned: AtomicU64,
+    recovered: AtomicU64,
 }
 
 struct Shared {
@@ -134,6 +162,15 @@ struct Shared {
     admission: Admission,
     /// Tells [`Server::serve`]'s accept loop to stop.
     shutdown: AtomicBool,
+    /// Terminal outcome of every job that already finished (fed from
+    /// journal replay on restart). Lets `cancel` answer a lost race with
+    /// a structured `already_finished` instead of a second terminal.
+    finished: Mutex<HashMap<String, String>>,
+    /// The durable job journal, when the server runs with one.
+    wal: Option<Wal>,
+    journal_dir: Option<PathBuf>,
+    retry_max: u32,
+    checkpoint_every: usize,
 }
 
 impl Shared {
@@ -157,6 +194,14 @@ impl Shared {
                 "jobs_cancelled",
                 self.counters.cancelled.load(Ordering::Relaxed),
             ),
+            (
+                "jobs_poisoned",
+                self.counters.poisoned.load(Ordering::Relaxed),
+            ),
+            (
+                "jobs_recovered",
+                self.counters.recovered.load(Ordering::Relaxed),
+            ),
             ("queue_depth_max", self.queue.depth_max() as u64),
             ("blocked_pushes", self.queue.blocked_pushes()),
         ]
@@ -167,6 +212,52 @@ impl Shared {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .remove(id);
+    }
+
+    /// The single exit point of an accepted job's lifecycle. Records the
+    /// outcome in the finished map and the job journal *before* the
+    /// terminal event is emitted — a crash between journal append and
+    /// emission loses at most the notification, never the decision, so
+    /// an accepted id reaches exactly one terminal outcome across any
+    /// number of restarts — then unregisters, emits, counts, and drops
+    /// the job out of `inflight`.
+    fn finish(&self, id: &str, out: &Output, event: &Event) {
+        let outcome = event.terminal_outcome().unwrap_or("unknown");
+        self.finished
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(id.to_string(), outcome.to_string());
+        if let Some(wal) = &self.wal {
+            wal.append_terminal(id, outcome);
+        }
+        if let Some(dir) = &self.journal_dir {
+            // The journal-managed snapshot has served its purpose.
+            let _ = std::fs::remove_file(dir.join(format!("{id}.ckpt")));
+        }
+        self.unregister(id);
+        match event {
+            Event::Done { .. } => {
+                self.counters.done.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("server.jobs_done", 1);
+            }
+            Event::Degraded { .. } => {
+                self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("server.jobs_degraded", 1);
+            }
+            Event::Failed { .. } => {
+                self.counters.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::Cancelled { .. } => {
+                self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::Poisoned { .. } => {
+                self.counters.poisoned.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("supervisor.poisoned", 1);
+            }
+            _ => {}
+        }
+        emit(out, event);
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -179,15 +270,33 @@ pub struct Server {
 }
 
 impl Server {
-    /// Starts the worker pool.
+    /// Starts the worker pool. With a journal directory configured, the
+    /// previous process's journal is replayed first: jobs it accepted
+    /// but never concluded are re-enqueued (resuming from their last
+    /// snapshot when one is readable), their events appended to
+    /// `<dir>/recovered.ndjson`.
     ///
     /// # Panics
     ///
     /// Panics when `cfg.workers` is zero (a server that can run nothing)
-    /// or `cfg.queue_cap` is zero (via [`JobQueue::new`]).
+    /// or `cfg.queue_cap` is zero (via [`JobQueue::new`]), and when the
+    /// journal directory cannot be created or its journal not read — a
+    /// server asked to be durable must not start undurably.
     #[must_use]
     pub fn new(cfg: ServerConfig) -> Server {
         assert!(cfg.workers > 0, "server needs at least one worker");
+        let replayed = cfg.journal_dir.as_ref().map(|dir| {
+            wal::replay(dir).unwrap_or_else(|e| panic!("cannot replay job journal: {e}"))
+        });
+        let wal = cfg
+            .journal_dir
+            .as_ref()
+            .map(|dir| Wal::open(dir).unwrap_or_else(|e| panic!("cannot open job journal: {e}")));
+        let next_id = replayed.as_ref().map_or(0, |r| r.max_numeric_id) + 1;
+        let finished = replayed
+            .as_ref()
+            .map(|r| r.finished.iter().cloned().collect())
+            .unwrap_or_default();
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.queue_cap),
             registry: Mutex::new(HashMap::new()),
@@ -198,9 +307,14 @@ impl Server {
             drain_t0: Mutex::new(None),
             ceiling_left: AtomicU64::new(cfg.work_ceiling.unwrap_or(u64::MAX)),
             has_ceiling: cfg.work_ceiling.is_some(),
-            next_id: AtomicU64::new(1),
+            next_id: AtomicU64::new(next_id),
             admission: cfg.admission,
             shutdown: AtomicBool::new(false),
+            finished: Mutex::new(finished),
+            wal,
+            journal_dir: cfg.journal_dir.clone(),
+            retry_max: cfg.retry_max,
+            checkpoint_every: cfg.checkpoint_every,
         });
         let workers = (0..cfg.workers)
             .map(|index| {
@@ -212,10 +326,49 @@ impl Server {
                     .expect("spawn worker thread")
             })
             .collect();
-        Server {
+        let server = Server {
             shared,
             workers: Mutex::new(workers),
             defaults: (cfg.default_seed, cfg.default_verify),
+        };
+        if let (Some(replay), Some(dir)) = (replayed, cfg.journal_dir.as_ref()) {
+            server.recover(replay, dir);
+        }
+        server
+    }
+
+    /// Re-enqueues every journaled-but-unfinished job. Their events have
+    /// no live connection to go to, so they append to
+    /// `<dir>/recovered.ndjson` — the operator's record of what the
+    /// restart replayed.
+    fn recover(&self, replay: wal::Replay, dir: &std::path::Path) {
+        if replay.unfinished.is_empty() {
+            return;
+        }
+        let out: Output = match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join("recovered.ndjson"))
+        {
+            Ok(f) => output_from(f),
+            Err(_) => output_from(std::io::sink()),
+        };
+        for job in replay.unfinished {
+            let mut req = job.spec;
+            req.id = Some(job.id.clone());
+            // Resume from the job's own snapshot when the crashed run got
+            // far enough to write one; `run_job` falls back to a scratch
+            // run if the file turns out truncated or corrupt.
+            let ckpt = dir.join(format!("{}.ckpt", job.id));
+            if req.resume.is_none() && ckpt.exists() {
+                req.resume = Some(ckpt);
+            }
+            self.shared
+                .counters
+                .recovered
+                .fetch_add(1, Ordering::Relaxed);
+            telemetry::counter_add("server.jobs_recovered", 1);
+            self.submit(req, &out);
         }
     }
 
@@ -231,7 +384,7 @@ impl Server {
             Err(error) => emit(out, &Event::Error { error }),
             Ok(Request::Status) => self.status(out),
             Ok(Request::Cancel { id }) => self.cancel(&id, out),
-            Ok(Request::Submit(req)) => self.submit(req, out),
+            Ok(Request::Submit(req)) => self.submit(*req, out),
             Ok(Request::Drain) => {
                 self.drain(out);
                 return true;
@@ -303,6 +456,25 @@ impl Server {
             registry.insert(id.clone(), Arc::clone(&control));
         }
 
+        // Journal the job before it can run: a crash after this line
+        // recovers the job, a crash before it means the client never saw
+        // `accepted`. The journaled spec carries the assigned id so the
+        // replay can correlate it with its terminal record.
+        let wal_spec = shared.wal.as_ref().map(|_| {
+            crate::protocol::submit_to_json(&SubmitRequest {
+                id: Some(id.clone()),
+                ..req.clone()
+            })
+        });
+
+        // Journal-managed jobs checkpoint next to the journal so a
+        // restart can resume them; an explicit client path wins.
+        let checkpoint = req.checkpoint.clone().or_else(|| {
+            shared
+                .journal_dir
+                .as_ref()
+                .map(|dir| dir.join(format!("{id}.ckpt")))
+        });
         let spec = JobSpec {
             id: id.clone(),
             source: req.source,
@@ -314,6 +486,10 @@ impl Server {
             engines,
             partitions: req.partitions.unwrap_or(0),
             priority: req.priority,
+            checkpoint,
+            checkpoint_every: shared.checkpoint_every,
+            resume: req.resume,
+            panic_attempts: req.panic_attempts.unwrap_or(0),
         };
         let priority = spec.priority;
         let announced = Arc::new(AtomicBool::new(false));
@@ -323,6 +499,9 @@ impl Server {
             out: Arc::clone(out),
             announced: Arc::clone(&announced),
         };
+        if let (Some(wal), Some(line)) = (&shared.wal, &wal_spec) {
+            wal.append_job(&id, line);
+        }
         // Under `Admission::Block` this is where backpressure lives: the
         // submitting thread (and through it, the client connection)
         // waits here until a worker frees a slot.
@@ -341,6 +520,11 @@ impl Server {
                 announced.store(true, Ordering::Release);
             }
             Err(e @ (PushError::Full | PushError::Closed)) => {
+                // The job was journaled but never admitted: close its
+                // journal lifecycle so a restart does not resurrect it.
+                if let Some(wal) = &shared.wal {
+                    wal.append_terminal(&id, "rejected");
+                }
                 shared.unregister(&id);
                 reject(e.to_string());
             }
@@ -348,8 +532,12 @@ impl Server {
     }
 
     /// Cancels a job by id: removes it from the queue when still
-    /// waiting, or trips its running budget's cancel flag. Unknown ids
-    /// produce an `error` event on the canceller's stream.
+    /// waiting, or trips its running budget's cancel flag. Cancelling a
+    /// job that already reached its terminal event answers with a
+    /// structured `already_finished` (carrying the outcome it reached)
+    /// rather than a second terminal or a spurious error; ids the server
+    /// has never seen produce an `error` event on the canceller's
+    /// stream.
     pub fn cancel(&self, id: &str, out: &Output) {
         let shared = &self.shared;
         let control = shared
@@ -359,12 +547,27 @@ impl Server {
             .get(id)
             .cloned();
         let Some(control) = control else {
-            emit(
-                out,
-                &Event::Error {
-                    error: format!("unknown job id {id:?}"),
-                },
-            );
+            let outcome = shared
+                .finished
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .get(id)
+                .cloned();
+            match outcome {
+                Some(outcome) => emit(
+                    out,
+                    &Event::AlreadyFinished {
+                        id: id.to_string(),
+                        outcome,
+                    },
+                ),
+                None => emit(
+                    out,
+                    &Event::Error {
+                        error: format!("unknown job id {id:?}"),
+                    },
+                ),
+            }
             return;
         };
         // Flag first: a worker that pops the job between our remove_if
@@ -375,10 +578,7 @@ impl Server {
             while !job.announced.load(Ordering::Acquire) {
                 std::thread::yield_now();
             }
-            shared.unregister(id);
-            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
-            emit(&job.out, &Event::Cancelled { id: id.to_string() });
-            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+            shared.finish(id, &job.out, &Event::Cancelled { id: id.to_string() });
         }
         // Otherwise a worker holds the job and will emit `cancelled`.
     }
@@ -519,6 +719,57 @@ impl Server {
     }
 }
 
+/// The per-attempt budget. Each retry starts from a fresh budget (a
+/// panicked attempt must not bequeath a half-spent clock), and a job
+/// resuming from a snapshot runs on the snapshot's *remaining* time and
+/// work rather than its original allocation — a recovered job would
+/// otherwise inherit an already-expired absolute deadline.
+fn attempt_budget(spec: &JobSpec, shared: &Shared) -> Budget {
+    let (snap_time_ms, snap_work) = spec
+        .resume
+        .as_ref()
+        .and_then(|p| gdo::snapshot::peek_remainders(p).ok())
+        .unwrap_or((None, None));
+    let explicit_ms = spec
+        .deadline
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX));
+    let time_ms = snap_time_ms.or(explicit_ms);
+    let work = snap_work.or(spec.work_limit);
+    // Clamp by what is left of the server-wide ceiling; jobs after
+    // exhaustion run with zero budget and come back degraded rather
+    // than silently unbounded.
+    let limit = if shared.has_ceiling {
+        let remaining = shared.ceiling_left.load(Ordering::SeqCst);
+        Some(work.map_or(remaining, |w| w.min(remaining)))
+    } else {
+        work
+    };
+    Budget::new(time_ms.map(Duration::from_millis), limit)
+}
+
+/// Capped exponential backoff with deterministic jitter: the retry
+/// schedule of a given (job, seed, attempt) is reproducible, so tests
+/// and incident timelines are too.
+fn backoff_delay(id: &str, seed: u64, attempt: u32) -> Duration {
+    let base_ms = 10u64 << attempt.min(4);
+    let mut x = (seed ^ gdo::snapshot::fnv1a64(id.as_bytes()) ^ (u64::from(attempt) << 32)) | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    Duration::from_millis(base_ms.min(160) + x % (base_ms / 2 + 1))
+}
+
+/// A panic payload's human-readable message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
 fn worker_loop(index: usize, lib: &Library, shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
         // `started` must not outrun the submitter's `accepted` line.
@@ -527,10 +778,7 @@ fn worker_loop(index: usize, lib: &Library, shared: &Shared) {
         }
         let id = job.spec.id.clone();
         if job.control.cancelled.load(Ordering::SeqCst) {
-            shared.unregister(&id);
-            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
-            emit(&job.out, &Event::Cancelled { id });
-            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+            shared.finish(&id, &job.out, &Event::Cancelled { id: id.clone() });
             continue;
         }
         shared.running.fetch_add(1, Ordering::SeqCst);
@@ -543,72 +791,78 @@ fn worker_loop(index: usize, lib: &Library, shared: &Shared) {
             },
         );
 
-        // Clamp the job's work budget by what is left of the server-wide
-        // ceiling; jobs after exhaustion run with zero budget and come
-        // back degraded rather than silently unbounded.
-        let remaining = shared.ceiling_left.load(Ordering::SeqCst);
-        let limit = if shared.has_ceiling {
-            Some(job.spec.work_limit.map_or(remaining, |w| w.min(remaining)))
-        } else {
-            job.spec.work_limit
-        };
-        let budget = Budget::new(job.spec.deadline, limit);
-        *job.control
-            .running
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(budget.cancel_handle());
-        // The cancel flag may have been set between the pre-start check
-        // and handle registration; re-check so the cancel is not lost.
-        if job.control.cancelled.load(Ordering::SeqCst) {
-            budget.cancel_handle().cancel();
-        }
-
-        let result = job::run_job(lib, &job.spec, &budget);
-
-        if shared.has_ceiling {
-            let used = budget.work_done();
-            let _ = shared
-                .ceiling_left
-                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |left| {
-                    Some(left.saturating_sub(used))
-                });
-        }
-        shared.unregister(&id);
-        match result {
-            Ok(r) => match r.outcome {
-                JobOutcome::Done => {
-                    shared.counters.done.fetch_add(1, Ordering::Relaxed);
-                    telemetry::counter_add("server.jobs_done", 1);
-                    emit(
-                        &job.out,
-                        &Event::Done {
-                            id,
-                            report: r.report,
-                        },
-                    );
-                }
-                JobOutcome::Degraded => {
-                    shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
-                    telemetry::counter_add("server.jobs_degraded", 1);
-                    emit(
-                        &job.out,
-                        &Event::Degraded {
-                            id,
-                            report: r.report,
-                        },
-                    );
-                }
-                JobOutcome::Cancelled => {
-                    shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
-                    emit(&job.out, &Event::Cancelled { id });
-                }
-            },
-            Err(error) => {
-                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
-                emit(&job.out, &Event::Failed { id, error });
+        // Supervision: an optimizer panic must not take the worker
+        // thread (and with it a pool slot) down, and must not lose the
+        // job. Attempts retry with capped exponential backoff; a job
+        // that panics on every attempt is quarantined as poisoned.
+        let mut attempt: u32 = 0;
+        let supervised = loop {
+            let budget = attempt_budget(&job.spec, shared);
+            *job.control
+                .running
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(budget.cancel_handle());
+            // The cancel flag may have been set between the pre-start
+            // check and handle registration; re-check so the cancel is
+            // not lost.
+            if job.control.cancelled.load(Ordering::SeqCst) {
+                budget.cancel_handle().cancel();
             }
-        }
+
+            let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-inject")]
+                if attempt < job.spec.panic_attempts {
+                    panic!("fault-inject: injected worker panic (attempt {attempt})");
+                }
+                job::run_job(lib, &job.spec, &budget)
+            }));
+
+            if shared.has_ceiling {
+                let used = budget.work_done();
+                let _ =
+                    shared
+                        .ceiling_left
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |left| {
+                            Some(left.saturating_sub(used))
+                        });
+            }
+            match run {
+                Ok(result) => break Ok(result),
+                Err(payload) => {
+                    telemetry::counter_add("supervisor.panics", 1);
+                    let error = panic_message(payload.as_ref());
+                    if attempt >= shared.retry_max {
+                        break Err((attempt + 1, error));
+                    }
+                    attempt += 1;
+                    telemetry::counter_add("retry.attempts", 1);
+                    std::thread::sleep(backoff_delay(&id, job.spec.seed, attempt));
+                }
+            }
+        };
+        let event = match supervised {
+            Ok(Ok(r)) => match r.outcome {
+                JobOutcome::Done => Event::Done {
+                    id: id.clone(),
+                    report: r.report,
+                },
+                JobOutcome::Degraded => Event::Degraded {
+                    id: id.clone(),
+                    report: r.report,
+                },
+                JobOutcome::Cancelled => Event::Cancelled { id: id.clone() },
+            },
+            Ok(Err(error)) => Event::Failed {
+                id: id.clone(),
+                error,
+            },
+            Err((attempts, error)) => Event::Poisoned {
+                id: id.clone(),
+                attempts,
+                error,
+            },
+        };
+        shared.finish(&id, &job.out, &event);
         shared.running.fetch_sub(1, Ordering::SeqCst);
-        shared.inflight.fetch_sub(1, Ordering::SeqCst);
     }
 }

@@ -1,0 +1,132 @@
+//! Worker-panic supervision tests (cargo feature `fault-inject`): a
+//! submit request can ask the worker to panic N times before running,
+//! which exercises catch_unwind, the retry/backoff loop, and the
+//! poison-quarantine terminal end to end.
+
+#![cfg(feature = "fault-inject")]
+
+use serve::protocol::{submit_to_json, SubmitRequest};
+use serve::{output_from, JobSource, Output, Priority, Server, ServerConfig};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn lines(&self) -> Vec<String> {
+        String::from_utf8(self.0.lock().unwrap().clone())
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn kind(line: &str) -> String {
+    serve::json::parse(line)
+        .unwrap()
+        .get("event")
+        .and_then(|v| v.as_str().map(str::to_string))
+        .unwrap_or_default()
+}
+
+fn submit_panicking(id: &str, panic_attempts: u32) -> String {
+    submit_to_json(&SubmitRequest {
+        id: Some(id.to_string()),
+        source: JobSource::Suite("Z5xp1".to_string()),
+        deadline_ms: None,
+        work_limit: None,
+        seed: Some(7),
+        vectors: Some(64),
+        verify: None,
+        engines: None,
+        partitions: None,
+        priority: Priority::Normal,
+        resume: None,
+        checkpoint: None,
+        panic_attempts: Some(panic_attempts),
+    })
+}
+
+fn run_batch(cfg: ServerConfig, requests: &[String]) -> Vec<String> {
+    let server = Server::new(cfg);
+    let buf = SharedBuf::default();
+    let out: Output = output_from(buf.clone());
+    let input = requests.join("\n");
+    server.run_batch(input.as_bytes(), &out);
+    buf.lines()
+}
+
+fn cfg(retry_max: u32) -> ServerConfig {
+    ServerConfig {
+        workers: 1,
+        default_verify: gdo::VerifyPolicy::Off,
+        retry_max,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn panicking_job_is_retried_and_then_succeeds() {
+    // Two injected panics, two retries allowed: attempts 0 and 1 panic,
+    // attempt 2 runs to completion. The worker thread survives — the
+    // same (single) worker also runs the follow-up job.
+    let lines = run_batch(
+        cfg(2),
+        &[submit_panicking("flaky", 2), submit_panicking("clean", 0)],
+    );
+    let terminal_of = |id: &str| {
+        lines
+            .iter()
+            .filter(|l| l.contains(&format!("\"id\":\"{id}\"")))
+            .map(|l| kind(l))
+            .filter(|k| matches!(k.as_str(), "done" | "degraded" | "failed" | "poisoned"))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(terminal_of("flaky"), ["done"], "{lines:#?}");
+    assert_eq!(terminal_of("clean"), ["done"], "{lines:#?}");
+}
+
+#[test]
+fn exhausted_retries_quarantine_the_job_as_poisoned() {
+    // More injected panics than retries: every attempt dies, the job is
+    // quarantined with its distinct terminal — and the pool is not
+    // poisoned with it, the next job still runs.
+    let lines = run_batch(
+        cfg(1),
+        &[submit_panicking("cursed", 10), submit_panicking("after", 0)],
+    );
+    let poisoned = lines
+        .iter()
+        .find(|l| kind(l) == "poisoned")
+        .unwrap_or_else(|| panic!("no poisoned terminal: {lines:#?}"));
+    assert!(poisoned.contains("\"id\":\"cursed\""), "{poisoned}");
+    assert!(poisoned.contains("\"attempts\":2"), "{poisoned}");
+    assert!(poisoned.contains("fault-inject"), "{poisoned}");
+    assert_eq!(
+        lines
+            .iter()
+            .filter(|l| l.contains("\"id\":\"cursed\"") && kind(l) != "accepted")
+            .filter(|l| matches!(kind(l).as_str(), "done" | "poisoned" | "failed"))
+            .count(),
+        1,
+        "exactly one terminal for the poisoned job: {lines:#?}"
+    );
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"id\":\"after\"") && kind(l) == "done"),
+        "{lines:#?}"
+    );
+}
