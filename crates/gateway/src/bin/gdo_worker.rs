@@ -1,0 +1,127 @@
+//! `gdo-worker` — one optimization worker process.
+//!
+//! ```text
+//! gdo-worker --gateway HOST:PORT [--name NAME] [--library FILE.genlib]
+//!            [--slots N] [--fault-inject]
+//! ```
+//!
+//! Connects to a `gdo-gateway` worker port, registers with its library
+//! digest, and pulls jobs until the gateway drains or the connection
+//! drops. Run several `gdo-worker` processes — on one machine or many —
+//! to shard the optimization load; each defaults to one job at a time,
+//! so the process count is the parallelism.
+
+use gateway::{run_worker, WorkerOptions};
+use std::process::ExitCode;
+
+fn usage() -> String {
+    "usage: gdo-worker --gateway HOST:PORT [options]\n\
+     \n\
+     options:\n\
+       --gateway HOST:PORT  the gateway's worker address (required)\n\
+       --name NAME          worker display name (default worker-<pid>)\n\
+       --library FILE       genlib cell library (default: built-in);\n\
+                            must match the gateway's\n\
+       --slots N            concurrent job slots (default 1)\n\
+       --fault-inject       honor panic_attempts fault injection (tests)\n\
+       --help               print this help\n"
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<Option<(String, WorkerOptions)>, String> {
+    let mut addr: Option<String> = None;
+    let mut opts = WorkerOptions::default();
+    let mut it = args.iter();
+    let need = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return Ok(None);
+            }
+            "--gateway" => addr = Some(need(&mut it, "--gateway")?),
+            "--name" => opts.name = need(&mut it, "--name")?,
+            "--library" => {
+                let path = need(&mut it, "--library")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read library {path}: {e}"))?;
+                opts.library = library::parse_genlib(&path, &text).map_err(|e| e.to_string())?;
+            }
+            "--slots" => {
+                opts.slots = need(&mut it, "--slots")?
+                    .parse()
+                    .map_err(|_| "--slots needs a positive integer".to_string())?;
+                if opts.slots == 0 {
+                    return Err("--slots must be positive".to_string());
+                }
+            }
+            "--fault-inject" => opts.fault_inject = true,
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    let addr = addr.ok_or_else(|| format!("--gateway is required\n{}", usage()))?;
+    Ok(Some((addr, opts)))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, opts) = match parse_args(&args) {
+        Ok(Some(t)) => t,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gdo-worker: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run_worker(&addr, &opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gdo-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_the_full_flag_set() {
+        let (addr, opts) = parse_args(&argv(&[
+            "--gateway",
+            "127.0.0.1:7311",
+            "--name",
+            "w1",
+            "--slots",
+            "2",
+            "--fault-inject",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(addr, "127.0.0.1:7311");
+        assert_eq!(opts.name, "w1");
+        assert_eq!(opts.slots, 2);
+        assert!(opts.fault_inject);
+    }
+
+    #[test]
+    fn gateway_address_is_required() {
+        let err = parse_args(&argv(&["--name", "w1"])).unwrap_err();
+        assert!(err.contains("--gateway is required"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(parse_args(&argv(&["--gateway", "x", "--slots", "0"])).is_err());
+        assert!(parse_args(&argv(&["--gateway", "x", "--bogus"])).is_err());
+    }
+}

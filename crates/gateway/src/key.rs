@@ -1,0 +1,196 @@
+//! The result-cache key: *what makes two submissions the same job*.
+//!
+//! Two submissions must share a key exactly when a completed run of one
+//! is a valid answer for the other. The key therefore combines
+//! everything that determines the optimizer's output — and nothing
+//! else:
+//!
+//! - the **structural digest of the strashed input netlist**
+//!   ([`netlist::Netlist::structural_digest`]): renamed signals,
+//!   permuted declarations, and redundant structurally-equal nodes all
+//!   collapse to the same digest, so a resubmitted circuit hits the
+//!   cache even after a cosmetic rewrite of its file;
+//! - whether the input arrived **pre-mapped** (a mapped input skips
+//!   technology mapping, which changes the run);
+//! - the **library digest** ([`library::Library::digest`]): the same
+//!   circuit against a different cell library is a different job;
+//! - the deterministic **configuration**: seed, vectors, verify
+//!   policy, engine pipeline, and partition count.
+//!
+//! Deliberately excluded: `deadline_ms` and `work_limit`. Budgets bound
+//! *when a run is cut short*, not what a completed run produces — and
+//! the gateway only caches `done` outcomes, where the budget never
+//! tripped, so a `done` result equals the unlimited run of the same
+//! spec under any budget. Also excluded: job id, priority, checkpoint
+//! and resume paths (a resumed run converges to the uninterrupted
+//! result), and the presentation flags `netlist`/`progress`.
+
+use gdo::{EngineId, VerifyPolicy};
+use library::Library;
+use netlist::Netlist;
+
+/// Computes the cache key for one admitted job.
+///
+/// Strashing runs on a clone — the caller's netlist is untouched.
+///
+/// # Errors
+///
+/// A display string when the netlist cannot be strashed or digested
+/// (cyclic or otherwise invalid input).
+#[allow(clippy::too_many_arguments)] // one axis per canonicalized config field
+pub fn cache_key(
+    lib: &Library,
+    nl: &Netlist,
+    mapped: bool,
+    seed: u64,
+    vectors: Option<usize>,
+    verify: VerifyPolicy,
+    engines: &[EngineId],
+    partitions: usize,
+) -> Result<u64, String> {
+    let mut canon = nl.clone();
+    canon
+        .strash()
+        .map_err(|e| format!("strashing {} for the cache key: {e}", nl.name()))?;
+    let structure = canon
+        .structural_digest()
+        .map_err(|e| format!("digesting {} for the cache key: {e}", nl.name()))?;
+
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    eat(&structure.to_le_bytes());
+    eat(&[u8::from(mapped)]);
+    eat(&lib.digest().to_le_bytes());
+    eat(&seed.to_le_bytes());
+    // Length-prefix-free tag bytes keep `None` distinct from any value.
+    match vectors {
+        None => eat(&[0]),
+        Some(n) => {
+            eat(&[1]);
+            eat(&(n as u64).to_le_bytes());
+        }
+    }
+    eat(proto::client::verify_name(verify).as_bytes());
+    eat(EngineId::render_list(engines).as_bytes());
+    eat(&(partitions as u64).to_le_bytes());
+    // Finish with an avalanche so nearby configs spread over the key
+    // space (FNV alone keeps low bits correlated).
+    let mut x = h;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::GateKind;
+
+    fn circuit(names: [&str; 2]) -> Netlist {
+        let mut nl = Netlist::new("k");
+        let a = nl.add_input(names[0]);
+        let b = nl.add_input(names[1]);
+        let g = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let h = nl.add_gate(GateKind::Not, &[g]).unwrap();
+        nl.add_output("y", h);
+        nl
+    }
+
+    fn key_of(nl: &Netlist, seed: u64, partitions: usize) -> u64 {
+        cache_key(
+            &library::standard_library(),
+            nl,
+            false,
+            seed,
+            Some(64),
+            VerifyPolicy::Final,
+            &[EngineId::Gdo],
+            partitions,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn renamed_netlists_share_a_key() {
+        let a = circuit(["a", "b"]);
+        let b = circuit(["x", "y"]);
+        assert_eq!(key_of(&a, 7, 0), key_of(&b, 7, 0));
+    }
+
+    #[test]
+    fn every_config_axis_moves_the_key() {
+        let nl = circuit(["a", "b"]);
+        let base = key_of(&nl, 7, 0);
+        assert_ne!(base, key_of(&nl, 8, 0), "seed");
+        assert_ne!(base, key_of(&nl, 7, 4), "partitions");
+        let lib = library::standard_library();
+        let other_verify = cache_key(
+            &lib,
+            &nl,
+            false,
+            7,
+            Some(64),
+            VerifyPolicy::Off,
+            &[EngineId::Gdo],
+            0,
+        )
+        .unwrap();
+        assert_ne!(base, other_verify, "verify policy");
+        let other_engines = cache_key(
+            &lib,
+            &nl,
+            false,
+            7,
+            Some(64),
+            VerifyPolicy::Final,
+            &[EngineId::Gdo, EngineId::Resub],
+            0,
+        )
+        .unwrap();
+        assert_ne!(base, other_engines, "engine pipeline");
+        let premapped = cache_key(
+            &lib,
+            &nl,
+            true,
+            7,
+            Some(64),
+            VerifyPolicy::Final,
+            &[EngineId::Gdo],
+            0,
+        )
+        .unwrap();
+        assert_ne!(base, premapped, "mapped input flag");
+        let no_vectors = cache_key(
+            &lib,
+            &nl,
+            false,
+            7,
+            None,
+            VerifyPolicy::Final,
+            &[EngineId::Gdo],
+            0,
+        )
+        .unwrap();
+        assert_ne!(base, no_vectors, "vectors default vs explicit");
+    }
+
+    #[test]
+    fn structurally_different_netlists_differ() {
+        let a = circuit(["a", "b"]);
+        let mut b = Netlist::new("k");
+        let x = b.add_input("a");
+        let y = b.add_input("b");
+        let g = b.add_gate(GateKind::Or, &[x, y]).unwrap();
+        let h = b.add_gate(GateKind::Not, &[g]).unwrap();
+        b.add_output("y", h);
+        assert_ne!(key_of(&a, 7, 0), key_of(&b, 7, 0));
+    }
+}

@@ -1,0 +1,33 @@
+//! The shardable optimization front door: `gdo-gateway` and
+//! `gdo-worker`.
+//!
+//! `gdo-served` runs jobs on an in-process thread pool — one machine,
+//! one process. This crate splits serving in two so the optimizer
+//! scales across processes and machines:
+//!
+//! - The **gateway** ([`gateway::Gateway`]) owns admission, the
+//!   priority queue, the durable job journal, the persistent
+//!   structural-hash result cache ([`cache`], keyed by [`key`]), load
+//!   shedding ([`shed`]), and the operator HTTP endpoint ([`http`]).
+//!   It runs no optimization itself.
+//! - **Workers** ([`worker::run_worker`]) are separate processes that
+//!   dial in, register with their library digest, and pull jobs. Each
+//!   runs jobs through the exact same [`serve::job::run_job`] path
+//!   `gdo-served` uses, so results are byte-identical regardless of
+//!   which process — or machine — ran them.
+//!
+//! Clients need not care: the gateway speaks the same NDJSON protocol
+//! as `gdo-served`, so `gdo-submit` works against either unchanged.
+
+pub mod cache;
+pub mod gateway;
+pub mod http;
+pub mod key;
+pub mod shed;
+pub mod worker;
+
+pub use cache::{CacheEntry, ResultCache};
+pub use gateway::{Gateway, GatewayConfig};
+pub use key::cache_key;
+pub use shed::ShedConfig;
+pub use worker::{run_worker, WorkerOptions};

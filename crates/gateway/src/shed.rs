@@ -1,0 +1,154 @@
+//! Load shedding: refusing cheap-to-refuse work early so expensive
+//! work keeps flowing.
+//!
+//! The gateway's queue is bounded, so overload eventually turns into
+//! `queue full` rejections — but by then every lane suffers equally.
+//! Shedding acts *before* that point, on two watermarked resources:
+//!
+//! - **Queue depth**: once the queue passes the low watermark, `low`
+//!   priority submissions are shed; past the high watermark, `normal`
+//!   ones too. `high` priority jobs are only ever refused by the hard
+//!   capacity limit, so the latency-sensitive lane stays usable while
+//!   batch traffic backs off.
+//! - **Work ceiling**: a gateway configured with an aggregate work
+//!   ceiling tracks the optimizer work it has *granted* (each job's
+//!   `work_limit`, or a configured default estimate for unlimited
+//!   jobs). `low` admissions shed at 80% granted, `normal` at 95%, and
+//!   everything once the ceiling is fully granted.
+//!
+//! Shed decisions are terminal `rejected` events with a reason naming
+//! the watermark, so clients can tell "back off and retry later" from
+//! "this request is malformed".
+
+use proto::Priority;
+
+/// Static shedding configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShedConfig {
+    /// Queue depth at which `low` priority submissions are shed.
+    pub queue_low_mark: usize,
+    /// Queue depth at which `normal` priority submissions are shed too.
+    pub queue_high_mark: usize,
+    /// Aggregate optimizer-work ceiling the gateway may grant
+    /// (`None` = unlimited).
+    pub work_ceiling: Option<u64>,
+    /// Work units granted to a job that declares no `work_limit`, for
+    /// ceiling accounting.
+    pub default_grant: u64,
+}
+
+impl ShedConfig {
+    /// Watermarks derived from a queue capacity: `low` sheds at half
+    /// the queue, `normal` at three quarters.
+    #[must_use]
+    pub fn for_queue_cap(cap: usize) -> ShedConfig {
+        ShedConfig {
+            queue_low_mark: (cap / 2).max(1),
+            queue_high_mark: (cap * 3 / 4).max(1),
+            work_ceiling: None,
+            default_grant: 50_000,
+        }
+    }
+
+    /// The work units this submission counts against the ceiling.
+    #[must_use]
+    pub fn grant(&self, work_limit: Option<u64>) -> u64 {
+        work_limit.unwrap_or(self.default_grant)
+    }
+
+    /// Decides whether to shed a submission, given the current total
+    /// queue depth and the work already granted. Returns the rejection
+    /// reason, or `None` to admit.
+    #[must_use]
+    pub fn decide(
+        &self,
+        priority: Priority,
+        queue_depth: usize,
+        granted: u64,
+        work_limit: Option<u64>,
+    ) -> Option<String> {
+        let mark = match priority {
+            Priority::High => None,
+            Priority::Normal => Some(self.queue_high_mark),
+            Priority::Low => Some(self.queue_low_mark),
+        };
+        if let Some(mark) = mark {
+            if queue_depth >= mark {
+                return Some(format!(
+                    "load shed: queue depth {queue_depth} at or past the {} watermark {mark}",
+                    priority.name()
+                ));
+            }
+        }
+        if let Some(ceiling) = self.work_ceiling {
+            let after = granted.saturating_add(self.grant(work_limit));
+            let pct_mark: u64 = match priority {
+                Priority::High => 100,
+                Priority::Normal => 95,
+                Priority::Low => 80,
+            };
+            // `granted * 100` stays in u64 for any realistic ceiling;
+            // use u128 so a pathological one cannot overflow.
+            if u128::from(after) * 100 > u128::from(ceiling) * u128::from(pct_mark) {
+                return Some(format!(
+                    "load shed: work ceiling {ceiling} at {granted} granted \
+                     ({pct_mark}% watermark for {} priority)",
+                    priority.name()
+                ));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_watermarks_shed_by_priority() {
+        let shed = ShedConfig::for_queue_cap(16); // low mark 8, high mark 12
+        assert_eq!(shed.queue_low_mark, 8);
+        assert_eq!(shed.queue_high_mark, 12);
+        // Below every mark: everyone admitted.
+        for p in [Priority::High, Priority::Normal, Priority::Low] {
+            assert_eq!(shed.decide(p, 7, 0, None), None);
+        }
+        // Past the low mark: only `low` shed.
+        assert!(shed.decide(Priority::Low, 8, 0, None).is_some());
+        assert_eq!(shed.decide(Priority::Normal, 8, 0, None), None);
+        assert_eq!(shed.decide(Priority::High, 8, 0, None), None);
+        // Past the high mark: `normal` shed too, `high` never.
+        assert!(shed.decide(Priority::Normal, 12, 0, None).is_some());
+        assert!(shed.decide(Priority::Low, 12, 0, None).is_some());
+        assert_eq!(shed.decide(Priority::High, 1000, 0, None), None);
+    }
+
+    #[test]
+    fn work_ceiling_watermarks_shed_by_priority() {
+        let shed = ShedConfig {
+            work_ceiling: Some(1000),
+            default_grant: 100,
+            ..ShedConfig::for_queue_cap(1000)
+        };
+        // 750 granted, +100 = 850: past the 80% low mark only.
+        assert!(shed.decide(Priority::Low, 0, 750, None).is_some());
+        assert_eq!(shed.decide(Priority::Normal, 0, 750, None), None);
+        // 900 granted, +100 = 1000: past 95%, at 100%.
+        assert!(shed.decide(Priority::Normal, 0, 900, None).is_some());
+        assert_eq!(shed.decide(Priority::High, 0, 900, None), None);
+        // Over the full ceiling: even `high` is refused.
+        assert!(shed.decide(Priority::High, 0, 901, None).is_some());
+        // An explicit small work_limit squeezes in where the default
+        // grant would not.
+        assert_eq!(shed.decide(Priority::High, 0, 950, Some(50)), None);
+    }
+
+    #[test]
+    fn shed_reasons_name_the_watermark() {
+        let shed = ShedConfig::for_queue_cap(4);
+        let reason = shed.decide(Priority::Low, 4, 0, None).unwrap();
+        assert!(reason.contains("load shed"), "{reason}");
+        assert!(reason.contains("watermark"), "{reason}");
+    }
+}

@@ -1,0 +1,357 @@
+//! The worker runtime: what a `gdo-worker` process runs.
+//!
+//! A worker dials the gateway's worker port, proves it carries the same
+//! cell library (digest in the hello), and then *pulls*: one `pull`
+//! credit per free slot, each answered by one `assign`. The job runs
+//! through the exact same [`serve::job::run_job`] path `gdo-served`
+//! uses — same seed, same single BPFS thread, same checkpoint cadence —
+//! so a report produced by a remote worker is byte-identical to the one
+//! the in-process server would have produced.
+//!
+//! While a job runs, a ticker thread streams the process's telemetry
+//! counter deltas back as `progress` lines (the default worker runs one
+//! job at a time, so the deltas attribute to the running job); the
+//! gateway fans them out to clients that asked for them. A `cancel`
+//! from the gateway trips the job's [`gdo::Budget`] cancel handle
+//! mid-run.
+//!
+//! The runtime is a plain blocking function, so tests can run a worker
+//! on a thread against an in-process gateway.
+
+use gdo::Budget;
+use library::Library;
+use proto::{GatewayMsg, InputFormat, JobSource, SubmitRequest, WorkerMsg, WorkerResult};
+use serve::job::{run_job, JobSpec};
+use serve::server::{output_from, Output};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Configuration of one worker process.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Display name sent in the hello (shows up in gateway logs).
+    pub name: String,
+    /// The cell library; its digest must match the gateway's.
+    pub library: Library,
+    /// Concurrent job slots. The default is 1 — run more worker
+    /// *processes* for more parallelism; that is the sharding axis.
+    pub slots: usize,
+    /// Honor `panic_attempts` fault injection in assigned specs (tests
+    /// only; a production worker leaves this off and runs the job).
+    pub fault_inject: bool,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> WorkerOptions {
+        WorkerOptions {
+            name: format!("worker-{}", std::process::id()),
+            library: library::standard_library(),
+            slots: 1,
+            fault_inject: false,
+        }
+    }
+}
+
+/// Connects to a gateway and serves jobs until the gateway drains or
+/// the connection drops. Blocking; run it on a thread to embed a worker
+/// in a test.
+///
+/// # Errors
+///
+/// Connection failure, registration rejection (library or protocol
+/// mismatch), or an IO error during the handshake.
+pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<(), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let out = output_from(stream);
+    telemetry::enable();
+
+    send(
+        &out,
+        &WorkerMsg::Hello {
+            name: opts.name.clone(),
+            lib_digest: opts.library.digest_hex(),
+            protocol: proto::PROTOCOL_VERSION,
+        }
+        .to_json(),
+    );
+    let mut lines = reader.lines();
+    let heartbeat_ms = match lines.next() {
+        Some(Ok(line)) => match GatewayMsg::parse(line.trim()) {
+            Ok(GatewayMsg::Welcome { heartbeat_ms }) => heartbeat_ms,
+            Ok(GatewayMsg::Reject { reason }) => {
+                return Err(format!("gateway rejected registration: {reason}"))
+            }
+            Ok(_) => return Err("gateway spoke out of turn before welcome".to_string()),
+            Err(e) => return Err(format!("bad welcome line: {e}")),
+        },
+        Some(Err(e)) => return Err(format!("reading welcome: {e}")),
+        None => return Err("gateway closed the connection before welcome".to_string()),
+    };
+
+    // Heartbeats at half the requested interval: the gateway reaps at
+    // 3 intervals of silence, so one delayed beat is harmless.
+    let stop = Arc::new(AtomicBool::new(false));
+    let beat_out = Arc::clone(&out);
+    let beat_stop = Arc::clone(&stop);
+    let beater = std::thread::spawn(move || {
+        let tick = Duration::from_millis((heartbeat_ms / 2).max(10));
+        while !beat_stop.load(Ordering::Relaxed) {
+            std::thread::sleep(tick);
+            if beat_stop.load(Ordering::Relaxed) {
+                break;
+            }
+            send(&beat_out, &WorkerMsg::Beat.to_json());
+        }
+    });
+
+    // One credit per slot; each finished job sends the next pull.
+    for _ in 0..opts.slots.max(1) {
+        send(&out, &WorkerMsg::Pull.to_json());
+    }
+
+    let cancels: Arc<Mutex<HashMap<String, gdo::CancelHandle>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    let mut jobs: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for line in lines {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match GatewayMsg::parse(line.trim()) {
+            Ok(GatewayMsg::Assign { spec, input }) => {
+                let out = Arc::clone(&out);
+                let cancels = Arc::clone(&cancels);
+                let lib = opts.library.clone();
+                let fault_inject = opts.fault_inject;
+                jobs.push(std::thread::spawn(move || {
+                    run_assignment(&lib, *spec, input, &out, &cancels, fault_inject);
+                    send(&out, &WorkerMsg::Pull.to_json());
+                }));
+            }
+            Ok(GatewayMsg::Cancel { id }) => {
+                if let Some(handle) = lock(&cancels).get(&id) {
+                    handle.cancel();
+                }
+            }
+            Ok(GatewayMsg::Drain) => break,
+            Ok(GatewayMsg::Welcome { .. } | GatewayMsg::Reject { .. }) | Err(_) => {
+                // Out-of-turn or unparseable line: ignore, keep serving.
+            }
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for j in jobs {
+        let _ = j.join();
+    }
+    let _ = beater.join();
+    Ok(())
+}
+
+/// Runs one assigned job and sends its single `result` line.
+fn run_assignment(
+    lib: &Library,
+    wire: SubmitRequest,
+    input: Option<proto::ShippedInput>,
+    out: &Output,
+    cancels: &Mutex<HashMap<String, gdo::CancelHandle>>,
+    fault_inject: bool,
+) {
+    let id = wire.id.clone().unwrap_or_default();
+    let want_progress = wire.want_progress;
+    let (spec, temp) = match materialize(wire, input) {
+        Ok(t) => t,
+        Err(error) => {
+            send(
+                out,
+                &WorkerMsg::Result {
+                    id,
+                    result: WorkerResult::Failed { error },
+                }
+                .to_json(),
+            );
+            return;
+        }
+    };
+    let budget = job_budget(&spec);
+    lock(cancels).insert(id.clone(), budget.cancel_handle());
+
+    // Progress ticker: stream telemetry counter deltas while the job
+    // runs. Deltas — not absolutes — so a long-lived worker's history
+    // doesn't leak into the next job's progress.
+    let ticker_stop = Arc::new(AtomicBool::new(false));
+    let ticker = if want_progress {
+        let out = Arc::clone(out);
+        let stop = Arc::clone(&ticker_stop);
+        let id = id.clone();
+        let mut last = telemetry::snapshot().counters;
+        Some(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(100));
+                let now = telemetry::snapshot().counters;
+                let deltas: Vec<(String, u64)> = now
+                    .iter()
+                    .filter_map(|(k, &v)| {
+                        let before = last.get(k).copied().unwrap_or(0);
+                        (v > before).then(|| (k.clone(), v - before))
+                    })
+                    .collect();
+                if !deltas.is_empty() {
+                    send(
+                        &out,
+                        &WorkerMsg::Progress {
+                            id: id.clone(),
+                            phase: phase_of(&deltas),
+                            counters: deltas,
+                        }
+                        .to_json(),
+                    );
+                }
+                last = now;
+            }
+        }))
+    } else {
+        None
+    };
+
+    let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        if fault_inject && spec.panic_attempts > 0 {
+            panic!(
+                "fault-inject: injected worker panic ({} to go)",
+                spec.panic_attempts
+            );
+        }
+        run_job(lib, &spec, &budget)
+    }));
+
+    ticker_stop.store(true, Ordering::Relaxed);
+    if let Some(t) = ticker {
+        let _ = t.join();
+    }
+    lock(cancels).remove(&id);
+    if let Some(path) = temp {
+        let _ = std::fs::remove_file(path);
+    }
+
+    let result = match run {
+        Ok(Ok(done)) => match done.outcome {
+            serve::job::JobOutcome::Cancelled => WorkerResult::Cancelled,
+            outcome => WorkerResult::Finished {
+                degraded: outcome == serve::job::JobOutcome::Degraded,
+                circuit: done.circuit,
+                report: done.report,
+                blif: done.blif,
+            },
+        },
+        Ok(Err(error)) => WorkerResult::Failed { error },
+        Err(payload) => WorkerResult::Panicked {
+            error: panic_message(payload.as_ref()),
+        },
+    };
+    send(out, &WorkerMsg::Result { id, result }.to_json());
+}
+
+/// Turns the wire spec into a runnable [`JobSpec`], writing a shipped
+/// netlist to a temp file so the worker needs no shared filesystem with
+/// the client. Returns the spec and the temp path to clean up.
+fn materialize(
+    wire: SubmitRequest,
+    input: Option<proto::ShippedInput>,
+) -> Result<(JobSpec, Option<PathBuf>), String> {
+    let id = wire
+        .id
+        .clone()
+        .ok_or_else(|| "assigned spec carries no id".to_string())?;
+    let (source, temp) = match input {
+        None => (wire.source, None),
+        Some(shipped) => {
+            let ext = match shipped.format {
+                InputFormat::Bench => "bench",
+                InputFormat::Blif => "blif",
+            };
+            let path =
+                std::env::temp_dir().join(format!("gdo_worker_{}_{id}.{ext}", std::process::id()));
+            std::fs::write(&path, &shipped.text)
+                .map_err(|e| format!("writing shipped input {}: {e}", path.display()))?;
+            (JobSource::File(path.clone()), Some(path))
+        }
+    };
+    let engines = match &wire.engines {
+        None => vec![gdo::EngineId::Gdo],
+        Some(list) => gdo::EngineId::parse_list(list).map_err(|e| e.to_string())?,
+    };
+    let spec = JobSpec {
+        id,
+        source,
+        deadline: wire.deadline_ms.map(Duration::from_millis),
+        work_limit: wire.work_limit,
+        seed: wire.seed.unwrap_or(1995),
+        vectors: wire.vectors,
+        verify: wire.verify.unwrap_or(gdo::VerifyPolicy::Final),
+        engines,
+        partitions: wire.partitions.unwrap_or(0),
+        priority: wire.priority,
+        checkpoint: wire.checkpoint,
+        // Same cadence `gdo-served` journal-managed jobs default to.
+        checkpoint_every: 4,
+        resume: wire.resume,
+        want_netlist: wire.want_netlist,
+        panic_attempts: wire.panic_attempts.unwrap_or(0),
+    };
+    Ok((spec, temp))
+}
+
+/// The job's budget: remainders from a resumed snapshot take precedence
+/// over the spec's own deadline/work limit, exactly as `gdo-served`
+/// computes it — a requeued job does not get its budget refreshed.
+fn job_budget(spec: &JobSpec) -> Budget {
+    let (snap_time_ms, snap_work) = spec
+        .resume
+        .as_ref()
+        .and_then(|p| gdo::snapshot::peek_remainders(p).ok())
+        .unwrap_or((None, None));
+    let explicit_ms = spec
+        .deadline
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX));
+    let time_ms = snap_time_ms.or(explicit_ms);
+    let work = snap_work.or(spec.work_limit);
+    Budget::new(time_ms.map(Duration::from_millis), work)
+}
+
+/// Names the phase a progress tick belongs to from which counters
+/// moved.
+fn phase_of(deltas: &[(String, u64)]) -> String {
+    if deltas.iter().any(|(k, _)| k.starts_with("partition.")) {
+        "regions".to_string()
+    } else if deltas.iter().any(|(k, _)| k.starts_with("resub.")) {
+        "engine:resub".to_string()
+    } else {
+        "engine:gdo".to_string()
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn send(out: &Output, line: &str) {
+    let mut w = lock(out);
+    let _ = writeln!(w, "{line}");
+    let _ = w.flush();
+}

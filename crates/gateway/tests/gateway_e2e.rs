@@ -1,0 +1,621 @@
+//! End-to-end tests of the gateway/worker stack over loopback TCP: the
+//! duplicate batch answered from the structural result cache with
+//! byte-identical reports, cache misses on every config axis, cache
+//! persistence across a gateway restart, worker death mid-job with
+//! requeue to a survivor, panic retry and poisoning, load shedding,
+//! registration checks, and byte-identity against `gdo-served`.
+
+use gateway::{Gateway, GatewayConfig, ShedConfig, WorkerOptions};
+use proto::PROTOCOL_VERSION;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Starts an in-process gateway on ephemeral loopback ports. Returns
+/// the gateway and its (client, worker) addresses.
+fn start(cfg: GatewayConfig) -> (Arc<Gateway>, std::net::SocketAddr, std::net::SocketAddr) {
+    let clients = TcpListener::bind("127.0.0.1:0").unwrap();
+    let workers = TcpListener::bind("127.0.0.1:0").unwrap();
+    let client_addr = clients.local_addr().unwrap();
+    let worker_addr = workers.local_addr().unwrap();
+    let gw = Gateway::new(cfg);
+    let serving = Arc::clone(&gw);
+    std::thread::spawn(move || serving.serve_clients(&clients).unwrap());
+    let serving = Arc::clone(&gw);
+    std::thread::spawn(move || serving.serve_workers(&workers).unwrap());
+    (gw, client_addr, worker_addr)
+}
+
+/// Runs a real worker on a thread against `addr`.
+fn spawn_worker(
+    addr: std::net::SocketAddr,
+    name: &str,
+    fault_inject: bool,
+) -> std::thread::JoinHandle<()> {
+    let name = name.to_string();
+    std::thread::spawn(move || {
+        gateway::run_worker(
+            &addr.to_string(),
+            &WorkerOptions {
+                name,
+                fault_inject,
+                ..WorkerOptions::default()
+            },
+        )
+        .unwrap();
+    })
+}
+
+/// One client connection with line-oriented send/receive helpers.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        assert!(
+            self.reader.read_line(&mut line).unwrap() > 0,
+            "connection closed early"
+        );
+        line.trim_end().to_string()
+    }
+
+    /// Reads events until `n` terminal events were seen; returns all
+    /// lines read.
+    fn recv_until_terminals(&mut self, n: usize) -> Vec<String> {
+        let mut lines = Vec::new();
+        let mut terminals = 0;
+        while terminals < n {
+            let line = self.recv();
+            if is_terminal(&line) {
+                terminals += 1;
+            }
+            lines.push(line);
+        }
+        lines
+    }
+}
+
+fn event_kind(line: &str) -> String {
+    proto::json::parse(line)
+        .unwrap_or_else(|e| panic!("bad event line {line:?}: {e}"))
+        .get("event")
+        .and_then(|v| v.as_str().map(str::to_string))
+        .unwrap_or_else(|| panic!("event line without kind: {line:?}"))
+}
+
+fn is_terminal(line: &str) -> bool {
+    matches!(
+        event_kind(line).as_str(),
+        "rejected" | "done" | "degraded" | "failed" | "cancelled" | "poisoned"
+    )
+}
+
+fn count_kind(lines: &[String], kind: &str) -> usize {
+    lines.iter().filter(|l| event_kind(l) == kind).count()
+}
+
+fn field(line: &str, name: &str) -> Option<String> {
+    proto::json::parse(line)
+        .ok()?
+        .get(name)
+        .and_then(|v| match v {
+            proto::json::Json::Str(s) => Some(s.clone()),
+            proto::json::Json::Bool(b) => Some(b.to_string()),
+            proto::json::Json::Num(n) => Some(n.to_string()),
+            _ => None,
+        })
+}
+
+/// The raw `"report":{...}` object bytes of a done/degraded line — what
+/// byte-identity claims are about.
+fn report_bytes(line: &str) -> String {
+    let start = line.find("\"report\":").expect("terminal carries a report") + "\"report\":".len();
+    // The report object is the last field before the closing brace.
+    line[start..line.len() - 1].to_string()
+}
+
+fn counter_of(gw: &Gateway, name: &str) -> u64 {
+    gw.counter_pairs()
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map_or(0, |&(_, v)| v)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gdo_gwtest_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// The flagship: a 3-circuit batch submitted twice through a gateway
+/// with two workers. Fresh runs miss the cache; the duplicate batch
+/// hits it 3 times with byte-identical reports (only the job id
+/// patched), and `/metrics` reflects the counters.
+#[test]
+fn duplicate_batch_is_answered_from_the_cache_byte_identically() {
+    let (gw, client_addr, worker_addr) = start(GatewayConfig::default());
+    let w1 = spawn_worker(worker_addr, "w1", false);
+    let w2 = spawn_worker(worker_addr, "w2", false);
+    let mut client = Client::connect(client_addr);
+
+    let circuits = ["Z5xp1", "term1", "9sym"];
+    for (i, c) in circuits.iter().enumerate() {
+        client.send(&format!(
+            "{{\"op\":\"submit\",\"id\":\"fresh-{i}\",\"circuit\":\"{c}\",\"verify\":\"off\"}}"
+        ));
+    }
+    let fresh = client.recv_until_terminals(3);
+    assert_eq!(count_kind(&fresh, "done"), 3, "{fresh:?}");
+    for line in fresh.iter().filter(|l| event_kind(l) == "done") {
+        // `cached` is only serialized when true; a fresh run omits it.
+        assert_eq!(field(line, "cached"), None, "{line}");
+    }
+
+    // The same three circuits again: all answered from the cache, no
+    // worker involved.
+    for (i, c) in circuits.iter().enumerate() {
+        client.send(&format!(
+            "{{\"op\":\"submit\",\"id\":\"dup-{i}\",\"circuit\":\"{c}\",\"verify\":\"off\"}}"
+        ));
+    }
+    let dup = client.recv_until_terminals(3);
+    assert_eq!(count_kind(&dup, "done"), 3, "{dup:?}");
+    for (i, _c) in circuits.iter().enumerate() {
+        let fresh_line = fresh
+            .iter()
+            .find(|l| {
+                event_kind(l) == "done" && field(l, "id").as_deref() == Some(&format!("fresh-{i}"))
+            })
+            .unwrap();
+        let dup_line = dup
+            .iter()
+            .find(|l| {
+                event_kind(l) == "done" && field(l, "id").as_deref() == Some(&format!("dup-{i}"))
+            })
+            .unwrap();
+        assert_eq!(
+            field(dup_line, "cached").as_deref(),
+            Some("true"),
+            "{dup_line}"
+        );
+        // Byte-identical modulo the job id: patching the fresh report
+        // to the duplicate's id must reproduce the cached bytes.
+        let expected =
+            gateway::cache::patch_job_id(&report_bytes(fresh_line), &format!("dup-{i}")).unwrap();
+        assert_eq!(report_bytes(dup_line), expected);
+    }
+
+    assert_eq!(counter_of(&gw, "gateway.cache.hits"), 3);
+    assert_eq!(counter_of(&gw, "gateway.cache.misses"), 3);
+    let metrics = gateway::http::metrics_text(&gw);
+    assert!(metrics.contains("gateway.cache.hits 3"), "{metrics}");
+    assert!(metrics.contains("gateway.admitted 6"), "{metrics}");
+    let status = gateway::http::status_text(&gw);
+    assert!(status.contains("50.0% hit rate"), "{status}");
+
+    client.send("{\"op\":\"drain\"}");
+    let drained = client.recv_until_drained();
+    assert!(drained, "drain completes");
+    w1.join().unwrap();
+    w2.join().unwrap();
+}
+
+impl Client {
+    fn recv_until_drained(&mut self) -> bool {
+        loop {
+            let line = self.recv();
+            if event_kind(&line) == "drained" {
+                return true;
+            }
+        }
+    }
+}
+
+/// Every config axis that changes the run misses the cache; repeating
+/// the original spec hits it.
+#[test]
+fn config_axes_miss_the_cache_and_exact_repeats_hit() {
+    let (gw, client_addr, worker_addr) = start(GatewayConfig::default());
+    let w = spawn_worker(worker_addr, "w", false);
+    let mut client = Client::connect(client_addr);
+
+    let submits = [
+        "{\"op\":\"submit\",\"circuit\":\"Z5xp1\",\"verify\":\"off\",\"seed\":1}",
+        "{\"op\":\"submit\",\"circuit\":\"Z5xp1\",\"verify\":\"off\",\"seed\":2}",
+        "{\"op\":\"submit\",\"circuit\":\"Z5xp1\",\"verify\":\"off\",\"seed\":1,\"engines\":\"gdo,resub\"}",
+        "{\"op\":\"submit\",\"circuit\":\"Z5xp1\",\"verify\":\"off\",\"seed\":1,\"partitions\":2}",
+        "{\"op\":\"submit\",\"circuit\":\"Z5xp1\",\"seed\":1}",
+    ];
+    for s in submits {
+        client.send(s);
+        let lines = client.recv_until_terminals(1);
+        let done = lines.last().unwrap();
+        assert_eq!(event_kind(done), "done", "{done}");
+        assert_eq!(
+            field(done, "cached"),
+            None,
+            "fresh runs omit the cached key: {done}"
+        );
+    }
+    // The exact first spec again: a hit.
+    client.send(submits[0]);
+    let lines = client.recv_until_terminals(1);
+    assert_eq!(
+        field(lines.last().unwrap(), "cached").as_deref(),
+        Some("true")
+    );
+    assert_eq!(counter_of(&gw, "gateway.cache.hits"), 1);
+    assert_eq!(counter_of(&gw, "gateway.cache.misses"), 5);
+
+    client.send("{\"op\":\"drain\"}");
+    client.recv_until_drained();
+    w.join().unwrap();
+}
+
+/// A persistent cache outlives the gateway: a restarted gateway answers
+/// the duplicate from disk with no worker connected at all.
+#[test]
+fn cache_survives_a_gateway_restart() {
+    let dir = tmp_dir("restart");
+    let cfg = |dir: &PathBuf| GatewayConfig {
+        cache_dir: Some(dir.clone()),
+        ..GatewayConfig::default()
+    };
+    let first_report;
+    {
+        let (_gw, client_addr, worker_addr) = start(cfg(&dir));
+        let w = spawn_worker(worker_addr, "w", false);
+        let mut client = Client::connect(client_addr);
+        client.send("{\"op\":\"submit\",\"id\":\"a\",\"circuit\":\"Z5xp1\",\"verify\":\"off\"}");
+        let lines = client.recv_until_terminals(1);
+        first_report = report_bytes(lines.last().unwrap());
+        client.send("{\"op\":\"drain\"}");
+        client.recv_until_drained();
+        w.join().unwrap();
+    }
+    // A brand-new gateway over the same directory, zero workers.
+    let (gw, client_addr, _worker_addr) = start(cfg(&dir));
+    let mut client = Client::connect(client_addr);
+    client.send("{\"op\":\"submit\",\"id\":\"b\",\"circuit\":\"Z5xp1\",\"verify\":\"off\"}");
+    let lines = client.recv_until_terminals(1);
+    let done = lines.last().unwrap();
+    assert_eq!(event_kind(done), "done", "{done}");
+    assert_eq!(field(done, "cached").as_deref(), Some("true"), "{done}");
+    assert_eq!(
+        report_bytes(done),
+        gateway::cache::patch_job_id(&first_report, "b").unwrap(),
+        "the disk round-trip preserved the report bytes"
+    );
+    assert_eq!(counter_of(&gw, "gateway.cache.hits"), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A worker that dies mid-job (socket drop, as a SIGKILL produces) gets
+/// its job requeued and completed by a survivor — exactly one terminal.
+#[test]
+fn dead_worker_mid_job_requeues_to_a_survivor() {
+    let dir = tmp_dir("requeue");
+    let (gw, client_addr, worker_addr) = start(GatewayConfig {
+        journal_dir: Some(dir.clone()),
+        ..GatewayConfig::default()
+    });
+
+    // A doomed worker, hand-rolled: registers, pulls, and drops the
+    // connection the moment it receives its assignment.
+    let doomed = TcpStream::connect(worker_addr).unwrap();
+    let mut doomed_reader = BufReader::new(doomed.try_clone().unwrap());
+    let mut hello = proto::WorkerMsg::Hello {
+        name: "doomed".to_string(),
+        lib_digest: library::standard_library().digest_hex(),
+        protocol: PROTOCOL_VERSION,
+    }
+    .to_json();
+    hello.push('\n');
+    (&doomed).write_all(hello.as_bytes()).unwrap();
+    let mut line = String::new();
+    doomed_reader.read_line(&mut line).unwrap(); // welcome
+    assert!(line.contains("welcome"), "{line}");
+    (&doomed).write_all(b"{\"w\":\"pull\"}\n").unwrap();
+
+    let mut client = Client::connect(client_addr);
+    client.send("{\"op\":\"submit\",\"id\":\"j1\",\"circuit\":\"9sym\",\"verify\":\"off\"}");
+
+    // Wait for the assignment to reach the doomed worker, then die.
+    line.clear();
+    doomed_reader.read_line(&mut line).unwrap();
+    assert!(line.contains("assign"), "{line}");
+    drop(doomed_reader);
+    drop(doomed);
+
+    // The survivor arrives after the death and completes the job.
+    let w = spawn_worker(worker_addr, "survivor", false);
+    let lines = client.recv_until_terminals(1);
+    assert_eq!(count_kind(&lines, "done"), 1, "{lines:?}");
+    assert_eq!(
+        count_kind(&lines, "started"),
+        2,
+        "one start per assignment: doomed, then survivor: {lines:?}"
+    );
+    assert_eq!(counter_of(&gw, "gateway.requeued"), 1);
+
+    client.send("{\"op\":\"drain\"}");
+    client.recv_until_drained();
+    w.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Fault-injected panics retry up to `retry_max`, then poison.
+#[test]
+fn panics_retry_then_poison() {
+    let (gw, client_addr, worker_addr) = start(GatewayConfig {
+        retry_max: 2,
+        ..GatewayConfig::default()
+    });
+    let w = spawn_worker(worker_addr, "w", true);
+    let mut client = Client::connect(client_addr);
+
+    // One injected panic, then the job runs: done.
+    client.send(
+        "{\"op\":\"submit\",\"id\":\"flaky\",\"circuit\":\"Z5xp1\",\"verify\":\"off\",\"panic_attempts\":1}",
+    );
+    let lines = client.recv_until_terminals(1);
+    assert_eq!(count_kind(&lines, "done"), 1, "{lines:?}");
+
+    // Panics forever: poisoned after retry_max + 1 attempts. A fresh
+    // seed keeps it off the flaky job's cached result.
+    client.send(
+        "{\"op\":\"submit\",\"id\":\"cursed\",\"circuit\":\"Z5xp1\",\"verify\":\"off\",\"seed\":77,\"panic_attempts\":99}",
+    );
+    let lines = client.recv_until_terminals(1);
+    let poisoned = lines.last().unwrap();
+    assert_eq!(event_kind(poisoned), "poisoned", "{lines:?}");
+    assert_eq!(field(poisoned, "attempts").as_deref(), Some("3"));
+    assert_eq!(counter_of(&gw, "gateway.jobs.poisoned"), 1);
+
+    client.send("{\"op\":\"drain\"}");
+    client.recv_until_drained();
+    w.join().unwrap();
+}
+
+/// Queue watermarks shed low/normal priority work while high priority
+/// stays admitted; queued jobs can still be cancelled to terminals.
+#[test]
+fn load_shedding_follows_the_queue_watermarks() {
+    // cap 4: low mark 2, high mark 3. No workers, so jobs sit queued.
+    let (gw, client_addr, _worker_addr) = start(GatewayConfig {
+        queue_cap: 4,
+        shed: ShedConfig::for_queue_cap(4),
+        ..GatewayConfig::default()
+    });
+    let mut client = Client::connect(client_addr);
+
+    for i in 0..2 {
+        client.send(&format!(
+            "{{\"op\":\"submit\",\"id\":\"q{i}\",\"circuit\":\"Z5xp1\"}}"
+        ));
+        let line = client.recv();
+        assert_eq!(event_kind(&line), "accepted", "{line}");
+    }
+    // Depth 2 = the low watermark: low sheds, normal still fits.
+    client.send("{\"op\":\"submit\",\"id\":\"lo\",\"circuit\":\"Z5xp1\",\"priority\":\"low\"}");
+    let line = client.recv();
+    assert_eq!(event_kind(&line), "rejected", "{line}");
+    assert!(
+        field(&line, "reason").unwrap().contains("load shed"),
+        "{line}"
+    );
+
+    client.send("{\"op\":\"submit\",\"id\":\"q2\",\"circuit\":\"Z5xp1\"}");
+    assert_eq!(event_kind(&client.recv()), "accepted");
+    // Depth 3 = the high watermark: normal sheds too, high is admitted
+    // to the hard cap.
+    client.send("{\"op\":\"submit\",\"id\":\"no\",\"circuit\":\"Z5xp1\"}");
+    let line = client.recv();
+    assert_eq!(event_kind(&line), "rejected", "{line}");
+    assert!(
+        field(&line, "reason").unwrap().contains("watermark"),
+        "{line}"
+    );
+    client.send("{\"op\":\"submit\",\"id\":\"hi\",\"circuit\":\"Z5xp1\",\"priority\":\"high\"}");
+    assert_eq!(event_kind(&client.recv()), "accepted");
+    // The queue is at capacity now: even high bounces off the hard cap.
+    client.send("{\"op\":\"submit\",\"id\":\"hi2\",\"circuit\":\"Z5xp1\",\"priority\":\"high\"}");
+    let line = client.recv();
+    assert_eq!(event_kind(&line), "rejected", "{line}");
+
+    assert_eq!(counter_of(&gw, "gateway.shed"), 2);
+    assert_eq!(counter_of(&gw, "gateway.queue.depth"), 4);
+
+    // Cancel the queued jobs: each reaches its single terminal.
+    for id in ["q0", "q1", "q2", "hi"] {
+        client.send(&format!("{{\"op\":\"cancel\",\"id\":\"{id}\"}}"));
+    }
+    let lines = client.recv_until_terminals(4);
+    assert_eq!(count_kind(&lines, "cancelled"), 4, "{lines:?}");
+    client.send("{\"op\":\"drain\"}");
+    client.recv_until_drained();
+}
+
+/// A worker with a different library (or protocol) is refused at
+/// registration.
+#[test]
+fn mismatched_worker_registration_is_rejected() {
+    let (_gw, _client_addr, worker_addr) = start(GatewayConfig::default());
+    let stream = TcpStream::connect(worker_addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut hello = proto::WorkerMsg::Hello {
+        name: "alien".to_string(),
+        lib_digest: "deadbeefdeadbeef".to_string(),
+        protocol: PROTOCOL_VERSION,
+    }
+    .to_json();
+    hello.push('\n');
+    (&stream).write_all(hello.as_bytes()).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("reject"), "{line}");
+    assert!(line.contains("library digest mismatch"), "{line}");
+}
+
+/// The gateway+worker path produces the same report bytes as
+/// `gdo-served` for the same spec — only `cpu_seconds` (wall clock) and
+/// the job id may differ.
+#[test]
+fn reports_match_gdo_served_byte_for_byte() {
+    // Run the job through the in-process serving stack.
+    let served_out = Arc::new(std::sync::Mutex::new(Vec::<u8>::new()));
+    struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let server = serve::Server::new(serve::ServerConfig::default());
+    let input = "{\"op\":\"submit\",\"id\":\"j\",\"circuit\":\"Z5xp1\",\"verify\":\"off\"}\n";
+    let out = serve::output_from(SharedBuf(Arc::clone(&served_out)));
+    server.run_batch(std::io::Cursor::new(input.as_bytes()), &out);
+    let served_lines = String::from_utf8(served_out.lock().unwrap().clone()).unwrap();
+    let served_done = served_lines
+        .lines()
+        .find(|l| event_kind(l) == "done")
+        .expect("served terminal");
+
+    // The same spec through gateway + worker.
+    let (_gw, client_addr, worker_addr) = start(GatewayConfig::default());
+    let w = spawn_worker(worker_addr, "w", false);
+    let mut client = Client::connect(client_addr);
+    client.send("{\"op\":\"submit\",\"id\":\"j\",\"circuit\":\"Z5xp1\",\"verify\":\"off\"}");
+    let lines = client.recv_until_terminals(1);
+    let gateway_done = lines.last().unwrap();
+    assert_eq!(event_kind(gateway_done), "done");
+
+    let normalize = |line: &str| {
+        let mut report = proto::parse_report(&report_bytes(line)).unwrap();
+        report.summary.insert("cpu_seconds".to_string(), 0.0);
+        report.to_json()
+    };
+    assert_eq!(normalize(gateway_done), normalize(served_done));
+
+    client.send("{\"op\":\"drain\"}");
+    client.recv_until_drained();
+    w.join().unwrap();
+}
+
+/// `"netlist":true` returns the optimized BLIF inline, identical
+/// between the fresh run and the cached replay.
+#[test]
+fn cached_replay_ships_the_same_blif() {
+    let (_gw, client_addr, worker_addr) = start(GatewayConfig::default());
+    let w = spawn_worker(worker_addr, "w", false);
+    let mut client = Client::connect(client_addr);
+    client.send(
+        "{\"op\":\"submit\",\"id\":\"n1\",\"circuit\":\"Z5xp1\",\"verify\":\"off\",\"netlist\":true}",
+    );
+    let fresh = client.recv_until_terminals(1);
+    let fresh_blif = field(fresh.last().unwrap(), "blif").expect("fresh blif inline");
+    assert!(fresh_blif.contains(".model"), "{fresh_blif}");
+
+    client.send(
+        "{\"op\":\"submit\",\"id\":\"n2\",\"circuit\":\"Z5xp1\",\"verify\":\"off\",\"netlist\":true}",
+    );
+    let dup = client.recv_until_terminals(1);
+    let done = dup.last().unwrap();
+    assert_eq!(field(done, "cached").as_deref(), Some("true"), "{done}");
+    assert_eq!(field(done, "blif").as_deref(), Some(fresh_blif.as_str()));
+
+    client.send("{\"op\":\"drain\"}");
+    client.recv_until_drained();
+    w.join().unwrap();
+}
+
+/// Streamed progress: a client that asked for it sees `progress` events
+/// for its job (and only its job) before the terminal.
+#[test]
+fn progress_streams_only_to_subscribed_jobs() {
+    let (_gw, client_addr, worker_addr) = start(GatewayConfig::default());
+    let w = spawn_worker(worker_addr, "w", false);
+    let mut client = Client::connect(client_addr);
+    // A partitioned C880 run is long enough for several 100ms ticks.
+    client.send(
+        "{\"op\":\"submit\",\"id\":\"loud\",\"circuit\":\"C880\",\"verify\":\"off\",\"partitions\":4,\"progress\":true}",
+    );
+    client.send("{\"op\":\"submit\",\"id\":\"quiet\",\"circuit\":\"Z5xp1\",\"verify\":\"off\"}");
+    let lines = client.recv_until_terminals(2);
+    let progress: Vec<&String> = lines
+        .iter()
+        .filter(|l| event_kind(l) == "progress")
+        .collect();
+    assert!(!progress.is_empty(), "no progress events: {lines:?}");
+    for p in &progress {
+        assert_eq!(field(p, "id").as_deref(), Some("loud"), "{p}");
+        assert!(field(p, "phase").is_some(), "{p}");
+    }
+    client.send("{\"op\":\"drain\"}");
+    client.recv_until_drained();
+    w.join().unwrap();
+}
+
+/// A gateway that dies with accepted-but-unfinished jobs re-runs them
+/// from its journal on restart — no accepted job is ever lost.
+#[test]
+fn restart_recovers_unfinished_jobs_from_the_journal() {
+    let dir = tmp_dir("recover");
+    {
+        // First life: accept a job with no workers connected, then die
+        // without draining (the gateway object just goes away).
+        let (_gw, client_addr, _worker_addr) = start(GatewayConfig {
+            journal_dir: Some(dir.clone()),
+            ..GatewayConfig::default()
+        });
+        let mut client = Client::connect(client_addr);
+        client
+            .send("{\"op\":\"submit\",\"id\":\"orphan\",\"circuit\":\"Z5xp1\",\"verify\":\"off\"}");
+        assert_eq!(event_kind(&client.recv()), "accepted");
+    }
+    // Second life: the journal replays the job; a worker finishes it.
+    let (gw, _client_addr, worker_addr) = start(GatewayConfig {
+        journal_dir: Some(dir.clone()),
+        ..GatewayConfig::default()
+    });
+    assert_eq!(counter_of(&gw, "gateway.recovered"), 1);
+    let w = spawn_worker(worker_addr, "w", false);
+    let t0 = std::time::Instant::now();
+    while counter_of(&gw, "gateway.jobs.done") < 1 {
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(60),
+            "recovered job never finished"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    // Its terminal went to the journal's recovered.ndjson stream.
+    let recovered = std::fs::read_to_string(dir.join("recovered.ndjson")).unwrap();
+    assert!(recovered.contains("\"event\":\"done\""), "{recovered}");
+    assert!(recovered.contains("\"id\":\"orphan\""), "{recovered}");
+    // Finish the second gateway cleanly so the worker thread exits.
+    let mut client = Client::connect(_client_addr);
+    client.send("{\"op\":\"drain\"}");
+    client.recv_until_drained();
+    w.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

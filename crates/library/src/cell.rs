@@ -282,6 +282,52 @@ impl Library {
             .map(LibCell::area)
             .sum()
     }
+
+    /// A stable fingerprint of the library's full contents — name,
+    /// cells in id order, and every cell's name, kind, area, pin
+    /// delays, and pin naming. Two processes whose digests match bind
+    /// identical `LibCellId`s to identical cells, so mapped netlists
+    /// and cached optimization results can be exchanged between them;
+    /// the gateway uses the 16-hex-digit form to refuse workers built
+    /// against a different library. Deliberately order-*dependent*:
+    /// cell ids are positional, so a reordered library is a different
+    /// library even with the same cell set.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        // FNV-1a over a canonical byte rendering. Fields are
+        // length-prefixed so `("ab","c")` and `("a","bc")` cannot
+        // collide.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for chunk in [&(bytes.len() as u64).to_le_bytes()[..], bytes] {
+                for &b in chunk {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+            }
+        };
+        eat(self.name.as_bytes());
+        for cell in &self.cells {
+            eat(cell.name.as_bytes());
+            eat(format!("{:?}", cell.kind).as_bytes());
+            eat(&cell.area.to_bits().to_le_bytes());
+            for d in &cell.pin_delays {
+                eat(&d.to_bits().to_le_bytes());
+            }
+            for p in &cell.pin_names {
+                eat(p.as_bytes());
+            }
+            eat(cell.output_name.as_bytes());
+        }
+        h
+    }
+
+    /// [`digest`](Self::digest) as the 16-hex-digit string used on the
+    /// worker registration wire.
+    #[must_use]
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest())
+    }
 }
 
 #[cfg(test)]
@@ -343,5 +389,25 @@ mod tests {
     fn max_delay_is_worst_pin() {
         let c = LibCell::new("nand2", GateKind::Nand, 2.0, vec![1.0, 1.3]);
         assert!((c.max_delay() - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        assert_eq!(tiny().digest(), tiny().digest());
+        assert_eq!(tiny().digest_hex(), format!("{:016x}", tiny().digest()));
+
+        // Any content change moves the digest: area, delay, name, and
+        // even reordering the same cell set (ids are positional).
+        let mut cheaper = Library::new("tiny");
+        cheaper.add(LibCell::new("inv1", GateKind::Not, 0.5, vec![1.0]));
+        cheaper.add(LibCell::new("inv4", GateKind::Not, 4.0, vec![0.4]));
+        cheaper.add(LibCell::new("nand2", GateKind::Nand, 2.0, vec![1.0, 1.1]));
+        assert_ne!(tiny().digest(), cheaper.digest());
+
+        let mut reordered = Library::new("tiny");
+        reordered.add(LibCell::new("inv4", GateKind::Not, 4.0, vec![0.4]));
+        reordered.add(LibCell::new("inv1", GateKind::Not, 1.0, vec![1.0]));
+        reordered.add(LibCell::new("nand2", GateKind::Nand, 2.0, vec![1.0, 1.1]));
+        assert_ne!(tiny().digest(), reordered.digest());
     }
 }

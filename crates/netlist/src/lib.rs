@@ -42,6 +42,7 @@
 mod bitset;
 mod cell;
 mod delta;
+mod digest;
 mod edit;
 mod error;
 mod eval;

@@ -1,0 +1,159 @@
+//! Property tests for `Netlist::structural_digest`: the digest is the
+//! result-cache key of the serving gateway, so its soundness contract —
+//! isomorphic netlists hash equal, structural edits change the hash —
+//! is tested over random DAGs, random insertion orders, and random
+//! renamings rather than hand-picked examples.
+
+use netlist::{GateKind, Netlist};
+use proptest::prelude::*;
+
+/// An abstract DAG: node 0..inputs are PIs; each gate lists the kind
+/// index and the (earlier) nodes it reads. Outputs pick arbitrary nodes.
+#[derive(Debug, Clone)]
+struct Spec {
+    inputs: usize,
+    gates: Vec<(u8, Vec<usize>)>,
+    outputs: Vec<usize>,
+}
+
+fn kind_of(k: u8) -> GateKind {
+    match k % 6 {
+        0 => GateKind::And,
+        1 => GateKind::Or,
+        2 => GateKind::Nand,
+        3 => GateKind::Nor,
+        4 => GateKind::Xor,
+        _ => GateKind::Not,
+    }
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    (2usize..6, 1usize..12).prop_flat_map(|(inputs, n_gates)| {
+        let gates = proptest::collection::vec(
+            (0u8..6, proptest::collection::vec(0usize..64, 1..4)),
+            n_gates,
+        );
+        let outputs = proptest::collection::vec(0usize..64, 1..4);
+        (Just(inputs), gates, outputs).prop_map(|(inputs, gates, outputs)| Spec {
+            inputs,
+            gates,
+            outputs,
+        })
+    })
+}
+
+/// Builds the spec into a netlist. `order_seed` picks a linear extension
+/// of the gate DAG (insertion order), `salt` renames every signal, and
+/// `mirror` reverses commutative fanin lists and the PI insertion order
+/// — none of which may change the structural digest.
+fn build(spec: &Spec, order_seed: u64, salt: u64, mirror: bool) -> Netlist {
+    let mut nl = Netlist::new("prop");
+    let total = spec.inputs + spec.gates.len();
+    let mut ids = vec![None; total];
+    let mut pi_order: Vec<usize> = (0..spec.inputs).collect();
+    if mirror {
+        pi_order.reverse();
+    }
+    for i in pi_order {
+        ids[i] = Some(nl.add_input(format!("s{salt}_{i}")));
+    }
+    // Resolve each gate's fanin node indices (clamped into range and to
+    // strictly-earlier nodes so the spec is always a DAG).
+    let deps: Vec<Vec<usize>> = spec
+        .gates
+        .iter()
+        .enumerate()
+        .map(|(g, (_, fanins))| {
+            let node = spec.inputs + g;
+            fanins.iter().map(|&f| f % node).collect()
+        })
+        .collect();
+    // Insert gates along a pseudo-random linear extension: repeatedly
+    // pick a ready gate (all deps inserted) at a seed-driven position.
+    let mut state = order_seed | 1;
+    let mut remaining: Vec<usize> = (0..spec.gates.len()).collect();
+    while !remaining.is_empty() {
+        let ready: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&g| deps[g].iter().all(|&d| ids[d].is_some()))
+            .collect();
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let pick = ready[(state >> 33) as usize % ready.len()];
+        remaining.retain(|&g| g != pick);
+        let (k, _) = spec.gates[pick];
+        let kind = kind_of(k);
+        let mut fanins: Vec<_> = if kind == GateKind::Not {
+            vec![ids[deps[pick][0]].unwrap()]
+        } else {
+            let mut f: Vec<_> = deps[pick].iter().map(|&d| ids[d].unwrap()).collect();
+            if f.len() < 2 {
+                f.push(f[0]);
+            }
+            f
+        };
+        if mirror && kind.is_commutative() {
+            fanins.reverse();
+        }
+        let node = spec.inputs + pick;
+        ids[node] = Some(nl.add_gate(kind, &fanins).unwrap());
+    }
+    for (i, &o) in spec.outputs.iter().enumerate() {
+        nl.add_output(format!("o{salt}_{i}"), ids[o % total].unwrap());
+    }
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Isomorphic netlists — same DAG under renamed signals, permuted
+    /// insertion order, reversed PIs, and reversed commutative fanins —
+    /// produce equal digests.
+    #[test]
+    fn isomorphic_netlists_hash_equal(
+        spec in spec_strategy(),
+        seed_a in 0u64..u64::MAX,
+        seed_b in 0u64..u64::MAX,
+    ) {
+        let a = build(&spec, seed_a, 7, false);
+        let b = build(&spec, seed_b, 991, true);
+        prop_assert_eq!(
+            a.structural_digest().unwrap(),
+            b.structural_digest().unwrap()
+        );
+    }
+
+    /// Flipping one gate's kind changes the digest: the hash reflects
+    /// structure, not just shape.
+    #[test]
+    fn kind_flip_changes_digest(spec in spec_strategy(), seed in 0u64..u64::MAX, at in 0usize..64) {
+        let base = build(&spec, seed, 7, false);
+        let mut flipped = spec.clone();
+        let g = at % flipped.gates.len();
+        // And <-> Or (both commutative, same arity class) so only the
+        // kind differs, never the wiring.
+        flipped.gates[g].0 = match kind_of(flipped.gates[g].0) {
+            GateKind::And => 1,
+            _ => 0,
+        };
+        let other = build(&flipped, seed, 7, false);
+        prop_assert!(
+            base.structural_digest().unwrap() != other.structural_digest().unwrap()
+        );
+    }
+
+    /// The digest is a pure function of structure: a clone hashes the
+    /// same as its original.
+    #[test]
+    fn digest_is_deterministic_across_clones(spec in spec_strategy(), seed in 0u64..u64::MAX) {
+        let a = build(&spec, seed, 7, false);
+        let b = a.clone();
+        prop_assert_eq!(
+            a.structural_digest().unwrap(),
+            b.structural_digest().unwrap()
+        );
+    }
+}

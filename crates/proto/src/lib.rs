@@ -1,0 +1,34 @@
+//! `proto` — the wire protocols of the GDO serving stack.
+//!
+//! Extracted from `serve::protocol` when serving split into a gateway
+//! and worker processes: every process that speaks NDJSON — the
+//! single-process server (`gdo-served`), the front door
+//! (`gdo-gateway`), job runners (`gdo-worker`), and the client
+//! (`gdo-submit`) — parses and serializes through this one crate, so
+//! the protocols cannot drift between binaries.
+//!
+//! - [`json`] — the minimal hand-rolled JSON reader (field-path error
+//!   context, full escape round-tripping).
+//! - [`client`] — client↔server requests ([`Request`], [`SubmitRequest`])
+//!   and response events ([`Event`]).
+//! - [`worker`] — gateway↔worker registration, job pull/assign,
+//!   heartbeats, progress, results.
+//! - [`report`] — parsing [`telemetry::RunReport`] back from its JSON
+//!   schema (the inverse of its writer).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod report;
+pub mod worker;
+
+pub use client::{
+    parse_request, parse_submit_value, parse_verify, submit_to_json, verify_name, Event, JobSource,
+    Priority, Request, SubmitRequest,
+};
+pub use report::{parse_report, report_from_json};
+pub use worker::{
+    GatewayMsg, InputFormat, ShippedInput, WorkerMsg, WorkerResult, PROTOCOL_VERSION,
+};

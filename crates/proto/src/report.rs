@@ -1,0 +1,147 @@
+//! Parsing [`telemetry::RunReport`] back from its JSON schema.
+//!
+//! [`telemetry`] only writes reports; the gateway must also *read* them
+//! — a worker ships its finished report as JSON, and the result cache
+//! replays stored reports with the requesting job's id patched in. The
+//! parser here is the exact inverse of [`RunReport::to_json`]: for every
+//! report `r`, `parse_report(&r.to_json()) == r` and re-serializing
+//! produces the identical byte string (Rust's `f64` formatting is
+//! shortest-round-trip, so numbers survive the loop exactly).
+
+use crate::json::{self, Json};
+use telemetry::{RunReport, SpanStat};
+
+/// Parses one serialized report line.
+///
+/// # Errors
+///
+/// A message naming the malformed field.
+pub fn parse_report(text: &str) -> Result<RunReport, String> {
+    let v = json::parse(text).map_err(|e| format!("malformed report JSON: {e}"))?;
+    report_from_json(&v)
+}
+
+/// Builds a report from an already-parsed JSON value (e.g. the
+/// `"report"` member of a worker result message).
+///
+/// # Errors
+///
+/// A message naming the malformed field.
+pub fn report_from_json(v: &Json) -> Result<RunReport, String> {
+    if v.as_obj().is_none() {
+        return Err("report must be a JSON object".to_string());
+    }
+    let mut report = RunReport::default();
+    if let Some(m) = v.get("meta").and_then(Json::as_obj) {
+        for (k, x) in m {
+            let s = x
+                .as_str()
+                .ok_or_else(|| format!("report meta.{k} must be a string"))?;
+            report.meta.insert(k.clone(), s.to_string());
+        }
+    }
+    if let Some(m) = v.get("counters").and_then(Json::as_obj) {
+        for (k, x) in m {
+            let n = x
+                .as_u64()
+                .ok_or_else(|| format!("report counters.{k} must be a non-negative integer"))?;
+            report.counters.insert(k.clone(), n);
+        }
+    }
+    if let Some(m) = v.get("gauges").and_then(Json::as_obj) {
+        for (k, x) in m {
+            let n =
+                number_or_null(x).ok_or_else(|| format!("report gauges.{k} must be a number"))?;
+            report.gauges.insert(k.clone(), n);
+        }
+    }
+    if let Some(m) = v.get("spans").and_then(Json::as_obj) {
+        for (k, x) in m {
+            let field = |name: &str| -> Result<f64, String> {
+                number_or_null(x.get(name).unwrap_or(&Json::Null))
+                    .ok_or_else(|| format!("report spans.{k}.{name} must be a number"))
+            };
+            report.spans.insert(
+                k.clone(),
+                SpanStat {
+                    count: x
+                        .get("count")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("report spans.{k}.count must be an integer"))?,
+                    total_s: field("total_s")?,
+                    max_s: field("max_s")?,
+                },
+            );
+        }
+    }
+    if let Some(m) = v.get("summary").and_then(Json::as_obj) {
+        for (k, x) in m {
+            let n =
+                number_or_null(x).ok_or_else(|| format!("report summary.{k} must be a number"))?;
+            report.summary.insert(k.clone(), n);
+        }
+    }
+    Ok(report)
+}
+
+/// The report writer emits non-finite values as `null`; map them back
+/// to NaN so a round trip stays lossless in shape.
+fn number_or_null(v: &Json) -> Option<f64> {
+    match v {
+        Json::Num(n) => Some(*n),
+        Json::Null => Some(f64::NAN),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_byte_identically() {
+        let mut r = RunReport::default();
+        r.meta.insert("circuit".into(), "9sym".into());
+        r.meta.insert("job".into(), "job-3".into());
+        r.counters.insert("engine.gdo.applied".into(), 17);
+        r.counters.insert("verify.checks".into(), 2);
+        r.gauges.insert("queue.depth".into(), 3.5);
+        r.spans.insert(
+            "optimize".into(),
+            SpanStat {
+                count: 4,
+                total_s: 0.125,
+                max_s: 0.0625,
+            },
+        );
+        r.summary.insert("delay_after".into(), 12.375);
+        r.summary.insert("cpu_seconds".into(), 0.007_812_5);
+        let text = r.to_json();
+        let back = parse_report(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_json(), text, "re-serialization must not drift");
+    }
+
+    #[test]
+    fn awkward_floats_survive_the_loop() {
+        let mut r = RunReport::default();
+        r.summary.insert("a".into(), 0.1);
+        r.summary.insert("b".into(), 1.0 / 3.0);
+        r.summary.insert("c".into(), f64::MAX);
+        r.summary.insert("d".into(), 5e-324);
+        let text = r.to_json();
+        assert_eq!(parse_report(&text).unwrap().to_json(), text);
+    }
+
+    #[test]
+    fn rejects_malformed_reports() {
+        for bad in [
+            "[]",
+            r#"{"counters":{"x":-1}}"#,
+            r#"{"meta":{"x":1}}"#,
+            r#"{"spans":{"s":{"total_s":1}}}"#,
+        ] {
+            assert!(parse_report(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -41,6 +41,8 @@ fn usage() -> String {
        --priority LANE          high|normal|low (default normal)\n\
        --resume PATH            resume from a snapshot file (server-side path)\n\
        --checkpoint PATH        write run snapshots to PATH (server-side path)\n\
+       --with-netlist           return the optimized netlist (mapped BLIF) inline\n\
+       --progress               stream per-phase progress events (gateway only)\n\
      \n\
      control:\n\
        --status                 request a status event\n\
@@ -78,6 +80,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             priority: Priority::Normal,
             resume: None,
             checkpoint: None,
+            want_netlist: false,
+            want_progress: false,
             panic_attempts: None,
         },
         status: false,
@@ -153,6 +157,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--checkpoint" => {
                 opts.template.checkpoint = Some(need(&mut it, "--checkpoint")?.into());
             }
+            "--with-netlist" => opts.template.want_netlist = true,
+            "--progress" => opts.template.want_progress = true,
             "--status" => opts.status = true,
             "--cancel" => opts.cancels.push(need(&mut it, "--cancel")?),
             "--drain" => opts.drain = true,
@@ -306,6 +312,24 @@ mod tests {
         assert_eq!(opts.template.partitions, Some(4));
         assert_eq!(opts.template.priority, Priority::High);
         assert!(opts.drain);
+        assert!(!opts.template.want_netlist);
+        assert!(!opts.template.want_progress);
+    }
+
+    #[test]
+    fn netlist_and_progress_flags_parse() {
+        let opts = parse_args(&argv(&[
+            "--addr",
+            "x:1",
+            "--circuit",
+            "9sym",
+            "--with-netlist",
+            "--progress",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert!(opts.template.want_netlist);
+        assert!(opts.template.want_progress);
     }
 
     #[test]

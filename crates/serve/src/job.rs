@@ -12,25 +12,9 @@ use telemetry::RunReport;
 use crate::protocol::verify_name;
 use crate::queue::Priority;
 
-/// Where a job's circuit comes from.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum JobSource {
-    /// A named entry of the workload suite ([`workloads::lookup_circuit`]).
-    Suite(String),
-    /// A `.bench` / `.blif` netlist file readable by the server process.
-    File(PathBuf),
-}
-
-impl JobSource {
-    /// A short human-readable description for events and errors.
-    #[must_use]
-    pub fn describe(&self) -> String {
-        match self {
-            JobSource::Suite(name) => name.clone(),
-            JobSource::File(path) => path.display().to_string(),
-        }
-    }
-}
+// `JobSource` lives in the shared protocol crate (it is named on the
+// wire by every submit request); re-exported here for job execution.
+pub use proto::JobSource;
 
 /// One fully-specified job, defaults applied — what sits in the queue.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +55,8 @@ pub struct JobSpec {
     /// (counted in `snapshot.rejected`, noted in the report meta) and
     /// the job re-runs from scratch.
     pub resume: Option<PathBuf>,
+    /// Return the optimized netlist (mapped BLIF) in the terminal event.
+    pub want_netlist: bool,
     /// Fault injection: panic the worker this many times before the job
     /// is allowed to run (honored only with the `fault-inject` feature).
     pub panic_attempts: u32,
@@ -99,6 +85,10 @@ pub struct JobResult {
     pub report: RunReport,
     /// How the run ended.
     pub outcome: JobOutcome,
+    /// The optimized netlist as mapped BLIF text — what a client with
+    /// `"netlist":true` receives, and what the gateway's result cache
+    /// stores for byte-identical replay.
+    pub blif: String,
 }
 
 /// Loads a job's netlist: suite entries are generated, files parsed by
@@ -119,38 +109,55 @@ pub fn load_job_netlist(lib: &Library, source: &JobSource) -> Result<(Netlist, b
         JobSource::File(path) => {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-            match path.extension().and_then(|e| e.to_str()) {
-                Some("bench") => (
-                    formats::parse_bench(&text).map_err(|e| format!("{}: {e}", path.display()))?,
-                    false,
-                ),
-                Some("blif") => {
-                    if text.lines().any(|l| l.trim_start().starts_with(".gate")) {
-                        (
-                            library::parse_mapped_blif(lib, &text)
-                                .map_err(|e| format!("{}: {e}", path.display()))?,
-                            true,
-                        )
-                    } else {
-                        (
-                            formats::parse_blif(&text)
-                                .map_err(|e| format!("{}: {e}", path.display()))?,
-                            false,
-                        )
-                    }
-                }
+            let format = match path.extension().and_then(|e| e.to_str()) {
+                Some("bench") => proto::InputFormat::Bench,
+                Some("blif") => proto::InputFormat::Blif,
                 other => {
                     return Err(format!(
                         "{}: cannot infer format from extension {other:?} (use .bench or .blif)",
                         path.display()
                     ))
                 }
-            }
+            };
+            parse_netlist_text(lib, format, &text)
+                .map_err(|e| format!("{}: {e}", path.display()))?
         }
     };
     nl.validate()
         .map_err(|e| format!("invalid input netlist {}: {e}", source.describe()))?;
     Ok((nl, mapped))
+}
+
+/// Parses netlist text in `format` (BLIF with `.gate` lines is read as
+/// a mapped netlist against `lib`). Returns the netlist and whether it
+/// is already mapped. Shared between file loading above and the
+/// gateway's shipped-input path, so a job's parse is byte-identical no
+/// matter which process runs it.
+///
+/// # Errors
+///
+/// The parse error's display string.
+pub fn parse_netlist_text(
+    lib: &Library,
+    format: proto::InputFormat,
+    text: &str,
+) -> Result<(Netlist, bool), String> {
+    match format {
+        proto::InputFormat::Bench => Ok((
+            formats::parse_bench(text).map_err(|e| e.to_string())?,
+            false,
+        )),
+        proto::InputFormat::Blif => {
+            if text.lines().any(|l| l.trim_start().starts_with(".gate")) {
+                Ok((
+                    library::parse_mapped_blif(lib, text).map_err(|e| e.to_string())?,
+                    true,
+                ))
+            } else {
+                Ok((formats::parse_blif(text).map_err(|e| e.to_string())?, false))
+            }
+        }
+    }
 }
 
 /// Runs one job on a worker's library under `budget`: load, map (area
@@ -298,11 +305,14 @@ pub fn run_job(lib: &Library, spec: &JobSpec, budget: &Budget) -> Result<JobResu
     } else {
         JobOutcome::Done
     };
+    let blif = library::write_mapped_blif(lib, &nl)
+        .map_err(|e| format!("writing {circuit} result netlist failed: {e}"))?;
     Ok(JobResult {
         circuit,
         stats,
         report,
         outcome,
+        blif,
     })
 }
 
@@ -325,6 +335,7 @@ mod tests {
             checkpoint: None,
             checkpoint_every: 1,
             resume: None,
+            want_netlist: false,
             panic_attempts: 0,
         }
     }

@@ -1,319 +1,8 @@
-//! A minimal hand-rolled JSON reader for the NDJSON request protocol.
+//! Re-export of the shared JSON reader.
 //!
-//! The workspace policy is zero external dependencies, and [`telemetry`]
-//! only *writes* JSON (plus a syntax validator); the server must also
-//! *read* request lines. This module parses one JSON value into a small
-//! dynamic [`Json`] tree with the handful of accessors the protocol
-//! needs. It is not a general-purpose parser: numbers are `f64`, objects
-//! keep last-key-wins semantics, and `\uXXXX` escapes outside the BMP
-//! are passed through as replacement characters.
+//! The hand-rolled parser moved to [`proto::json`] when the serving
+//! stack split into gateway and worker processes; this alias keeps
+//! `crate::json::…` paths (and downstream `serve::json::…` users)
+//! working.
 
-use std::collections::BTreeMap;
-
-/// One parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any number (always carried as `f64`).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object (sorted keys, last duplicate wins).
-    Obj(BTreeMap<String, Json>),
-}
-
-impl Json {
-    /// Member lookup on an object (`None` on other kinds).
-    #[must_use]
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(m) => m.get(key),
-            _ => None,
-        }
-    }
-
-    /// The string payload, if this is a string.
-    #[must_use]
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The numeric payload as an unsigned integer, if this is a
-    /// non-negative integral number.
-    #[must_use]
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
-            _ => None,
-        }
-    }
-
-    /// The numeric payload, if this is a number.
-    #[must_use]
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The boolean payload, if this is a boolean.
-    #[must_use]
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-}
-
-/// Parses exactly one JSON value from `text` (surrounding whitespace
-/// allowed, trailing data rejected).
-///
-/// # Errors
-///
-/// A human-readable description of the first syntax error.
-pub fn parse(text: &str) -> Result<Json, String> {
-    let bytes = text.as_bytes();
-    let mut pos = 0usize;
-    skip_ws(bytes, &mut pos);
-    let value = parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
-    }
-    Ok(value)
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    match b.get(*pos) {
-        None => Err("unexpected end of input".to_string()),
-        Some(b'{') => {
-            *pos += 1;
-            let mut members = BTreeMap::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(members));
-            }
-            loop {
-                skip_ws(b, pos);
-                let key = parse_string(b, pos)?;
-                skip_ws(b, pos);
-                if b.get(*pos) != Some(&b':') {
-                    return Err(format!("expected ':' at byte {pos}"));
-                }
-                *pos += 1;
-                skip_ws(b, pos);
-                let value = parse_value(b, pos)?;
-                members.insert(key, value);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(members));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                skip_ws(b, pos);
-                items.push(parse_value(b, pos)?);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
-        Some(b't') => parse_lit(b, pos, b"true").map(|()| Json::Bool(true)),
-        Some(b'f') => parse_lit(b, pos, b"false").map(|()| Json::Bool(false)),
-        Some(b'n') => parse_lit(b, pos, b"null").map(|()| Json::Null),
-        Some(_) => parse_number(b, pos),
-    }
-}
-
-fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
-    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit {
-        *pos += lit.len();
-        Ok(())
-    } else {
-        Err(format!("bad literal at byte {pos}"))
-    }
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    if b.get(*pos) != Some(&b'"') {
-        return Err(format!("expected string at byte {pos}"));
-    }
-    *pos += 1;
-    let mut out = String::new();
-    while let Some(&c) = b.get(*pos) {
-        match c {
-            b'"' => {
-                *pos += 1;
-                return Ok(out);
-            }
-            b'\\' => {
-                *pos += 1;
-                match b.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'u') => {
-                        if *pos + 4 >= b.len() {
-                            return Err(format!("bad \\u escape at byte {pos}"));
-                        }
-                        let hex = std::str::from_utf8(&b[*pos + 1..*pos + 5])
-                            .ok()
-                            .and_then(|h| u32::from_str_radix(h, 16).ok())
-                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
-                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
-                        *pos += 4;
-                    }
-                    _ => return Err(format!("bad escape at byte {pos}")),
-                }
-                *pos += 1;
-            }
-            0x00..=0x1f => return Err(format!("raw control char at byte {pos}")),
-            _ => {
-                // Consume one full UTF-8 scalar (the input is a &str, so
-                // continuation bytes are well-formed by construction).
-                let len = match c {
-                    0x00..=0x7f => 1,
-                    0xc0..=0xdf => 2,
-                    0xe0..=0xef => 3,
-                    _ => 4,
-                };
-                let end = (*pos + len).min(b.len());
-                out.push_str(std::str::from_utf8(&b[*pos..end]).map_err(|e| e.to_string())?);
-                *pos = end;
-            }
-        }
-    }
-    Err("unterminated string".to_string())
-}
-
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    if b.get(*pos) == Some(&b'-') {
-        *pos += 1;
-    }
-    while b
-        .get(*pos)
-        .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
-    {
-        *pos += 1;
-    }
-    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
-    text.parse::<f64>()
-        .map(Json::Num)
-        .map_err(|_| format!("bad number {text:?} at byte {start}"))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_protocol_shaped_objects() {
-        let v = parse(
-            r#"{"op":"submit","id":"j1","circuit":"9sym","deadline_ms":250,
-                "seed":7,"priority":"high","flag":true,"opt":null}"#,
-        )
-        .unwrap();
-        assert_eq!(v.get("op").and_then(Json::as_str), Some("submit"));
-        assert_eq!(v.get("deadline_ms").and_then(Json::as_u64), Some(250));
-        assert_eq!(v.get("seed").and_then(Json::as_u64), Some(7));
-        assert_eq!(v.get("flag").and_then(Json::as_bool), Some(true));
-        assert_eq!(v.get("opt"), Some(&Json::Null));
-        assert_eq!(v.get("missing"), None);
-    }
-
-    #[test]
-    fn round_trips_telemetry_escaping() {
-        let original = "a\"b\\c\nd\te\u{1}f";
-        let escaped = telemetry::json_escaped(original);
-        let back = parse(&escaped).unwrap();
-        assert_eq!(back.as_str(), Some(original));
-    }
-
-    #[test]
-    fn parses_nested_arrays_and_numbers() {
-        let v = parse("[1, -2.5, [\"x\"], {\"k\": 3e2}]").unwrap();
-        let Json::Arr(items) = &v else {
-            panic!("not an array")
-        };
-        assert_eq!(items[0].as_u64(), Some(1));
-        assert_eq!(items[1].as_f64(), Some(-2.5));
-        assert_eq!(items[3].get("k").and_then(Json::as_f64), Some(300.0));
-        // -2.5 is not integral, so it is not a u64.
-        assert_eq!(items[1].as_u64(), None);
-    }
-
-    #[test]
-    fn rejects_malformed_input() {
-        for bad in [
-            "",
-            "{",
-            "{\"a\":}",
-            "[1,]",
-            "nul",
-            "\"abc",
-            "{\"a\":1} x",
-            "1.2.3",
-        ] {
-            assert!(parse(bad).is_err(), "accepted {bad:?}");
-        }
-    }
-
-    #[test]
-    fn accepts_everything_the_validator_accepts() {
-        for good in [
-            "null",
-            "true",
-            "-1.5e-3",
-            "[1,2,[]]",
-            "{\"a\":{\"b\":[1,\"x\",null]}}",
-            "  {}  ",
-            "\"\\u00ff\"",
-        ] {
-            telemetry::validate_json(good).unwrap();
-            parse(good).unwrap_or_else(|e| panic!("rejected {good:?}: {e}"));
-        }
-    }
-}
+pub use proto::json::{parse, Json};

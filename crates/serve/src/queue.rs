@@ -16,51 +16,9 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
-/// Priority lane of one queued job. Strictly ordered: all queued
-/// higher-priority jobs dequeue before any lower-priority one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Priority {
-    /// Latency-sensitive lane.
-    High,
-    /// The default lane.
-    #[default]
-    Normal,
-    /// Bulk/batch lane.
-    Low,
-}
-
-impl Priority {
-    /// Lane index, `0` = highest.
-    #[must_use]
-    pub fn lane(self) -> usize {
-        match self {
-            Priority::High => 0,
-            Priority::Normal => 1,
-            Priority::Low => 2,
-        }
-    }
-
-    /// Stable lower-case protocol name.
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            Priority::High => "high",
-            Priority::Normal => "normal",
-            Priority::Low => "low",
-        }
-    }
-
-    /// Parses the protocol name.
-    #[must_use]
-    pub fn from_name(name: &str) -> Option<Priority> {
-        match name {
-            "high" => Some(Priority::High),
-            "normal" => Some(Priority::Normal),
-            "low" => Some(Priority::Low),
-            _ => None,
-        }
-    }
-}
+// `Priority` lives in the shared protocol crate (it is a wire-level
+// concept); re-exported here because it is also the queue's lane index.
+pub use proto::Priority;
 
 /// What a full queue does to a submitter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -276,6 +234,19 @@ impl<T> JobQueue<T> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Items currently queued in each lane, highest priority first —
+    /// the per-lane depths behind the gateway's `/status` endpoint and
+    /// its load-shedding watermarks.
+    #[must_use]
+    pub fn lane_depths(&self) -> [usize; 3] {
+        let inner = self.lock();
+        [
+            inner.lanes[0].len(),
+            inner.lanes[1].len(),
+            inner.lanes[2].len(),
+        ]
     }
 
     /// High-water mark of the queue depth since construction.

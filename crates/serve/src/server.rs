@@ -489,6 +489,7 @@ impl Server {
             checkpoint,
             checkpoint_every: shared.checkpoint_every,
             resume: req.resume,
+            want_netlist: req.want_netlist,
             panic_attempts: req.panic_attempts.unwrap_or(0),
         };
         let priority = spec.priority;
@@ -845,10 +846,14 @@ fn worker_loop(index: usize, lib: &Library, shared: &Shared) {
                 JobOutcome::Done => Event::Done {
                     id: id.clone(),
                     report: r.report,
+                    cached: false,
+                    blif: job.spec.want_netlist.then_some(r.blif),
                 },
                 JobOutcome::Degraded => Event::Degraded {
                     id: id.clone(),
                     report: r.report,
+                    cached: false,
+                    blif: job.spec.want_netlist.then_some(r.blif),
                 },
                 JobOutcome::Cancelled => Event::Cancelled { id: id.clone() },
             },

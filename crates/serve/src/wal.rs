@@ -200,6 +200,8 @@ mod tests {
             priority: Priority::Normal,
             resume: None,
             checkpoint: None,
+            want_netlist: false,
+            want_progress: false,
             panic_attempts: None,
         }
     }

@@ -74,6 +74,8 @@ fn submit_line(id: &str, circuit: &str) -> String {
         priority: Priority::Normal,
         resume: None,
         checkpoint: None,
+        want_netlist: false,
+        want_progress: false,
         panic_attempts: None,
     })
 }

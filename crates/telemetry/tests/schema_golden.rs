@@ -62,6 +62,13 @@ fn fixed_report() -> RunReport {
         .counters
         .insert("partition.regions_skipped".into(), 0);
     report.counters.insert("partition.regions_done".into(), 4);
+    report.counters.insert("gateway.admitted".into(), 6);
+    report.counters.insert("gateway.shed".into(), 1);
+    report.counters.insert("gateway.cache.hits".into(), 3);
+    report.counters.insert("gateway.cache.misses".into(), 3);
+    report.counters.insert("gateway.requeued".into(), 1);
+    report.counters.insert("gateway.recovered".into(), 0);
+    report.gauges.insert("gateway.workers.alive".into(), 2.0);
     report.gauges.insert("gdo.round".into(), 3.0);
     report.spans.insert(
         "gdo.optimize".into(),
